@@ -1,0 +1,39 @@
+/// \file bench_common.hpp
+/// \brief Shared helpers for the experiment harness (E1-E15).
+///
+/// Each bench binary regenerates one experiment table from DESIGN.md §2.
+/// Tables are printed to stdout in a fixed-width format so EXPERIMENTS.md
+/// can quote them directly; binaries that measure raw operation latency
+/// additionally register google-benchmark timings.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/median.hpp"
+
+namespace mcf0::bench {
+
+/// Relative error |est - exact| / exact (0 when both are 0).
+inline double RelError(double est, double exact) {
+  if (exact == 0.0) return est == 0.0 ? 0.0 : 1.0;
+  return std::abs(est - exact) / exact;
+}
+
+/// True iff est lies in the paper's (1 + eps) band around exact.
+inline bool WithinBand(double est, double exact, double eps) {
+  if (exact == 0.0) return est == 0.0;
+  return est >= exact / (1.0 + eps) && est <= exact * (1.0 + eps);
+}
+
+/// Prints the experiment banner.
+inline void Banner(const char* id, const char* claim) {
+  std::printf("==================================================================\n");
+  std::printf("%s\n", id);
+  std::printf("paper claim: %s\n", claim);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace mcf0::bench

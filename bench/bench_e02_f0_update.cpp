@@ -1,0 +1,78 @@
+// E2 — sketch space and per-item update time: both must be
+// poly(1/eps, log N), independent of the stream length. google-benchmark
+// timings for Add(), plus a space table across eps.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace {
+
+using namespace mcf0;
+
+F0Params MakeParams(F0Algorithm alg, double eps) {
+  F0Params params;
+  params.n = 32;
+  params.eps = eps;
+  params.delta = 0.2;
+  params.algorithm = alg;
+  params.rows_override = 11;
+  params.seed = 42;
+  if (alg == F0Algorithm::kEstimation) {
+    // Trim the per-item constant so benchmark calibration stays fast.
+    params.thresh_override =
+        static_cast<uint64_t>(std::ceil(24.0 / (eps * eps)));
+    params.s_override = 5;
+  }
+  return params;
+}
+
+void BM_SketchAdd(benchmark::State& state) {
+  const auto alg = static_cast<F0Algorithm>(state.range(0));
+  const double eps = state.range(1) / 100.0;
+  F0Estimator est(MakeParams(alg, eps));
+  Rng rng(7);
+  // Pre-fill so the steady-state path (saturated sketch) is measured.
+  for (int i = 0; i < 4000; ++i) est.Add(rng.NextBelow(1u << 28));
+  for (auto _ : state) {
+    est.Add(rng.NextBelow(1u << 28));
+  }
+  state.counters["space_KiB"] =
+      static_cast<double>(est.SpaceBits()) / 8192.0;
+}
+
+BENCHMARK(BM_SketchAdd)
+    ->ArgsProduct({{static_cast<int>(F0Algorithm::kBucketing),
+                    static_cast<int>(F0Algorithm::kMinimum),
+                    static_cast<int>(F0Algorithm::kEstimation)},
+                   {80, 40}})
+    ->ArgNames({"alg", "eps_pct"});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mcf0::bench::Banner(
+      "E2: F0 sketch update time and space",
+      "per-item time O(1) amortized hash evaluations; space "
+      "poly(1/eps, log N) independent of stream length");
+  // Space table: fill until saturated, report bits across eps.
+  std::printf("%-10s %5s %12s\n", "algorithm", "eps", "space_KiB");
+  for (const auto alg : {F0Algorithm::kBucketing, F0Algorithm::kMinimum,
+                         F0Algorithm::kEstimation}) {
+    for (const double eps : {0.8, 0.4, 0.2}) {
+      F0Estimator est(MakeParams(alg, eps));
+      Rng rng(3);
+      for (int i = 0; i < 8000; ++i) est.Add(rng.NextBelow(1u << 30));
+      const char* name = alg == F0Algorithm::kBucketing    ? "Bucketing"
+                         : alg == F0Algorithm::kMinimum    ? "Minimum"
+                                                           : "Estimation";
+      std::printf("%-10s %5.2f %12.1f\n", name, eps,
+                  static_cast<double>(est.SpaceBits()) / 8192.0);
+    }
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

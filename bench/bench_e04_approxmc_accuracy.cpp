@@ -1,0 +1,45 @@
+// E4 — Theorem 2 guarantee: ApproxMC returns an (eps, delta)-estimate.
+// The table runs repeated trials on CNFs with known exact counts and
+// reports error quantiles and the in-band fraction (>= 1 - delta).
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "core/approxmc.hpp"
+#include "core/exact_count.hpp"
+#include "formula/random_gen.hpp"
+
+int main() {
+  using namespace mcf0;
+  using namespace mcf0::bench;
+  Banner("E4: ApproxMC accuracy on CNF (Theorem 2)",
+         "Pr[|Sol|/(1+eps) <= estimate <= (1+eps)|Sol|] >= 1 - delta");
+  std::printf("%-4s %-6s %10s %10s %10s %9s\n", "n", "eps", "exact",
+              "med.err", "max.err", "in-band");
+  const int kTrials = 7;
+  for (const double eps : {0.8, 0.4}) {
+    for (const int n : {12, 14, 16}) {
+      Rng gen(5 * n);
+      const Cnf cnf = RandomKCnf(n, n, 3, gen);
+      const double exact = static_cast<double>(ExactCountEnum(cnf));
+      std::vector<double> errors;
+      int in_band = 0;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        CountingParams params;
+        params.eps = eps;
+        params.delta = 0.2;
+        params.rows_override = 15;
+        params.binary_search = true;
+        params.seed = 1000 * n + trial;
+        const CountResult got = ApproxMcCnf(cnf, params);
+        errors.push_back(RelError(got.estimate, exact));
+        in_band += WithinBand(got.estimate, exact, eps);
+      }
+      std::vector<double> sorted = errors;
+      double worst = 0;
+      for (const double e : errors) worst = std::max(worst, e);
+      std::printf("%-4d %-6.2f %10.0f %10.3f %10.3f %6d/%d\n", n, eps, exact,
+                  Median(sorted), worst, in_band, kTrials);
+    }
+  }
+  std::printf("\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// E9 — Theorem 6 + Observation 1: multidimensional range-efficient F0.
+// Table 1: per-item cost vs dimension d — the Lemma 4 DNF expansion has at
+// most (2n)^d terms and the per-item time follows that growth, while a
+// naive per-element insertion pays the range VOLUME (exponential in the
+// coordinate width). Table 2: the Observation 1 size growth of the DNF
+// itself.
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "setstream/exact_union.hpp"
+#include "setstream/range_to_dnf.hpp"
+#include "setstream/structured_f0.hpp"
+
+int main() {
+  using namespace mcf0;
+  using namespace mcf0::bench;
+  Banner("E9: multidimensional range F0 (Theorem 6, Observation 1)",
+         "per-item time poly((2n)^d) via the Lemma 4 DNF route, vs naive "
+         "per-element time proportional to range volume 2^(n d)");
+  const int bits = 12;
+  const int items = 8;
+  std::printf("bits/dim = %d, %d ranges per run\n\n", bits, items);
+  std::printf("%-3s %10s %12s %14s %10s %10s\n", "d", "terms/item",
+              "per-item ms", "naive els/item", "estimate", "rel.err");
+  for (const int d : {1, 2, 3}) {
+    Rng gen(d);
+    std::vector<MultiDimRange> ranges;
+    double naive_elements = 0;
+    double max_terms = 0;
+    for (int i = 0; i < items; ++i) {
+      ranges.push_back(MultiDimRange::Random(d, bits, gen));
+      naive_elements += ranges.back().Volume();
+      max_terms = std::max(
+          max_terms,
+          static_cast<double>(RangeTermEnumerator(ranges.back()).NumTerms()));
+    }
+    StructuredF0Params params;
+    params.n = d * bits;
+    params.eps = 0.6;
+    params.delta = 0.2;
+    params.rows_override = 11;
+    params.seed = 17 * d;
+    StructuredF0 est(params);
+    WallTimer timer;
+    for (const auto& r : ranges) est.AddRange(r);
+    const double per_item = timer.Seconds() * 1000.0 / items;
+    const double exact = ExactRangeUnionSize(ranges);
+    std::printf("%-3d %10.0f %12.2f %14.3g %10.4g %10.3f\n", d, max_terms,
+                per_item, naive_elements / items, est.Estimate(),
+                RelError(est.Estimate(), exact));
+  }
+
+  std::printf("\nObservation 1: the DNF of [1, 2^n - 1]^d needs >= n^d "
+              "terms; measured Lemma 4 decomposition sizes:\n");
+  std::printf("%-3s %-4s %12s %12s\n", "d", "n", "n^d (bound)", "terms");
+  for (const int d : {1, 2, 3}) {
+    for (const int nb : {6, 10}) {
+      MultiDimRange worst(d, nb);
+      for (int j = 0; j < d; ++j) {
+        worst.SetDim(j, DimRange{1, (1ull << nb) - 1, 0});
+      }
+      const RangeTermEnumerator terms(worst);
+      std::printf("%-3d %-4d %12.0f %12llu\n", d, nb, std::pow(nb, d),
+                  static_cast<unsigned long long>(terms.NumTerms()));
+    }
+  }
+  std::printf("\nshape check: terms/item and per-item time grow ~(2n)^d "
+              "while the naive\ncolumn grows with the full volume; "
+              "Observation-1 instances meet the n^d floor.\n\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E11 — Theorem 7 + Proposition 4: F0 over affine-space streams.
+// Per-item time is polynomial in n (the AffineFindMin linear algebra);
+// the table sweeps n and reports per-item cost, plus accuracy against the
+// exact union on small instances.
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "setstream/exact_union.hpp"
+#include "setstream/structured_f0.hpp"
+
+int main() {
+  using namespace mcf0;
+  using namespace mcf0::bench;
+  Banner("E11: affine-space streams (Theorem 7)",
+         "space O(n/eps^2 log(1/delta)); per-item time O(n^4 eps^-2 "
+         "log(1/delta)) via AffineFindMin (Proposition 4)");
+  std::printf("%-5s %-6s %12s %10s %10s\n", "n", "items", "per-item ms",
+              "estimate", "rel.err");
+  for (const int n : {16, 32, 64, 128}) {
+    const int items = 10;
+    Rng gen(n);
+    std::vector<std::pair<Gf2Matrix, BitVec>> systems;
+    for (int i = 0; i < items; ++i) {
+      // n - 10 random equations: solution spaces of dimension ~10.
+      const int rows = std::max(1, n - 10);
+      systems.emplace_back(Gf2Matrix::Random(rows, n, gen),
+                           BitVec::Random(rows, gen));
+    }
+    StructuredF0Params params;
+    params.n = n;
+    params.eps = 0.6;
+    params.delta = 0.2;
+    params.rows_override = 11;
+    params.seed = 3 * n;
+    StructuredF0 est(params);
+    WallTimer timer;
+    for (const auto& [a, b] : systems) est.AddAffine(a, b);
+    const double per_item = timer.Seconds() * 1000.0 / items;
+    if (n <= 32) {
+      const double exact =
+          static_cast<double>(ExactAffineUnionSize(systems, n));
+      std::printf("%-5d %-6d %12.2f %10.4g %10.3f\n", n, items, per_item,
+                  est.Estimate(), RelError(est.Estimate(), exact));
+    } else {
+      std::printf("%-5d %-6d %12.2f %10.4g %10s\n", n, items, per_item,
+                  est.Estimate(), "(n>32)");
+    }
+  }
+  std::printf("\nshape check: per-item time grows ~n^3..n^4 (Gaussian "
+              "elimination dominated),\nnever with the 2^dim solution-space "
+              "size.\n\n");
+  return 0;
+}

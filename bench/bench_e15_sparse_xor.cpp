@@ -1,0 +1,56 @@
+// E15 — §6 (future work): sparse XOR hash functions. Dense affine hashes
+// produce XOR rows of weight ~n/2; the sparse-hashing line (Ermon et al.,
+// Meel-Akshay) shows row densities down to O(log m / m) can preserve
+// usable guarantees while making oracle queries cheaper. The table sweeps
+// the row density and reports ApproxMC accuracy and runtime.
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/approxmc.hpp"
+#include "core/exact_count.hpp"
+#include "formula/random_gen.hpp"
+
+int main() {
+  using namespace mcf0;
+  using namespace mcf0::bench;
+  Banner("E15: sparse XOR hash ablation (§6 future work)",
+         "row density can drop far below 1/2 (toward O(log m / m)) with "
+         "bounded accuracy loss, reducing XOR clause width");
+  const int n = 18;
+  Rng gen(5);
+  const Dnf dnf = RandomDnf(n, 8, 2, 6, gen);
+  const double exact = static_cast<double>(ExactCountEnum(dnf));
+  std::printf("formula: n=%d DNF, exact = %.0f; 5 trials per density\n\n", n,
+              exact);
+  std::printf("%-10s %10s %10s %10s %10s\n", "density", "med.est", "med.err",
+              "max.err", "ms/run");
+  const double log_density = std::log2(static_cast<double>(n)) / n;
+  for (const double density : {0.5, 0.25, 0.125, log_density}) {
+    std::vector<double> errors;
+    std::vector<double> estimates;
+    double total_ms = 0;
+    for (int trial = 0; trial < 5; ++trial) {
+      CountingParams params;
+      params.eps = 0.8;
+      params.rows_override = 11;
+      params.sparse_density = density;
+      params.seed = 100 + trial;
+      WallTimer timer;
+      const CountResult got = ApproxMcDnf(dnf, params);
+      total_ms += timer.Seconds() * 1000.0;
+      estimates.push_back(got.estimate);
+      errors.push_back(RelError(got.estimate, exact));
+    }
+    std::vector<double> err_copy = errors;
+    double worst = 0;
+    for (const double e : errors) worst = std::max(worst, e);
+    std::printf("%-10.4f %10.4g %10.3f %10.3f %10.1f\n", density,
+                Median(std::move(estimates)), Median(std::move(err_copy)),
+                worst, total_ms / 5);
+  }
+  std::printf(
+      "\nshape check: moderate densities track the dense baseline; at the\n"
+      "O(log n / n) floor variance grows (the theory requires the larger\n"
+      "constants of Meel-Akshay sparse constructions).\n\n");
+  return 0;
+}

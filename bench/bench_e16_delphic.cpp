@@ -1,0 +1,63 @@
+// E16 — Remark 2: the APS-Estimator over Delphic sets vs the paper's
+// Lemma 4 DNF route for multidimensional ranges. The DNF route pays
+// (2n)^d per item; the Delphic route pays poly(n, d, 1/eps) — the
+// dimension dependence drops from exponential to polynomial, at the cost
+// of requiring the size/sample/membership oracles (and a known-length
+// analysis in the original paper).
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "setstream/delphic.hpp"
+#include "setstream/exact_union.hpp"
+#include "setstream/structured_f0.hpp"
+
+int main() {
+  using namespace mcf0;
+  using namespace mcf0::bench;
+  Banner("E16: Delphic-set APS-Estimator vs Lemma 4 DNF route (Remark 2)",
+         "per-item time drops from (2n)^d (hashing over the DNF "
+         "expansion) to poly(n, d) (sampling-based APS) on ranges");
+  const int bits = 10;
+  const int items = 8;
+  std::printf("bits/dim = %d, %d ranges per run\n\n", bits, items);
+  std::printf("%-3s | %14s %10s | %14s %10s | %10s\n", "d", "dnf ms/item",
+              "err", "aps ms/item", "err", "exact");
+  for (const int d : {1, 2, 3}) {
+    Rng gen(d);
+    std::vector<MultiDimRange> ranges;
+    for (int i = 0; i < items; ++i) {
+      ranges.push_back(MultiDimRange::Random(d, bits, gen));
+    }
+    const double exact = ExactRangeUnionSize(ranges);
+
+    StructuredF0Params sp;
+    sp.n = d * bits;
+    sp.eps = 0.6;
+    sp.delta = 0.2;
+    sp.rows_override = 11;
+    sp.seed = 5 * d;
+    StructuredF0 dnf_route(sp);
+    WallTimer t1;
+    for (const auto& r : ranges) dnf_route.AddRange(r);
+    const double dnf_ms = t1.Seconds() * 1000.0 / items;
+
+    ApsParams ap;
+    ap.n = d * bits;
+    ap.eps = 0.6;
+    ap.delta = 0.2;
+    ap.rows_override = 11;
+    ap.seed = 7 * d;
+    ApsEstimator aps(ap);
+    WallTimer t2;
+    for (const auto& r : ranges) aps.Add(RangeDelphic(r));
+    const double aps_ms = t2.Seconds() * 1000.0 / items;
+
+    std::printf("%-3d | %14.2f %10.3f | %14.2f %10.3f | %10.4g\n", d, dnf_ms,
+                RelError(dnf_route.Estimate(), exact), aps_ms,
+                RelError(aps.Estimate(), exact), exact);
+  }
+  std::printf("\nshape check: the DNF column grows ~(2n)^d with d; the APS "
+              "column stays\nnearly flat (its cost depends on the buffer, "
+              "not the set structure).\n\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Distributed audit: counting distinct records matching any of k sites'
+// local rule sets — distributed DNF counting (§4).
+//
+// Each data center holds its own set of audit rules (a DNF over record
+// attribute bits). Compliance wants |Sol(phi_1 or ... or phi_k)| — the
+// number of distinct attribute combinations flagged anywhere — without
+// shipping rule evaluations around. The three protocols trade communication
+// differently; the example prints each estimate and its measured bits.
+//
+// Build & run:  ./build/examples/distributed_audit
+#include <cmath>
+#include <cstdio>
+
+#include "common/rng.hpp"
+#include "core/exact_count.hpp"
+#include "distributed/distributed_dnf.hpp"
+#include "formula/random_gen.hpp"
+
+int main() {
+  using namespace mcf0;
+
+  // 20 attribute bits per record; 5 data centers with 4 local rules each.
+  const int n = 20;
+  const int k = 5;
+  Rng rng(314159);
+  Dnf global(n);
+  for (int i = 0; i < 4 * k; ++i) {
+    global.AddTerm(RandomTerm(n, 3 + static_cast<int>(rng.NextBelow(4)), rng));
+  }
+  const auto sites = PartitionDnf(global, k);
+  const double exact = static_cast<double>(ExactCountEnum(global));
+  std::printf("%d sites, %d rules each, %d attribute bits\n", k, 4, n);
+  std::printf("exact distinct flagged records: %.0f\n\n", exact);
+
+  DistributedParams params;
+  params.eps = 0.6;
+  params.delta = 0.2;
+  params.rows_override = 21;
+  params.seed = 2718;
+
+  struct Row {
+    const char* name;
+    DistributedResult result;
+  };
+  const Row rows[] = {
+      {"Bucketing ", DistributedBucketingDnf(sites, params)},
+      {"Minimum   ", DistributedMinimumDnf(sites, params)},
+      {"Estimation", DistributedEstimationDnf(sites, params)},
+  };
+  std::printf("%-11s %12s %8s %16s %16s\n", "protocol", "estimate", "err%",
+              "bits to sites", "bits from sites");
+  for (const Row& row : rows) {
+    std::printf("%-11s %12.0f %7.1f%% %16llu %16llu\n", row.name,
+                row.result.estimate,
+                100.0 * std::abs(row.result.estimate - exact) / exact,
+                static_cast<unsigned long long>(row.result.comm.bits_to_sites),
+                static_cast<unsigned long long>(
+                    row.result.comm.bits_from_sites));
+  }
+  std::printf("\n(the Omega(k / eps^2) lower bound at these parameters is "
+              "~%.0f bits of payload)\n",
+              k / (params.eps * params.eps));
+  return 0;
+}

@@ -1,0 +1,94 @@
+// mcf0_count — command-line approximate model counter.
+//
+// Usage:
+//   mcf0_count <file.cnf|file.dnf> [eps] [delta] [seed]
+//
+// Reads a DIMACS CNF (`p cnf`) or DNF (`p dnf`) file and prints the
+// (eps, delta)-estimate of its model count from all applicable algorithms,
+// with oracle-call counts for the CNF path. Defaults: eps 0.8, delta 0.2.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/approx_count_est.hpp"
+#include "core/approx_count_min.hpp"
+#include "core/approxmc.hpp"
+#include "formula/dimacs.hpp"
+
+namespace {
+
+std::string ReadFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mcf0;
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <file.cnf|file.dnf> [eps] [delta] [seed]\n",
+                 argv[0]);
+    return 2;
+  }
+  CountingParams params;
+  if (argc > 2) params.eps = std::atof(argv[2]);
+  if (argc > 3) params.delta = std::atof(argv[3]);
+  if (argc > 4) params.seed = std::strtoull(argv[4], nullptr, 10);
+  if (params.eps <= 0 || params.delta <= 0 || params.delta >= 1) {
+    std::fprintf(stderr, "need eps > 0 and delta in (0, 1)\n");
+    return 2;
+  }
+  params.binary_search = true;  // ApproxMC2-style level search
+
+  const std::string text = ReadFile(argv[1]);
+  // Dispatch on the problem line.
+  const bool is_dnf = text.find("p dnf") != std::string::npos;
+  std::printf("file: %s  (eps=%.2f delta=%.2f seed=%llu)\n", argv[1],
+              params.eps, params.delta,
+              static_cast<unsigned long long>(params.seed));
+  if (is_dnf) {
+    const auto parsed = ParseDimacsDnf(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    const Dnf& dnf = parsed.value();
+    std::printf("DNF: %d vars, %d terms\n", dnf.num_vars(), dnf.num_terms());
+    std::printf("ApproxMC (Bucketing) : %.6g\n",
+                ApproxMcDnf(dnf, params).estimate);
+    std::printf("CountMin (Minimum)   : %.6g\n",
+                ApproxCountMinDnf(dnf, params).estimate);
+    std::printf("CountEst (Estimation): %.6g\n",
+                ApproxCountEstAutoDnf(dnf, params).estimate);
+  } else {
+    const auto parsed = ParseDimacsCnf(text);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "parse error: %s\n",
+                   parsed.status().ToString().c_str());
+      return 1;
+    }
+    const Cnf& cnf = parsed.value();
+    std::printf("CNF: %d vars, %d clauses\n", cnf.num_vars(),
+                cnf.num_clauses());
+    const CountResult mc = ApproxMcCnf(cnf, params);
+    std::printf("ApproxMC (Bucketing) : %.6g   [%llu oracle calls]\n",
+                mc.estimate,
+                static_cast<unsigned long long>(mc.oracle_calls));
+    const CountResult min = ApproxCountMinCnf(cnf, params);
+    std::printf("CountMin (Minimum)   : %.6g   [%llu oracle calls]\n",
+                min.estimate,
+                static_cast<unsigned long long>(min.oracle_calls));
+  }
+  return 0;
+}

@@ -1,0 +1,31 @@
+/// \file check.hpp
+/// \brief Internal invariant checking macros.
+///
+/// `MCF0_CHECK` is always on (cheap invariants on API boundaries);
+/// `MCF0_DCHECK` compiles out in release builds (hot-loop invariants).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mcf0 {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+  std::fprintf(stderr, "MCF0_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::abort();
+}
+
+}  // namespace mcf0
+
+#define MCF0_CHECK(expr)                                   \
+  do {                                                     \
+    if (!(expr)) ::mcf0::CheckFailed(__FILE__, __LINE__, #expr); \
+  } while (0)
+
+#ifndef NDEBUG
+#define MCF0_DCHECK(expr) MCF0_CHECK(expr)
+#else
+#define MCF0_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#endif

@@ -1,0 +1,21 @@
+/// \file median.hpp
+/// \brief Median utility for the paper's median-of-rows amplification.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mcf0 {
+
+/// Median of a non-empty vector (lower median for even sizes). Copies the
+/// input; estimate rows are tiny.
+inline double Median(std::vector<double> values) {
+  MCF0_CHECK(!values.empty());
+  const size_t mid = (values.size() - 1) / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  return values[mid];
+}
+
+}  // namespace mcf0

@@ -1,0 +1,114 @@
+/// \file status.hpp
+/// \brief RocksDB/Arrow-style error handling for fallible public APIs.
+///
+/// `Status` carries an error code and message; `Result<T>` is a Status or a
+/// value. Library-internal invariant violations use MCF0_CHECK instead;
+/// Status is reserved for errors a caller can reasonably hit (bad input
+/// files, out-of-domain parameters, resource limits).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.hpp"
+
+namespace mcf0 {
+
+/// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kParseError,
+  kResourceExhausted,
+  kNotSupported,
+  kInternal,
+};
+
+/// A lightweight success/error value. Copyable; the OK status carries no
+/// allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "ParseError: bad header".
+  std::string ToString() const {
+    if (ok()) return "OK";
+    const char* name = "Unknown";
+    switch (code_) {
+      case StatusCode::kOk: name = "OK"; break;
+      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
+      case StatusCode::kParseError: name = "ParseError"; break;
+      case StatusCode::kResourceExhausted: name = "ResourceExhausted"; break;
+      case StatusCode::kNotSupported: name = "NotSupported"; break;
+      case StatusCode::kInternal: name = "Internal"; break;
+    }
+    return std::string(name) + ": " + message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error container. Use `ok()` before `value()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  /// Implicit construction from a non-OK status (error).
+  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+    MCF0_CHECK(!std::get<Status>(data_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  /// The error status; OK when this result holds a value.
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(data_);
+  }
+
+  const T& value() const& {
+    MCF0_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    MCF0_CHECK(ok());
+    return std::get<T>(data_);
+  }
+  T&& value() && {
+    MCF0_CHECK(ok());
+    return std::get<T>(std::move(data_));
+  }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace mcf0

@@ -1,0 +1,124 @@
+#include "core/approx_count_est.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/median.hpp"
+#include "common/rng.hpp"
+#include "oracle/find_max_range.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace mcf0 {
+namespace {
+
+/// Shared driver: fill the Estimation sketch cells via `max_range(i, j)`
+/// and reuse the streaming ComputeEst.
+CountResult EstDriver(int n, const CountingParams& params, int r,
+                      const std::function<int(const AffineHash&)>& max_range) {
+  CountResult result;
+  result.thresh = CountingThresh(params);
+  result.rows = CountingRows(params);
+  MCF0_CHECK(r >= 1 && r <= n);
+  Rng rng(params.seed);
+  for (int i = 0; i < result.rows; ++i) {
+    EstimationSketchRow row(static_cast<int>(result.thresh));
+    for (uint64_t j = 0; j < result.thresh; ++j) {
+      const AffineHash h = SampleCountingHash(n, n, params, rng);
+      const int t = max_range(h);
+      if (t >= 0) row.Merge(static_cast<int>(j), t);
+    }
+    result.row_estimates.push_back(row.EstimateWithR(r));
+  }
+  result.estimate = Median(result.row_estimates);
+  return result;
+}
+
+int DeriveR(double rough, int n) {
+  if (rough < 1.0) return 1;
+  return std::clamp(static_cast<int>(std::lround(std::log2(10.0 * rough))), 1,
+                    n);
+}
+
+}  // namespace
+
+CountResult ApproxCountEstCnf(const Cnf& cnf, const CountingParams& params,
+                              int r) {
+  CnfOracle oracle(cnf);
+  oracle.SetUseTseitin(params.use_tseitin);
+  CountResult result =
+      EstDriver(cnf.num_vars(), params, r,
+                [&](const AffineHash& h) { return FindMaxRangeCnf(oracle, h); });
+  result.oracle_calls = oracle.num_calls();
+  return result;
+}
+
+CountResult ApproxCountEstDnf(const Dnf& dnf, const CountingParams& params,
+                              int r) {
+  return EstDriver(dnf.num_vars(), params, r, [&](const AffineHash& h) {
+    return FindMaxRangeDnf(dnf, h);
+  });
+}
+
+double FlajoletMartinCountCnf(const Cnf& cnf, int rows, uint64_t seed,
+                              CnfOracle& oracle) {
+  Rng rng(seed);
+  const int n = cnf.num_vars();
+  std::vector<double> estimates;
+  for (int i = 0; i < rows; ++i) {
+    const AffineHash h = AffineHash::SampleXor(n, n, rng);
+    const int t = FindMaxRangeCnf(oracle, h);
+    estimates.push_back(t < 0 ? 0.0 : std::pow(2.0, t));
+  }
+  return Median(std::move(estimates));
+}
+
+double FlajoletMartinCountDnf(const Dnf& dnf, int rows, uint64_t seed) {
+  Rng rng(seed);
+  const int n = dnf.num_vars();
+  std::vector<double> estimates;
+  for (int i = 0; i < rows; ++i) {
+    const AffineHash h = AffineHash::SampleXor(n, n, rng);
+    const int t = FindMaxRangeDnf(dnf, h);
+    estimates.push_back(t < 0 ? 0.0 : std::pow(2.0, t));
+  }
+  return Median(std::move(estimates));
+}
+
+CountResult ApproxCountEstAutoCnf(const Cnf& cnf, const CountingParams& params) {
+  CnfOracle oracle(cnf);
+  oracle.SetUseTseitin(params.use_tseitin);
+  const int fm_rows = std::max(1, CountingRows(params) / 2);
+  const double rough =
+      FlajoletMartinCountCnf(cnf, fm_rows, params.seed ^ 0x9E37, oracle);
+  if (rough < 1.0) {
+    CountResult empty;
+    empty.thresh = CountingThresh(params);
+    empty.rows = CountingRows(params);
+    empty.oracle_calls = oracle.num_calls();
+    return empty;  // UNSAT: estimate 0
+  }
+  const int r = DeriveR(rough, cnf.num_vars());
+  CountResult result =
+      EstDriver(cnf.num_vars(), params, r,
+                [&](const AffineHash& h) { return FindMaxRangeCnf(oracle, h); });
+  result.oracle_calls = oracle.num_calls();
+  return result;
+}
+
+CountResult ApproxCountEstAutoDnf(const Dnf& dnf, const CountingParams& params) {
+  const int fm_rows = std::max(1, CountingRows(params) / 2);
+  const double rough = FlajoletMartinCountDnf(dnf, fm_rows, params.seed ^ 0x9E37);
+  if (rough < 1.0) {
+    CountResult empty;
+    empty.thresh = CountingThresh(params);
+    empty.rows = CountingRows(params);
+    return empty;
+  }
+  const int r = DeriveR(rough, dnf.num_vars());
+  return EstDriver(dnf.num_vars(), params, r, [&](const AffineHash& h) {
+    return FindMaxRangeDnf(dnf, h);
+  });
+}
+
+}  // namespace mcf0

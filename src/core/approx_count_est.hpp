@@ -1,0 +1,48 @@
+/// \file approx_count_est.hpp
+/// \brief ApproxModelCountEst — the Estimation-based model counter
+/// (Algorithm 7, Theorem 4), NEW in the paper: the trailing-zeros sketch
+/// built by the FindMaxRange subroutine.
+///
+/// For each row i and column j, S[i][j] = FindMaxRange(phi, H[i][j]) — the
+/// deepest trailing-zero level any solution reaches under hash (i, j)
+/// (property P3). Given a parameter r with 2 F0 <= 2^r <= 50 F0, the row
+/// estimate is ln(1 - ratio_r) / ln(1 - 2^-r) with ratio_r the fraction of
+/// columns reaching r. The rough r comes from a Flajolet-Martin-style
+/// counter (2^R is a 5-approximation with probability >= 3/5, §3.4),
+/// transformed to model counting by the same recipe.
+///
+/// Hash-family substitution relative to the paper (see DESIGN.md): affine
+/// hashes instead of degree-s polynomials so that FindMaxRange is poseable
+/// as XOR constraints; experiment E6 validates accuracy in the window.
+#pragma once
+
+#include "core/counting.hpp"
+#include "formula/formula.hpp"
+#include "oracle/cnf_oracle.hpp"
+
+namespace mcf0 {
+
+/// Estimation-based counter for CNF with an explicit r
+/// (2 F0 <= 2^r <= 50 F0 required for the Theorem 4 guarantee).
+CountResult ApproxCountEstCnf(const Cnf& cnf, const CountingParams& params,
+                              int r);
+
+/// DNF counterpart (PTIME under affine hashes; open under the paper's
+/// polynomial hashes — §3.4).
+CountResult ApproxCountEstDnf(const Dnf& dnf, const CountingParams& params,
+                              int r);
+
+/// Flajolet-Martin rough counter via the recipe: max trailing zeros over
+/// h(Sol(phi)), median across `rows` hashes; 2^R is a 5-factor
+/// approximation per row with probability >= 3/5. O(log n) oracle calls
+/// per row for CNF.
+double FlajoletMartinCountCnf(const Cnf& cnf, int rows, uint64_t seed,
+                              CnfOracle& oracle);
+double FlajoletMartinCountDnf(const Dnf& dnf, int rows, uint64_t seed);
+
+/// Full pipeline: derive r from the FM rough count (2^r ~ 10 * rough),
+/// then run the Estimation counter. Oracle calls include the FM phase.
+CountResult ApproxCountEstAutoCnf(const Cnf& cnf, const CountingParams& params);
+CountResult ApproxCountEstAutoDnf(const Dnf& dnf, const CountingParams& params);
+
+}  // namespace mcf0

@@ -1,0 +1,28 @@
+/// \file approx_count_min.hpp
+/// \brief ApproxModelCountMin — the Minimum-based model counter
+/// (Algorithm 6, Theorem 3), NEW in the paper: the KMV sketch built by the
+/// FindMin subroutine instead of a stream pass.
+///
+/// Per row a hash h: {0,1}^n -> {0,1}^{3n} is sampled, FindMin produces the
+/// Thresh lexicographically smallest elements of h(Sol(phi)) (property P2),
+/// and the row estimate is Thresh * 2^{3n} / max(S) — the identical
+/// ComputeEst as the streaming Minimum sketch; this implementation feeds
+/// the very same MinimumSketchRow object.
+///
+///  * CNF: O(Thresh * 3n) NP-oracle calls per row via prefix search.
+///  * DNF: FPRAS (Proposition 2's per-term affine enumeration).
+#pragma once
+
+#include "core/counting.hpp"
+#include "formula/formula.hpp"
+#include "oracle/cnf_oracle.hpp"
+
+namespace mcf0 {
+
+/// Minimum-based counter for CNF (counts NP-oracle calls).
+CountResult ApproxCountMinCnf(const Cnf& cnf, const CountingParams& params);
+
+/// Minimum-based FPRAS for DNF (no oracle).
+CountResult ApproxCountMinDnf(const Dnf& dnf, const CountingParams& params);
+
+}  // namespace mcf0

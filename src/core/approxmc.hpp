@@ -1,0 +1,31 @@
+/// \file approxmc.hpp
+/// \brief ApproxMC — the Bucketing-based model counter (Algorithm 5,
+/// Theorem 2), obtained by the paper's streaming-to-counting recipe from
+/// the Gibbons-Tirthapura sketch.
+///
+/// Per row i the cell level m_i is raised until the cell
+/// h_{m_i}^{-1}(0^{m_i}) holds fewer than Thresh solutions; the row
+/// estimate is |cell| * 2^{m_i} and the output is the median across rows —
+/// exactly the Bucketing sketch property P1 built by BoundedSAT instead of
+/// a stream pass.
+///
+///  * CNF: O(n * 1/eps^2 * log(1/delta)) NP-oracle calls with the linear
+///    scan; O(log n * ...) with `binary_search` (the ApproxMC2 refinement,
+///    "Further Optimizations" in §3.2).
+///  * DNF: FPRAS — BoundedSAT is polynomial (Proposition 1), giving the
+///    O(n^4 k (1/eps^2) log(1/delta))-flavour bound of Theorem 2.
+#pragma once
+
+#include "core/counting.hpp"
+#include "formula/formula.hpp"
+#include "oracle/cnf_oracle.hpp"
+
+namespace mcf0 {
+
+/// Bucketing-based counter for CNF. Counts NP-oracle calls in the result.
+CountResult ApproxMcCnf(const Cnf& cnf, const CountingParams& params);
+
+/// Bucketing-based FPRAS for DNF (no oracle).
+CountResult ApproxMcDnf(const Dnf& dnf, const CountingParams& params);
+
+}  // namespace mcf0

@@ -1,0 +1,53 @@
+/// \file counting.hpp
+/// \brief Shared types for the approximate model counters (§3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hash/hash_family.hpp"
+
+namespace mcf0 {
+
+class Rng;
+
+/// Knobs shared by the three counting algorithms.
+struct CountingParams {
+  double eps = 0.8;     ///< tolerance of the (eps, delta) guarantee
+  double delta = 0.2;   ///< confidence of the (eps, delta) guarantee
+  uint64_t seed = 1;
+  /// Overrides for experiments; 0 = paper formulas (Thresh = 96/eps^2,
+  /// rows = 35 log2(1/delta)).
+  uint64_t thresh_override = 0;
+  int rows_override = 0;
+  /// Hash family for the XOR constraints.
+  AffineHashKind hash_kind = AffineHashKind::kToeplitz;
+  /// When > 0, sample sparse-XOR rows with this density (§6, E15).
+  double sparse_density = 0.0;
+  /// ApproxMC2-style binary search for m instead of the linear scan of
+  /// Algorithm 5 ("Further Optimizations", §3.2).
+  bool binary_search = false;
+  /// Tseitin-encode XOR constraints instead of native propagation (E14).
+  bool use_tseitin = false;
+};
+
+/// Result of one counting run.
+struct CountResult {
+  double estimate = 0.0;
+  uint64_t oracle_calls = 0;  ///< NP-oracle (SAT) invocations; 0 for DNF paths
+  int rows = 0;
+  uint64_t thresh = 0;
+  std::vector<double> row_estimates;  ///< pre-median, for diagnostics
+};
+
+/// Thresh = 96 / eps^2 (Algorithms 5-7), honoring overrides.
+uint64_t CountingThresh(const CountingParams& params);
+
+/// t = 35 log2(1/delta) rows, honoring overrides.
+int CountingRows(const CountingParams& params);
+
+/// Samples the row hash per the configured family.
+AffineHash SampleCountingHash(int n, int m, const CountingParams& params,
+                              Rng& rng);
+
+}  // namespace mcf0

@@ -1,0 +1,63 @@
+#include "core/exact_count.hpp"
+
+namespace mcf0 {
+namespace {
+
+template <typename Formula>
+uint64_t EnumCount(const Formula& f) {
+  const int n = f.num_vars();
+  MCF0_CHECK(n <= 30);
+  uint64_t count = 0;
+  BitVec x(n);
+  const uint64_t total = 1ull << n;
+  for (uint64_t v = 0; v < total; ++v) {
+    if (f.Eval(x)) ++count;
+    x.Increment();
+  }
+  return count;
+}
+
+}  // namespace
+
+uint64_t ExactCountEnum(const Cnf& cnf) { return EnumCount(cnf); }
+
+uint64_t ExactCountEnum(const Dnf& dnf) { return EnumCount(dnf); }
+
+double ExactDnfCountIncExc(const Dnf& dnf) {
+  const int k = dnf.num_terms();
+  const int n = dnf.num_vars();
+  MCF0_CHECK(k <= 25);
+  MCF0_CHECK(n <= 120);
+  // |union T_i| = sum over non-empty subsets S of (-1)^{|S|+1} |intersect S|,
+  // where the intersection of consistent terms fixing w variables has
+  // 2^{n-w} solutions.
+  __int128 total = 0;
+  for (uint32_t mask = 1; mask < (1u << k); ++mask) {
+    // Merge the fixed assignments of the selected terms.
+    std::vector<int8_t> fixed(n, -1);  // -1 free, 0/1 fixed
+    bool consistent = true;
+    int width = 0;
+    int bits = 0;
+    for (int i = 0; i < k && consistent; ++i) {
+      if (((mask >> i) & 1) == 0) continue;
+      ++bits;
+      for (const Lit& l : dnf.terms()[i].lits()) {
+        const int8_t want = l.neg ? 0 : 1;
+        if (fixed[l.var] == -1) {
+          fixed[l.var] = want;
+          ++width;
+        } else if (fixed[l.var] != want) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    if (!consistent) continue;
+    const __int128 cell = static_cast<__int128>(1) << (n - width);
+    total += (bits % 2 == 1) ? cell : -cell;
+  }
+  MCF0_CHECK(total >= 0);
+  return static_cast<double>(total);
+}
+
+}  // namespace mcf0

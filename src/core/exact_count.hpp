@@ -1,0 +1,27 @@
+/// \file exact_count.hpp
+/// \brief Exact model counters used as ground truth by tests and benches.
+///
+/// Exact counting is #P-hard; these are ground-truth references for small
+/// instances, not part of the approximate pipeline:
+///  * exhaustive enumeration over all 2^n assignments (n <= 30);
+///  * inclusion-exclusion over DNF terms (k <= ~25), exact in __int128 for
+///    n up to 120, so DNF ground truth scales past the enumeration limit.
+#pragma once
+
+#include <cstdint>
+
+#include "formula/formula.hpp"
+
+namespace mcf0 {
+
+/// |Sol(cnf)| by exhaustive enumeration. Requires num_vars <= 30.
+uint64_t ExactCountEnum(const Cnf& cnf);
+
+/// |Sol(dnf)| by exhaustive enumeration. Requires num_vars <= 30.
+uint64_t ExactCountEnum(const Dnf& dnf);
+
+/// |Sol(dnf)| by inclusion-exclusion over subsets of terms. Requires
+/// num_terms <= 25 and num_vars <= 120. Exact (integer arithmetic).
+double ExactDnfCountIncExc(const Dnf& dnf);
+
+}  // namespace mcf0

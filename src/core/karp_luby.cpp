@@ -1,0 +1,100 @@
+#include "core/karp_luby.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcf0 {
+namespace {
+
+/// Shared sampler state: term-weight CDF and the canonical-term trial.
+class KarpLubySampler {
+ public:
+  explicit KarpLubySampler(const Dnf& dnf) : dnf_(&dnf) {
+    const int n = dnf.num_vars();
+    weights_total_ = 0.0;
+    cdf_.reserve(dnf.num_terms());
+    for (const Term& t : dnf.terms()) {
+      weights_total_ += std::pow(2.0, n - t.Width());
+      cdf_.push_back(weights_total_);
+    }
+  }
+
+  /// U = sum_i |Sol(T_i)|.
+  double union_bound() const { return weights_total_; }
+
+  bool has_terms() const { return !cdf_.empty(); }
+
+  /// One coverage trial: true iff the sampled (term, solution) pair is
+  /// canonical.
+  bool Trial(Rng& rng) const {
+    // Term index by CDF inversion.
+    const double u = rng.NextDouble() * weights_total_;
+    size_t idx = 0;
+    while (idx + 1 < cdf_.size() && cdf_[idx] <= u) ++idx;
+    const Term& term = dnf_->terms()[idx];
+    // Uniform solution of the term: fixed literals + random free bits.
+    const int n = dnf_->num_vars();
+    BitVec x = BitVec::Random(n, rng);
+    for (const Lit& l : term.lits()) x.Set(l.var, !l.neg);
+    // Canonical check: is idx the first satisfying term?
+    for (size_t j = 0; j < idx; ++j) {
+      if (dnf_->terms()[j].Eval(x)) return false;
+    }
+    return true;
+  }
+
+ private:
+  const Dnf* dnf_;
+  std::vector<double> cdf_;
+  double weights_total_;
+};
+
+}  // namespace
+
+KarpLubyResult KarpLubyFixed(const Dnf& dnf, double eps, double delta, Rng& rng) {
+  KarpLubyResult result;
+  KarpLubySampler sampler(dnf);
+  if (!sampler.has_terms()) return result;
+  const double k = dnf.num_terms();
+  // Multiplicative Chernoff with p >= 1/k: N >= 3 k ln(2/delta) / eps^2.
+  const auto num_samples = static_cast<uint64_t>(
+      std::ceil(3.0 * k * std::log(2.0 / delta) / (eps * eps)));
+  uint64_t successes = 0;
+  for (uint64_t i = 0; i < num_samples; ++i) {
+    if (sampler.Trial(rng)) ++successes;
+  }
+  result.samples = num_samples;
+  result.estimate = sampler.union_bound() * static_cast<double>(successes) /
+                    static_cast<double>(num_samples);
+  return result;
+}
+
+KarpLubyResult KarpLubyStopping(const Dnf& dnf, double eps, double delta,
+                                Rng& rng) {
+  KarpLubyResult result;
+  KarpLubySampler sampler(dnf);
+  if (!sampler.has_terms()) return result;
+  // DKLR stopping rule: Upsilon = 1 + 4(e-2)(1+eps) ln(2/delta) / eps^2.
+  const double upsilon =
+      1.0 + 4.0 * (std::exp(1.0) - 2.0) * (1.0 + eps) *
+                std::log(2.0 / delta) / (eps * eps);
+  const auto target = static_cast<uint64_t>(std::ceil(upsilon));
+  uint64_t successes = 0;
+  uint64_t samples = 0;
+  // Success probability is >= 1/k, so the expected stopping time is about
+  // k * upsilon; the hard cap only guards degenerate formulas.
+  const uint64_t cap =
+      1000ull * static_cast<uint64_t>(dnf.num_terms() + 1) * (target + 1);
+  while (successes < target && samples < cap) {
+    ++samples;
+    if (sampler.Trial(rng)) ++successes;
+  }
+  result.samples = samples;
+  result.estimate =
+      sampler.union_bound() * upsilon / static_cast<double>(samples);
+  return result;
+}
+
+}  // namespace mcf0

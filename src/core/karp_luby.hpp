@@ -1,0 +1,40 @@
+/// \file karp_luby.hpp
+/// \brief Karp-Luby Monte Carlo FPRAS for #DNF — the baseline family the
+/// hashing-based FPRAS is compared against (§1, §3.5, experiment E5).
+///
+/// The coverage estimator: sample a term i with probability proportional to
+/// 2^{n - width(T_i)}, a uniform solution x of T_i, and score 1 iff i is
+/// the canonical (first satisfying) term of x. The success probability is
+/// |Sol(phi)| / U with U = sum_i |Sol(T_i)| >= |Sol(phi)| / k, so
+/// O(k / eps^2 * log(1/delta)) samples give an (eps, delta)-estimate.
+///
+/// Two sample-size policies:
+///  * fixed N from the multiplicative Chernoff bound, and
+///  * the Dagum-Karp-Luby-Ross optimal stopping rule [22]: sample until the
+///    success count reaches Upsilon = 1 + 4(e-2)(1+eps) ln(2/delta)/eps^2,
+///    then estimate p = Upsilon / N_stop — within (eps, delta) with an
+///    expected sample count proportional to the (unknown) 1/p.
+#pragma once
+
+#include <cstdint>
+
+#include "formula/formula.hpp"
+
+namespace mcf0 {
+
+class Rng;
+
+/// Result of a Monte Carlo run.
+struct KarpLubyResult {
+  double estimate = 0.0;
+  uint64_t samples = 0;
+};
+
+/// Fixed-sample-size Karp-Luby (multiplicative Chernoff sizing).
+KarpLubyResult KarpLubyFixed(const Dnf& dnf, double eps, double delta, Rng& rng);
+
+/// DKLR optimal-stopping Karp-Luby.
+KarpLubyResult KarpLubyStopping(const Dnf& dnf, double eps, double delta,
+                                Rng& rng);
+
+}  // namespace mcf0

@@ -1,0 +1,65 @@
+#include "core/sampler.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/approxmc.hpp"
+#include "oracle/bounded_sat.hpp"
+
+namespace mcf0 {
+namespace {
+
+/// One sampling attempt at cell level m.
+std::optional<BitVec> TryOnce(const Dnf& dnf, int m, uint64_t pivot, Rng& rng) {
+  const AffineHash h = AffineHash::SampleToeplitz(dnf.num_vars(),
+                                                  dnf.num_vars(), rng);
+  const BoundedSatResult cell = BoundedSatDnf(dnf, h, m, 4 * pivot + 1);
+  if (cell.count() == 0 || cell.saturated) return std::nullopt;
+  return cell.solutions[rng.NextBelow(cell.count())];
+}
+
+}  // namespace
+
+std::optional<BitVec> SampleSolutionDnf(const Dnf& dnf,
+                                        const SamplerParams& params) {
+  MCF0_CHECK(params.pivot >= 1);
+  Rng rng(params.seed);
+  // Rough count to aim the cell level: one quick low-confidence ApproxMC.
+  CountingParams count_params;
+  count_params.rows_override = 5;
+  count_params.thresh_override = 2 * params.pivot;
+  count_params.seed = rng.NextU64();
+  const double estimate = ApproxMcDnf(dnf, count_params).estimate;
+  if (estimate <= 0.0) return std::nullopt;  // unsatisfiable
+
+  int m = 0;
+  if (estimate > static_cast<double>(params.pivot)) {
+    m = static_cast<int>(std::lround(
+        std::log2(estimate / static_cast<double>(params.pivot))));
+    m = std::min(m, dnf.num_vars());
+  }
+  for (int attempt = 0; attempt < params.max_retries; ++attempt) {
+    auto sample = TryOnce(dnf, m, params.pivot, rng);
+    if (sample.has_value()) return sample;
+    // Saturated cells mean m was too shallow; empty cells too deep. Nudge
+    // alternately — the rough count can be off by the eps band.
+    m = std::min(dnf.num_vars(), std::max(0, m + ((attempt % 2 == 0) ? 1 : -1)));
+  }
+  return std::nullopt;
+}
+
+std::vector<BitVec> SampleSolutionsDnf(const Dnf& dnf, uint64_t count,
+                                       const SamplerParams& params) {
+  std::vector<BitVec> out;
+  out.reserve(count);
+  SamplerParams local = params;
+  Rng seeds(params.seed);
+  for (uint64_t i = 0; i < count; ++i) {
+    local.seed = seeds.NextU64();
+    auto sample = SampleSolutionDnf(dnf, local);
+    if (sample.has_value()) out.push_back(std::move(*sample));
+  }
+  return out;
+}
+
+}  // namespace mcf0

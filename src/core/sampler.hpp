@@ -1,0 +1,46 @@
+/// \file sampler.hpp
+/// \brief Near-uniform solution sampling via hash cells (§6 future work).
+///
+/// Counting and almost-uniform sampling are inter-reducible for
+/// self-reducible problems (Jerrum-Valiant-Vazirani); the paper's §6 points
+/// at transporting the streaming connection to sampling. This implements
+/// the hashing route used by UniGen-style samplers on top of the same
+/// machinery as ApproxMC: pick the cell level m so the expected cell holds
+/// ~pivot solutions, enumerate the cell h_m^{-1}(0^m), and return a uniform
+/// element of it. Pairwise independence makes each cell's population
+/// concentrate around |Sol| / 2^m, so the output distribution is within a
+/// constant factor of uniform (tested empirically in sampler_test).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "formula/formula.hpp"
+#include "gf2/bitvec.hpp"
+
+namespace mcf0 {
+
+class Rng;
+
+/// Tuning knobs for the sampler.
+struct SamplerParams {
+  /// Target expected cell population; cells outside
+  /// [1, 4 * pivot] are rejected and resampled with a fresh hash.
+  uint64_t pivot = 24;
+  /// Maximum hash redraws before giving up.
+  int max_retries = 32;
+  uint64_t seed = 1;
+};
+
+/// Near-uniform sampler over Sol(dnf) (PTIME cell enumeration).
+/// Returns nullopt only if the formula is unsatisfiable or every retry
+/// landed on an out-of-range cell (probability vanishes with retries).
+std::optional<BitVec> SampleSolutionDnf(const Dnf& dnf,
+                                        const SamplerParams& params);
+
+/// Draws `count` independent samples (fresh hashes each).
+std::vector<BitVec> SampleSolutionsDnf(const Dnf& dnf, uint64_t count,
+                                       const SamplerParams& params);
+
+}  // namespace mcf0

@@ -1,0 +1,25 @@
+/// \file channel.hpp
+/// \brief Bit-accurate communication accounting for the distributed
+/// functional-monitoring simulation (§4).
+///
+/// The distributed model constrains only the total number of bits
+/// exchanged between the sites and the coordinator; the simulation runs
+/// in-process and charges every logical message to a `CommStats` ledger.
+#pragma once
+
+#include <cstdint>
+
+namespace mcf0 {
+
+/// Ledger of bits moved in each direction.
+struct CommStats {
+  uint64_t bits_to_sites = 0;    ///< coordinator -> sites (hash functions)
+  uint64_t bits_from_sites = 0;  ///< sites -> coordinator (sketch contents)
+
+  uint64_t total_bits() const { return bits_to_sites + bits_from_sites; }
+
+  void ChargeToSites(uint64_t bits) { bits_to_sites += bits; }
+  void ChargeFromSites(uint64_t bits) { bits_from_sites += bits; }
+};
+
+}  // namespace mcf0

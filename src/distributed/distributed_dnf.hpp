@@ -1,0 +1,68 @@
+/// \file distributed_dnf.hpp
+/// \brief Distributed DNF counting (§4): k sites hold DNF subformulas, a
+/// coordinator computes an (eps, delta)-estimate of |Sol(phi_1 or ... or
+/// phi_k)| while the simulation meters every bit exchanged.
+///
+/// All three strategies transfer per the paper:
+///  * Bucketing: sites run BoundedSAT locally and ship
+///    (fingerprint, TrailZero(H[i](x))) tuples for the solutions in their
+///    saturating cell; the coordinator rebuilds the union's bucket at the
+///    deepest site level and escalates further if still saturated.
+///    Communication Õ(k (n + 1/eps^2) log(1/delta)).
+///  * Minimum: sites run FindMin and ship their Thresh smallest hash
+///    values; the coordinator merges into the KMV sketch.
+///    Communication O(k n / eps^2 * log(1/delta)).
+///  * Estimation: sites run FindMaxRange per (row, column) hash and ship
+///    the trailing-zero maxima; the coordinator takes per-cell maxima.
+///    Communication Õ(k (n + 1/eps^2) log(1/delta)). (Paper caveat: with
+///    s-wise polynomial hashes the site computation is not known to be
+///    PTIME for DNF; our affine substitution makes it so — DESIGN.md.)
+///
+/// The Woodruff-Zhang lower bound Omega(k / eps^2) applies to all three
+/// (experiment E7 plots measured bits against it).
+///
+/// Hash shipping note: following the standard public-randomness convention
+/// of the distributed functional monitoring literature, hash-function bits
+/// (coordinator -> sites) are metered separately in
+/// CommStats::bits_to_sites; site payloads are in bits_from_sites.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "distributed/channel.hpp"
+#include "formula/formula.hpp"
+
+namespace mcf0 {
+
+/// Parameters shared by the three protocols.
+struct DistributedParams {
+  double eps = 0.8;
+  double delta = 0.2;
+  uint64_t seed = 1;
+  uint64_t thresh_override = 0;
+  int rows_override = 0;
+};
+
+/// Estimate plus the communication ledger.
+struct DistributedResult {
+  double estimate = 0.0;
+  CommStats comm;
+  int rows = 0;
+  uint64_t thresh = 0;
+};
+
+/// Splits a DNF's terms round-robin into k site subformulas (the paper's
+/// arbitrary partition; round-robin for reproducibility).
+std::vector<Dnf> PartitionDnf(const Dnf& dnf, int k);
+
+DistributedResult DistributedBucketingDnf(const std::vector<Dnf>& sites,
+                                          const DistributedParams& params);
+
+DistributedResult DistributedMinimumDnf(const std::vector<Dnf>& sites,
+                                        const DistributedParams& params);
+
+DistributedResult DistributedEstimationDnf(const std::vector<Dnf>& sites,
+                                           const DistributedParams& params);
+
+}  // namespace mcf0

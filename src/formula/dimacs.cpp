@@ -1,0 +1,118 @@
+#include "formula/dimacs.hpp"
+
+#include <sstream>
+
+namespace mcf0 {
+namespace {
+
+/// Shared scanner for `p cnf` / `p dnf` bodies: yields groups of literals
+/// terminated by 0. Returns lit groups as 1-based signed DIMACS ints.
+Status ScanDimacs(const std::string& text, const std::string& kind,
+                  int* num_vars, int* declared_groups,
+                  std::vector<std::vector<int>>* groups) {
+  std::istringstream in(text);
+  std::string tok;
+  bool saw_header = false;
+  std::vector<int> current;
+  while (in >> tok) {
+    if (tok == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (tok == "p") {
+      std::string fmt;
+      if (!(in >> fmt >> *num_vars >> *declared_groups)) {
+        return Status::ParseError("malformed problem line");
+      }
+      if (fmt != kind) {
+        return Status::ParseError("expected 'p " + kind + "', got 'p " + fmt + "'");
+      }
+      if (*num_vars < 0 || *declared_groups < 0) {
+        return Status::ParseError("negative counts in problem line");
+      }
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) return Status::ParseError("literal before problem line");
+    int lit = 0;
+    try {
+      lit = std::stoi(tok);
+    } catch (...) {
+      return Status::ParseError("bad token '" + tok + "'");
+    }
+    if (lit == 0) {
+      groups->push_back(std::move(current));
+      current.clear();
+    } else {
+      if (std::abs(lit) > *num_vars) {
+        return Status::ParseError("literal out of range: " + tok);
+      }
+      current.push_back(lit);
+    }
+  }
+  if (!saw_header) return Status::ParseError("missing problem line");
+  if (!current.empty()) {
+    return Status::ParseError("unterminated clause (missing trailing 0)");
+  }
+  return Status::Ok();
+}
+
+std::vector<Lit> ToLits(const std::vector<int>& group) {
+  std::vector<Lit> lits;
+  lits.reserve(group.size());
+  for (int g : group) lits.emplace_back(std::abs(g) - 1, g < 0);
+  return lits;
+}
+
+}  // namespace
+
+Result<Cnf> ParseDimacsCnf(const std::string& text) {
+  int num_vars = 0;
+  int declared = 0;
+  std::vector<std::vector<int>> groups;
+  Status s = ScanDimacs(text, "cnf", &num_vars, &declared, &groups);
+  if (!s.ok()) return s;
+  Cnf cnf(num_vars);
+  for (const auto& g : groups) cnf.AddClause(Clause(ToLits(g)));
+  return cnf;
+}
+
+Result<Dnf> ParseDimacsDnf(const std::string& text) {
+  int num_vars = 0;
+  int declared = 0;
+  std::vector<std::vector<int>> groups;
+  Status s = ScanDimacs(text, "dnf", &num_vars, &declared, &groups);
+  if (!s.ok()) return s;
+  Dnf dnf(num_vars);
+  for (const auto& g : groups) {
+    auto term = Term::Make(ToLits(g));
+    if (!term.has_value()) {
+      return Status::ParseError("contradictory term (x and -x)");
+    }
+    dnf.AddTerm(std::move(*term));
+  }
+  return dnf;
+}
+
+std::string ToDimacs(const Cnf& cnf) {
+  std::ostringstream out;
+  out << "p cnf " << cnf.num_vars() << ' ' << cnf.num_clauses() << '\n';
+  for (const Clause& c : cnf.clauses()) {
+    for (const Lit& l : c.lits()) out << (l.neg ? -(l.var + 1) : l.var + 1) << ' ';
+    out << "0\n";
+  }
+  return out.str();
+}
+
+std::string ToDimacs(const Dnf& dnf) {
+  std::ostringstream out;
+  out << "p dnf " << dnf.num_vars() << ' ' << dnf.num_terms() << '\n';
+  for (const Term& t : dnf.terms()) {
+    for (const Lit& l : t.lits()) out << (l.neg ? -(l.var + 1) : l.var + 1) << ' ';
+    out << "0\n";
+  }
+  return out.str();
+}
+
+}  // namespace mcf0

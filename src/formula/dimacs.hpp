@@ -1,0 +1,29 @@
+/// \file dimacs.hpp
+/// \brief DIMACS-style text I/O for CNF and DNF formulas.
+///
+/// CNF uses the standard `p cnf <vars> <clauses>` header with 0-terminated
+/// clause lines. DNF uses the same layout with a `p dnf <vars> <terms>`
+/// header and each line a 0-terminated conjunction of literals, the format
+/// used by DNF-counting tools in the ApproxMC ecosystem.
+#pragma once
+
+#include <string>
+
+#include "common/status.hpp"
+#include "formula/formula.hpp"
+
+namespace mcf0 {
+
+/// Parses DIMACS CNF text.
+Result<Cnf> ParseDimacsCnf(const std::string& text);
+
+/// Parses DIMACS-style DNF text (`p dnf` header).
+Result<Dnf> ParseDimacsDnf(const std::string& text);
+
+/// Renders a CNF in DIMACS format.
+std::string ToDimacs(const Cnf& cnf);
+
+/// Renders a DNF in DIMACS-style format.
+std::string ToDimacs(const Dnf& dnf);
+
+}  // namespace mcf0

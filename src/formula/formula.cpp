@@ -1,0 +1,72 @@
+#include "formula/formula.hpp"
+
+#include <algorithm>
+
+namespace mcf0 {
+
+std::optional<Term> Term::Make(std::vector<Lit> lits) {
+  std::sort(lits.begin(), lits.end(), [](const Lit& a, const Lit& b) {
+    return a.var != b.var ? a.var < b.var : a.neg < b.neg;
+  });
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (const Lit& l : lits) {
+    if (!out.empty() && out.back().var == l.var) {
+      if (out.back().neg != l.neg) return std::nullopt;  // x and !x
+      continue;                                          // duplicate
+    }
+    out.push_back(l);
+  }
+  Term t;
+  t.lits_ = std::move(out);
+  return t;
+}
+
+std::optional<bool> Term::FixedValue(int v) const {
+  // lits_ sorted by var: binary search.
+  auto it = std::lower_bound(
+      lits_.begin(), lits_.end(), v,
+      [](const Lit& l, int var) { return l.var < var; });
+  if (it != lits_.end() && it->var == v) return !it->neg;
+  return std::nullopt;
+}
+
+void Dnf::AddTerm(Term t) {
+  for (const Lit& l : t.lits()) {
+    MCF0_CHECK(l.var >= 0 && l.var < num_vars_);
+  }
+  terms_.push_back(std::move(t));
+}
+
+void Cnf::AddClause(Clause c) {
+  for (const Lit& l : c.lits()) {
+    MCF0_CHECK(l.var >= 0 && l.var < num_vars_);
+  }
+  clauses_.push_back(std::move(c));
+}
+
+Cnf NegateDnf(const Dnf& dnf) {
+  Cnf cnf(dnf.num_vars());
+  for (const Term& t : dnf.terms()) {
+    std::vector<Lit> lits;
+    lits.reserve(t.lits().size());
+    for (const Lit& l : t.lits()) lits.emplace_back(l.var, !l.neg);
+    cnf.AddClause(Clause(std::move(lits)));
+  }
+  return cnf;
+}
+
+Dnf NegateCnf(const Cnf& cnf) {
+  Dnf dnf(cnf.num_vars());
+  for (const Clause& c : cnf.clauses()) {
+    std::vector<Lit> lits;
+    lits.reserve(c.lits().size());
+    for (const Lit& l : c.lits()) lits.emplace_back(l.var, !l.neg);
+    auto term = Term::Make(std::move(lits));
+    MCF0_CHECK(term.has_value());  // clause literals have unique vars or dup
+    dnf.AddTerm(std::move(*term));
+  }
+  return dnf;
+}
+
+}  // namespace mcf0

@@ -1,0 +1,146 @@
+/// \file formula.hpp
+/// \brief Boolean formulas in CNF and DNF over variables x_0 .. x_{n-1}.
+///
+/// Conventions used throughout the library (matching §2 of the paper):
+///  * An assignment to n variables is a `BitVec` of n bits; string position
+///    i holds the value of variable i, so the lexicographic order on
+///    assignments treats x_0 as the most significant variable.
+///  * `Sol(phi)` — the satisfying assignments — is the set the counting
+///    algorithms estimate and the set streaming algorithms take unions of.
+///  * A DNF *term* doubles as an affine restriction: fixing its literals
+///    leaves the free variables unconstrained, which is what lets every
+///    per-term subproblem reduce to affine algebra (Propositions 1, 2).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+
+namespace mcf0 {
+
+class Rng;
+
+/// A literal: variable index (0-based) with optional negation.
+struct Lit {
+  int var = 0;
+  bool neg = false;
+
+  Lit() = default;
+  Lit(int v, bool n) : var(v), neg(n) {}
+
+  /// True under the given assignment?
+  bool Eval(const BitVec& x) const { return x.Get(var) != neg; }
+
+  bool operator==(const Lit&) const = default;
+};
+
+/// Conjunction of literals (a DNF term / cube).
+class Term {
+ public:
+  Term() = default;
+
+  /// Builds a term, sorting literals by variable and deduplicating.
+  /// Returns nullopt if the literals are contradictory (x and !x).
+  static std::optional<Term> Make(std::vector<Lit> lits);
+
+  const std::vector<Lit>& lits() const { return lits_; }
+
+  /// Number of literals (the paper's width w).
+  int Width() const { return static_cast<int>(lits_.size()); }
+
+  bool Eval(const BitVec& x) const {
+    for (const Lit& l : lits_) {
+      if (!l.Eval(x)) return false;
+    }
+    return true;
+  }
+
+  /// If this term fixes variable v, returns its forced value.
+  std::optional<bool> FixedValue(int v) const;
+
+  bool operator==(const Term&) const = default;
+
+ private:
+  std::vector<Lit> lits_;  // sorted by var, unique vars
+};
+
+/// Disjunction of literals (a CNF clause).
+class Clause {
+ public:
+  Clause() = default;
+  explicit Clause(std::vector<Lit> lits) : lits_(std::move(lits)) {}
+
+  const std::vector<Lit>& lits() const { return lits_; }
+  int Width() const { return static_cast<int>(lits_.size()); }
+
+  bool Eval(const BitVec& x) const {
+    for (const Lit& l : lits_) {
+      if (l.Eval(x)) return true;
+    }
+    return false;
+  }
+
+  bool operator==(const Clause&) const = default;
+
+ private:
+  std::vector<Lit> lits_;
+};
+
+/// DNF formula: T_1 or T_2 or ... or T_k over n variables.
+class Dnf {
+ public:
+  explicit Dnf(int num_vars) : num_vars_(num_vars) { MCF0_CHECK(num_vars >= 0); }
+
+  void AddTerm(Term t);
+
+  int num_vars() const { return num_vars_; }
+  /// The paper's size parameter k (number of terms).
+  int num_terms() const { return static_cast<int>(terms_.size()); }
+  const std::vector<Term>& terms() const { return terms_; }
+
+  bool Eval(const BitVec& x) const {
+    for (const Term& t : terms_) {
+      if (t.Eval(x)) return true;
+    }
+    return false;
+  }
+
+ private:
+  int num_vars_;
+  std::vector<Term> terms_;
+};
+
+/// CNF formula: C_1 and C_2 and ... and C_m over n variables.
+class Cnf {
+ public:
+  explicit Cnf(int num_vars) : num_vars_(num_vars) { MCF0_CHECK(num_vars >= 0); }
+
+  void AddClause(Clause c);
+
+  int num_vars() const { return num_vars_; }
+  int num_clauses() const { return static_cast<int>(clauses_.size()); }
+  const std::vector<Clause>& clauses() const { return clauses_; }
+
+  bool Eval(const BitVec& x) const {
+    for (const Clause& c : clauses_) {
+      if (!c.Eval(x)) return false;
+    }
+    return true;
+  }
+
+ private:
+  int num_vars_;
+  std::vector<Clause> clauses_;
+};
+
+/// Negation bridge: De Morgan of a DNF is a CNF over the same variables
+/// with Sol(result) = complement of Sol(dnf). Used by Karp–Luby tests and
+/// by examples that need both views.
+Cnf NegateDnf(const Dnf& dnf);
+
+/// De Morgan dual of the above.
+Dnf NegateCnf(const Cnf& cnf);
+
+}  // namespace mcf0

@@ -1,0 +1,67 @@
+#include "formula/random_gen.hpp"
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcf0 {
+namespace {
+
+/// Floyd's algorithm: `count` distinct values from [0, n) without building
+/// the full permutation.
+std::vector<int> SampleDistinct(int n, int count, Rng& rng) {
+  MCF0_CHECK(count <= n);
+  std::vector<int> out;
+  out.reserve(count);
+  for (int j = n - count; j < n; ++j) {
+    const int t = static_cast<int>(rng.NextBelow(static_cast<uint64_t>(j) + 1));
+    bool seen = false;
+    for (int v : out) {
+      if (v == t) {
+        seen = true;
+        break;
+      }
+    }
+    out.push_back(seen ? j : t);
+  }
+  return out;
+}
+
+}  // namespace
+
+Term RandomTerm(int num_vars, int width, Rng& rng) {
+  std::vector<int> vars = SampleDistinct(num_vars, width, rng);
+  std::vector<Lit> lits;
+  lits.reserve(vars.size());
+  for (int v : vars) lits.emplace_back(v, rng.NextBool());
+  auto term = Term::Make(std::move(lits));
+  MCF0_CHECK(term.has_value());  // distinct vars cannot contradict
+  return std::move(*term);
+}
+
+Cnf RandomKCnf(int num_vars, int num_clauses, int k, Rng& rng) {
+  MCF0_CHECK(k >= 1 && k <= num_vars);
+  Cnf cnf(num_vars);
+  for (int i = 0; i < num_clauses; ++i) {
+    std::vector<int> vars = SampleDistinct(num_vars, k, rng);
+    std::vector<Lit> lits;
+    lits.reserve(vars.size());
+    for (int v : vars) lits.emplace_back(v, rng.NextBool());
+    cnf.AddClause(Clause(std::move(lits)));
+  }
+  return cnf;
+}
+
+Dnf RandomDnf(int num_vars, int num_terms, int min_width, int max_width, Rng& rng) {
+  MCF0_CHECK(1 <= min_width && min_width <= max_width && max_width <= num_vars);
+  Dnf dnf(num_vars);
+  for (int i = 0; i < num_terms; ++i) {
+    const int width =
+        min_width + static_cast<int>(rng.NextBelow(
+                        static_cast<uint64_t>(max_width - min_width) + 1));
+    dnf.AddTerm(RandomTerm(num_vars, width, rng));
+  }
+  return dnf;
+}
+
+}  // namespace mcf0

@@ -1,0 +1,25 @@
+/// \file random_gen.hpp
+/// \brief Random formula generators for tests and experiment workloads.
+#pragma once
+
+#include "formula/formula.hpp"
+
+namespace mcf0 {
+
+class Rng;
+
+/// Uniform random k-CNF: `num_clauses` clauses of exactly `k` distinct
+/// variables each, signs uniform. Used by the ApproxMC experiments at
+/// clause densities below the satisfiability threshold so counts are large.
+Cnf RandomKCnf(int num_vars, int num_clauses, int k, Rng& rng);
+
+/// Random DNF with `num_terms` terms; each term picks a width uniformly in
+/// [min_width, max_width] and that many distinct variables, signs uniform.
+/// This is the workload family of the paper's #DNF experiments (monotone
+/// terms of moderate width produce counts spread over many magnitudes).
+Dnf RandomDnf(int num_vars, int num_terms, int min_width, int max_width, Rng& rng);
+
+/// Random term of exactly `width` distinct variables.
+Term RandomTerm(int num_vars, int width, Rng& rng);
+
+}  // namespace mcf0

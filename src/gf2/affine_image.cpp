@@ -1,0 +1,162 @@
+#include "gf2/affine_image.hpp"
+
+#include <algorithm>
+
+namespace mcf0 {
+
+AffineImage::AffineImage(const Gf2Matrix& m, const BitVec& c) {
+  BuildFrom(m, c);
+}
+
+std::optional<AffineImage> AffineImage::FromSolutionSpace(const Gf2Matrix& a,
+                                                          const BitVec& b) {
+  auto sol = SolveLinearSystem(a, b);
+  if (!sol.has_value()) return std::nullopt;
+  // {x : A x = b} = { K t + x0 : t } with K the kernel-basis columns.
+  return AffineImage(sol->kernel, sol->x0);
+}
+
+void AffineImage::BuildFrom(const Gf2Matrix& m, const BitVec& c) {
+  width_ = c.size();
+  MCF0_CHECK(m.cols() == 0 || m.rows() == width_);
+  // RREF the column space of M. Columns are vectors in {0,1}^width.
+  for (int j = 0; j < m.cols(); ++j) {
+    BitVec v(width_);
+    for (int i = 0; i < width_; ++i) {
+      if (m.Get(i, j)) v.Set(i, true);
+    }
+    // Reduce against current basis.
+    for (size_t i = 0; i < basis_.size(); ++i) {
+      if (v.Get(pivots_[i])) v ^= basis_[i];
+    }
+    if (v.IsZero()) continue;
+    const int pivot = v.LeadingBit();
+    // Back-substitute to keep other basis vectors zero at this pivot.
+    for (auto& bv : basis_) {
+      if (bv.Get(pivot)) bv ^= v;
+    }
+    const auto pos = std::lower_bound(pivots_.begin(), pivots_.end(), pivot);
+    const size_t idx = static_cast<size_t>(pos - pivots_.begin());
+    pivots_.insert(pos, pivot);
+    basis_.insert(basis_.begin() + idx, std::move(v));
+  }
+  // Representative with all pivot bits zero.
+  rep_ = c;
+  for (size_t i = 0; i < basis_.size(); ++i) {
+    if (rep_.Get(pivots_[i])) rep_ ^= basis_[i];
+  }
+  // Suffix XOR accumulations for subtree-max evaluation.
+  const size_t r = basis_.size();
+  suffix_.assign(r + 1, BitVec(width_));
+  for (size_t i = r; i-- > 0;) {
+    suffix_[i] = suffix_[i + 1] ^ basis_[i];
+  }
+}
+
+BitVec AffineImage::Element(const BitVec& tau) const {
+  MCF0_CHECK(tau.size() == dim());
+  BitVec e = rep_;
+  for (int i = 0; i < dim(); ++i) {
+    if (tau.Get(i)) e ^= basis_[i];
+  }
+  return e;
+}
+
+bool AffineImage::Contains(const BitVec& y) const {
+  if (y.size() != width_) return false;
+  BitVec z = y ^ rep_;
+  for (size_t i = 0; i < basis_.size(); ++i) {
+    if (z.Get(pivots_[i])) z ^= basis_[i];
+  }
+  return z.IsZero();
+}
+
+std::optional<BitVec> AffineImage::MinGeq(const BitVec& y) const {
+  MCF0_CHECK(y.size() == width_);
+  // Walk the coefficient tree from the most significant coefficient. The
+  // set's elements are ordered exactly as their coefficient words tau, so
+  // the answer lies in the leftmost subtree whose maximum is >= y. Subtree
+  // maxima are evaluated in O(m/64) via the suffix accumulations.
+  if ((rep_ ^ suffix_[0]) < y) return std::nullopt;  // global max < y
+  BitVec acc = rep_;
+  for (int i = 0; i < dim(); ++i) {
+    const BitVec left_max = acc ^ suffix_[i + 1];
+    if (left_max < y) {
+      acc ^= basis_[i];  // descend right (coefficient 1)
+    }
+    // else descend left (coefficient 0): acc unchanged.
+  }
+  MCF0_DCHECK(acc >= y);
+  return acc;
+}
+
+std::optional<BitVec> AffineImage::MinGt(const BitVec& y) const {
+  BitVec next = y;
+  if (!next.Increment()) return std::nullopt;  // y was all ones
+  return MinGeq(next);
+}
+
+std::vector<BitVec> AffineImage::FirstP(uint64_t p) const {
+  uint64_t count = p;
+  if (dim() <= 63) count = std::min(p, CountU64());
+  std::vector<BitVec> out;
+  out.reserve(count);
+  BitVec tau(dim());
+  for (uint64_t i = 0; i < count; ++i) {
+    out.push_back(Element(tau));
+    if (!tau.Increment()) break;
+  }
+  return out;
+}
+
+int AffineImage::MaxTrailingZeros() const {
+  // Largest t such that the linear system "last t bits of rep + sum eps_i
+  // basis_i are all zero" is satisfiable in eps. Add one equation per bit
+  // position from the end until inconsistent.
+  Gf2Eliminator elim(dim());
+  int t = 0;
+  for (int j = width_ - 1; j >= 0; --j) {
+    BitVec row(dim());
+    for (int i = 0; i < dim(); ++i) {
+      if (basis_[i].Get(j)) row.Set(i, true);
+    }
+    if (elim.AddEquation(row, rep_.Get(j)) == AddResult::kInconsistent) break;
+    ++t;
+  }
+  return t;
+}
+
+UnionLexEnumerator::UnionLexEnumerator(std::vector<AffineImage> sets)
+    : sets_(std::move(sets)) {
+  candidate_.reserve(sets_.size());
+  for (const auto& s : sets_) candidate_.push_back(s.Min());
+}
+
+std::optional<BitVec> UnionLexEnumerator::Next() {
+  const BitVec* best = nullptr;
+  for (const auto& c : candidate_) {
+    if (c.has_value() && (best == nullptr || *c < *best)) best = &*c;
+  }
+  if (best == nullptr) return std::nullopt;
+  last_ = *best;
+  started_ = true;
+  for (size_t i = 0; i < sets_.size(); ++i) {
+    if (candidate_[i].has_value() && *candidate_[i] == last_) {
+      candidate_[i] = sets_[i].MinGt(last_);
+    }
+  }
+  return last_;
+}
+
+std::vector<BitVec> UnionLexEnumerator::FirstP(uint64_t p) {
+  std::vector<BitVec> out;
+  out.reserve(p);
+  for (uint64_t i = 0; i < p; ++i) {
+    auto next = Next();
+    if (!next.has_value()) break;
+    out.push_back(std::move(*next));
+  }
+  return out;
+}
+
+}  // namespace mcf0

@@ -1,0 +1,105 @@
+#include "gf2/gauss.hpp"
+
+#include <algorithm>
+
+namespace mcf0 {
+
+Gf2Eliminator::Gf2Eliminator(int ncols) : ncols_(ncols) {
+  MCF0_CHECK(ncols >= 0);
+}
+
+void Gf2Eliminator::Reduce(BitVec* row, bool* rhs) const {
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (row->Get(pivot_cols_[i])) {
+      *row ^= rows_[i];
+      *rhs = *rhs ^ rhs_[i];
+    }
+  }
+}
+
+AddResult Gf2Eliminator::AddEquation(const BitVec& row, bool rhs) {
+  MCF0_CHECK(row.size() == ncols_);
+  BitVec r = row;
+  bool b = rhs;
+  Reduce(&r, &b);
+  if (r.IsZero()) {
+    if (b) {
+      consistent_ = false;
+      return AddResult::kInconsistent;
+    }
+    return AddResult::kRedundant;
+  }
+  const int pivot = r.LeadingBit();
+  // Back-substitute into existing rows to keep RREF.
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rows_[i].Get(pivot)) {
+      rows_[i] ^= r;
+      rhs_[i] = rhs_[i] ^ b;
+    }
+  }
+  // Insert keeping pivot columns sorted (makes Solve/Kernel deterministic).
+  const auto pos = std::lower_bound(pivot_cols_.begin(), pivot_cols_.end(), pivot);
+  const size_t idx = static_cast<size_t>(pos - pivot_cols_.begin());
+  pivot_cols_.insert(pos, pivot);
+  rows_.insert(rows_.begin() + idx, std::move(r));
+  rhs_.insert(rhs_.begin() + idx, b);
+  return AddResult::kIndependent;
+}
+
+AddResult Gf2Eliminator::TestEquation(const BitVec& row, bool rhs) const {
+  MCF0_CHECK(row.size() == ncols_);
+  BitVec r = row;
+  bool b = rhs;
+  Reduce(&r, &b);
+  if (r.IsZero()) return b ? AddResult::kInconsistent : AddResult::kRedundant;
+  return AddResult::kIndependent;
+}
+
+std::optional<BitVec> Gf2Eliminator::Solve() const {
+  if (!consistent_) return std::nullopt;
+  // Rows are in RREF: setting free variables to zero, each pivot variable
+  // equals its row's rhs.
+  BitVec x(ncols_);
+  for (size_t i = 0; i < rows_.size(); ++i) {
+    if (rhs_[i]) x.Set(pivot_cols_[i], true);
+  }
+  return x;
+}
+
+Gf2Matrix Gf2Eliminator::KernelBasisColumns() const {
+  // For each free (non-pivot) column f, the kernel vector sets x_f = 1 and
+  // x_p = rows_[i].Get(f) for each pivot p = pivot_cols_[i] (RREF read-off).
+  std::vector<bool> is_pivot(ncols_, false);
+  for (int p : pivot_cols_) is_pivot[p] = true;
+  std::vector<int> free_cols;
+  for (int j = 0; j < ncols_; ++j) {
+    if (!is_pivot[j]) free_cols.push_back(j);
+  }
+  Gf2Matrix basis(ncols_, static_cast<int>(free_cols.size()));
+  for (size_t k = 0; k < free_cols.size(); ++k) {
+    const int f = free_cols[k];
+    basis.Set(f, static_cast<int>(k), true);
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (rows_[i].Get(f)) basis.Set(pivot_cols_[i], static_cast<int>(k), true);
+    }
+  }
+  return basis;
+}
+
+std::optional<LinearSystemSolution> SolveLinearSystem(const Gf2Matrix& a,
+                                                      const BitVec& b) {
+  MCF0_CHECK(b.size() == a.rows());
+  Gf2Eliminator elim(a.cols());
+  for (int i = 0; i < a.rows(); ++i) {
+    if (elim.AddEquation(a.Row(i), b.Get(i)) == AddResult::kInconsistent) {
+      return std::nullopt;
+    }
+  }
+  LinearSystemSolution sol;
+  sol.x0 = *elim.Solve();
+  sol.kernel = elim.KernelBasisColumns();
+  sol.rank = elim.rank();
+  return sol;
+}
+
+}  // namespace mcf0

@@ -1,0 +1,87 @@
+/// \file gauss.hpp
+/// \brief Incremental Gaussian elimination over GF(2).
+///
+/// `Gf2Eliminator` maintains a row-reduced system of linear equations
+/// `row . x = rhs` and supports adding equations one at a time — the
+/// workhorse behind the paper's prefix-searching primitive (Propositions 2
+/// and 4): each prefix bit contributes one equation and consistency is
+/// re-checked incrementally in O(n^2 / 64) instead of re-eliminating from
+/// scratch.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+#include "gf2/gf2_matrix.hpp"
+
+namespace mcf0 {
+
+/// Outcome of adding one equation to an eliminator.
+enum class AddResult {
+  kIndependent,   ///< New pivot; rank increased.
+  kRedundant,     ///< Implied by existing equations.
+  kInconsistent,  ///< Contradicts existing equations (0 = 1).
+};
+
+/// Incrementally row-reduced linear system over GF(2).
+class Gf2Eliminator {
+ public:
+  /// System over `ncols` unknowns.
+  explicit Gf2Eliminator(int ncols);
+
+  /// Adds equation `row . x = rhs`, reducing against current pivots. After
+  /// kInconsistent the system stays usable (the contradictory equation is
+  /// not stored).
+  AddResult AddEquation(const BitVec& row, bool rhs);
+
+  /// Tests what AddEquation would return, without mutating state.
+  AddResult TestEquation(const BitVec& row, bool rhs) const;
+
+  int rank() const { return static_cast<int>(pivot_cols_.size()); }
+  int ncols() const { return ncols_; }
+  bool consistent() const { return consistent_; }
+
+  /// The reduced (RREF) rows, their right-hand sides, and pivot columns —
+  /// an equivalent system with one fresh pivot per row. Consumers use this
+  /// to re-express XOR constraints before handing them to the SAT solver
+  /// (CnfOracle) so that branching can be restricted to the free columns.
+  const std::vector<BitVec>& rows() const { return rows_; }
+  const std::vector<bool>& rhs() const { return rhs_; }
+  const std::vector<int>& pivot_cols() const { return pivot_cols_; }
+
+  /// One solution of the current system (free variables set to 0), or
+  /// nullopt if inconsistent.
+  std::optional<BitVec> Solve() const;
+
+  /// Basis of the solution space of the homogeneous system (the kernel of
+  /// the row matrix): ncols() - rank() vectors. Returned as a matrix whose
+  /// *columns* are basis vectors, shaped ncols() x (ncols()-rank()), ready
+  /// to parametrize the solution set x0 + K * t.
+  Gf2Matrix KernelBasisColumns() const;
+
+ private:
+  /// Reduces (row, rhs) by current pivots in place.
+  void Reduce(BitVec* row, bool* rhs) const;
+
+  int ncols_;
+  bool consistent_ = true;
+  // Reduced rows in pivot order; pivot_cols_[i] is the leading column of
+  // rows_[i]. Rows are kept fully back-substituted (RREF) so Solve() is a
+  // direct read-off.
+  std::vector<BitVec> rows_;
+  std::vector<bool> rhs_;
+  std::vector<int> pivot_cols_;
+};
+
+/// Convenience: solves A x = b. Returns (solution, kernel-basis columns) or
+/// nullopt if inconsistent.
+struct LinearSystemSolution {
+  BitVec x0;          ///< A particular solution.
+  Gf2Matrix kernel;   ///< Columns form a basis of {x : A x = 0}.
+  int rank = 0;       ///< Rank of A.
+};
+std::optional<LinearSystemSolution> SolveLinearSystem(const Gf2Matrix& a,
+                                                      const BitVec& b);
+
+}  // namespace mcf0

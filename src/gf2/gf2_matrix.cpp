@@ -1,0 +1,129 @@
+#include "gf2/gf2_matrix.hpp"
+
+#include "common/rng.hpp"
+#include "gf2/gauss.hpp"
+
+namespace mcf0 {
+
+Gf2Matrix::Gf2Matrix(int rows, int cols) : cols_(cols) {
+  MCF0_CHECK(rows >= 0 && cols >= 0);
+  rows_.assign(rows, BitVec(cols));
+}
+
+Gf2Matrix Gf2Matrix::Identity(int n) {
+  Gf2Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m.Set(i, i, true);
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::Random(int rows, int cols, Rng& rng) {
+  Gf2Matrix m(rows, cols);
+  for (auto& row : m.rows_) row = BitVec::Random(cols, rng);
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::RandomSparse(int rows, int cols, double density, Rng& rng) {
+  Gf2Matrix m(rows, cols);
+  for (int i = 0; i < rows; ++i) {
+    for (int j = 0; j < cols; ++j) {
+      if (rng.NextBernoulli(density)) m.Set(i, j, true);
+    }
+  }
+  return m;
+}
+
+Gf2Matrix Gf2Matrix::FromRows(std::vector<BitVec> rows) {
+  Gf2Matrix m;
+  if (!rows.empty()) m.cols_ = rows[0].size();
+  for (const auto& r : rows) MCF0_CHECK(r.size() == m.cols_);
+  m.rows_ = std::move(rows);
+  return m;
+}
+
+BitVec Gf2Matrix::Mul(const BitVec& x) const {
+  MCF0_CHECK(x.size() == cols_);
+  BitVec y(rows());
+  for (int i = 0; i < rows(); ++i) {
+    if (rows_[i].DotF2(x)) y.Set(i, true);
+  }
+  return y;
+}
+
+BitVec Gf2Matrix::MulAffine(const BitVec& x, const BitVec& b) const {
+  MCF0_CHECK(b.size() == rows());
+  BitVec y = Mul(x);
+  y ^= b;
+  return y;
+}
+
+Gf2Matrix Gf2Matrix::MulMatrix(const Gf2Matrix& o) const {
+  MCF0_CHECK(cols_ == o.rows());
+  // (A * B) row i = sum over set bits j of A_i of B row j.
+  Gf2Matrix out(rows(), o.cols());
+  for (int i = 0; i < rows(); ++i) {
+    BitVec acc(o.cols());
+    for (int j = 0; j < cols_; ++j) {
+      if (rows_[i].Get(j)) acc ^= o.Row(j);
+    }
+    out.rows_[i] = std::move(acc);
+  }
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::Transposed() const {
+  Gf2Matrix out(cols_, rows());
+  for (int i = 0; i < rows(); ++i) {
+    for (int j = 0; j < cols_; ++j) {
+      if (rows_[i].Get(j)) out.Set(j, i, true);
+    }
+  }
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::PrefixRows(int r) const { return RowSlice(0, r); }
+
+Gf2Matrix Gf2Matrix::RowSlice(int r1, int r2) const {
+  MCF0_CHECK(0 <= r1 && r1 <= r2 && r2 <= rows());
+  Gf2Matrix out;
+  out.cols_ = cols_;
+  out.rows_.assign(rows_.begin() + r1, rows_.begin() + r2);
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::StackBelow(const Gf2Matrix& o) const {
+  MCF0_CHECK(cols_ == o.cols_ || rows() == 0 || o.rows() == 0);
+  Gf2Matrix out;
+  out.cols_ = rows() > 0 ? cols_ : o.cols_;
+  out.rows_ = rows_;
+  out.rows_.insert(out.rows_.end(), o.rows_.begin(), o.rows_.end());
+  return out;
+}
+
+Gf2Matrix Gf2Matrix::SelectColumns(const std::vector<int>& keep) const {
+  Gf2Matrix out(rows(), static_cast<int>(keep.size()));
+  for (int i = 0; i < rows(); ++i) {
+    for (size_t jj = 0; jj < keep.size(); ++jj) {
+      const int j = keep[jj];
+      MCF0_DCHECK(j >= 0 && j < cols_);
+      if (rows_[i].Get(j)) out.Set(i, static_cast<int>(jj), true);
+    }
+  }
+  return out;
+}
+
+int Gf2Matrix::Rank() const {
+  Gf2Eliminator elim(cols_);
+  for (const auto& row : rows_) elim.AddEquation(row, false);
+  return elim.rank();
+}
+
+void Gf2Matrix::AppendRow(BitVec row) {
+  if (rows_.empty()) {
+    cols_ = row.size();
+  } else {
+    MCF0_CHECK(row.size() == cols_);
+  }
+  rows_.push_back(std::move(row));
+}
+
+}  // namespace mcf0

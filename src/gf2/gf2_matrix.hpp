@@ -1,0 +1,92 @@
+/// \file gf2_matrix.hpp
+/// \brief Dense matrices over GF(2) stored as word-packed rows.
+///
+/// Rows are `BitVec`s, so matrix-vector products and row reduction run
+/// word-parallel. Matrices are small (hash functions are m x n with
+/// n, m at most a few thousand in any experiment), so a dense row-major
+/// representation is the right trade-off.
+#pragma once
+
+#include <vector>
+
+#include "gf2/bitvec.hpp"
+
+namespace mcf0 {
+
+class Rng;
+
+/// A rows() x cols() matrix over GF(2).
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+
+  /// Zero matrix of the given shape.
+  Gf2Matrix(int rows, int cols);
+
+  /// Identity matrix of order n.
+  static Gf2Matrix Identity(int n);
+
+  /// Uniformly random matrix (each entry an independent fair bit) — the
+  /// paper's H_xor sampling.
+  static Gf2Matrix Random(int rows, int cols, Rng& rng);
+
+  /// Random matrix whose entries are 1 with probability `density` — the
+  /// sparse-XOR hash functions of the paper's future-work section (§6).
+  static Gf2Matrix RandomSparse(int rows, int cols, double density, Rng& rng);
+
+  /// Builds from explicit rows (all the same length).
+  static Gf2Matrix FromRows(std::vector<BitVec> rows);
+
+  int rows() const { return static_cast<int>(rows_.size()); }
+  int cols() const { return cols_; }
+
+  const BitVec& Row(int i) const {
+    MCF0_DCHECK(i >= 0 && i < rows());
+    return rows_[i];
+  }
+  BitVec& MutableRow(int i) {
+    MCF0_DCHECK(i >= 0 && i < rows());
+    return rows_[i];
+  }
+
+  bool Get(int i, int j) const { return rows_[i].Get(j); }
+  void Set(int i, int j, bool v) { rows_[i].Set(j, v); }
+
+  /// Matrix-vector product over GF(2); x must have cols() bits.
+  BitVec Mul(const BitVec& x) const;
+
+  /// Affine map A*x + b; b must have rows() bits.
+  BitVec MulAffine(const BitVec& x, const BitVec& b) const;
+
+  /// Matrix-matrix product (*this) * o over GF(2).
+  Gf2Matrix MulMatrix(const Gf2Matrix& o) const;
+
+  /// Transposed copy.
+  Gf2Matrix Transposed() const;
+
+  /// First `r` rows as a new matrix (the paper's prefix-slice of A).
+  Gf2Matrix PrefixRows(int r) const;
+
+  /// Rows r1..r2-1 as a new matrix.
+  Gf2Matrix RowSlice(int r1, int r2) const;
+
+  /// Vertical concatenation: *this on top of `o` (equal cols()).
+  Gf2Matrix StackBelow(const Gf2Matrix& o) const;
+
+  /// Columns selected by `keep` (indices into [0, cols())), in order.
+  Gf2Matrix SelectColumns(const std::vector<int>& keep) const;
+
+  /// Rank via Gaussian elimination on a scratch copy.
+  int Rank() const;
+
+  /// Appends a row (must have cols() bits; first row fixes cols()).
+  void AppendRow(BitVec row);
+
+  bool operator==(const Gf2Matrix& o) const = default;
+
+ private:
+  int cols_ = 0;
+  std::vector<BitVec> rows_;
+};
+
+}  // namespace mcf0

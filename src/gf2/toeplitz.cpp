@@ -1,0 +1,45 @@
+#include "gf2/toeplitz.hpp"
+
+#include "common/rng.hpp"
+
+namespace mcf0 {
+
+ToeplitzMatrix::ToeplitzMatrix(int rows, int cols, BitVec seed)
+    : rows_(rows), cols_(cols), seed_(std::move(seed)) {
+  MCF0_CHECK(rows >= 0 && cols >= 0);
+  MCF0_CHECK(seed_.size() == rows + cols - 1 || (rows == 0 && cols == 0));
+}
+
+ToeplitzMatrix ToeplitzMatrix::Random(int rows, int cols, Rng& rng) {
+  return ToeplitzMatrix(rows, cols, BitVec::Random(rows + cols - 1, rng));
+}
+
+BitVec ToeplitzMatrix::Row(int i) const {
+  BitVec row(cols_);
+  for (int j = 0; j < cols_; ++j) {
+    if (Get(i, j)) row.Set(j, true);
+  }
+  return row;
+}
+
+BitVec ToeplitzMatrix::Mul(const BitVec& x) const {
+  MCF0_CHECK(x.size() == cols_);
+  BitVec y(rows_);
+  for (int i = 0; i < rows_; ++i) {
+    // Row i dot x: walk the seed window [i - cols + 1 + (cols-1) .. i + cols - 1].
+    bool acc = false;
+    for (int j = 0; j < cols_; ++j) {
+      acc ^= Get(i, j) && x.Get(j);
+    }
+    if (acc) y.Set(i, true);
+  }
+  return y;
+}
+
+Gf2Matrix ToeplitzMatrix::ToDense() const {
+  Gf2Matrix dense(rows_, cols_);
+  for (int i = 0; i < rows_; ++i) dense.MutableRow(i) = Row(i);
+  return dense;
+}
+
+}  // namespace mcf0

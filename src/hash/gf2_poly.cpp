@@ -1,0 +1,211 @@
+#include "hash/gf2_poly.hpp"
+
+#include <bit>
+#if defined(__x86_64__)
+#include <wmmintrin.h>
+#include <smmintrin.h>
+#endif
+
+#include "common/rng.hpp"
+
+namespace mcf0 {
+namespace {
+
+/// Polynomial over GF(2) of degree <= 127 as two words (lo = x^0..x^63).
+struct Poly128 {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  bool IsZero() const { return hi == 0 && lo == 0; }
+
+  int Degree() const {
+    if (hi != 0) return 127 - std::countl_zero(hi);
+    if (lo != 0) return 63 - std::countl_zero(lo);
+    return -1;  // zero polynomial
+  }
+
+  void XorShifted(Poly128 f, int shift) {
+    // *this ^= f * x^shift; caller guarantees no overflow past bit 127.
+    if (shift == 0) {
+      hi ^= f.hi;
+      lo ^= f.lo;
+      return;
+    }
+    if (shift >= 64) {
+      hi ^= f.lo << (shift - 64);
+      return;
+    }
+    hi ^= (f.hi << shift) | (f.lo >> (64 - shift));
+    lo ^= f.lo << shift;
+  }
+};
+
+#if defined(__x86_64__)
+/// Hardware carry-less multiply (PCLMULQDQ), selected at runtime.
+__attribute__((target("pclmul,sse4.1"))) Poly128 ClmulHw(uint64_t a,
+                                                         uint64_t b) {
+  const __m128i va = _mm_set_epi64x(0, static_cast<long long>(a));
+  const __m128i vb = _mm_set_epi64x(0, static_cast<long long>(b));
+  const __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
+  Poly128 p;
+  p.lo = static_cast<uint64_t>(_mm_cvtsi128_si64(prod));
+  p.hi = static_cast<uint64_t>(_mm_extract_epi64(prod, 1));
+  return p;
+}
+#endif
+
+/// Portable carry-less 64x64 -> 128 multiplication (shift-and-xor).
+Poly128 ClmulPortable(uint64_t a, uint64_t b) {
+  Poly128 p;
+  while (b != 0) {
+    const int i = std::countr_zero(b);
+    b &= b - 1;
+    p.lo ^= a << i;
+    if (i != 0) p.hi ^= a >> (64 - i);
+  }
+  return p;
+}
+
+Poly128 Clmul(uint64_t a, uint64_t b) {
+#if defined(__x86_64__)
+  static const bool kHasPclmul = __builtin_cpu_supports("pclmul") != 0;
+  if (kHasPclmul) return ClmulHw(a, b);
+#endif
+  return ClmulPortable(a, b);
+}
+
+/// p mod f for a nonzero modulus polynomial f (deg f >= 0; anything mod a
+/// nonzero constant is 0, which the loop below produces naturally).
+Poly128 PolyMod(Poly128 p, Poly128 f) {
+  const int df = f.Degree();
+  MCF0_DCHECK(df >= 0);
+  int dp = p.Degree();
+  while (dp >= df) {
+    p.XorShifted(f, dp - df);
+    dp = p.Degree();
+  }
+  return p;
+}
+
+Poly128 PolyGcd(Poly128 a, Poly128 b) {
+  while (!b.IsZero()) {
+    Poly128 r = PolyMod(a, b);
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+/// Multiplication in GF(2)[x] mod f, for operands of degree < deg f <= 64.
+uint64_t MulMod(uint64_t a, uint64_t b, Poly128 f) {
+  Poly128 p = Clmul(a, b);
+  p = PolyMod(p, f);
+  return p.lo;
+}
+
+Poly128 ModulusPoly(uint64_t poly_low, int degree) {
+  Poly128 f;
+  f.lo = poly_low;
+  if (degree == 64) {
+    f.hi = 1;
+  } else {
+    f.lo |= 1ull << degree;
+  }
+  return f;
+}
+
+}  // namespace
+
+bool Gf2Field::IsIrreducible(uint64_t poly_low, int degree) {
+  MCF0_CHECK(degree >= 1 && degree <= 64);
+  if (degree == 1) return true;  // x + c is always irreducible
+  if ((poly_low & 1) == 0) return false;  // divisible by x
+  const Poly128 f = ModulusPoly(poly_low, degree);
+
+  // Rabin: f (deg d) is irreducible iff x^(2^d) == x (mod f) and for every
+  // prime p | d, gcd(x^(2^(d/p)) - x, f) = 1.
+  auto x_to_2_to = [&](int k) {
+    uint64_t e = 2;  // x
+    for (int i = 0; i < k; ++i) e = MulMod(e, e, f);
+    return e;
+  };
+
+  if (x_to_2_to(degree) != 2) return false;
+
+  // For each prime p | d, gcd(x^(2^(d/p)) - x, f) must be 1. A zero
+  // witness means f divides x^(2^(d/p)) - x, i.e. every factor of f has
+  // degree dividing d/p < d — certainly reducible.
+  auto factor_check = [&](int p) {
+    Poly128 g;
+    g.lo = x_to_2_to(degree / p) ^ 2;  // x^(2^(d/p)) - x  (mod f)
+    if (g.IsZero()) return false;
+    return PolyGcd(f, g).Degree() <= 0;
+  };
+  int d = degree;
+  for (int p = 2; p * p <= d; ++p) {
+    if (d % p != 0) continue;
+    while (d % p == 0) d /= p;
+    if (!factor_check(p)) return false;
+  }
+  if (d > 1 && !factor_check(d)) return false;  // remaining prime factor
+  return true;
+}
+
+Gf2Field::Gf2Field(int w) : w_(w) {
+  MCF0_CHECK(w >= 1 && w <= 64);
+  mask_ = (w == 64) ? ~0ull : ((1ull << w) - 1);
+  // Scan odd low-parts for the first irreducible modulus. Irreducible
+  // polynomials have density ~1/w, so this terminates quickly.
+  for (uint64_t low = 1;; low += 2) {
+    MCF0_CHECK(low <= mask_);
+    if (IsIrreducible(low, w)) {
+      mod_low_ = low;
+      break;
+    }
+  }
+}
+
+uint64_t Gf2Field::Mul(uint64_t a, uint64_t b) const {
+  MCF0_DCHECK((a & ~mask_) == 0 && (b & ~mask_) == 0);
+  return MulMod(a, b, ModulusPoly(mod_low_, w_));
+}
+
+uint64_t Gf2Field::Pow(uint64_t a, uint64_t e) const {
+  uint64_t result = 1;
+  uint64_t base = a;
+  while (e != 0) {
+    if (e & 1) result = Mul(result, base);
+    base = Mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+PolynomialHash::PolynomialHash(const Gf2Field* field, std::vector<uint64_t> coeffs)
+    : field_(field), coeffs_(std::move(coeffs)) {
+  MCF0_CHECK(field_ != nullptr);
+  MCF0_CHECK(!coeffs_.empty());
+}
+
+PolynomialHash PolynomialHash::Sample(const Gf2Field* field, int s, Rng& rng) {
+  MCF0_CHECK(s >= 1);
+  const uint64_t mask =
+      (field->degree() == 64) ? ~0ull : ((1ull << field->degree()) - 1);
+  std::vector<uint64_t> coeffs(s);
+  for (auto& c : coeffs) c = rng.NextU64() & mask;
+  return PolynomialHash(field, std::move(coeffs));
+}
+
+uint64_t PolynomialHash::Eval(uint64_t x) const {
+  const uint64_t mask =
+      (field_->degree() == 64) ? ~0ull : ((1ull << field_->degree()) - 1);
+  x &= mask;
+  // Horner: (((a_{s-1} x + a_{s-2}) x + ...) x + a_0).
+  uint64_t acc = coeffs_.back();
+  for (size_t i = coeffs_.size() - 1; i-- > 0;) {
+    acc = field_->Mul(acc, x) ^ coeffs_[i];
+  }
+  return acc;
+}
+
+}  // namespace mcf0

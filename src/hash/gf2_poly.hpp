@@ -1,0 +1,82 @@
+/// \file gf2_poly.hpp
+/// \brief Arithmetic in GF(2^w) for w in [1, 64] and the s-wise independent
+/// polynomial hash family H_{s-wise}(w, w) used by the Estimation sketch.
+///
+/// Field elements are uint64 coefficient masks (bit i = coefficient of x^i).
+/// The modulus is found at construction by scanning for an irreducible
+/// polynomial of degree w, verified with Rabin's irreducibility test — no
+/// hard-coded tables, so every w in [1, 64] works.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace mcf0 {
+
+class Rng;
+
+/// The finite field GF(2^w).
+class Gf2Field {
+ public:
+  /// Constructs GF(2^w), searching for the lexicographically smallest
+  /// irreducible modulus of degree w. O(w^4 / 64) one-time cost.
+  explicit Gf2Field(int w);
+
+  int degree() const { return w_; }
+
+  /// Low-order bits of the modulus (the x^w term is implicit).
+  uint64_t modulus_low() const { return mod_low_; }
+
+  /// Field addition (= XOR).
+  static uint64_t Add(uint64_t a, uint64_t b) { return a ^ b; }
+
+  /// Field multiplication: carry-less product reduced mod the modulus.
+  uint64_t Mul(uint64_t a, uint64_t b) const;
+
+  /// a^e by square-and-multiply.
+  uint64_t Pow(uint64_t a, uint64_t e) const;
+
+  /// Rabin's irreducibility test for f = x^degree + poly_low over GF(2).
+  static bool IsIrreducible(uint64_t poly_low, int degree);
+
+ private:
+  int w_;
+  uint64_t mod_low_;
+  uint64_t mask_;  // low w bits
+};
+
+/// A hash function drawn from the s-wise independent family of degree-(s-1)
+/// polynomials over GF(2^w) (the paper's H_{s-wise}(n, n) with n = w).
+/// Evaluation is Horner's rule: s-1 field multiplications.
+class PolynomialHash {
+ public:
+  /// coeffs[0] is the constant term; coeffs.size() = s.
+  PolynomialHash(const Gf2Field* field, std::vector<uint64_t> coeffs);
+
+  /// Samples a uniform member of the family with s coefficients.
+  static PolynomialHash Sample(const Gf2Field* field, int s, Rng& rng);
+
+  /// h(x) for x interpreted as a field element (low w bits used).
+  uint64_t Eval(uint64_t x) const;
+
+  /// Independence degree s of the family this was drawn from.
+  int s() const { return static_cast<int>(coeffs_.size()); }
+
+ private:
+  const Gf2Field* field_;            // not owned
+  std::vector<uint64_t> coeffs_;
+};
+
+/// Number of trailing zero bits of the w-bit value `z` (the paper's
+/// TrailZero for machine-word hash outputs); returns w when z == 0.
+inline int TrailZero64(uint64_t z, int w) {
+  MCF0_DCHECK(w >= 1 && w <= 64);
+  if (z == 0) return w;
+  int t = 0;
+  while (((z >> t) & 1) == 0) ++t;
+  return t < w ? t : w;
+}
+
+}  // namespace mcf0

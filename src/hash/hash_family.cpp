@@ -1,0 +1,66 @@
+#include "hash/hash_family.hpp"
+
+#include "common/rng.hpp"
+
+namespace mcf0 {
+
+AffineHash AffineHash::SampleToeplitz(int n, int m, Rng& rng) {
+  MCF0_CHECK(n >= 1 && m >= 1);
+  ToeplitzMatrix t = ToeplitzMatrix::Random(m, n, rng);
+  BitVec b = BitVec::Random(m, rng);
+  // Densify once: downstream consumers (prefix slices, affine composition,
+  // XOR clause extraction) all need row access; the Theta(n+m) seed size is
+  // what we report as the representation cost.
+  const size_t repr = static_cast<size_t>(t.SeedBits()) + static_cast<size_t>(m);
+  return AffineHash(t.ToDense(), std::move(b), AffineHashKind::kToeplitz, repr);
+}
+
+AffineHash AffineHash::SampleXor(int n, int m, Rng& rng) {
+  MCF0_CHECK(n >= 1 && m >= 1);
+  Gf2Matrix a = Gf2Matrix::Random(m, n, rng);
+  BitVec b = BitVec::Random(m, rng);
+  const size_t repr = static_cast<size_t>(m) * static_cast<size_t>(n) +
+                      static_cast<size_t>(m);
+  return AffineHash(std::move(a), std::move(b), AffineHashKind::kXor, repr);
+}
+
+AffineHash AffineHash::SampleSparseXor(int n, int m, double row_density, Rng& rng) {
+  MCF0_CHECK(n >= 1 && m >= 1);
+  MCF0_CHECK(row_density > 0.0 && row_density <= 1.0);
+  Gf2Matrix a = Gf2Matrix::RandomSparse(m, n, row_density, rng);
+  BitVec b = BitVec::Random(m, rng);
+  const size_t repr = static_cast<size_t>(m) * static_cast<size_t>(n) +
+                      static_cast<size_t>(m);
+  return AffineHash(std::move(a), std::move(b), AffineHashKind::kSparseXor, repr);
+}
+
+AffineHash AffineHash::FromParts(Gf2Matrix a, BitVec b, AffineHashKind kind) {
+  MCF0_CHECK(b.size() == a.rows());
+  const size_t repr = static_cast<size_t>(a.rows()) * static_cast<size_t>(a.cols()) +
+                      static_cast<size_t>(a.rows());
+  return AffineHash(std::move(a), std::move(b), kind, repr);
+}
+
+BitVec AffineHash::EvalPrefix(const BitVec& x, int l) const {
+  MCF0_CHECK(l >= 0 && l <= m());
+  BitVec y(l);
+  for (int i = 0; i < l; ++i) {
+    if (a_.Row(i).DotF2(x) != b_.Get(i)) y.Set(i, true);
+  }
+  return y;
+}
+
+uint64_t AffineHash::Eval64(uint64_t x) const {
+  MCF0_CHECK(n() <= 64 && m() <= 64);
+  return Eval(BitVec::FromU64(n() == 64 ? x : (x & ((1ull << n()) - 1)), n()))
+      .ToU64();
+}
+
+AffineHash AffineHash::PrefixHash(int l) const {
+  MCF0_CHECK(l >= 1 && l <= m());
+  return AffineHash(a_.PrefixRows(l), b_.Prefix(l), kind_, repr_bits_);
+}
+
+size_t AffineHash::RepresentationBits() const { return repr_bits_; }
+
+}  // namespace mcf0

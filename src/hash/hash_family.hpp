@@ -1,0 +1,83 @@
+/// \file hash_family.hpp
+/// \brief The paper's 2-wise independent affine hash families.
+///
+/// An `AffineHash` is one sampled function h(x) = A x + b from {0,1}^n to
+/// {0,1}^m. Three sampling distributions are provided:
+///
+///  * H_Toeplitz(n, m): A is a uniformly random Toeplitz matrix — Theta(n+m)
+///    bits of representation (§2).
+///  * H_xor(n, m): A is a uniformly random dense matrix — Theta(n*m) bits.
+///  * Sparse XOR (§6 future work): each entry of A is 1 with a given row
+///    density, following Meel & Akshay's sparse hashing line of work.
+///
+/// All variants expose the prefix-slice h_l (first l rows of A, first l bits
+/// of b), the structural property that powers the Bucketing algorithms: the
+/// cells h_l^{-1}(0^l) are nested as l grows.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gf2/bitvec.hpp"
+#include "gf2/gf2_matrix.hpp"
+#include "gf2/toeplitz.hpp"
+
+namespace mcf0 {
+
+class Rng;
+
+/// Sampling distribution of an AffineHash.
+enum class AffineHashKind { kToeplitz, kXor, kSparseXor };
+
+/// One function h(x) = A x + b; see file comment.
+class AffineHash {
+ public:
+  /// Samples from H_Toeplitz(n, m).
+  static AffineHash SampleToeplitz(int n, int m, Rng& rng);
+
+  /// Samples from H_xor(n, m).
+  static AffineHash SampleXor(int n, int m, Rng& rng);
+
+  /// Samples a sparse-XOR hash: A entries Bernoulli(row_density), b uniform.
+  static AffineHash SampleSparseXor(int n, int m, double row_density, Rng& rng);
+
+  /// Wraps explicit parts (used by tests and by distributed coordinators
+  /// that ship hash functions to sites).
+  static AffineHash FromParts(Gf2Matrix a, BitVec b, AffineHashKind kind);
+
+  int n() const { return a_.cols(); }
+  int m() const { return a_.rows(); }
+  AffineHashKind kind() const { return kind_; }
+
+  /// h(x) = A x + b for an n-bit input.
+  BitVec Eval(const BitVec& x) const { return a_.MulAffine(x, b_); }
+
+  /// Prefix slice h_l(x): the first l bits of h(x) (§2).
+  BitVec EvalPrefix(const BitVec& x, int l) const;
+
+  /// Convenience for word-sized universes (n <= 64): h applied to the n-bit
+  /// big-endian encoding of `x`, returned as the m-bit value (requires
+  /// m <= 64).
+  uint64_t Eval64(uint64_t x) const;
+
+  /// The hash restricted to its first l output bits as a standalone hash.
+  AffineHash PrefixHash(int l) const;
+
+  const Gf2Matrix& A() const { return a_; }
+  const BitVec& b() const { return b_; }
+
+  /// Bits needed to represent the sampled function: Theta(n + m) for
+  /// Toeplitz, Theta(n * m) for (sparse) XOR — the contrast in §2.
+  size_t RepresentationBits() const;
+
+ private:
+  AffineHash(Gf2Matrix a, BitVec b, AffineHashKind kind, size_t repr_bits)
+      : a_(std::move(a)), b_(std::move(b)), kind_(kind), repr_bits_(repr_bits) {}
+
+  Gf2Matrix a_;
+  BitVec b_;
+  AffineHashKind kind_;
+  size_t repr_bits_;
+};
+
+}  // namespace mcf0

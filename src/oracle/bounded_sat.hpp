@@ -1,0 +1,53 @@
+/// \file bounded_sat.hpp
+/// \brief The BoundedSAT subroutine (Proposition 1).
+///
+/// BoundedSAT(phi, h, m, p) returns min(p, |Sol(phi AND h_m(x) = 0^m)|) —
+/// the number of solutions in the hash cell h_m^{-1}(0^m), counted up to the
+/// saturation threshold p — together with the solutions themselves (the
+/// distributed protocols ship them to the coordinator).
+///
+///  * CNF: enumeration with blocking clauses on the CNF-XOR solver;
+///    O(p) NP-oracle calls, as in the proposition.
+///  * DNF: polynomial time. Each term's solutions inside the cell form an
+///    affine subspace of {0,1}^n (the term fixes some variables; the cell
+///    adds m parity constraints), so the cell's solution set is a union of
+///    affine subspaces which `UnionLexEnumerator` walks in lexicographic
+///    order — the O(n^3 k p)-flavour algorithm of the paper with the
+///    per-step Gaussian elimination replaced by the canonical-basis walk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "formula/formula.hpp"
+#include "gf2/affine_image.hpp"
+#include "hash/hash_family.hpp"
+#include "oracle/cnf_oracle.hpp"
+
+namespace mcf0 {
+
+/// Output of BoundedSAT: up to p distinct solutions in the cell.
+struct BoundedSatResult {
+  std::vector<BitVec> solutions;
+  /// True iff exactly p solutions were found and more may exist.
+  bool saturated = false;
+
+  uint64_t count() const { return solutions.size(); }
+};
+
+/// CNF case of Proposition 1; cell is h_m^{-1}(0^m). m = 0 means no hash
+/// constraint (counts solutions of phi itself, up to p).
+BoundedSatResult BoundedSatCnf(CnfOracle& oracle, const AffineHash& h, int m,
+                               uint64_t p);
+
+/// DNF case of Proposition 1 (PTIME, no oracle).
+BoundedSatResult BoundedSatDnf(const Dnf& dnf, const AffineHash& h, int m,
+                               uint64_t p);
+
+/// The solution set of `term` within the cell h_m^{-1}(0^m), as an affine
+/// subspace of {0,1}^{num_vars} — or nullopt if empty. Exposed for the
+/// structured-set streaming algorithms (§5), which reuse it per stream item.
+std::optional<AffineImage> TermCellSolutions(const Term& term, int num_vars,
+                                             const AffineHash& h, int m);
+
+}  // namespace mcf0

@@ -1,0 +1,76 @@
+/// \file cnf_oracle.hpp
+/// \brief The NP-oracle abstraction used by the counting algorithms.
+///
+/// The paper's counting algorithms measure cost in *NP-oracle calls* on
+/// CNF-XOR queries: "is phi AND (A x = b) satisfiable?" possibly with some
+/// assignments excluded. `CnfOracle` wraps the CDCL(XOR) solver behind that
+/// interface and counts every underlying SAT invocation — the quantity the
+/// ApproxMC experiments (E3) report. Each query builds a fresh solver so
+/// call counts are implementation-independent; the solver itself is fast
+/// enough at experiment scale that this is not the bottleneck.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "formula/formula.hpp"
+#include "gf2/bitvec.hpp"
+#include "hash/hash_family.hpp"
+#include "sat/solver.hpp"
+
+namespace mcf0 {
+
+/// One parity constraint `row . x = rhs` over the formula's variables.
+struct XorConstraint {
+  BitVec row;
+  bool rhs = false;
+};
+
+/// Extracts the XOR constraints expressing h_m(x) = 0^m for an affine hash
+/// h(x) = A x + b: row i of A with right-hand side b_i, for i < m.
+std::vector<XorConstraint> HashPrefixConstraints(const AffineHash& h, int m);
+
+/// Extracts the XOR constraints expressing "h(x) has >= t trailing zeros":
+/// the last t rows of A with right-hand sides from b.
+std::vector<XorConstraint> HashSuffixZeroConstraints(const AffineHash& h, int t);
+
+/// Counted NP oracle over a fixed CNF formula; see file comment.
+class CnfOracle {
+ public:
+  explicit CnfOracle(const Cnf& cnf) : cnf_(&cnf) {}
+
+  /// One satisfying assignment of cnf AND xors, with every assignment in
+  /// `blocked` excluded; nullopt if none. Counts one oracle call.
+  std::optional<BitVec> Solve(const std::vector<XorConstraint>& xors,
+                              const std::vector<BitVec>& blocked = {});
+
+  /// Up to `limit` distinct satisfying assignments of cnf AND xors,
+  /// enumerated with blocking clauses on one incremental solver. Counts
+  /// one oracle call per SAT invocation (i.e. #solutions found + 1, unless
+  /// the limit is hit exactly).
+  std::vector<BitVec> Enumerate(const std::vector<XorConstraint>& xors,
+                                uint64_t limit);
+
+  /// Total SAT invocations so far (the paper's cost metric).
+  uint64_t num_calls() const { return num_calls_; }
+  void ResetCallCount() { num_calls_ = 0; }
+
+  /// When true, XOR constraints are Tseitin-encoded into CNF instead of
+  /// using the solver's native XOR propagation (experiment E14 baseline).
+  void SetUseTseitin(bool v) { use_tseitin_ = v; }
+
+  const Cnf& cnf() const { return *cnf_; }
+
+ private:
+  /// Builds a solver over the formula + constraints. Returns false if
+  /// trivially UNSAT during construction.
+  bool BuildSolver(sat::Solver* solver, const std::vector<XorConstraint>& xors,
+                   const std::vector<BitVec>& blocked);
+
+  const Cnf* cnf_;
+  bool use_tseitin_ = false;
+  uint64_t num_calls_ = 0;
+};
+
+}  // namespace mcf0

@@ -1,0 +1,37 @@
+#include "oracle/find_max_range.hpp"
+
+#include "oracle/find_min.hpp"
+
+namespace mcf0 {
+
+int FindMaxRangeCnf(CnfOracle& oracle, const AffineHash& h) {
+  const int m = h.m();
+  // Monotone predicate: Sat(t) = "some solution has >= t trailing zeros".
+  auto sat_at = [&](int t) {
+    return oracle.Solve(HashSuffixZeroConstraints(h, t)).has_value();
+  };
+  if (!sat_at(0)) return -1;  // phi itself unsatisfiable
+  int lo = 0;   // known satisfiable
+  int hi = m;   // maximum conceivable
+  // Invariant: sat_at(lo) true; answer in [lo, hi].
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (sat_at(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return lo;
+}
+
+int FindMaxRangeDnf(const Dnf& dnf, const AffineHash& h) {
+  int best = -1;
+  for (const Term& t : dnf.terms()) {
+    const AffineImage image = TermImageUnderHash(t, dnf.num_vars(), h);
+    best = std::max(best, image.MaxTrailingZeros());
+  }
+  return best;
+}
+
+}  // namespace mcf0

@@ -1,0 +1,33 @@
+/// \file find_max_range.hpp
+/// \brief The FindMaxRange subroutine (Proposition 3).
+///
+/// FindMaxRange(phi, h) returns the largest t such that some solution of
+/// phi hashes to a value with t trailing zeros (and no solution exceeds t)
+/// — the solver-side construction of the Estimation sketch property P3.
+///
+/// Substitution note (documented in DESIGN.md): the paper instantiates h
+/// from the s-wise independent polynomial family over GF(2^n), whose
+/// evaluation is not GF(2)-affine and therefore cannot be posed as XOR
+/// clauses. We use the affine families here ("t trailing zeros" = t parity
+/// constraints on the last rows of A) and the faithful polynomial family on
+/// the streaming side; experiment E6 validates that accuracy inside the
+/// validity window 2 F0 <= 2^r <= 50 F0 is preserved.
+#pragma once
+
+#include "formula/formula.hpp"
+#include "hash/hash_family.hpp"
+#include "oracle/cnf_oracle.hpp"
+
+namespace mcf0 {
+
+/// CNF case: binary search on t, O(log m) NP-oracle calls.
+/// Returns -1 if phi is unsatisfiable.
+int FindMaxRangeCnf(CnfOracle& oracle, const AffineHash& h);
+
+/// DNF case under an affine hash (PTIME): the per-term image is affine, so
+/// its maximal trailing-zero count is a linear-consistency computation; the
+/// union's maximum is the max over terms. Returns -1 for the empty DNF.
+/// (With the paper's polynomial hash this case is open — §3.4.)
+int FindMaxRangeDnf(const Dnf& dnf, const AffineHash& h);
+
+}  // namespace mcf0

@@ -1,0 +1,130 @@
+#include "oracle/find_min.hpp"
+
+#include <algorithm>
+
+namespace mcf0 {
+
+AffineImage TermImageUnderHash(const Term& term, int num_vars,
+                               const AffineHash& h) {
+  MCF0_CHECK(h.n() == num_vars);
+  // Offset: h applied to the assignment that takes the term's fixed values
+  // and zero elsewhere. Directions: columns of A at the free variables.
+  BitVec fixed(num_vars);
+  std::vector<bool> is_fixed(num_vars, false);
+  for (const Lit& l : term.lits()) {
+    is_fixed[l.var] = true;
+    if (!l.neg) fixed.Set(l.var, true);
+  }
+  std::vector<int> free_vars;
+  free_vars.reserve(num_vars - term.Width());
+  for (int v = 0; v < num_vars; ++v) {
+    if (!is_fixed[v]) free_vars.push_back(v);
+  }
+  return AffineImage(h.A().SelectColumns(free_vars), h.Eval(fixed));
+}
+
+std::vector<BitVec> FindMinDnf(const Dnf& dnf, const AffineHash& h, uint64_t p) {
+  std::vector<AffineImage> images;
+  images.reserve(dnf.num_terms());
+  for (const Term& t : dnf.terms()) {
+    images.push_back(TermImageUnderHash(t, dnf.num_vars(), h));
+  }
+  UnionLexEnumerator merge(std::move(images));
+  return merge.FirstP(p);
+}
+
+std::optional<AffineImage> AffineImageUnderHash(const Gf2Matrix& a,
+                                                const BitVec& b,
+                                                const AffineHash& h) {
+  MCF0_CHECK(a.cols() == h.n());
+  auto sol = SolveLinearSystem(a, b);
+  if (!sol.has_value()) return std::nullopt;
+  // Sol = x0 + span(K); image under h is h(x0) + (A_h K) t.
+  return AffineImage(h.A().MulMatrix(sol->kernel), h.Eval(sol->x0));
+}
+
+std::vector<BitVec> AffineFindMin(const Gf2Matrix& a, const BitVec& b,
+                                  const AffineHash& h, uint64_t p) {
+  auto image = AffineImageUnderHash(a, b, h);
+  if (!image.has_value()) return {};
+  return image->FirstP(p);
+}
+
+namespace {
+
+/// Oracle query: is there x |= phi with the first `prefix.size()` bits of
+/// h(x) equal to `prefix`? On success also reports h(x) of the witness.
+std::optional<BitVec> QueryPrefix(CnfOracle& oracle, const AffineHash& h,
+                                  const BitVec& prefix) {
+  std::vector<XorConstraint> xors;
+  xors.reserve(prefix.size());
+  for (int i = 0; i < prefix.size(); ++i) {
+    // Bit i of h(x) equals prefix_i  <=>  A_i.x = b_i XOR prefix_i.
+    xors.push_back(XorConstraint{h.A().Row(i), h.b().Get(i) != prefix.Get(i)});
+  }
+  auto model = oracle.Solve(xors);
+  if (!model.has_value()) return std::nullopt;
+  return h.Eval(*model);
+}
+
+/// Greedy minimal extension of a feasible prefix to a full member of
+/// h(Sol(phi)), using the witness hash value to skip settled bits.
+BitVec ExtendMin(CnfOracle& oracle, const AffineHash& h, BitVec prefix,
+                 BitVec witness) {
+  const int m = h.m();
+  int l = prefix.size();
+  while (l < m) {
+    if (!witness.Get(l)) {
+      // The witness itself certifies that bit l can be 0.
+      prefix = prefix.Concat(BitVec(1));
+      ++l;
+      continue;
+    }
+    BitVec candidate = prefix.Concat(BitVec(1));  // try 0
+    auto better = QueryPrefix(oracle, h, candidate);
+    if (better.has_value()) {
+      witness = std::move(*better);
+      prefix = std::move(candidate);
+    } else {
+      BitVec one(1);
+      one.Set(0, true);
+      prefix = prefix.Concat(one);  // bit forced to 1; witness still valid
+    }
+    ++l;
+  }
+  return prefix;
+}
+
+}  // namespace
+
+std::vector<BitVec> FindMinCnf(CnfOracle& oracle, const AffineHash& h,
+                               uint64_t p) {
+  const int m = h.m();
+  std::vector<BitVec> mins;
+  // First minimum: greedy extension of the empty prefix.
+  auto witness = QueryPrefix(oracle, h, BitVec(0));
+  if (!witness.has_value()) return mins;  // phi unsatisfiable
+  mins.push_back(ExtendMin(oracle, h, BitVec(0), std::move(*witness)));
+  // Successive minima via the paper's rightmost-zero prefix strategy.
+  while (mins.size() < p) {
+    const BitVec& y = mins.back();
+    bool found = false;
+    // Try flipping each 0 of y to 1 (rightmost first), keeping the prefix.
+    for (int r = m - 1; r >= 0 && !found; --r) {
+      if (y.Get(r)) continue;
+      BitVec candidate = y.Prefix(r);
+      BitVec one(1);
+      one.Set(0, true);
+      candidate = candidate.Concat(one);
+      auto wit = QueryPrefix(oracle, h, candidate);
+      if (wit.has_value()) {
+        mins.push_back(ExtendMin(oracle, h, std::move(candidate), std::move(*wit)));
+        found = true;
+      }
+    }
+    if (!found) break;  // y was the maximum of h(Sol(phi))
+  }
+  return mins;
+}
+
+}  // namespace mcf0

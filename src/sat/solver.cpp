@@ -1,0 +1,578 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcf0::sat {
+
+namespace {
+
+/// Luby restart sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+uint64_t Luby(int i) {
+  // Find the subsequence that contains index i.
+  int size = 1;
+  int seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) >> 1;
+    --seq;
+    i = i % size;
+  }
+  return 1ull << seq;
+}
+
+constexpr int kRestartBase = 100;
+
+}  // namespace
+
+Var Solver::NewVar() {
+  const Var v = num_vars();
+  assigns_.push_back(LBool::kUndef);
+  model_.push_back(LBool::kFalse);
+  level_.push_back(0);
+  reason_.push_back(Reason{});
+  polarity_.push_back(false);
+  decidable_.push_back(true);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(0);
+  watches_.emplace_back();  // lit 2v
+  watches_.emplace_back();  // lit 2v+1
+  xwatches_.emplace_back();
+  HeapInsert(v);
+  return v;
+}
+
+void Solver::RestrictDecisions(const std::vector<Var>& vars) {
+  std::fill(decidable_.begin(), decidable_.end(), false);
+  for (const Var v : vars) {
+    MCF0_CHECK(v >= 0 && v < num_vars());
+    decidable_[v] = true;
+  }
+  // Rebuild the heap with only decidable vars.
+  heap_.clear();
+  std::fill(heap_pos_.begin(), heap_pos_.end(), -1);
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (decidable_[v] && assigns_[v] == LBool::kUndef) HeapInsert(v);
+  }
+}
+
+void Solver::EnsureVars(int n) {
+  while (num_vars() < n) NewVar();
+}
+
+bool Solver::AddClause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  CancelUntil(0);
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (const Lit l : lits) {
+    MCF0_CHECK(l.var() >= 0 && l.var() < num_vars());
+    if (!out.empty() && out.back() == l) continue;  // duplicate
+    if (!out.empty() && out.back() == ~l) return true;  // tautology
+    if (Value(l) == LBool::kTrue && level_[l.var()] == 0) return true;
+    if (Value(l) == LBool::kFalse && level_[l.var()] == 0) continue;
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    Enqueue(out[0], Reason{});
+    if (!Propagate()) ok_ = false;
+    return ok_;
+  }
+  const CRef cr = AllocClause(std::move(out), /*learnt=*/false);
+  AttachClause(cr);
+  return true;
+}
+
+bool Solver::AddXorClause(std::vector<Var> vars, bool rhs) {
+  if (!ok_) return false;
+  CancelUntil(0);
+  std::sort(vars.begin(), vars.end());
+  std::vector<Var> out;
+  out.reserve(vars.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    MCF0_CHECK(vars[i] >= 0 && vars[i] < num_vars());
+    if (i + 1 < vars.size() && vars[i] == vars[i + 1]) {
+      ++i;  // x ^ x = 0: drop the pair
+      continue;
+    }
+    // Fold level-0 assignments into the constant.
+    if (Value(vars[i]) != LBool::kUndef && level_[vars[i]] == 0) {
+      rhs ^= (Value(vars[i]) == LBool::kTrue);
+      continue;
+    }
+    out.push_back(vars[i]);
+  }
+  if (out.empty()) {
+    if (rhs) ok_ = false;
+    return ok_;
+  }
+  if (out.size() == 1) {
+    Enqueue(Lit(out[0], /*neg=*/!rhs), Reason{});
+    if (!Propagate()) ok_ = false;
+    return ok_;
+  }
+  const auto xid = static_cast<uint32_t>(xors_.size());
+  xors_.push_back(XorData{std::move(out), rhs});
+  xwatches_[xors_.back().vars[0]].push_back(xid);
+  xwatches_[xors_.back().vars[1]].push_back(xid);
+  return true;
+}
+
+void Solver::Enqueue(Lit p, Reason from) {
+  MCF0_DCHECK(Value(p) == LBool::kUndef);
+  assigns_[p.var()] = p.neg() ? LBool::kFalse : LBool::kTrue;
+  level_[p.var()] = DecisionLevel();
+  reason_[p.var()] = from;
+  trail_.push_back(p);
+}
+
+bool Solver::Propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    if (!PropagateClauses(p)) return false;
+    if (!PropagateXors(p.var())) return false;
+  }
+  return true;
+}
+
+bool Solver::PropagateClauses(Lit p) {
+  auto& ws = watches_[p.index()];
+  const Lit false_lit = ~p;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ws.size()) {
+    const Watch w = ws[i];
+    if (Value(w.blocker) == LBool::kTrue) {
+      ws[j++] = ws[i++];
+      continue;
+    }
+    ClauseData& c = clauses_[w.cref];
+    auto& lits = c.lits;
+    if (lits[0] == false_lit) std::swap(lits[0], lits[1]);
+    MCF0_DCHECK(lits[1] == false_lit);
+    ++i;
+    const Lit first = lits[0];
+    if (first != w.blocker && Value(first) == LBool::kTrue) {
+      ws[j++] = Watch{w.cref, first};
+      continue;
+    }
+    bool moved = false;
+    for (size_t k = 2; k < lits.size(); ++k) {
+      if (Value(lits[k]) != LBool::kFalse) {
+        std::swap(lits[1], lits[k]);
+        watches_[(~lits[1]).index()].push_back(Watch{w.cref, first});
+        moved = true;
+        break;
+      }
+    }
+    if (moved) continue;
+    // Clause is unit or conflicting.
+    ws[j++] = Watch{w.cref, first};
+    if (Value(first) == LBool::kFalse) {
+      conflict_lits_ = lits;
+      while (i < ws.size()) ws[j++] = ws[i++];
+      ws.resize(j);
+      return false;
+    }
+    Enqueue(first, Reason{Reason::Kind::kClause, w.cref});
+  }
+  ws.resize(j);
+  return true;
+}
+
+bool Solver::PropagateXors(Var v) {
+  auto& ws = xwatches_[v];
+  size_t i = 0;
+  size_t j = 0;
+  while (i < ws.size()) {
+    const uint32_t xid = ws[i];
+    XorData& x = xors_[xid];
+    if (x.vars[0] == v) std::swap(x.vars[0], x.vars[1]);
+    MCF0_DCHECK(x.vars[1] == v);
+    ++i;
+    bool moved = false;
+    for (size_t k = 2; k < x.vars.size(); ++k) {
+      if (Value(x.vars[k]) == LBool::kUndef) {
+        std::swap(x.vars[1], x.vars[k]);
+        xwatches_[x.vars[1]].push_back(xid);
+        moved = true;
+        break;
+      }
+    }
+    if (moved) continue;
+    ws[j++] = xid;
+    const Var other = x.vars[0];
+    bool parity = x.rhs;
+    for (size_t k = 1; k < x.vars.size(); ++k) {
+      parity ^= (Value(x.vars[k]) == LBool::kTrue);
+    }
+    if (Value(other) == LBool::kUndef) {
+      // `other` is the last unassigned variable: forced to `parity`.
+      Enqueue(Lit(other, /*neg=*/!parity), Reason{Reason::Kind::kXor, xid});
+      ++stats_.xor_propagations;
+    } else if ((Value(other) == LBool::kTrue) != parity) {
+      // Fully assigned with wrong parity: conflict. Materialize the
+      // implied clause "not this combination of values".
+      conflict_lits_.clear();
+      for (const Var u : x.vars) {
+        conflict_lits_.push_back(Value(u) == LBool::kTrue ? Lit(u, true)
+                                                          : Lit(u, false));
+      }
+      while (i < ws.size()) ws[j++] = ws[i++];
+      ws.resize(j);
+      return false;
+    }
+  }
+  ws.resize(j);
+  return true;
+}
+
+void Solver::ReasonLits(Lit p, std::vector<Lit>* out) const {
+  const Reason r = reason_[p.var()];
+  switch (r.kind) {
+    case Reason::Kind::kClause: {
+      const auto& lits = clauses_[r.id].lits;
+      MCF0_DCHECK(lits[0] == p);
+      out->insert(out->end(), lits.begin() + 1, lits.end());
+      break;
+    }
+    case Reason::Kind::kXor: {
+      const XorData& x = xors_[r.id];
+      for (const Var u : x.vars) {
+        if (u == p.var()) continue;
+        out->push_back(Value(u) == LBool::kTrue ? Lit(u, true) : Lit(u, false));
+      }
+      break;
+    }
+    case Reason::Kind::kNone:
+      MCF0_CHECK(false);  // decisions have no reason
+  }
+}
+
+int Solver::Analyze() {
+  learnt_.clear();
+  learnt_.push_back(Lit());  // slot for the asserting (1UIP) literal
+  int path_count = 0;
+  Lit p;
+  int index = static_cast<int>(trail_.size()) - 1;
+  std::vector<Lit> reason = conflict_lits_;
+  for (;;) {
+    for (const Lit q : reason) {
+      const Var v = q.var();
+      if (seen_[v] || level_[v] == 0) continue;
+      seen_[v] = 1;
+      VarBumpActivity(v);
+      if (level_[v] >= DecisionLevel()) {
+        ++path_count;
+      } else {
+        learnt_.push_back(q);
+      }
+    }
+    while (!seen_[trail_[index].var()]) --index;
+    p = trail_[index];
+    --index;
+    seen_[p.var()] = 0;
+    --path_count;
+    if (path_count <= 0) break;
+    reason.clear();
+    ReasonLits(p, &reason);
+  }
+  learnt_[0] = ~p;
+
+  // Backtrack level: highest level among the non-asserting literals.
+  int bt = 0;
+  if (learnt_.size() > 1) {
+    size_t max_i = 1;
+    for (size_t k = 2; k < learnt_.size(); ++k) {
+      if (level_[learnt_[k].var()] > level_[learnt_[max_i].var()]) max_i = k;
+    }
+    std::swap(learnt_[1], learnt_[max_i]);
+    bt = level_[learnt_[1].var()];
+  }
+  for (size_t k = 1; k < learnt_.size(); ++k) seen_[learnt_[k].var()] = 0;
+  return bt;
+}
+
+void Solver::CancelUntil(int target_level) {
+  if (DecisionLevel() <= target_level) return;
+  const int bound = trail_lim_[target_level];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= bound; --i) {
+    const Var v = trail_[i].var();
+    polarity_[v] = (assigns_[v] == LBool::kTrue);
+    assigns_[v] = LBool::kUndef;
+    reason_[v] = Reason{};
+    if (decidable_[v] && heap_pos_[v] < 0) HeapInsert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  qhead_ = trail_.size();
+}
+
+Lit Solver::PickBranchLit() {
+  while (!HeapEmpty()) {
+    const Var v = HeapPopMax();
+    if (assigns_[v] == LBool::kUndef) {
+      return Lit(v, /*neg=*/!polarity_[v]);
+    }
+  }
+  return Lit();  // undef: everything assigned
+}
+
+void Solver::VarBumpActivity(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (auto& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[v] >= 0) HeapSiftUp(heap_pos_[v]);
+}
+
+void Solver::ClaBumpActivity(ClauseData& c) {
+  c.activity += cla_inc_;
+  if (c.activity > 1e20) {
+    for (const CRef cr : learnts_) clauses_[cr].activity *= 1e-20;
+    cla_inc_ *= 1e-20;
+  }
+}
+
+Solver::CRef Solver::AllocClause(std::vector<Lit> lits, bool learnt) {
+  CRef cr;
+  if (!free_clauses_.empty()) {
+    cr = free_clauses_.back();
+    free_clauses_.pop_back();
+    clauses_[cr] = ClauseData{};
+  } else {
+    cr = static_cast<CRef>(clauses_.size());
+    clauses_.emplace_back();
+  }
+  clauses_[cr].lits = std::move(lits);
+  clauses_[cr].learnt = learnt;
+  return cr;
+}
+
+void Solver::AttachClause(CRef cref) {
+  const auto& lits = clauses_[cref].lits;
+  MCF0_DCHECK(lits.size() >= 2);
+  watches_[(~lits[0]).index()].push_back(Watch{cref, lits[1]});
+  watches_[(~lits[1]).index()].push_back(Watch{cref, lits[0]});
+}
+
+void Solver::RemoveClause(CRef cref) {
+  ClauseData& c = clauses_[cref];
+  for (const Lit w : {c.lits[0], c.lits[1]}) {
+    auto& list = watches_[(~w).index()];
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i].cref == cref) {
+        list[i] = list.back();
+        list.pop_back();
+        break;
+      }
+    }
+  }
+  c.deleted = true;
+  c.lits.clear();
+  c.lits.shrink_to_fit();
+  free_clauses_.push_back(cref);
+}
+
+void Solver::ReduceDb() {
+  ++stats_.db_reductions;
+  // Keep glue clauses (lbd <= 2) and clauses locked as reasons; drop the
+  // lower-activity half of the rest.
+  std::vector<CRef> candidates;
+  std::vector<CRef> kept;
+  for (const CRef cr : learnts_) {
+    const ClauseData& c = clauses_[cr];
+    if (c.deleted) continue;
+    const Lit first = c.lits.empty() ? Lit() : c.lits[0];
+    const bool locked = !c.lits.empty() && Value(first) == LBool::kTrue &&
+                        reason_[first.var()].kind == Reason::Kind::kClause &&
+                        reason_[first.var()].id == cr;
+    if (c.lbd <= 2 || locked) {
+      kept.push_back(cr);
+    } else {
+      candidates.push_back(cr);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(), [this](CRef a, CRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  const size_t drop = candidates.size() / 2;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i < drop) {
+      RemoveClause(candidates[i]);
+    } else {
+      kept.push_back(candidates[i]);
+    }
+  }
+  learnts_ = std::move(kept);
+}
+
+LBool Solver::Solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return LBool::kFalse;
+  CancelUntil(0);
+  int64_t conflicts_this_call = 0;
+  int restart_index = 0;
+  uint64_t next_restart = Luby(restart_index) * kRestartBase;
+
+  for (;;) {
+    if (!Propagate()) {
+      ++stats_.conflicts;
+      ++conflicts_this_call;
+      if (DecisionLevel() == 0) {
+        ok_ = false;
+        return LBool::kFalse;
+      }
+      const int bt = Analyze();
+      CancelUntil(bt);
+      if (learnt_.size() == 1) {
+        Enqueue(learnt_[0], Reason{});
+      } else {
+        const CRef cr = AllocClause(learnt_, /*learnt=*/true);
+        // LBD: number of distinct decision levels among the literals.
+        std::vector<int> levels;
+        levels.reserve(learnt_.size());
+        for (const Lit l : learnt_) levels.push_back(level_[l.var()]);
+        std::sort(levels.begin(), levels.end());
+        clauses_[cr].lbd = static_cast<int>(
+            std::unique(levels.begin(), levels.end()) - levels.begin());
+        AttachClause(cr);
+        learnts_.push_back(cr);
+        ClaBumpActivity(clauses_[cr]);
+        ++stats_.learned_clauses;
+        Enqueue(learnt_[0], Reason{Reason::Kind::kClause, cr});
+      }
+      VarDecayActivity();
+      ClaDecayActivity();
+      if (conflict_budget_ >= 0 && conflicts_this_call >= conflict_budget_) {
+        CancelUntil(0);
+        return LBool::kUndef;
+      }
+      if (static_cast<uint64_t>(conflicts_this_call) >= next_restart) {
+        ++restart_index;
+        next_restart =
+            static_cast<uint64_t>(conflicts_this_call) +
+            Luby(restart_index) * kRestartBase;
+        ++stats_.restarts;
+        CancelUntil(0);
+      }
+      if (learnts_.size() >
+          2000 + 512 * static_cast<size_t>(stats_.db_reductions)) {
+        ReduceDb();
+      }
+    } else {
+      // Decide: assumptions occupy the first decision levels.
+      Lit next;
+      bool have_next = false;
+      while (DecisionLevel() < static_cast<int>(assumptions.size())) {
+        const Lit p = assumptions[DecisionLevel()];
+        if (Value(p) == LBool::kTrue) {
+          NewDecisionLevel();  // dummy level, already satisfied
+        } else if (Value(p) == LBool::kFalse) {
+          CancelUntil(0);
+          return LBool::kFalse;
+        } else {
+          next = p;
+          have_next = true;
+          break;
+        }
+      }
+      if (!have_next) {
+        next = PickBranchLit();
+        if (next == Lit()) {
+          // Decision variables exhausted. With a sufficient decision set
+          // everything else has been propagated; fall back defensively if
+          // the caller's sufficiency guarantee did not hold.
+          for (Var v = 0; v < num_vars(); ++v) {
+            if (assigns_[v] == LBool::kUndef) {
+              next = Lit(v, !polarity_[v]);
+              break;
+            }
+          }
+          if (next == Lit()) {
+            model_ = assigns_;
+            CancelUntil(0);
+            return LBool::kTrue;
+          }
+        }
+        ++stats_.decisions;
+      }
+      NewDecisionLevel();
+      Enqueue(next, Reason{});
+    }
+  }
+}
+
+BitVec Solver::ModelBits(int n) const {
+  MCF0_CHECK(n <= num_vars());
+  BitVec x(n);
+  for (int i = 0; i < n; ++i) {
+    if (model_[i] == LBool::kTrue) x.Set(i, true);
+  }
+  return x;
+}
+
+// ---- activity heap ------------------------------------------------------
+
+void Solver::HeapInsert(Var v) {
+  MCF0_DCHECK(heap_pos_[v] < 0);
+  heap_pos_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  HeapSiftUp(heap_pos_[v]);
+}
+
+Var Solver::HeapPopMax() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[heap_[0]] = 0;
+    heap_.pop_back();
+    HeapSiftDown(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+void Solver::HeapSiftUp(int i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (!HeapLess(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[heap_[i]] = i;
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+void Solver::HeapSiftDown(int i) {
+  const Var v = heap_[i];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n && HeapLess(heap_[child], heap_[child + 1])) ++child;
+    if (!HeapLess(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    heap_pos_[heap_[i]] = i;
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[v] = i;
+}
+
+}  // namespace mcf0::sat

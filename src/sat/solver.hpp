@@ -1,0 +1,231 @@
+/// \file solver.hpp
+/// \brief CDCL SAT solver with native XOR (parity) clauses.
+///
+/// This is the library's NP oracle. The hashing-based counting algorithms
+/// issue queries of the form `phi AND (A x = b)` — a CNF conjoined with XOR
+/// constraints (the paper's CNF-XOR formulas, §3.5). Encoding long XORs in
+/// CNF blows up (2^{w-1} clauses, or Tseitin chains with auxiliary
+/// variables); solving them natively was the enabling engineering behind
+/// ApproxMC (CryptoMiniSat's Gauss/XOR support), so this solver propagates
+/// XOR constraints directly:
+///
+///  * each XOR watches two unassigned variables (sign-agnostic);
+///  * when only one variable remains unassigned its value is forced by the
+///    parity of the rest; reasons for conflict analysis are materialized
+///    lazily as ordinary clauses.
+///
+/// The CNF core is a conventional conflict-driven solver: two-watched
+/// literals with blocking literals, first-UIP learning, EVSIDS variable
+/// activity with a binary heap, phase saving, Luby restarts, and LBD/
+/// activity-based learnt-clause reduction. Assumptions are supported the
+/// MiniSat way (assumption literals occupy the first decision levels).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/check.hpp"
+#include "gf2/bitvec.hpp"
+
+namespace mcf0::sat {
+
+using Var = int32_t;
+
+/// A literal encoded as 2*var + neg.
+struct Lit {
+  int32_t code = -2;
+
+  Lit() = default;
+  Lit(Var v, bool neg) : code(2 * v + (neg ? 1 : 0)) {}
+
+  Var var() const { return code >> 1; }
+  bool neg() const { return code & 1; }
+  Lit operator~() const {
+    Lit l;
+    l.code = code ^ 1;
+    return l;
+  }
+  /// Dense index for watch lists.
+  int index() const { return code; }
+
+  bool operator==(const Lit&) const = default;
+};
+
+/// Three-valued assignment.
+enum class LBool : uint8_t { kUndef = 0, kTrue = 1, kFalse = 2 };
+
+/// Solver run counters (exposed to the experiment harness).
+struct SolverStats {
+  uint64_t decisions = 0;
+  uint64_t propagations = 0;
+  uint64_t conflicts = 0;
+  uint64_t restarts = 0;
+  uint64_t learned_clauses = 0;
+  uint64_t xor_propagations = 0;
+  uint64_t db_reductions = 0;
+};
+
+/// CDCL(XOR) solver; see file comment.
+class Solver {
+ public:
+  Solver() = default;
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Adds a fresh variable and returns its index.
+  Var NewVar();
+
+  /// Ensures variables 0..n-1 exist.
+  void EnsureVars(int n);
+
+  int num_vars() const { return static_cast<int>(assigns_.size()); }
+
+  /// Adds a disjunctive clause. Returns false if the solver became
+  /// trivially UNSAT (empty clause after level-0 simplification).
+  bool AddClause(std::vector<Lit> lits);
+
+  /// Adds a parity constraint: XOR of `vars` values equals `rhs`.
+  /// Duplicate variables cancel. Returns false on trivial UNSAT.
+  bool AddXorClause(std::vector<Var> vars, bool rhs);
+
+  /// Solves under the given assumptions. kTrue = SAT (model available),
+  /// kFalse = UNSAT under assumptions, kUndef = conflict budget exhausted.
+  LBool Solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model values after a kTrue result; unconstrained vars read kTrue/kFalse
+  /// deterministically (phase-saving default).
+  bool ModelValue(Var v) const {
+    MCF0_DCHECK(v >= 0 && v < num_vars());
+    return model_[v] == LBool::kTrue;
+  }
+
+  /// Model of the first `n` variables as a BitVec (bit i = value of var i).
+  BitVec ModelBits(int n) const;
+
+  /// Caps conflicts per Solve() call; -1 (default) = unlimited.
+  void SetConflictBudget(int64_t budget) { conflict_budget_ = budget; }
+
+  /// Restricts branching to `vars` (an *independent support*): variables
+  /// outside the set are never decided, only propagated. The caller must
+  /// guarantee sufficiency — any total assignment of `vars` determines the
+  /// rest under propagation (e.g. the free variables of an RREF'd XOR
+  /// system, whose pivot rows become unit once their free variables are
+  /// set). A defensive fallback still decides a leftover unassigned
+  /// variable if the guarantee is violated, so soundness never depends on
+  /// the hint. Must be called before Solve() and after all NewVar calls.
+  void RestrictDecisions(const std::vector<Var>& vars);
+
+  const SolverStats& stats() const { return stats_; }
+
+ private:
+  // ---- clause storage -------------------------------------------------
+  struct ClauseData {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    int lbd = 0;
+    bool learnt = false;
+    bool deleted = false;
+  };
+  using CRef = uint32_t;
+  static constexpr CRef kCRefUndef = 0xFFFFFFFFu;
+
+  struct Watch {
+    CRef cref;
+    Lit blocker;
+  };
+
+  // ---- XOR storage ----------------------------------------------------
+  struct XorData {
+    std::vector<Var> vars;  // vars[0], vars[1] are the watched slots
+    bool rhs = false;
+  };
+
+  // Reason for an implied literal: a clause, an XOR, or a decision.
+  struct Reason {
+    enum class Kind : uint8_t { kNone, kClause, kXor } kind = Kind::kNone;
+    uint32_t id = 0;
+  };
+
+  LBool Value(Var v) const { return assigns_[v]; }
+  LBool Value(Lit l) const {
+    const LBool v = assigns_[l.var()];
+    if (v == LBool::kUndef) return LBool::kUndef;
+    const bool b = (v == LBool::kTrue) != l.neg();
+    return b ? LBool::kTrue : LBool::kFalse;
+  }
+
+  void Enqueue(Lit p, Reason from);
+  /// Unit propagation over clauses and XORs. Returns a conflict as a
+  /// materialized literal list (empty = no conflict) in conflict_lits_.
+  bool Propagate();
+  bool PropagateClauses(Lit p);
+  bool PropagateXors(Var v);
+  /// First-UIP conflict analysis; fills learnt_ and returns backtrack level.
+  int Analyze();
+  void CancelUntil(int level);
+  int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
+  Lit PickBranchLit();
+  void NewDecisionLevel() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+
+  void VarBumpActivity(Var v);
+  void VarDecayActivity() { var_inc_ /= kVarDecay; }
+  void ClaBumpActivity(ClauseData& c);
+  void ClaDecayActivity() { cla_inc_ /= kClaDecay; }
+  void ReduceDb();
+  CRef AllocClause(std::vector<Lit> lits, bool learnt);
+  void AttachClause(CRef cref);
+  void RemoveClause(CRef cref);
+
+  /// Appends the reason literals of implied literal p (excluding p) to out.
+  void ReasonLits(Lit p, std::vector<Lit>* out) const;
+
+  // Heap keyed by activity.
+  void HeapInsert(Var v);
+  void HeapUpdate(Var v);
+  Var HeapPopMax();
+  bool HeapEmpty() const { return heap_.empty(); }
+  void HeapSiftUp(int i);
+  void HeapSiftDown(int i);
+  bool HeapLess(Var a, Var b) const { return activity_[a] < activity_[b]; }
+
+  static constexpr double kVarDecay = 0.95;
+  static constexpr double kClaDecay = 0.999;
+
+  bool ok_ = true;  // false once trivially UNSAT
+  std::vector<ClauseData> clauses_;
+  std::vector<CRef> free_clauses_;
+  std::vector<CRef> learnts_;
+  std::vector<XorData> xors_;
+
+  std::vector<std::vector<Watch>> watches_;      // by lit index
+  std::vector<std::vector<uint32_t>> xwatches_;  // by var
+
+  std::vector<LBool> assigns_;
+  std::vector<LBool> model_;
+  std::vector<int> level_;
+  std::vector<Reason> reason_;
+  std::vector<bool> polarity_;  // saved phase
+  std::vector<bool> decidable_; // branching allowed (RestrictDecisions)
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double cla_inc_ = 1.0;
+
+  std::vector<Lit> trail_;
+  std::vector<int> trail_lim_;
+  size_t qhead_ = 0;
+
+  // Heap of unassigned vars (max-activity at root) + position index.
+  std::vector<Var> heap_;
+  std::vector<int> heap_pos_;  // -1 if absent
+
+  // Scratch buffers.
+  std::vector<Lit> conflict_lits_;
+  std::vector<Lit> learnt_;
+  std::vector<uint8_t> seen_;
+
+  int64_t conflict_budget_ = -1;
+  SolverStats stats_;
+};
+
+}  // namespace mcf0::sat

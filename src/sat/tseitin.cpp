@@ -1,0 +1,71 @@
+#include "sat/tseitin.hpp"
+
+#include <algorithm>
+#include <bit>
+
+namespace mcf0::sat {
+namespace {
+
+/// Emits the 2^{k-1} clauses forcing XOR of the k literals' variables,
+/// with polarities `vars`, to equal rhs. Every assignment whose parity
+/// differs from rhs is forbidden by one clause.
+bool EmitSmallXor(Solver* solver, const std::vector<Var>& vars, bool rhs) {
+  const int k = static_cast<int>(vars.size());
+  MCF0_CHECK(k >= 1 && k <= 20);
+  for (uint32_t mask = 0; mask < (1u << k); ++mask) {
+    const bool parity = (std::popcount(mask) & 1) != 0;
+    if (parity == rhs) continue;  // satisfying assignment: no clause
+    std::vector<Lit> clause;
+    clause.reserve(k);
+    for (int i = 0; i < k; ++i) {
+      const bool value = (mask >> i) & 1;
+      // Forbid "var_i == value": add the literal that is false under it.
+      clause.emplace_back(vars[i], /*neg=*/value);
+    }
+    if (!solver->AddClause(std::move(clause))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool AddXorAsCnf(Solver* solver, std::vector<Var> vars, bool rhs,
+                 int chunk_size) {
+  MCF0_CHECK(chunk_size >= 2 && chunk_size <= 6);
+  // Cancel duplicate variables first (x ^ x = 0).
+  std::sort(vars.begin(), vars.end());
+  std::vector<Var> cleaned;
+  for (size_t i = 0; i < vars.size(); ++i) {
+    if (i + 1 < vars.size() && vars[i] == vars[i + 1]) {
+      ++i;
+      continue;
+    }
+    cleaned.push_back(vars[i]);
+  }
+  if (cleaned.empty()) {
+    if (!rhs) return true;
+    return solver->AddClause({});  // 0 = 1: UNSAT
+  }
+  // Chain: t_0 = XOR(first chunk); t_{i} = t_{i-1} XOR (next chunk);
+  // final link absorbs rhs directly.
+  size_t pos = 0;
+  Var carry = -1;
+  while (pos < cleaned.size()) {
+    const size_t take = std::min<size_t>(chunk_size, cleaned.size() - pos);
+    std::vector<Var> group(cleaned.begin() + pos, cleaned.begin() + pos + take);
+    pos += take;
+    if (carry >= 0) group.push_back(carry);
+    if (pos == cleaned.size()) {
+      // Last link: parity of group must equal rhs.
+      return EmitSmallXor(solver, group, rhs);
+    }
+    const Var aux = solver->NewVar();
+    group.push_back(aux);
+    // XOR(group vars, aux) = 0, i.e. aux = XOR(group).
+    if (!EmitSmallXor(solver, group, false)) return false;
+    carry = aux;
+  }
+  return true;
+}
+
+}  // namespace mcf0::sat

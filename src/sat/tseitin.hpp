@@ -1,0 +1,25 @@
+/// \file tseitin.hpp
+/// \brief CNF encoding of XOR constraints (the non-native baseline).
+///
+/// Before solvers gained native XOR support, hashing-based counters encoded
+/// each parity constraint as CNF: a width-w XOR needs 2^{w-1} clauses, so
+/// long XORs are chunked with fresh auxiliary ("Tseitin") variables into a
+/// chain of small XORs. Experiment E14 compares this encoding against the
+/// solver's native XOR propagation — the contrast that motivated the
+/// CNF-XOR solver line of work cited in §3.5.
+#pragma once
+
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace mcf0::sat {
+
+/// Adds clauses to `solver` enforcing XOR(vars) = rhs, chunking through
+/// fresh auxiliary variables so each emitted clause has at most
+/// `chunk_size + 1` literals. `chunk_size` must be in [2, 6].
+/// Returns false if the solver became UNSAT.
+bool AddXorAsCnf(Solver* solver, std::vector<Var> vars, bool rhs,
+                 int chunk_size = 3);
+
+}  // namespace mcf0::sat

@@ -1,0 +1,192 @@
+#include "setstream/delphic.hpp"
+
+#include <cmath>
+
+#include "common/median.hpp"
+#include "common/rng.hpp"
+
+namespace mcf0 {
+namespace {
+
+/// Packs per-dimension coordinates into the Lemma 4 variable layout.
+BitVec PackPoint(const MultiDimRange& range, const std::vector<uint64_t>& point) {
+  BitVec x(range.TotalBits());
+  int offset = 0;
+  for (int j = 0; j < range.dims(); ++j) {
+    const int bits = range.bits()[j];
+    for (int b = 0; b < bits; ++b) {
+      if ((point[j] >> (bits - 1 - b)) & 1) x.Set(offset + b, true);
+    }
+    offset += bits;
+  }
+  return x;
+}
+
+std::vector<uint64_t> UnpackPoint(const MultiDimRange& range, const BitVec& x) {
+  std::vector<uint64_t> point(range.dims());
+  int offset = 0;
+  for (int j = 0; j < range.dims(); ++j) {
+    const int bits = range.bits()[j];
+    uint64_t v = 0;
+    for (int b = 0; b < bits; ++b) {
+      v = (v << 1) | (x.Get(offset + b) ? 1 : 0);
+    }
+    point[j] = v;
+    offset += bits;
+  }
+  return point;
+}
+
+}  // namespace
+
+RangeDelphic::RangeDelphic(MultiDimRange range) : range_(std::move(range)) {}
+
+uint64_t RangeDelphic::Size() const {
+  __int128 size = 1;
+  for (int j = 0; j < range_.dims(); ++j) {
+    const DimRange& d = range_.Dim(j);
+    const uint64_t step = 1ull << d.log2_step;
+    size *= static_cast<__int128>((d.hi - d.lo) / step + 1);
+    MCF0_CHECK(size < (static_cast<__int128>(1) << 62));
+  }
+  return static_cast<uint64_t>(size);
+}
+
+BitVec RangeDelphic::Sample(Rng& rng) const {
+  std::vector<uint64_t> point(range_.dims());
+  for (int j = 0; j < range_.dims(); ++j) {
+    const DimRange& d = range_.Dim(j);
+    const uint64_t step = 1ull << d.log2_step;
+    const uint64_t count = (d.hi - d.lo) / step + 1;
+    point[j] = d.lo + rng.NextBelow(count) * step;
+  }
+  return PackPoint(range_, point);
+}
+
+bool RangeDelphic::Contains(const BitVec& x) const {
+  MCF0_DCHECK(x.size() == width());
+  return range_.Contains(UnpackPoint(range_, x));
+}
+
+AffineDelphic::AffineDelphic(const Gf2Matrix& a, const BitVec& b)
+    : width_(a.cols()), space_(AffineImage::FromSolutionSpace(a, b)) {}
+
+uint64_t AffineDelphic::Size() const {
+  if (!space_.has_value()) return 0;
+  MCF0_CHECK(space_->dim() <= 62);
+  return 1ull << space_->dim();
+}
+
+BitVec AffineDelphic::Sample(Rng& rng) const {
+  MCF0_CHECK(space_.has_value());
+  return space_->Element(BitVec::Random(space_->dim(), rng));
+}
+
+bool AffineDelphic::Contains(const BitVec& x) const {
+  return space_.has_value() && space_->Contains(x);
+}
+
+uint64_t SampleBinomialPow2(uint64_t trials, int level, Rng& rng) {
+  MCF0_CHECK(level >= 0);
+  if (trials == 0) return 0;
+  if (level == 0) return trials;
+  // Geometric skip simulation: expected cost O(trials * 2^-level + 1).
+  const double p = std::ldexp(1.0, -level);
+  const double log1mp = std::log1p(-p);
+  uint64_t count = 0;
+  double position = 0.0;  // elements consumed so far (double: trials < 2^62)
+  const auto total = static_cast<double>(trials);
+  for (;;) {
+    double u = rng.NextDouble();
+    if (u <= 0.0) u = 1e-300;  // guard the open interval
+    const double skip = std::floor(std::log(u) / log1mp);
+    position += skip + 1.0;
+    if (position > total) return count;
+    ++count;
+  }
+}
+
+ApsEstimator::ApsEstimator(const ApsParams& params) : params_(params) {
+  MCF0_CHECK(params.n >= 1);
+  MCF0_CHECK(params.eps > 0 && params.delta > 0 && params.delta < 1);
+  capacity_ = params.capacity_override > 0
+                  ? params.capacity_override
+                  : static_cast<uint64_t>(
+                        std::ceil(60.0 / (params.eps * params.eps)));
+  const int rows =
+      params.rows_override > 0
+          ? params.rows_override
+          : static_cast<int>(std::ceil(18.0 * std::log2(1.0 / params.delta)));
+  Rng seed_rng(params.seed);
+  rows_.reserve(rows);
+  for (int i = 0; i < rows; ++i) rows_.emplace_back(seed_rng.Fork());
+}
+
+void ApsEstimator::HalveRow(Row* row) {
+  ++row->level;
+  for (auto it = row->buffer.begin(); it != row->buffer.end();) {
+    if (row->rng.NextBool()) {
+      it = row->buffer.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ApsEstimator::AddToRow(Row* row, const DelphicSet& set) {
+  const uint64_t size = set.Size();
+  if (size == 0) return;
+  // Step 1: the arriving set supersedes earlier evidence of its elements.
+  for (auto it = row->buffer.begin(); it != row->buffer.end();) {
+    if (set.Contains(*it)) {
+      it = row->buffer.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Step 2: pre-shrink so the expected insertion count is manageable;
+  // halving the buffer first keeps the p-subsample invariant.
+  while (std::ldexp(static_cast<double>(size), -row->level) >
+         2.0 * static_cast<double>(capacity_)) {
+    HalveRow(row);
+  }
+  // Step 3: insert a p-subsample of the set — Binomial count, then a
+  // uniform subset of that cardinality via rejection sampling.
+  const uint64_t count = SampleBinomialPow2(size, row->level, row->rng);
+  std::set<BitVec> fresh;
+  uint64_t attempts = 0;
+  const uint64_t attempt_cap = 64 * count + 256;
+  while (fresh.size() < count && attempts < attempt_cap) {
+    fresh.insert(set.Sample(row->rng));
+    ++attempts;
+  }
+  MCF0_CHECK(fresh.size() == count);
+  for (const BitVec& x : fresh) row->buffer.insert(x);
+  // Step 4: enforce capacity.
+  while (row->buffer.size() > capacity_) HalveRow(row);
+}
+
+void ApsEstimator::Add(const DelphicSet& set) {
+  MCF0_CHECK(set.width() == params_.n);
+  for (Row& row : rows_) AddToRow(&row, set);
+}
+
+double ApsEstimator::Estimate() const {
+  std::vector<double> estimates;
+  estimates.reserve(rows_.size());
+  for (const Row& row : rows_) {
+    estimates.push_back(std::ldexp(static_cast<double>(row.buffer.size()),
+                                   row.level));
+  }
+  return Median(std::move(estimates));
+}
+
+size_t ApsEstimator::SpaceBits() const {
+  size_t bits = 0;
+  for (const Row& row : rows_) {
+    bits += row.buffer.size() * static_cast<size_t>(params_.n) + 8;
+  }
+  return bits;
+}
+
+}  // namespace mcf0

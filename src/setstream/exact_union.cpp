@@ -1,0 +1,103 @@
+#include "setstream/exact_union.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "gf2/affine_image.hpp"
+
+namespace mcf0 {
+
+double ExactRangeUnionSize(const std::vector<MultiDimRange>& ranges) {
+  if (ranges.empty()) return 0.0;
+  const int d = ranges[0].dims();
+  for (const auto& r : ranges) MCF0_CHECK(r.dims() == d);
+  // Coordinate compression per dimension: breakpoints at every lo and
+  // hi+1. Between consecutive breakpoints, membership (ignoring steps) is
+  // uniform per range. Progressions (log2_step > 0) are not supported here;
+  // tests for Corollary 1 use small-universe enumeration instead.
+  for (const auto& r : ranges) {
+    for (int j = 0; j < d; ++j) MCF0_CHECK(r.Dim(j).log2_step == 0);
+  }
+  std::vector<std::vector<uint64_t>> cuts(d);
+  for (int j = 0; j < d; ++j) {
+    for (const auto& r : ranges) {
+      cuts[j].push_back(r.Dim(j).lo);
+      cuts[j].push_back(r.Dim(j).hi + 1);
+    }
+    std::sort(cuts[j].begin(), cuts[j].end());
+    cuts[j].erase(std::unique(cuts[j].begin(), cuts[j].end()), cuts[j].end());
+  }
+  // Walk the elementary cells (products of breakpoint segments) with an
+  // odometer; count a cell's volume if any range contains it.
+  std::vector<size_t> idx(d, 0);
+  double total = 0.0;
+  for (;;) {
+    bool valid = true;
+    for (int j = 0; j < d; ++j) {
+      if (idx[j] + 1 >= cuts[j].size()) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      std::vector<uint64_t> probe(d);
+      double volume = 1.0;
+      for (int j = 0; j < d; ++j) {
+        probe[j] = cuts[j][idx[j]];
+        volume *= static_cast<double>(cuts[j][idx[j] + 1] - cuts[j][idx[j]]);
+      }
+      for (const auto& r : ranges) {
+        if (r.Contains(probe)) {
+          total += volume;
+          break;
+        }
+      }
+    }
+    // Advance the odometer.
+    int j = 0;
+    while (j < d) {
+      if (++idx[j] + 1 < cuts[j].size()) break;
+      idx[j] = 0;
+      ++j;
+    }
+    if (j == d) break;
+  }
+  return total;
+}
+
+uint64_t ExactAffineUnionSize(
+    const std::vector<std::pair<Gf2Matrix, BitVec>>& systems, int n) {
+  std::unordered_set<BitVec> seen;
+  for (const auto& [a, b] : systems) {
+    MCF0_CHECK(a.cols() == n);
+    auto space = AffineImage::FromSolutionSpace(a, b);
+    if (!space.has_value()) continue;
+    MCF0_CHECK(space->dim() <= 22);
+    BitVec tau(space->dim());
+    const uint64_t count = space->CountU64();
+    for (uint64_t i = 0; i < count; ++i) {
+      seen.insert(space->Element(tau));
+      tau.Increment();
+    }
+  }
+  return seen.size();
+}
+
+uint64_t ExactDnfUnionSize(const std::vector<Dnf>& dnfs, int n) {
+  MCF0_CHECK(n <= 30);
+  uint64_t count = 0;
+  BitVec x(n);
+  const uint64_t total = 1ull << n;
+  for (uint64_t v = 0; v < total; ++v) {
+    for (const Dnf& d : dnfs) {
+      if (d.Eval(x)) {
+        ++count;
+        break;
+      }
+    }
+    x.Increment();
+  }
+  return count;
+}
+
+}  // namespace mcf0

@@ -1,0 +1,30 @@
+/// \file exact_union.hpp
+/// \brief Exact union-size references for the structured-stream tests and
+/// experiments (ground truth for Theorems 5-7).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "formula/formula.hpp"
+#include "gf2/gf2_matrix.hpp"
+#include "setstream/range.hpp"
+
+namespace mcf0 {
+
+/// Exact |union of ranges| by per-dimension coordinate compression and a
+/// sweep over the O((2k)^d) elementary grid cells. All ranges must share
+/// the dimension layout. Intended for d <= 4, k <= 64.
+double ExactRangeUnionSize(const std::vector<MultiDimRange>& ranges);
+
+/// Exact |union of affine spaces {x : A_i x = b_i}| by enumerating each
+/// solution space into a hash set. Sum of solution-space sizes must be
+/// modest (<= ~4M).
+uint64_t ExactAffineUnionSize(
+    const std::vector<std::pair<Gf2Matrix, BitVec>>& systems, int n);
+
+/// Exact |union of Sol(dnf_i)| over {0,1}^n, n <= 30, by enumeration.
+uint64_t ExactDnfUnionSize(const std::vector<Dnf>& dnfs, int n);
+
+}  // namespace mcf0

@@ -1,0 +1,238 @@
+#include "setstream/structured_f0.hpp"
+
+#include <cmath>
+
+#include "common/median.hpp"
+#include "common/rng.hpp"
+#include "gf2/affine_image.hpp"
+#include "oracle/bounded_sat.hpp"
+#include "oracle/find_min.hpp"
+#include "setstream/range_to_dnf.hpp"
+
+namespace mcf0 {
+namespace {
+
+/// Solutions of {x : a x = b} inside the prefix cell h_m^{-1}(0^m), as an
+/// affine subspace of x-space (nullopt if empty).
+std::optional<AffineImage> AffineCellSolutions(const Gf2Matrix& a,
+                                               const BitVec& b,
+                                               const AffineHash& h, int m) {
+  Gf2Matrix stacked = a.StackBelow(h.A().PrefixRows(m));
+  BitVec rhs = b.Concat(h.b().Prefix(m));
+  return AffineImage::FromSolutionSpace(stacked, rhs);
+}
+
+}  // namespace
+
+StructuredF0::StructuredF0(const StructuredF0Params& params)
+    : params_(params) {
+  MCF0_CHECK(params.n >= 1);
+  MCF0_CHECK(params.eps > 0 && params.delta > 0 && params.delta < 1);
+  thresh_ = params.thresh_override > 0
+                ? params.thresh_override
+                : static_cast<uint64_t>(
+                      std::ceil(96.0 / (params.eps * params.eps)));
+  const int rows =
+      params.rows_override > 0
+          ? params.rows_override
+          : static_cast<int>(std::ceil(35.0 * std::log2(1.0 / params.delta)));
+  Rng rng(params.seed);
+  for (int i = 0; i < rows; ++i) {
+    if (params.algorithm == StructuredF0Algorithm::kMinimum) {
+      min_rows_.emplace_back(
+          AffineHash::SampleToeplitz(params.n, 3 * params.n, rng), thresh_);
+    } else {
+      bucket_rows_.push_back(
+          BucketRow{AffineHash::SampleToeplitz(params.n, params.n, rng), 0, {}});
+    }
+  }
+}
+
+void StructuredF0::AddDnf(const Dnf& dnf) {
+  MCF0_CHECK(dnf.num_vars() == params_.n);
+  AddTerms(dnf.terms());
+}
+
+void StructuredF0::AddTerms(const std::vector<Term>& terms) {
+  if (terms.empty()) return;
+  for (auto& row : min_rows_) {
+    // B' of Theorem 5: the Thresh smallest values of h(Sol(item)), merged
+    // into the row's KMV sketch.
+    std::vector<AffineImage> images;
+    images.reserve(terms.size());
+    for (const Term& t : terms) {
+      images.push_back(TermImageUnderHash(t, params_.n, row.hash()));
+    }
+    UnionLexEnumerator merge(std::move(images));
+    for (uint64_t i = 0; i < thresh_; ++i) {
+      auto v = merge.Next();
+      if (!v.has_value()) break;
+      row.AddHashed(*v);
+    }
+  }
+  for (auto& row : bucket_rows_) BucketAddTerms(&row, terms);
+}
+
+void StructuredF0::BucketAddTerms(BucketRow* row,
+                                  const std::vector<Term>& terms) {
+  for (;;) {
+    // Enumerate the item's solutions inside the current cell; on overflow
+    // escalate the level, filter the bucket, and re-enumerate the item
+    // against the smaller cell.
+    std::vector<AffineImage> pieces;
+    for (const Term& t : terms) {
+      auto piece = TermCellSolutions(t, params_.n, row->h, row->level);
+      if (piece.has_value()) pieces.push_back(std::move(*piece));
+    }
+    UnionLexEnumerator merge(std::move(pieces));
+    bool overflow = false;
+    for (auto x = merge.Next(); x.has_value(); x = merge.Next()) {
+      row->bucket.insert(*x);
+      if (row->bucket.size() > thresh_ && row->level < params_.n) {
+        ++row->level;
+        for (auto it = row->bucket.begin(); it != row->bucket.end();) {
+          if (!row->h.EvalPrefix(*it, row->level).IsZero()) {
+            it = row->bucket.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        overflow = true;
+        break;
+      }
+    }
+    if (!overflow) return;
+  }
+}
+
+void StructuredF0::BucketAddAffine(BucketRow* row, const Gf2Matrix& a,
+                                   const BitVec& b) {
+  for (;;) {
+    auto piece = AffineCellSolutions(a, b, row->h, row->level);
+    if (!piece.has_value()) return;
+    bool overflow = false;
+    BitVec cur = piece->Min();
+    for (std::optional<BitVec> x = cur;; x = piece->MinGt(*x)) {
+      if (!x.has_value()) break;
+      row->bucket.insert(*x);
+      if (row->bucket.size() > thresh_ && row->level < params_.n) {
+        ++row->level;
+        for (auto it = row->bucket.begin(); it != row->bucket.end();) {
+          if (!row->h.EvalPrefix(*it, row->level).IsZero()) {
+            it = row->bucket.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        overflow = true;
+        break;
+      }
+    }
+    if (!overflow) return;
+  }
+}
+
+void StructuredF0::AddRange(const MultiDimRange& range) {
+  MCF0_CHECK(range.TotalBits() == params_.n);
+  RangeTermEnumerator terms(range);
+  AddTerms(terms.AllTerms());
+}
+
+void StructuredF0::AddAffine(const Gf2Matrix& a, const BitVec& b) {
+  MCF0_CHECK(a.cols() == params_.n);
+  for (auto& row : min_rows_) {
+    auto image = AffineImageUnderHash(a, b, row.hash());
+    if (!image.has_value()) continue;  // empty set
+    BitVec tau(image->dim());
+    for (uint64_t i = 0; i < thresh_; ++i) {
+      row.AddHashed(image->Element(tau));
+      if (!tau.Increment()) break;
+    }
+  }
+  for (auto& row : bucket_rows_) BucketAddAffine(&row, a, b);
+}
+
+void StructuredF0::AddCnf(const Cnf& cnf) {
+  MCF0_CHECK(cnf.num_vars() == params_.n);
+  CnfOracle oracle(cnf);
+  for (auto& row : min_rows_) {
+    // Observation 2 path: the row's B' computed by oracle prefix search.
+    for (const BitVec& v : FindMinCnf(oracle, row.hash(), thresh_)) {
+      row.AddHashed(v);
+    }
+  }
+  for (auto& row : bucket_rows_) {
+    // Enumerate the item's solutions inside the current cell via the
+    // oracle, escalating the level on overflow as in BucketAddTerms.
+    for (;;) {
+      const BoundedSatResult cell =
+          BoundedSatCnf(oracle, row.h, row.level, thresh_ + 1);
+      bool overflow = false;
+      for (const BitVec& x : cell.solutions) {
+        row.bucket.insert(x);
+        if (row.bucket.size() > thresh_ && row.level < params_.n) {
+          ++row.level;
+          for (auto it = row.bucket.begin(); it != row.bucket.end();) {
+            if (!row.h.EvalPrefix(*it, row.level).IsZero()) {
+              it = row.bucket.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          overflow = true;
+          break;
+        }
+      }
+      if (!overflow && cell.saturated && row.level >= params_.n) {
+        break;  // cannot refine further; bucket stays saturated
+      }
+      if (!overflow) break;
+    }
+  }
+  oracle_calls_ += oracle.num_calls();
+}
+
+void StructuredF0::AddElement(const BitVec& x) {
+  MCF0_CHECK(x.size() == params_.n);
+  for (auto& row : min_rows_) {
+    row.AddHashed(row.hash().Eval(x));
+  }
+  for (auto& row : bucket_rows_) {
+    if (row.h.EvalPrefix(x, row.level).IsZero()) {
+      row.bucket.insert(x);
+      // Singleton overflow handling mirrors the classic sketch.
+      while (row.bucket.size() > thresh_ && row.level < params_.n) {
+        ++row.level;
+        for (auto it = row.bucket.begin(); it != row.bucket.end();) {
+          if (!row.h.EvalPrefix(*it, row.level).IsZero()) {
+            it = row.bucket.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
+    }
+  }
+}
+
+double StructuredF0::Estimate() const {
+  std::vector<double> estimates;
+  for (const auto& row : min_rows_) estimates.push_back(row.Estimate());
+  for (const auto& row : bucket_rows_) {
+    estimates.push_back(static_cast<double>(row.bucket.size()) *
+                        std::pow(2.0, row.level));
+  }
+  return Median(std::move(estimates));
+}
+
+size_t StructuredF0::SpaceBits() const {
+  size_t bits = 0;
+  for (const auto& row : min_rows_) bits += row.SpaceBits();
+  for (const auto& row : bucket_rows_) {
+    bits += row.bucket.size() * static_cast<size_t>(params_.n) +
+            row.h.RepresentationBits();
+  }
+  return bits;
+}
+
+}  // namespace mcf0

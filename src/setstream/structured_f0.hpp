@@ -1,0 +1,110 @@
+/// \file structured_f0.hpp
+/// \brief F0 estimation over structured set streams (§5): the paper's
+/// counting-to-streaming direction.
+///
+/// Stream items are succinct sets over the universe {0,1}^n:
+///   * DNF formulas (DNF sets, Theorem 5);
+///   * multidimensional ranges (Theorem 6) via the Lemma 4 term stream;
+///   * multidimensional arithmetic progressions (Corollary 1);
+///   * affine spaces <A, B> (Theorem 7);
+///   * singleton elements (the traditional stream as a special case).
+///
+/// Two strategies, both derived from the #DNF machinery:
+///   * Minimum: per row, keep the Thresh lexicographically smallest values
+///     of h(union so far); a new set contributes its own Thresh smallest
+///     (per-term affine enumeration, Proposition 2 / AffineFindMin,
+///     Proposition 4) which merge into the row's KMV sketch.
+///   * Bucketing: per row, keep the union's solutions inside the cell
+///     h_m^{-1}(0^m), raising m on overflow; a new set contributes its
+///     solutions inside the current cell (TermCellSolutions enumeration).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "formula/formula.hpp"
+#include "gf2/gf2_matrix.hpp"
+#include "hash/hash_family.hpp"
+#include "setstream/range.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace mcf0 {
+
+/// Strategy for StructuredF0.
+enum class StructuredF0Algorithm { kMinimum, kBucketing };
+
+/// Parameters for structured-stream F0 estimation.
+struct StructuredF0Params {
+  int n = 16;  ///< universe is {0,1}^n
+  double eps = 0.8;
+  double delta = 0.2;
+  uint64_t seed = 1;
+  StructuredF0Algorithm algorithm = StructuredF0Algorithm::kMinimum;
+  uint64_t thresh_override = 0;
+  int rows_override = 0;
+};
+
+/// Streaming F0 estimator over structured sets; see file comment.
+class StructuredF0 {
+ public:
+  explicit StructuredF0(const StructuredF0Params& params);
+
+  /// Theorem 5: processes a DNF set in per-item time
+  /// poly(n, k, 1/eps, log 1/delta).
+  void AddDnf(const Dnf& dnf);
+
+  /// Processes a set given directly as DNF terms over the universe's
+  /// variables (the range/AP paths after Lemma 4).
+  void AddTerms(const std::vector<Term>& terms);
+
+  /// Theorem 6 / Corollary 1: a multidimensional range or arithmetic
+  /// progression (range.TotalBits() must equal n).
+  void AddRange(const MultiDimRange& range);
+
+  /// Theorem 7: the affine space {x : a x = b}.
+  void AddAffine(const Gf2Matrix& a, const BitVec& b);
+
+  /// Observation 2: a set given as a CNF formula (e.g. the O(nd)-size CNF
+  /// of a multidimensional range). Per-item work uses the NP oracle —
+  /// FindMin for Minimum rows, BoundedSAT for Bucketing rows — so this is
+  /// polynomial only modulo the SAT solver, exactly the paper's
+  /// "if P = NP the per-item time is polynomial" discussion.
+  void AddCnf(const Cnf& cnf);
+
+  /// NP-oracle (SAT) calls accumulated by AddCnf items.
+  uint64_t oracle_calls() const { return oracle_calls_; }
+
+  /// Traditional stream element (singleton set).
+  void AddElement(const BitVec& x);
+
+  /// Median-of-rows F0 estimate of |union of all items|.
+  double Estimate() const;
+
+  /// Sketch footprint across rows.
+  size_t SpaceBits() const;
+
+  uint64_t thresh() const { return thresh_; }
+  int rows() const { return static_cast<int>(min_rows_.size() + bucket_rows_.size()); }
+
+ private:
+  struct BucketRow {
+    AffineHash h;       // n -> n
+    int level = 0;
+    std::set<BitVec> bucket;  // solutions in the current cell
+  };
+
+  /// Adds to one bucketing row all elements of the given term-set lying in
+  /// the row's current cell, escalating the level on overflow.
+  void BucketAddTerms(BucketRow* row, const std::vector<Term>& terms);
+  void BucketAddAffine(BucketRow* row, const Gf2Matrix& a, const BitVec& b);
+
+  StructuredF0Params params_;
+  uint64_t thresh_;
+  uint64_t oracle_calls_ = 0;
+  std::vector<MinimumSketchRow> min_rows_;
+  std::vector<BucketRow> bucket_rows_;
+};
+
+}  // namespace mcf0

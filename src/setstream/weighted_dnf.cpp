@@ -1,0 +1,62 @@
+#include "setstream/weighted_dnf.hpp"
+
+#include <cmath>
+
+namespace mcf0 {
+
+double ExactWeightedDnf(const Dnf& dnf, const std::vector<VarWeight>& weights) {
+  const int n = dnf.num_vars();
+  MCF0_CHECK(n <= 25);
+  MCF0_CHECK(static_cast<int>(weights.size()) == n);
+  std::vector<double> rho(n);
+  for (int i = 0; i < n; ++i) {
+    MCF0_CHECK(weights[i].m >= 1 && weights[i].m <= 20);
+    MCF0_CHECK(weights[i].k >= 1 && weights[i].k < (1ull << weights[i].m));
+    rho[i] = static_cast<double>(weights[i].k) / std::pow(2.0, weights[i].m);
+  }
+  double total = 0.0;
+  BitVec x(n);
+  const uint64_t count = 1ull << n;
+  for (uint64_t v = 0; v < count; ++v) {
+    if (dnf.Eval(x)) {
+      double w = 1.0;
+      for (int i = 0; i < n; ++i) w *= x.Get(i) ? rho[i] : (1.0 - rho[i]);
+      total += w;
+    }
+    x.Increment();
+  }
+  return total;
+}
+
+MultiDimRange TermToWeightRange(const Term& term, int num_vars,
+                                const std::vector<VarWeight>& weights) {
+  MCF0_CHECK(static_cast<int>(weights.size()) == num_vars);
+  std::vector<int> bits(num_vars);
+  for (int i = 0; i < num_vars; ++i) bits[i] = weights[i].m;
+  MultiDimRange range(std::move(bits));
+  for (const Lit& l : term.lits()) {
+    const VarWeight& w = weights[l.var];
+    if (!l.neg) {
+      // x_i: coordinate in [0, k_i - 1] (the paper's [1, k_i], 0-based).
+      range.SetDim(l.var, DimRange{0, w.k - 1, 0});
+    } else {
+      // not x_i: coordinate in [k_i, 2^{m_i} - 1].
+      range.SetDim(l.var, DimRange{w.k, (1ull << w.m) - 1, 0});
+    }
+  }
+  return range;
+}
+
+double WeightedDnfViaRanges(const Dnf& dnf, const std::vector<VarWeight>& weights,
+                            StructuredF0Params params) {
+  int total_bits = 0;
+  for (const VarWeight& w : weights) total_bits += w.m;
+  params.n = total_bits;
+  StructuredF0 estimator(params);
+  for (const Term& t : dnf.terms()) {
+    estimator.AddRange(TermToWeightRange(t, dnf.num_vars(), weights));
+  }
+  return estimator.Estimate() / std::pow(2.0, total_bits);
+}
+
+}  // namespace mcf0

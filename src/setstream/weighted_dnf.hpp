@@ -1,0 +1,42 @@
+/// \file weighted_dnf.hpp
+/// \brief Weighted #DNF via the reduction to multidimensional ranges (§5).
+///
+/// Weights rho(x_i) = k_i / 2^{m_i} induce W(sigma) = prod rho or (1-rho)
+/// per literal value, and W(phi) = sum over solutions. Following the
+/// Chakraborty et al. weighted-to-unweighted idea, each term maps to a
+/// product of ranges over coordinates of m_i bits: x_i -> [0, k_i - 1],
+/// not-x_i -> [k_i, 2^{m_i} - 1], absent -> full range. Then
+/// W(phi) = F0(range stream) / 2^{sum_i m_i}, so any range-efficient F0
+/// algorithm yields a weighted #DNF estimator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "formula/formula.hpp"
+#include "setstream/range.hpp"
+#include "setstream/structured_f0.hpp"
+
+namespace mcf0 {
+
+/// Dyadic weight of one variable: rho = k / 2^m, 1 <= k <= 2^m - 1 (so
+/// neither literal has zero weight), m <= 20.
+struct VarWeight {
+  uint64_t k = 1;
+  int m = 1;
+};
+
+/// W(phi) by exhaustive enumeration; requires num_vars <= 25. Ground truth.
+double ExactWeightedDnf(const Dnf& dnf, const std::vector<VarWeight>& weights);
+
+/// The §5 reduction: the term's product-of-ranges over mixed-width dims.
+MultiDimRange TermToWeightRange(const Term& term, int num_vars,
+                                const std::vector<VarWeight>& weights);
+
+/// Estimates W(phi) by streaming every term's range into StructuredF0 and
+/// scaling the F0 estimate by 2^{-sum m_i}. `params.n` is ignored (derived
+/// from the weights).
+double WeightedDnfViaRanges(const Dnf& dnf, const std::vector<VarWeight>& weights,
+                            StructuredF0Params params);
+
+}  // namespace mcf0

@@ -1,0 +1,253 @@
+#include "streaming/f0_sketch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace mcf0 {
+
+// ---- BucketingSketchRow -------------------------------------------------
+
+BucketingSketchRow::BucketingSketchRow(int n, uint64_t thresh, Rng& rng)
+    : n_(n), thresh_(thresh), h_(AffineHash::SampleToeplitz(n, n, rng)) {
+  MCF0_CHECK(n >= 1 && n <= 64);
+  MCF0_CHECK(thresh >= 1);
+}
+
+bool BucketingSketchRow::InCell(uint64_t x, int level) const {
+  if (level == 0) return true;
+  const uint64_t hash = h_.Eval64(x);
+  // First `level` bits of the n-bit value are its high bits.
+  return (hash >> (n_ - level)) == 0;
+}
+
+void BucketingSketchRow::Add(uint64_t x) {
+  if (!InCell(x, level_)) return;
+  bucket_.insert(x);
+  while (bucket_.size() > thresh_ && level_ < n_) {
+    ++level_;
+    for (auto it = bucket_.begin(); it != bucket_.end();) {
+      if (!InCell(*it, level_)) {
+        it = bucket_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+double BucketingSketchRow::Estimate() const {
+  return static_cast<double>(bucket_.size()) * std::pow(2.0, level_);
+}
+
+size_t BucketingSketchRow::SpaceBits() const {
+  return bucket_.size() * static_cast<size_t>(n_) + h_.RepresentationBits() +
+         /*level counter*/ 8;
+}
+
+// ---- MinimumSketchRow ---------------------------------------------------
+
+MinimumSketchRow::MinimumSketchRow(int n, uint64_t thresh, Rng& rng)
+    : n_(n), thresh_(thresh), h_(AffineHash::SampleToeplitz(n, 3 * n, rng)) {
+  MCF0_CHECK(n >= 1 && n <= 64);
+  MCF0_CHECK(thresh >= 1);
+}
+
+MinimumSketchRow::MinimumSketchRow(AffineHash h, uint64_t thresh)
+    : n_(h.n()), thresh_(thresh), h_(std::move(h)) {
+  MCF0_CHECK(thresh >= 1);
+}
+
+void MinimumSketchRow::Add(uint64_t x) {
+  AddHashed(h_.Eval(BitVec::FromU64(n_ == 64 ? x : (x & ((1ull << n_) - 1)), n_)));
+}
+
+void MinimumSketchRow::AddHashed(const BitVec& value) {
+  MCF0_DCHECK(value.size() == h_.m());
+  if (values_.size() >= thresh_) {
+    auto last = std::prev(values_.end());
+    if (!(value < *last)) return;  // not among the thresh smallest
+    values_.insert(value);
+    if (values_.size() > thresh_) values_.erase(std::prev(values_.end()));
+  } else {
+    values_.insert(value);
+  }
+}
+
+double MinimumSketchRow::Estimate() const {
+  if (values_.size() < thresh_) {
+    // Sub-threshold regime: every distinct hash value is retained, so the
+    // sketch size itself is the (collision-free w.h.p. at 3n bits) count.
+    return static_cast<double>(values_.size());
+  }
+  const BitVec& max = *values_.rbegin();
+  const double max_value = max.ToDouble();
+  MCF0_DCHECK(max_value > 0.0);
+  return static_cast<double>(thresh_) * std::pow(2.0, h_.m()) / max_value;
+}
+
+size_t MinimumSketchRow::SpaceBits() const {
+  return values_.size() * static_cast<size_t>(h_.m()) + h_.RepresentationBits();
+}
+
+// ---- EstimationSketchRow ------------------------------------------------
+
+EstimationSketchRow::EstimationSketchRow(const Gf2Field* field, int num_cols,
+                                         int s, Rng& rng)
+    : field_(field) {
+  MCF0_CHECK(num_cols >= 1 && s >= 1);
+  hashes_.reserve(num_cols);
+  for (int j = 0; j < num_cols; ++j) {
+    hashes_.push_back(PolynomialHash::Sample(field_, s, rng));
+  }
+  cells_.assign(num_cols, 0);
+}
+
+EstimationSketchRow::EstimationSketchRow(int num_cols) : field_(nullptr) {
+  MCF0_CHECK(num_cols >= 1);
+  cells_.assign(num_cols, 0);
+}
+
+void EstimationSketchRow::Add(uint64_t x) {
+  MCF0_CHECK(field_ != nullptr);  // cells-only rows are Merge-fed
+  const int w = field_->degree();
+  for (size_t j = 0; j < hashes_.size(); ++j) {
+    const int t = TrailZero64(hashes_[j].Eval(x), w);
+    if (t > cells_[j]) cells_[j] = t;
+  }
+}
+
+void EstimationSketchRow::Merge(int j, int t) {
+  MCF0_CHECK(j >= 0 && j < static_cast<int>(cells_.size()));
+  if (t > cells_[j]) cells_[j] = t;
+}
+
+double EstimationSketchRow::EstimateWithR(int r) const {
+  MCF0_CHECK(r >= 1);
+  int hits = 0;
+  for (const int c : cells_) {
+    if (c >= r) ++hits;
+  }
+  const double m = static_cast<double>(cells_.size());
+  const double ratio = static_cast<double>(hits) / m;
+  if (ratio >= 1.0) return std::numeric_limits<double>::infinity();
+  if (ratio <= 0.0) return 0.0;
+  return std::log1p(-ratio) / std::log1p(-std::pow(2.0, -r));
+}
+
+size_t EstimationSketchRow::SpaceBits() const {
+  // Each cell stores a value in [0, w]: ceil(log2(w+1)) bits; each hash
+  // needs s field elements of w bits.
+  const size_t w = field_ != nullptr ? static_cast<size_t>(field_->degree()) : 64;
+  size_t cell_bits = 1;
+  while ((1ull << cell_bits) < w + 1) ++cell_bits;
+  size_t hash_bits = 0;
+  for (const auto& h : hashes_) {
+    hash_bits += static_cast<size_t>(h.s()) * w;
+  }
+  return cells_.size() * cell_bits + hash_bits;
+}
+
+// ---- FlajoletMartinRow --------------------------------------------------
+
+FlajoletMartinRow::FlajoletMartinRow(int n, Rng& rng)
+    : n_(n), h_(AffineHash::SampleXor(n, n, rng)) {
+  MCF0_CHECK(n >= 1 && n <= 64);
+}
+
+void FlajoletMartinRow::Add(uint64_t x) {
+  const int t = TrailZero64(h_.Eval64(x), n_);
+  if (t > max_tz_) max_tz_ = t;
+}
+
+// ---- driver ---------------------------------------------------------------
+
+uint64_t F0Thresh(const F0Params& params) {
+  if (params.thresh_override > 0) return params.thresh_override;
+  return static_cast<uint64_t>(std::ceil(96.0 / (params.eps * params.eps)));
+}
+
+int F0Rows(const F0Params& params) {
+  if (params.rows_override > 0) return params.rows_override;
+  return static_cast<int>(std::ceil(35.0 * std::log2(1.0 / params.delta)));
+}
+
+F0Estimator::F0Estimator(const F0Params& params) : params_(params) {
+  MCF0_CHECK(params.n >= 1 && params.n <= 64);
+  MCF0_CHECK(params.eps > 0 && params.delta > 0 && params.delta < 1);
+  Rng rng(params.seed);
+  const uint64_t thresh = F0Thresh(params);
+  const int rows = F0Rows(params);
+  switch (params.algorithm) {
+    case F0Algorithm::kBucketing:
+      for (int i = 0; i < rows; ++i) bucketing_rows_.emplace_back(params.n, thresh, rng);
+      break;
+    case F0Algorithm::kMinimum:
+      for (int i = 0; i < rows; ++i) minimum_rows_.emplace_back(params.n, thresh, rng);
+      break;
+    case F0Algorithm::kEstimation: {
+      field_ = std::make_unique<Gf2Field>(params.n);
+      const int s =
+          params.s_override > 0
+              ? params.s_override
+              : std::max(2, static_cast<int>(std::ceil(
+                                10.0 * std::log2(1.0 / params.eps))));
+      for (int i = 0; i < rows; ++i) {
+        estimation_rows_.emplace_back(field_.get(), static_cast<int>(thresh), s, rng);
+        fm_rows_.emplace_back(params.n, rng);
+      }
+      break;
+    }
+  }
+}
+
+F0Estimator::~F0Estimator() = default;
+
+void F0Estimator::Add(uint64_t x) {
+  for (auto& row : bucketing_rows_) row.Add(x);
+  for (auto& row : minimum_rows_) row.Add(x);
+  for (auto& row : estimation_rows_) row.Add(x);
+  for (auto& row : fm_rows_) row.Add(x);
+}
+
+double F0Estimator::Estimate() const {
+  std::vector<double> estimates;
+  switch (params_.algorithm) {
+    case F0Algorithm::kBucketing:
+      for (const auto& row : bucketing_rows_) estimates.push_back(row.Estimate());
+      return Median(std::move(estimates));
+    case F0Algorithm::kMinimum:
+      for (const auto& row : minimum_rows_) estimates.push_back(row.Estimate());
+      return Median(std::move(estimates));
+    case F0Algorithm::kEstimation: {
+      // Pick r from the parallel FM rows: 2^r ~ 10 * F̂ sits mid-window in
+      // [2 F0, 50 F0] whenever F̂ is within the FM 5-factor band (§3.4).
+      std::vector<double> fm;
+      for (const auto& row : fm_rows_) fm.push_back(row.Estimate());
+      const double rough = Median(std::move(fm));
+      if (rough < 1.0) return 0.0;  // empty stream
+      int r = static_cast<int>(std::lround(std::log2(10.0 * rough)));
+      r = std::clamp(r, 1, params_.n);
+      for (const auto& row : estimation_rows_) {
+        estimates.push_back(row.EstimateWithR(r));
+      }
+      return Median(std::move(estimates));
+    }
+  }
+  MCF0_CHECK(false);
+  return 0.0;
+}
+
+size_t F0Estimator::SpaceBits() const {
+  size_t bits = 0;
+  for (const auto& row : bucketing_rows_) bits += row.SpaceBits();
+  for (const auto& row : minimum_rows_) bits += row.SpaceBits();
+  for (const auto& row : estimation_rows_) bits += row.SpaceBits();
+  // FM rows: hash + a 6-bit counter.
+  bits += fm_rows_.size() * (static_cast<size_t>(params_.n) * params_.n + 6);
+  return bits;
+}
+
+}  // namespace mcf0

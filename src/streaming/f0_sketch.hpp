@@ -1,0 +1,197 @@
+/// \file f0_sketch.hpp
+/// \brief The three classic F0 sketches unified by the paper (§3,
+/// Algorithms 1-4): Bucketing (Gibbons-Tirthapura), Minimum (KMV /
+/// Bar-Yossef et al.), and Estimation (trailing zeros), plus the
+/// Flajolet-Martin rough estimator.
+///
+/// Each class below is a single sketch *row*; `F0Estimator` runs the
+/// t = 35 log2(1/delta) independent rows of Algorithm 1 and returns the
+/// median of the row estimates (ComputeEst, Algorithm 4). The sketch state
+/// of each row is exactly the paper's S[i]:
+///
+///   Bucketing:  S[i] = (bucket of stream elements in the cell, level m_i)
+///   Minimum:    S[i] = Thresh lexicographically smallest values of h(a)
+///   Estimation: S[i][j] = max trailing zeros of H[i][j](a)
+///
+/// Streams deliver 64-bit elements from the universe {0,1}^n (n <= 64).
+/// Every sketch exposes SpaceBits() so the space experiments (E2) report
+/// actual sketch footprints rather than asymptotics.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <unordered_set>
+#include <vector>
+
+#include "common/median.hpp"
+#include "gf2/bitvec.hpp"
+#include "hash/gf2_poly.hpp"
+#include "hash/hash_family.hpp"
+
+namespace mcf0 {
+
+class Rng;
+
+/// One Bucketing row: keep the stream elements x with h_m(x) = 0^m,
+/// doubling the sampling level m when the bucket exceeds `thresh`.
+class BucketingSketchRow {
+ public:
+  BucketingSketchRow(int n, uint64_t thresh, Rng& rng);
+
+  void Add(uint64_t x);
+
+  /// |bucket| * 2^level.
+  double Estimate() const;
+
+  int level() const { return level_; }
+  size_t bucket_size() const { return bucket_.size(); }
+  size_t SpaceBits() const;
+
+ private:
+  /// First `level` bits of h(x) all zero?
+  bool InCell(uint64_t x, int level) const;
+
+  int n_;
+  uint64_t thresh_;
+  AffineHash h_;  // n -> n
+  int level_ = 0;
+  std::unordered_set<uint64_t> bucket_;
+};
+
+/// One Minimum (KMV) row: the `thresh` lexicographically smallest distinct
+/// values of h(a) for h: {0,1}^n -> {0,1}^{3n}.
+class MinimumSketchRow {
+ public:
+  MinimumSketchRow(int n, uint64_t thresh, Rng& rng);
+
+  /// Wraps an explicitly sampled hash — the transformation-recipe entry
+  /// point: the model counting algorithm (§3.3) builds this same sketch by
+  /// feeding FindMin outputs through AddHashed, then calls Estimate().
+  MinimumSketchRow(AffineHash h, uint64_t thresh);
+
+  void Add(uint64_t x);
+
+  /// Inserts an already-hashed value — the merge path used by the
+  /// structured-set streaming algorithms (§5) and the distributed
+  /// coordinator (§4), which receive hash values rather than elements.
+  void AddHashed(const BitVec& value);
+
+  /// thresh * 2^m / max(S) when saturated; |S| (exact regime) otherwise.
+  double Estimate() const;
+
+  bool saturated() const { return values_.size() >= thresh_; }
+  const std::set<BitVec>& values() const { return values_; }
+  /// Current cutoff: inserts only matter if below this (saturated case).
+  size_t SpaceBits() const;
+  int output_bits() const { return h_.m(); }
+  const AffineHash& hash() const { return h_; }
+
+ private:
+  int n_;
+  uint64_t thresh_;
+  AffineHash h_;  // n -> 3n
+  std::set<BitVec> values_;
+};
+
+/// One Estimation row: `num_cols` s-wise independent hash functions; cell j
+/// stores the maximum trailing-zero count seen under hash j.
+class EstimationSketchRow {
+ public:
+  /// `field` supplies GF(2^n) arithmetic and must outlive the row.
+  EstimationSketchRow(const Gf2Field* field, int num_cols, int s, Rng& rng);
+
+  /// Cells-only row with no hash functions of its own — the
+  /// transformation-recipe entry point: the model counting algorithm
+  /// (§3.4) fills cells via Merge() with FindMaxRange results and calls
+  /// EstimateWithR(). Add() is invalid on such a row.
+  explicit EstimationSketchRow(int num_cols);
+
+  void Add(uint64_t x);
+
+  /// Raises cell j to at least `t` — the distributed merge path (§4).
+  void Merge(int j, int t);
+
+  /// Lemma 3 estimator for a given r: ln(1 - ratio) / ln(1 - 2^-r) where
+  /// ratio = fraction of cells with S[j] >= r. Returns +inf when every
+  /// cell clears r (r chosen far too small).
+  double EstimateWithR(int r) const;
+
+  const std::vector<int>& cells() const { return cells_; }
+  size_t SpaceBits() const;
+
+ private:
+  const Gf2Field* field_;
+  std::vector<PolynomialHash> hashes_;
+  std::vector<int> cells_;
+};
+
+/// Flajolet-Martin / AMS rough estimator row: 2^(max trailing zeros) is a
+/// 5-factor approximation with probability >= 3/5. Used to supply the `r`
+/// parameter of the Estimation algorithm.
+class FlajoletMartinRow {
+ public:
+  FlajoletMartinRow(int n, Rng& rng);
+
+  void Add(uint64_t x);
+
+  int max_trailing_zeros() const { return max_tz_; }
+  double Estimate() const { return std::pow(2.0, max_tz_); }
+
+ private:
+  int n_;
+  AffineHash h_;  // n -> n, pairwise independent
+  int max_tz_ = 0;
+};
+
+/// Which of the three strategies a driver should run.
+enum class F0Algorithm { kBucketing, kMinimum, kEstimation };
+
+/// Parameters for the ComputeF0 driver (Algorithm 1).
+struct F0Params {
+  int n = 32;              ///< universe is {0,1}^n, n <= 64
+  double eps = 0.8;        ///< relative accuracy
+  double delta = 0.2;      ///< failure probability
+  F0Algorithm algorithm = F0Algorithm::kMinimum;
+  uint64_t seed = 1;
+  /// Overrides for experiments; 0 = use the paper's formulas
+  /// (Thresh = ceil(96 / eps^2), rows = ceil(35 * log2(1/delta))).
+  uint64_t thresh_override = 0;
+  int rows_override = 0;
+  int s_override = 0;      ///< Estimation independence; 0 = 10 log2(1/eps)
+};
+
+/// Thresh = 96 / eps^2 (Algorithm 1 line 1), honoring overrides.
+uint64_t F0Thresh(const F0Params& params);
+/// t = 35 log2(1/delta) rows (Algorithm 1 line 2), honoring overrides.
+int F0Rows(const F0Params& params);
+
+/// The ComputeF0 driver: t independent rows of the chosen sketch, median
+/// of row estimates. For Estimation, FM rows run in parallel to supply r
+/// (§3.4), with r = round(log2(10 * F̂_FM)) placing 2^r near the middle of
+/// the validity window [2 F0, 50 F0].
+class F0Estimator {
+ public:
+  explicit F0Estimator(const F0Params& params);
+  ~F0Estimator();
+
+  void Add(uint64_t x);
+
+  double Estimate() const;
+
+  /// Total sketch footprint across rows (hash representations included).
+  size_t SpaceBits() const;
+
+  const F0Params& params() const { return params_; }
+
+ private:
+  F0Params params_;
+  std::unique_ptr<Gf2Field> field_;  // Estimation only
+  std::vector<BucketingSketchRow> bucketing_rows_;
+  std::vector<MinimumSketchRow> minimum_rows_;
+  std::vector<EstimationSketchRow> estimation_rows_;
+  std::vector<FlajoletMartinRow> fm_rows_;
+};
+
+}  // namespace mcf0

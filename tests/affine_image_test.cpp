@@ -1,0 +1,249 @@
+// Tests for AffineImage — the library's central enumeration primitive.
+// Every operation (canonical count, lexicographic enumeration, MinGeq,
+// membership, trailing-zero maximum, union merging) is cross-checked
+// against brute-force enumeration of { M t + c : t }, over randomized
+// parameter sweeps (TEST_P).
+#include "gf2/affine_image.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mcf0 {
+namespace {
+
+/// Brute-force image of (M, c) as a sorted vector of distinct elements.
+std::vector<BitVec> BruteImage(const Gf2Matrix& m, const BitVec& c) {
+  std::set<BitVec> out;
+  const int q = m.cols();
+  BitVec t(q);
+  const uint64_t total = 1ull << q;
+  for (uint64_t v = 0; v < total; ++v) {
+    out.insert(m.Mul(t) ^ c);
+    t.Increment();
+  }
+  return {out.begin(), out.end()};
+}
+
+struct ImageCase {
+  int width;   // m
+  int inputs;  // q
+  uint64_t seed;
+};
+
+class AffineImageSweep : public ::testing::TestWithParam<ImageCase> {};
+
+TEST_P(AffineImageSweep, EnumerationMatchesBruteForce) {
+  const ImageCase param = GetParam();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Gf2Matrix m = Gf2Matrix::Random(param.width, param.inputs, rng);
+    const BitVec c = BitVec::Random(param.width, rng);
+    const AffineImage image(m, c);
+    const std::vector<BitVec> brute = BruteImage(m, c);
+
+    // Size: exactly 2^dim distinct elements.
+    ASSERT_LE(image.dim(), 63);
+    EXPECT_EQ(image.CountU64(), brute.size());
+
+    // Full enumeration in lexicographic order.
+    const std::vector<BitVec> enumerated = image.FirstP(brute.size() + 5);
+    ASSERT_EQ(enumerated.size(), brute.size());
+    for (size_t i = 0; i < brute.size(); ++i) {
+      EXPECT_EQ(enumerated[i], brute[i]) << "position " << i;
+    }
+    EXPECT_EQ(image.Min(), brute.front());
+    EXPECT_EQ(image.Max(), brute.back());
+  }
+}
+
+TEST_P(AffineImageSweep, MinGeqMatchesBruteForce) {
+  const ImageCase param = GetParam();
+  Rng rng(param.seed ^ 0xABCD);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Gf2Matrix m = Gf2Matrix::Random(param.width, param.inputs, rng);
+    const BitVec c = BitVec::Random(param.width, rng);
+    const AffineImage image(m, c);
+    const std::vector<BitVec> brute = BruteImage(m, c);
+    for (int probe = 0; probe < 25; ++probe) {
+      const BitVec y = BitVec::Random(param.width, rng);
+      const auto got = image.MinGeq(y);
+      const auto it = std::lower_bound(brute.begin(), brute.end(), y);
+      if (it == brute.end()) {
+        EXPECT_FALSE(got.has_value());
+      } else {
+        ASSERT_TRUE(got.has_value());
+        EXPECT_EQ(*got, *it);
+      }
+      // MinGt consistency.
+      const auto gt = image.MinGt(y);
+      const auto it2 = std::upper_bound(brute.begin(), brute.end(), y);
+      if (it2 == brute.end()) {
+        EXPECT_FALSE(gt.has_value());
+      } else {
+        ASSERT_TRUE(gt.has_value());
+        EXPECT_EQ(*gt, *it2);
+      }
+    }
+  }
+}
+
+TEST_P(AffineImageSweep, ContainsMatchesBruteForce) {
+  const ImageCase param = GetParam();
+  Rng rng(param.seed ^ 0x1234);
+  const Gf2Matrix m = Gf2Matrix::Random(param.width, param.inputs, rng);
+  const BitVec c = BitVec::Random(param.width, rng);
+  const AffineImage image(m, c);
+  const std::vector<BitVec> brute = BruteImage(m, c);
+  const std::set<BitVec> brute_set(brute.begin(), brute.end());
+  // All members are contained.
+  for (const BitVec& e : brute) EXPECT_TRUE(image.Contains(e));
+  // Random probes match set membership.
+  for (int probe = 0; probe < 50; ++probe) {
+    const BitVec y = BitVec::Random(param.width, rng);
+    EXPECT_EQ(image.Contains(y), brute_set.count(y) > 0);
+  }
+}
+
+TEST_P(AffineImageSweep, MaxTrailingZerosMatchesBruteForce) {
+  const ImageCase param = GetParam();
+  Rng rng(param.seed ^ 0x5678);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Gf2Matrix m = Gf2Matrix::Random(param.width, param.inputs, rng);
+    const BitVec c = BitVec::Random(param.width, rng);
+    const AffineImage image(m, c);
+    int expect = 0;
+    for (const BitVec& e : BruteImage(m, c)) {
+      expect = std::max(expect, e.TrailingZeros());
+    }
+    EXPECT_EQ(image.MaxTrailingZeros(), expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AffineImageSweep,
+    ::testing::Values(ImageCase{4, 2, 11}, ImageCase{6, 6, 13},
+                      ImageCase{8, 3, 17}, ImageCase{10, 8, 19},
+                      ImageCase{13, 5, 23}, ImageCase{16, 10, 29},
+                      ImageCase{70, 8, 31},   // width past a word boundary
+                      ImageCase{5, 12, 37},   // more inputs than width
+                      ImageCase{9, 1, 41},    // single direction
+                      ImageCase{12, 0, 43}),  // singleton {c}
+    [](const ::testing::TestParamInfo<ImageCase>& info) {
+      std::string name = "w";
+      name += std::to_string(info.param.width);
+      name += 'q';
+      name += std::to_string(info.param.inputs);
+      return name;
+    });
+
+TEST(AffineImage, SingletonBehaviour) {
+  const BitVec c = BitVec::FromString("10110");
+  const AffineImage image(Gf2Matrix(5, 0), c);
+  EXPECT_EQ(image.dim(), 0);
+  EXPECT_EQ(image.CountU64(), 1u);
+  EXPECT_EQ(image.Min(), c);
+  EXPECT_EQ(image.Max(), c);
+  EXPECT_TRUE(image.Contains(c));
+  EXPECT_EQ(image.MaxTrailingZeros(), 1);
+  EXPECT_EQ(image.MinGeq(BitVec(5)).value(), c);
+  EXPECT_FALSE(image.MinGt(c).has_value());
+}
+
+TEST(AffineImage, FullSpace) {
+  const AffineImage image(Gf2Matrix::Identity(6), BitVec(6));
+  EXPECT_EQ(image.dim(), 6);
+  EXPECT_EQ(image.CountU64(), 64u);
+  EXPECT_EQ(image.Min(), BitVec(6));
+  EXPECT_EQ(image.Max(), BitVec::Ones(6));
+  EXPECT_EQ(image.MaxTrailingZeros(), 6);
+  // Element(tau) enumerates 0..63 in order for the identity map.
+  BitVec tau(6);
+  for (uint64_t v = 0; v < 64; ++v) {
+    EXPECT_EQ(image.Element(tau).ToU64(), v);
+    tau.Increment();
+  }
+}
+
+TEST(AffineImage, FromSolutionSpaceMatchesBruteForce) {
+  Rng rng(47);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBelow(9));
+    const int m = 1 + static_cast<int>(rng.NextBelow(7));
+    const Gf2Matrix a = Gf2Matrix::Random(m, n, rng);
+    const BitVec b = BitVec::Random(m, rng);
+    std::set<BitVec> brute;
+    BitVec x(n);
+    for (uint64_t v = 0; v < (1ull << n); ++v) {
+      if ((a.Mul(x) ^ b).IsZero()) brute.insert(x);
+      x.Increment();
+    }
+    const auto image = AffineImage::FromSolutionSpace(a, b);
+    if (brute.empty()) {
+      EXPECT_FALSE(image.has_value());
+      continue;
+    }
+    ASSERT_TRUE(image.has_value());
+    const auto enumerated = image->FirstP(brute.size());
+    EXPECT_EQ(std::set<BitVec>(enumerated.begin(), enumerated.end()), brute);
+  }
+}
+
+TEST(UnionLexEnumerator, MergesDistinctSortedUnion) {
+  Rng rng(53);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int width = 4 + static_cast<int>(rng.NextBelow(8));
+    const int num_sets = 1 + static_cast<int>(rng.NextBelow(5));
+    std::vector<AffineImage> sets;
+    std::set<BitVec> brute;
+    for (int s = 0; s < num_sets; ++s) {
+      const int q = static_cast<int>(rng.NextBelow(5));
+      const Gf2Matrix m = Gf2Matrix::Random(width, q, rng);
+      const BitVec c = BitVec::Random(width, rng);
+      for (const BitVec& e : BruteImage(m, c)) brute.insert(e);
+      sets.emplace_back(m, c);
+    }
+    UnionLexEnumerator merge(std::move(sets));
+    std::vector<BitVec> got;
+    while (auto next = merge.Next()) got.push_back(*next);
+    ASSERT_EQ(got.size(), brute.size());
+    auto it = brute.begin();
+    for (size_t i = 0; i < got.size(); ++i, ++it) EXPECT_EQ(got[i], *it);
+    // Exhausted enumerator keeps returning nullopt.
+    EXPECT_FALSE(merge.Next().has_value());
+  }
+}
+
+TEST(UnionLexEnumerator, FirstPStopsEarly) {
+  Rng rng(59);
+  const Gf2Matrix m = Gf2Matrix::Random(10, 6, rng);
+  const BitVec c = BitVec::Random(10, rng);
+  std::vector<AffineImage> sets;
+  sets.emplace_back(m, c);
+  UnionLexEnumerator merge(std::move(sets));
+  const auto got = merge.FirstP(5);
+  const auto brute = BruteImage(m, c);
+  ASSERT_EQ(got.size(), std::min<size_t>(5, brute.size()));
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], brute[i]);
+}
+
+TEST(UnionLexEnumerator, OverlappingSetsDeduplicate) {
+  // Two identical images must enumerate each element once.
+  Rng rng(61);
+  const Gf2Matrix m = Gf2Matrix::Random(8, 4, rng);
+  const BitVec c = BitVec::Random(8, rng);
+  std::vector<AffineImage> sets;
+  sets.emplace_back(m, c);
+  sets.emplace_back(m, c);
+  UnionLexEnumerator merge(std::move(sets));
+  std::vector<BitVec> got;
+  while (auto next = merge.Next()) got.push_back(*next);
+  EXPECT_EQ(got.size(), BruteImage(m, c).size());
+}
+
+}  // namespace
+}  // namespace mcf0

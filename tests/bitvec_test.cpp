@@ -1,0 +1,248 @@
+// Tests for BitVec: every operation is checked against a naive string-based
+// reference model, including randomized property sweeps over sizes that
+// straddle word boundaries.
+#include "gf2/bitvec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/rng.hpp"
+
+namespace mcf0 {
+namespace {
+
+TEST(BitVec, EmptyVector) {
+  BitVec v;
+  EXPECT_EQ(v.size(), 0);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.IsZero());
+  EXPECT_EQ(v.Popcount(), 0);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(BitVec, FromU64BigEndianLayout) {
+  const BitVec v = BitVec::FromU64(5, 4);  // 0101
+  EXPECT_EQ(v.ToString(), "0101");
+  EXPECT_FALSE(v.Get(0));
+  EXPECT_TRUE(v.Get(1));
+  EXPECT_FALSE(v.Get(2));
+  EXPECT_TRUE(v.Get(3));
+  EXPECT_EQ(v.ToU64(), 5u);
+}
+
+TEST(BitVec, FromU64FullWidth) {
+  const uint64_t value = 0xDEADBEEFCAFEF00Dull;
+  const BitVec v = BitVec::FromU64(value, 64);
+  EXPECT_EQ(v.ToU64(), value);
+  EXPECT_EQ(v.size(), 64);
+}
+
+TEST(BitVec, FromStringRoundTrip) {
+  const std::string s = "0110010111010001101";
+  EXPECT_EQ(BitVec::FromString(s).ToString(), s);
+}
+
+TEST(BitVec, SetGetFlipAcrossWordBoundary) {
+  BitVec v(130);
+  for (int i : {0, 1, 63, 64, 65, 127, 128, 129}) {
+    EXPECT_FALSE(v.Get(i));
+    v.Set(i, true);
+    EXPECT_TRUE(v.Get(i));
+    v.Flip(i);
+    EXPECT_FALSE(v.Get(i));
+  }
+}
+
+TEST(BitVec, XorAndOrMatchReference) {
+  Rng rng(7);
+  for (int size : {1, 7, 63, 64, 65, 128, 200}) {
+    const BitVec a = BitVec::Random(size, rng);
+    const BitVec b = BitVec::Random(size, rng);
+    const BitVec x = a ^ b;
+    const BitVec n = a & b;
+    const BitVec o = a | b;
+    for (int i = 0; i < size; ++i) {
+      EXPECT_EQ(x.Get(i), a.Get(i) != b.Get(i));
+      EXPECT_EQ(n.Get(i), a.Get(i) && b.Get(i));
+      EXPECT_EQ(o.Get(i), a.Get(i) || b.Get(i));
+    }
+  }
+}
+
+TEST(BitVec, PopcountMatchesReference) {
+  Rng rng(11);
+  for (int size : {1, 64, 65, 190}) {
+    const BitVec v = BitVec::Random(size, rng);
+    int expect = 0;
+    for (int i = 0; i < size; ++i) expect += v.Get(i);
+    EXPECT_EQ(v.Popcount(), expect);
+  }
+}
+
+TEST(BitVec, DotF2MatchesReference) {
+  Rng rng(13);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int size = 1 + static_cast<int>(rng.NextBelow(150));
+    const BitVec a = BitVec::Random(size, rng);
+    const BitVec b = BitVec::Random(size, rng);
+    bool expect = false;
+    for (int i = 0; i < size; ++i) expect ^= a.Get(i) && b.Get(i);
+    EXPECT_EQ(a.DotF2(b), expect);
+  }
+}
+
+TEST(BitVec, LeadingBit) {
+  EXPECT_EQ(BitVec(70).LeadingBit(), -1);
+  BitVec v(70);
+  v.Set(69, true);
+  EXPECT_EQ(v.LeadingBit(), 69);
+  v.Set(64, true);
+  EXPECT_EQ(v.LeadingBit(), 64);
+  v.Set(0, true);
+  EXPECT_EQ(v.LeadingBit(), 0);
+}
+
+TEST(BitVec, TrailingZerosDefinition) {
+  // TrailZero = length of the all-zero suffix of the string.
+  EXPECT_EQ(BitVec::FromString("1010").TrailingZeros(), 1);
+  EXPECT_EQ(BitVec::FromString("1000").TrailingZeros(), 3);
+  EXPECT_EQ(BitVec::FromString("0000").TrailingZeros(), 4);
+  EXPECT_EQ(BitVec::FromString("0001").TrailingZeros(), 0);
+  EXPECT_EQ(BitVec(100).TrailingZeros(), 100);
+}
+
+TEST(BitVec, TrailingZerosMatchesReferenceSweep) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int size = 1 + static_cast<int>(rng.NextBelow(140));
+    BitVec v = BitVec::Random(size, rng);
+    const std::string s = v.ToString();
+    int expect = 0;
+    for (int i = size - 1; i >= 0 && s[i] == '0'; --i) ++expect;
+    EXPECT_EQ(v.TrailingZeros(), expect) << s;
+  }
+}
+
+TEST(BitVec, PrefixSlices) {
+  const BitVec v = BitVec::FromString("110100101");
+  EXPECT_EQ(v.Prefix(0).ToString(), "");
+  EXPECT_EQ(v.Prefix(1).ToString(), "1");
+  EXPECT_EQ(v.Prefix(5).ToString(), "11010");
+  EXPECT_EQ(v.Prefix(9).ToString(), "110100101");
+}
+
+TEST(BitVec, PrefixAcrossWordBoundary) {
+  Rng rng(19);
+  const BitVec v = BitVec::Random(150, rng);
+  const std::string s = v.ToString();
+  for (int l : {1, 63, 64, 65, 100, 150}) {
+    EXPECT_EQ(v.Prefix(l).ToString(), s.substr(0, l));
+  }
+}
+
+TEST(BitVec, Concat) {
+  const BitVec a = BitVec::FromString("101");
+  const BitVec b = BitVec::FromString("0011");
+  EXPECT_EQ(a.Concat(b).ToString(), "1010011");
+  EXPECT_EQ(a.Concat(BitVec(0)).ToString(), "101");
+  EXPECT_EQ(BitVec(0).Concat(b).ToString(), "0011");
+}
+
+TEST(BitVec, IncrementBigEndian) {
+  BitVec v = BitVec::FromString("0011");
+  EXPECT_TRUE(v.Increment());
+  EXPECT_EQ(v.ToString(), "0100");
+  v = BitVec::FromString("1111");
+  EXPECT_FALSE(v.Increment());  // overflow wraps to zero
+  EXPECT_EQ(v.ToString(), "0000");
+}
+
+TEST(BitVec, IncrementCountsThroughAllValues) {
+  BitVec v(5);
+  for (uint64_t expect = 0; expect < 32; ++expect) {
+    EXPECT_EQ(v.ToU64(), expect);
+    const bool carried = v.Increment();
+    EXPECT_EQ(carried, expect != 31);
+  }
+}
+
+TEST(BitVec, IncrementAcrossWordBoundary) {
+  // 70-bit value with all low bits set in word 1 region.
+  BitVec v(70);
+  for (int i = 6; i < 70; ++i) v.Set(i, true);  // 0^6 1^64
+  EXPECT_TRUE(v.Increment());
+  EXPECT_TRUE(v.Get(5));
+  for (int i = 6; i < 70; ++i) EXPECT_FALSE(v.Get(i));
+}
+
+TEST(BitVec, LexCompareEqualsStringCompare) {
+  Rng rng(23);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int size = 1 + static_cast<int>(rng.NextBelow(90));
+    const BitVec a = BitVec::Random(size, rng);
+    const BitVec b = BitVec::Random(size, rng);
+    const auto expect = a.ToString().compare(b.ToString());
+    if (expect < 0) {
+      EXPECT_LT(a, b);
+    } else if (expect > 0) {
+      EXPECT_GT(a, b);
+    } else {
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(BitVec, LexCompareDifferentLengths) {
+  // A proper prefix is smaller.
+  EXPECT_LT(BitVec::FromString("10"), BitVec::FromString("100"));
+  EXPECT_LT(BitVec::FromString("0"), BitVec::FromString("00"));
+  EXPECT_GT(BitVec::FromString("1"), BitVec::FromString("01"));
+}
+
+TEST(BitVec, CompareEqualsNumericOrderForEqualSizes) {
+  Rng rng(29);
+  for (int trial = 0; trial < 100; ++trial) {
+    const uint64_t a = rng.NextBelow(1u << 20);
+    const uint64_t b = rng.NextBelow(1u << 20);
+    const BitVec va = BitVec::FromU64(a, 20);
+    const BitVec vb = BitVec::FromU64(b, 20);
+    EXPECT_EQ(va < vb, a < b);
+  }
+}
+
+TEST(BitVec, ToDoubleExactSmall) {
+  EXPECT_DOUBLE_EQ(BitVec::FromU64(37, 10).ToDouble(), 37.0);
+  EXPECT_DOUBLE_EQ(BitVec(12).ToDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(BitVec::Ones(10).ToDouble(), 1023.0);
+}
+
+TEST(BitVec, ToDoubleWideValues) {
+  // 2^100: bit at position size-101 for size 120.
+  BitVec v(120);
+  v.Set(120 - 101, true);
+  EXPECT_DOUBLE_EQ(v.ToDouble(), std::pow(2.0, 100));
+}
+
+TEST(BitVec, OnesAndTailMasking) {
+  const BitVec v = BitVec::Ones(67);
+  EXPECT_EQ(v.Popcount(), 67);
+  EXPECT_EQ(v.TrailingZeros(), 0);
+  // Tail bits beyond size must not leak into comparisons.
+  BitVec w(67);
+  EXPECT_LT(w, v);
+}
+
+TEST(BitVec, HashConsistency) {
+  Rng rng(31);
+  const BitVec a = BitVec::Random(90, rng);
+  BitVec b = a;
+  EXPECT_EQ(a.Hash64(), b.Hash64());
+  b.Flip(89);
+  EXPECT_NE(a, b);  // hash likely differs; equality must
+}
+
+}  // namespace
+}  // namespace mcf0

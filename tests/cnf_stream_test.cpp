@@ -1,0 +1,98 @@
+// Tests for CNF set streams (Observation 2): StructuredF0::AddCnf drives
+// the NP oracle per item; estimates must match exact unions and mixing CNF
+// items with the PTIME item types must compose.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "formula/random_gen.hpp"
+#include "setstream/structured_f0.hpp"
+
+namespace mcf0 {
+namespace {
+
+StructuredF0Params FastParams(int n, StructuredF0Algorithm alg, uint64_t seed) {
+  StructuredF0Params p;
+  p.n = n;
+  p.eps = 0.6;
+  p.delta = 0.2;
+  p.rows_override = 15;
+  p.seed = seed;
+  p.algorithm = alg;
+  return p;
+}
+
+uint64_t ExactCnfUnion(const std::vector<Cnf>& stream, int n) {
+  uint64_t count = 0;
+  BitVec x(n);
+  for (uint64_t v = 0; v < (1ull << n); ++v) {
+    for (const Cnf& c : stream) {
+      if (c.Eval(x)) {
+        ++count;
+        break;
+      }
+    }
+    x.Increment();
+  }
+  return count;
+}
+
+class CnfStreamBothStrategies
+    : public ::testing::TestWithParam<StructuredF0Algorithm> {};
+
+TEST_P(CnfStreamBothStrategies, MatchesExactUnion) {
+  Rng rng(3);
+  const int n = 12;
+  std::vector<Cnf> stream;
+  for (int i = 0; i < 4; ++i) stream.push_back(RandomKCnf(n, 14, 3, rng));
+  const double exact = static_cast<double>(ExactCnfUnion(stream, n));
+  StructuredF0 est(FastParams(n, GetParam(), 7));
+  for (const Cnf& c : stream) est.AddCnf(c);
+  EXPECT_GT(est.oracle_calls(), 0u);
+  if (exact == 0) {
+    EXPECT_EQ(est.Estimate(), 0.0);
+  } else {
+    EXPECT_GE(est.Estimate(), exact / 2.3);
+    EXPECT_LE(est.Estimate(), exact * 2.3);
+  }
+}
+
+TEST_P(CnfStreamBothStrategies, MixedCnfAndDnfItems) {
+  Rng rng(5);
+  const int n = 10;
+  const Cnf cnf = RandomKCnf(n, 12, 3, rng);
+  const Dnf dnf = RandomDnf(n, 3, 2, 5, rng);
+  StructuredF0 est(FastParams(n, GetParam(), 11));
+  est.AddCnf(cnf);
+  est.AddDnf(dnf);
+  uint64_t exact = 0;
+  BitVec x(n);
+  for (uint64_t v = 0; v < (1u << n); ++v) {
+    if (cnf.Eval(x) || dnf.Eval(x)) ++exact;
+    x.Increment();
+  }
+  EXPECT_GE(est.Estimate(), static_cast<double>(exact) / 2.3);
+  EXPECT_LE(est.Estimate(), static_cast<double>(exact) * 2.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, CnfStreamBothStrategies,
+                         ::testing::Values(StructuredF0Algorithm::kMinimum,
+                                           StructuredF0Algorithm::kBucketing),
+                         [](const auto& info) {
+                           return info.param == StructuredF0Algorithm::kMinimum
+                                      ? "Minimum"
+                                      : "Bucketing";
+                         });
+
+TEST(CnfStream, UnsatisfiableItemsContributeNothing) {
+  Cnf unsat(8);
+  unsat.AddClause(Clause({Lit(0, false)}));
+  unsat.AddClause(Clause({Lit(0, true)}));
+  StructuredF0 est(FastParams(8, StructuredF0Algorithm::kMinimum, 13));
+  est.AddCnf(unsat);
+  EXPECT_EQ(est.Estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace mcf0

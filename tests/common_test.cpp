@@ -1,0 +1,129 @@
+// Tests for the common utilities: Status/Result, the deterministic RNG,
+// and the median helper.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/median.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "common/timer.hpp"
+
+namespace mcf0 {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("eps must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("InvalidArgument"), std::string::npos);
+  EXPECT_NE(s.ToString().find("eps must be positive"), std::string::npos);
+}
+
+TEST(Status, AllConstructorsProduceMatchingCodes) {
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::ParseError("bad"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a.NextU64() == b.NextU64());
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng rng(7);
+  for (const uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowCoversSmallRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  const int kDraws = 16000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(8)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / 8 * 0.85);
+    EXPECT_LT(c, kDraws / 8 * 1.15);
+  }
+}
+
+TEST(Rng, BernoulliMean) {
+  Rng rng(13);
+  int hits = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.NextBernoulli(0.3);
+  EXPECT_GT(hits, kDraws * 0.27);
+  EXPECT_LT(hits, kDraws * 0.33);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(17);
+  Rng child = parent.Fork();
+  std::set<uint64_t> values;
+  for (int i = 0; i < 32; ++i) {
+    values.insert(parent.NextU64());
+    values.insert(child.NextU64());
+  }
+  EXPECT_EQ(values.size(), 64u);  // no collisions between streams
+}
+
+TEST(Median, OddAndEvenSizes) {
+  EXPECT_EQ(Median({3.0}), 3.0);
+  EXPECT_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_EQ(Median({4.0, 1.0, 3.0, 2.0}), 2.0);  // lower median
+  EXPECT_EQ(Median({5.0, 5.0, 5.0, 1.0, 9.0}), 5.0);
+}
+
+TEST(WallTimer, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i * 0.5;
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Micros(), t.Seconds() * 1e6 * 0.99);
+  t.Reset();
+  EXPECT_LT(t.Seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace mcf0

@@ -1,0 +1,279 @@
+// Tests for the three model counters (§3): (eps, delta) accuracy against
+// exact counts, agreement between the CNF (NP-oracle) and DNF (PTIME)
+// paths, oracle-call accounting, and the ApproxMC2 binary-search variant.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/approx_count_est.hpp"
+#include "core/approx_count_min.hpp"
+#include "core/approxmc.hpp"
+#include "core/exact_count.hpp"
+#include "formula/random_gen.hpp"
+
+namespace mcf0 {
+namespace {
+
+CountingParams FastParams(uint64_t seed) {
+  CountingParams p;
+  p.eps = 0.8;
+  p.delta = 0.2;
+  p.rows_override = 11;  // keep tests fast; median still amplifies
+  p.seed = seed;
+  return p;
+}
+
+/// Checks an estimate against the (eps, delta) band with doubled slack so
+/// a correct implementation cannot flake on the fixed seeds used here.
+void ExpectWithinBand(double estimate, double exact, double eps) {
+  if (exact == 0) {
+    EXPECT_EQ(estimate, 0.0);
+    return;
+  }
+  EXPECT_GE(estimate, exact / (1.0 + 2 * eps)) << "exact=" << exact;
+  EXPECT_LE(estimate, exact * (1.0 + 2 * eps)) << "exact=" << exact;
+}
+
+struct CountCase {
+  int n;
+  int size;  // clauses or terms
+  uint64_t seed;
+};
+
+class ApproxMcCnfSweep : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(ApproxMcCnfSweep, WithinBandOfExact) {
+  const CountCase param = GetParam();
+  Rng rng(param.seed);
+  const Cnf cnf = RandomKCnf(param.n, param.size, 3, rng);
+  const double exact = static_cast<double>(ExactCountEnum(cnf));
+  const CountResult got = ApproxMcCnf(cnf, FastParams(param.seed));
+  ExpectWithinBand(got.estimate, exact, 0.8);
+  if (exact >= got.thresh) {
+    EXPECT_GT(got.oracle_calls, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ApproxMcCnfSweep,
+                         ::testing::Values(CountCase{10, 6, 1},
+                                           CountCase{12, 10, 2},
+                                           CountCase{14, 12, 3},
+                                           CountCase{9, 30, 4}),
+                         [](const auto& info) {
+                           std::string name = "n";
+                           name += std::to_string(info.param.n);
+                           name += 'm';
+                           name += std::to_string(info.param.size);
+                           return name;
+                         });
+
+class ApproxMcDnfSweep : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(ApproxMcDnfSweep, WithinBandOfExact) {
+  const CountCase param = GetParam();
+  Rng rng(param.seed);
+  const Dnf dnf = RandomDnf(param.n, param.size, 2, 6, rng);
+  const double exact = static_cast<double>(ExactCountEnum(dnf));
+  const CountResult got = ApproxMcDnf(dnf, FastParams(param.seed));
+  ExpectWithinBand(got.estimate, exact, 0.8);
+  EXPECT_EQ(got.oracle_calls, 0u);  // FPRAS path uses no NP oracle
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ApproxMcDnfSweep,
+                         ::testing::Values(CountCase{12, 5, 11},
+                                           CountCase{14, 8, 12},
+                                           CountCase{16, 12, 13},
+                                           CountCase{18, 4, 14}),
+                         [](const auto& info) {
+                           std::string name = "n";
+                           name += std::to_string(info.param.n);
+                           name += 'k';
+                           name += std::to_string(info.param.size);
+                           return name;
+                         });
+
+TEST(ApproxMc, ExactRegimeReturnsExactCount) {
+  // Fewer solutions than Thresh: every row returns the exact count.
+  Dnf dnf(16);
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(1, false), Lit(2, false),
+                           Lit(3, false), Lit(4, false), Lit(5, false),
+                           Lit(6, false), Lit(7, false), Lit(8, false),
+                           Lit(9, false)}));  // 2^6 = 64 < Thresh = 150
+  const CountResult got = ApproxMcDnf(dnf, FastParams(5));
+  EXPECT_DOUBLE_EQ(got.estimate, 64.0);
+}
+
+TEST(ApproxMc, UnsatisfiableCountsZero) {
+  Cnf cnf(6);
+  cnf.AddClause(Clause({Lit(0, false)}));
+  cnf.AddClause(Clause({Lit(0, true)}));
+  EXPECT_EQ(ApproxMcCnf(cnf, FastParams(3)).estimate, 0.0);
+  EXPECT_EQ(ApproxMcDnf(Dnf(6), FastParams(3)).estimate, 0.0);
+}
+
+TEST(ApproxMc, BinarySearchAgreesWithLinearScan) {
+  Rng rng(21);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Cnf cnf = RandomKCnf(12, 8, 3, rng);
+    CountingParams linear = FastParams(100 + trial);
+    CountingParams binary = linear;
+    binary.binary_search = true;
+    const CountResult a = ApproxMcCnf(cnf, linear);
+    const CountResult b = ApproxMcCnf(cnf, binary);
+    // Same hashes (same seed) and monotone cell counts: identical output.
+    EXPECT_DOUBLE_EQ(a.estimate, b.estimate);
+  }
+}
+
+TEST(ApproxMc, BinarySearchMakesFewerCallsOnLargeCounts) {
+  // A wide-open formula (few constraints, n = 24) forces m ~ log2(count):
+  // the linear scan pays m calls per row, the binary search ~log2(n).
+  Rng rng(23);
+  const Dnf wide = RandomDnf(24, 6, 1, 2, rng);
+  const Cnf cnf = NegateDnf(RandomDnf(24, 2, 20, 22, rng));  // nearly full
+  CountingParams linear = FastParams(7);
+  linear.rows_override = 3;
+  CountingParams binary = linear;
+  binary.binary_search = true;
+  const CountResult a = ApproxMcCnf(cnf, linear);
+  const CountResult b = ApproxMcCnf(cnf, binary);
+  EXPECT_GT(a.oracle_calls, 0u);
+  EXPECT_GT(b.oracle_calls, 0u);
+  EXPECT_LT(b.oracle_calls, a.oracle_calls);
+  (void)wide;
+}
+
+TEST(ApproxMc, TseitinPathMatchesNative) {
+  Rng rng(29);
+  const Cnf cnf = RandomKCnf(10, 8, 3, rng);
+  CountingParams native = FastParams(55);
+  native.rows_override = 5;
+  CountingParams tseitin = native;
+  tseitin.use_tseitin = true;
+  EXPECT_DOUBLE_EQ(ApproxMcCnf(cnf, native).estimate,
+                   ApproxMcCnf(cnf, tseitin).estimate);
+}
+
+TEST(ApproxMc, SparseHashStillAccurate) {
+  Rng rng(31);
+  const Dnf dnf = RandomDnf(14, 6, 2, 5, rng);
+  const double exact = static_cast<double>(ExactCountEnum(dnf));
+  CountingParams params = FastParams(77);
+  params.sparse_density = 0.35;
+  const CountResult got = ApproxMcDnf(dnf, params);
+  // Sparse XORs trade constants for accuracy; use a wider x3 band.
+  EXPECT_GE(got.estimate, exact / 3.5);
+  EXPECT_LE(got.estimate, exact * 3.5);
+}
+
+class CountMinSweep : public ::testing::TestWithParam<CountCase> {};
+
+TEST_P(CountMinSweep, DnfWithinBandOfExact) {
+  const CountCase param = GetParam();
+  Rng rng(param.seed);
+  const Dnf dnf = RandomDnf(param.n, param.size, 2, 6, rng);
+  const double exact = static_cast<double>(ExactCountEnum(dnf));
+  const CountResult got = ApproxCountMinDnf(dnf, FastParams(param.seed));
+  ExpectWithinBand(got.estimate, exact, 0.8);
+  EXPECT_EQ(got.oracle_calls, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, CountMinSweep,
+                         ::testing::Values(CountCase{12, 5, 41},
+                                           CountCase{14, 8, 42},
+                                           CountCase{16, 10, 43}),
+                         [](const auto& info) {
+                           std::string name = "n";
+                           name += std::to_string(info.param.n);
+                           name += 'k';
+                           name += std::to_string(info.param.size);
+                           return name;
+                         });
+
+TEST(ApproxCountMin, CnfWithinBandAndUsesOracle) {
+  Rng rng(47);
+  const Cnf cnf = RandomKCnf(10, 14, 3, rng);
+  const double exact = static_cast<double>(ExactCountEnum(cnf));
+  CountingParams params = FastParams(9);
+  params.rows_override = 9;
+  const CountResult got = ApproxCountMinCnf(cnf, params);
+  ExpectWithinBand(got.estimate, exact, 0.8);
+  if (exact > 0) {
+    EXPECT_GT(got.oracle_calls, 0u);
+  }
+}
+
+TEST(ApproxCountMin, SmallCountsExact) {
+  // |Sol| < Thresh: FindMin retains every hashed solution; with a 3n-bit
+  // hash, collisions are absent and the count is exact.
+  Dnf dnf(12);
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(1, false), Lit(2, false),
+                           Lit(3, false), Lit(4, false)}));  // 2^7 = 128
+  const CountResult got = ApproxCountMinDnf(dnf, FastParams(13));
+  EXPECT_DOUBLE_EQ(got.estimate, 128.0);
+}
+
+TEST(ApproxCountEst, AccurateInsideValidityWindow) {
+  // Theorem 4 requires 2 F0 <= 2^r <= 50 F0; pick r mid-window. The
+  // formula uses wide terms so F0 << 2^{n-1} and the window fits in [1, n].
+  Rng rng(53);
+  const Dnf dnf = RandomDnf(16, 8, 5, 8, rng);
+  const double exact = static_cast<double>(ExactCountEnum(dnf));
+  ASSERT_GT(exact, 100.0);
+  ASSERT_LT(exact, std::pow(2.0, 15));
+  const int r = std::clamp(
+      static_cast<int>(std::lround(std::log2(10.0 * exact))), 1, 16);
+  CountingParams params = FastParams(17);
+  const CountResult got = ApproxCountEstDnf(dnf, params, r);
+  // Estimation concentrates more slowly; accept a x3 band on fixed seeds.
+  EXPECT_GE(got.estimate, exact / 3.0);
+  EXPECT_LE(got.estimate, exact * 3.0);
+}
+
+TEST(ApproxCountEst, AutoPipelineDerivesUsableR) {
+  Rng rng(59);
+  const Dnf dnf = RandomDnf(14, 6, 2, 5, rng);
+  const double exact = static_cast<double>(ExactCountEnum(dnf));
+  const CountResult got = ApproxCountEstAutoDnf(dnf, FastParams(19));
+  EXPECT_GE(got.estimate, exact / 4.0);
+  EXPECT_LE(got.estimate, exact * 4.0);
+}
+
+TEST(ApproxCountEst, CnfAutoPipelineCountsOracleCalls) {
+  Rng rng(61);
+  const Cnf cnf = RandomKCnf(9, 12, 3, rng);
+  const double exact = static_cast<double>(ExactCountEnum(cnf));
+  CountingParams params = FastParams(23);
+  params.rows_override = 7;
+  const CountResult got = ApproxCountEstAutoCnf(cnf, params);
+  if (exact > 0) {
+    EXPECT_GT(got.oracle_calls, 0u);
+    EXPECT_GE(got.estimate, exact / 5.0);
+    EXPECT_LE(got.estimate, exact * 5.0);
+  } else {
+    EXPECT_EQ(got.estimate, 0.0);
+  }
+}
+
+TEST(FlajoletMartinCount, RoughFactorOnKnownCount) {
+  // 2^R is a 5-approximation w.p. >= 3/5 per row; the median of 9 rows is
+  // within 5x with overwhelming probability — test with a 16x band.
+  Dnf dnf(18);
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(1, false)}));  // 2^16 sols
+  const double rough = FlajoletMartinCountDnf(dnf, 9, 31);
+  EXPECT_GE(rough, 65536.0 / 16.0);
+  EXPECT_LE(rough, 65536.0 * 16.0);
+}
+
+TEST(CountingParams, PaperFormulas) {
+  CountingParams p;
+  p.eps = 0.8;
+  p.delta = 0.2;
+  EXPECT_EQ(CountingThresh(p), 150u);
+  EXPECT_EQ(CountingRows(p), 82);
+}
+
+}  // namespace
+}  // namespace mcf0

@@ -1,0 +1,195 @@
+// Tests for Delphic sets and the APS-Estimator (Remark 2): the three
+// Delphic queries are verified against brute force for ranges and affine
+// spaces; the binomial sampler is checked distributionally; the estimator
+// is checked against exact unions including the heavy-overlap superseding
+// path (an arriving set deletes earlier evidence of its elements).
+#include "setstream/delphic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "setstream/exact_union.hpp"
+
+namespace mcf0 {
+namespace {
+
+TEST(RangeDelphic, SizeMatchesVolume) {
+  MultiDimRange r(2, 8);
+  r.SetDim(0, DimRange{10, 20, 0});
+  r.SetDim(1, DimRange{4, 40, 3});  // step 8: 5 points
+  const RangeDelphic set(r);
+  EXPECT_EQ(set.Size(), 11u * 5u);
+  EXPECT_EQ(set.width(), 16);
+}
+
+TEST(RangeDelphic, SamplesAreMembersAndCoverTheSet) {
+  Rng rng(3);
+  MultiDimRange r(2, 5);
+  r.SetDim(0, DimRange{3, 9, 0});
+  r.SetDim(1, DimRange{0, 31, 2});  // step 4
+  const RangeDelphic set(r);
+  std::set<BitVec> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const BitVec x = set.Sample(rng);
+    EXPECT_TRUE(set.Contains(x));
+    seen.insert(x);
+  }
+  // 7 * 8 = 56 members; 2000 samples cover all w.h.p.
+  EXPECT_EQ(seen.size(), set.Size());
+}
+
+TEST(RangeDelphic, ContainsMatchesRangeMembership) {
+  Rng rng(5);
+  const MultiDimRange r = MultiDimRange::Random(2, 6, rng);
+  const RangeDelphic set(r);
+  for (uint64_t v = 0; v < (1u << 12); v += 7) {
+    const BitVec x = BitVec::FromU64(v, 12);
+    const std::vector<uint64_t> point = {v >> 6, v & 63};
+    EXPECT_EQ(set.Contains(x), r.Contains(point));
+  }
+}
+
+TEST(AffineDelphic, SizeSamplesAndMembership) {
+  Rng rng(7);
+  const Gf2Matrix a = Gf2Matrix::Random(4, 10, rng);
+  const BitVec b = a.Mul(BitVec::Random(10, rng));  // guaranteed consistent
+  const AffineDelphic set(a, b);
+  ASSERT_GT(set.Size(), 0u);
+  std::set<BitVec> seen;
+  for (int i = 0; i < 3000; ++i) {
+    const BitVec x = set.Sample(rng);
+    EXPECT_TRUE(set.Contains(x));
+    EXPECT_EQ(a.Mul(x), b);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), set.Size());
+}
+
+TEST(AffineDelphic, EmptySystem) {
+  Gf2Matrix a(2, 5);
+  a.Set(0, 0, true);
+  a.Set(1, 0, true);
+  BitVec b(2);
+  b.Set(0, true);
+  const AffineDelphic set(a, b);
+  EXPECT_EQ(set.Size(), 0u);
+  EXPECT_FALSE(set.Contains(BitVec(5)));
+}
+
+TEST(SampleBinomialPow2, LevelZeroIsDeterministic) {
+  Rng rng(11);
+  EXPECT_EQ(SampleBinomialPow2(37, 0, rng), 37u);
+  EXPECT_EQ(SampleBinomialPow2(0, 3, rng), 0u);
+}
+
+TEST(SampleBinomialPow2, MeanMatchesNp) {
+  Rng rng(13);
+  const uint64_t trials = 4096;
+  const int level = 4;  // p = 1/16, mean 256
+  double total = 0;
+  const int reps = 300;
+  for (int i = 0; i < reps; ++i) {
+    const uint64_t c = SampleBinomialPow2(trials, level, rng);
+    EXPECT_LE(c, trials);
+    total += static_cast<double>(c);
+  }
+  const double mean = total / reps;
+  EXPECT_GT(mean, 256.0 * 0.9);
+  EXPECT_LT(mean, 256.0 * 1.1);
+}
+
+ApsParams FastParams(int n, uint64_t seed) {
+  ApsParams p;
+  p.n = n;
+  p.eps = 0.5;
+  p.delta = 0.2;
+  p.rows_override = 15;
+  p.seed = seed;
+  return p;
+}
+
+TEST(ApsEstimator, RangeUnionWithinBand) {
+  Rng rng(17);
+  const int bits = 9;
+  const int d = 2;
+  std::vector<MultiDimRange> ranges;
+  for (int i = 0; i < 10; ++i) {
+    ranges.push_back(MultiDimRange::Random(d, bits, rng));
+  }
+  const double exact = ExactRangeUnionSize(ranges);
+  ApsEstimator est(FastParams(d * bits, 23));
+  for (const auto& r : ranges) est.Add(RangeDelphic(r));
+  EXPECT_GE(est.Estimate(), exact / 2.0);
+  EXPECT_LE(est.Estimate(), exact * 2.0);
+}
+
+TEST(ApsEstimator, AffineUnionWithinBand) {
+  Rng rng(19);
+  const int n = 16;
+  std::vector<std::pair<Gf2Matrix, BitVec>> systems;
+  ApsEstimator est(FastParams(n, 29));
+  for (int i = 0; i < 6; ++i) {
+    const int rows = 4 + static_cast<int>(rng.NextBelow(4));
+    systems.emplace_back(Gf2Matrix::Random(rows, n, rng),
+                         BitVec::Random(rows, rng));
+    est.Add(AffineDelphic(systems.back().first, systems.back().second));
+  }
+  const double exact = static_cast<double>(ExactAffineUnionSize(systems, n));
+  if (exact == 0) {
+    EXPECT_EQ(est.Estimate(), 0.0);
+  } else {
+    EXPECT_GE(est.Estimate(), exact / 2.0);
+    EXPECT_LE(est.Estimate(), exact * 2.0);
+  }
+}
+
+TEST(ApsEstimator, RepeatedIdenticalSetsDoNotInflate) {
+  // The superseding step (remove X ∩ S before re-sampling S) makes the
+  // estimate invariant to replays of the same set.
+  Rng rng(31);
+  MultiDimRange r(1, 12);
+  r.SetDim(0, DimRange{100, 3000, 0});
+  ApsEstimator est(FastParams(12, 37));
+  for (int rep = 0; rep < 10; ++rep) est.Add(RangeDelphic(r));
+  const double exact = 2901.0;
+  EXPECT_GE(est.Estimate(), exact / 2.0);
+  EXPECT_LE(est.Estimate(), exact * 2.0);
+}
+
+TEST(ApsEstimator, SmallUnionExactRegime) {
+  // Union far below capacity: level stays 0 and the count is exact.
+  ApsEstimator est(FastParams(10, 41));
+  MultiDimRange r(1, 10);
+  r.SetDim(0, DimRange{5, 60, 0});
+  est.Add(RangeDelphic(r));
+  EXPECT_DOUBLE_EQ(est.Estimate(), 56.0);
+}
+
+TEST(ApsEstimator, EmptyStreamIsZero) {
+  ApsEstimator est(FastParams(8, 43));
+  EXPECT_EQ(est.Estimate(), 0.0);
+  // Adding an empty affine set changes nothing.
+  Gf2Matrix a(2, 8);
+  a.Set(0, 0, true);
+  a.Set(1, 0, true);
+  BitVec b(2);
+  b.Set(0, true);
+  est.Add(AffineDelphic(a, b));
+  EXPECT_EQ(est.Estimate(), 0.0);
+}
+
+TEST(ApsEstimator, SpaceBoundedByCapacity) {
+  Rng rng(47);
+  ApsEstimator est(FastParams(20, 53));
+  for (int i = 0; i < 8; ++i) {
+    est.Add(RangeDelphic(MultiDimRange::Random(2, 10, rng)));
+  }
+  EXPECT_LE(est.SpaceBits(),
+            static_cast<size_t>(est.rows()) * (est.capacity() * 20 + 8));
+}
+
+}  // namespace
+}  // namespace mcf0

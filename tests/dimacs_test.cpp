@@ -1,0 +1,85 @@
+// Tests for DIMACS CNF/DNF parsing and printing.
+#include "formula/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/exact_count.hpp"
+#include "formula/random_gen.hpp"
+
+namespace mcf0 {
+namespace {
+
+TEST(Dimacs, ParseSimpleCnf) {
+  const auto result = ParseDimacsCnf("c a comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  ASSERT_TRUE(result.ok());
+  const Cnf& cnf = result.value();
+  EXPECT_EQ(cnf.num_vars(), 3);
+  EXPECT_EQ(cnf.num_clauses(), 2);
+  EXPECT_EQ(cnf.clauses()[0].lits()[0].var, 0);
+  EXPECT_FALSE(cnf.clauses()[0].lits()[0].neg);
+  EXPECT_EQ(cnf.clauses()[0].lits()[1].var, 1);
+  EXPECT_TRUE(cnf.clauses()[0].lits()[1].neg);
+}
+
+TEST(Dimacs, ParseSimpleDnf) {
+  const auto result = ParseDimacsDnf("p dnf 4 2\n1 2 0\n-3 4 0\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().num_terms(), 2);
+  EXPECT_EQ(result.value().num_vars(), 4);
+}
+
+TEST(Dimacs, RejectsMissingHeader) {
+  EXPECT_FALSE(ParseDimacsCnf("1 2 0\n").ok());
+}
+
+TEST(Dimacs, RejectsWrongKind) {
+  EXPECT_FALSE(ParseDimacsCnf("p dnf 3 1\n1 0\n").ok());
+  EXPECT_FALSE(ParseDimacsDnf("p cnf 3 1\n1 0\n").ok());
+}
+
+TEST(Dimacs, RejectsOutOfRangeLiteral) {
+  EXPECT_FALSE(ParseDimacsCnf("p cnf 2 1\n3 0\n").ok());
+}
+
+TEST(Dimacs, RejectsUnterminatedClause) {
+  EXPECT_FALSE(ParseDimacsCnf("p cnf 2 1\n1 2\n").ok());
+}
+
+TEST(Dimacs, RejectsGarbageToken) {
+  EXPECT_FALSE(ParseDimacsCnf("p cnf 2 1\n1 x 0\n").ok());
+}
+
+TEST(Dimacs, RejectsContradictoryDnfTerm) {
+  EXPECT_FALSE(ParseDimacsDnf("p dnf 2 1\n1 -1 0\n").ok());
+}
+
+TEST(Dimacs, CnfRoundTripPreservesSolutionCount) {
+  Rng rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Cnf cnf = RandomKCnf(10, 20, 3, rng);
+    const auto parsed = ParseDimacsCnf(ToDimacs(cnf));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(ExactCountEnum(parsed.value()), ExactCountEnum(cnf));
+  }
+}
+
+TEST(Dimacs, DnfRoundTripPreservesSolutionCount) {
+  Rng rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Dnf dnf = RandomDnf(10, 8, 1, 5, rng);
+    const auto parsed = ParseDimacsDnf(ToDimacs(dnf));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(ExactCountEnum(parsed.value()), ExactCountEnum(dnf));
+  }
+}
+
+TEST(Dimacs, StatusMessagesAreInformative) {
+  const auto r = ParseDimacsCnf("p qbf 1 1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+  EXPECT_NE(r.status().ToString().find("ParseError"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mcf0

@@ -1,0 +1,124 @@
+// Tests for distributed DNF counting (§4): estimates against exact counts
+// for all three protocols, partition invariance, and communication-ledger
+// behavior (bits grow with k; Minimum's payload dominated by 3n-bit
+// values; the k = 1 degenerate case).
+#include "distributed/distributed_dnf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/exact_count.hpp"
+#include "formula/random_gen.hpp"
+
+namespace mcf0 {
+namespace {
+
+DistributedParams FastParams(uint64_t seed) {
+  DistributedParams p;
+  p.eps = 0.8;
+  p.delta = 0.2;
+  p.rows_override = 11;
+  p.seed = seed;
+  return p;
+}
+
+TEST(PartitionDnf, RoundRobinPreservesTerms) {
+  Rng rng(3);
+  const Dnf dnf = RandomDnf(10, 13, 2, 4, rng);
+  const auto sites = PartitionDnf(dnf, 4);
+  ASSERT_EQ(sites.size(), 4u);
+  int total = 0;
+  for (const Dnf& s : sites) total += s.num_terms();
+  EXPECT_EQ(total, 13);
+  EXPECT_EQ(sites[0].num_terms(), 4);  // terms 0, 4, 8, 12
+  EXPECT_EQ(sites[3].num_terms(), 3);
+}
+
+struct DistCase {
+  int k;
+  uint64_t seed;
+};
+
+class DistributedSweep : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(DistributedSweep, AllThreeProtocolsWithinBand) {
+  const DistCase param = GetParam();
+  Rng rng(param.seed);
+  const Dnf dnf = RandomDnf(14, 3 * param.k, 2, 6, rng);
+  const double exact = static_cast<double>(ExactCountEnum(dnf));
+  const auto sites = PartitionDnf(dnf, param.k);
+  const DistributedParams params = FastParams(param.seed ^ 0x77);
+
+  const auto bucketing = DistributedBucketingDnf(sites, params);
+  EXPECT_GE(bucketing.estimate, exact / 2.6);
+  EXPECT_LE(bucketing.estimate, exact * 2.6);
+  EXPECT_GT(bucketing.comm.total_bits(), 0u);
+
+  const auto minimum = DistributedMinimumDnf(sites, params);
+  EXPECT_GE(minimum.estimate, exact / 2.6);
+  EXPECT_LE(minimum.estimate, exact * 2.6);
+  EXPECT_GT(minimum.comm.total_bits(), 0u);
+
+  const auto estimation = DistributedEstimationDnf(sites, params);
+  // Estimation concentrates more slowly at this row count; wider band.
+  EXPECT_GE(estimation.estimate, exact / 4.0);
+  EXPECT_LE(estimation.estimate, exact * 4.0);
+  EXPECT_GT(estimation.comm.total_bits(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(SiteCounts, DistributedSweep,
+                         ::testing::Values(DistCase{1, 1}, DistCase{3, 2},
+                                           DistCase{6, 3}),
+                         [](const auto& info) {
+                           std::string name = "k";
+                           name += std::to_string(info.param.k);
+                           return name;
+                         });
+
+TEST(Distributed, EstimateInvariantToPartitionArity) {
+  // The same formula split across different site counts estimates the same
+  // quantity (within band): the union is partition-independent.
+  Rng rng(7);
+  const Dnf dnf = RandomDnf(14, 12, 2, 5, rng);
+  const double exact = static_cast<double>(ExactCountEnum(dnf));
+  for (const int k : {1, 2, 4, 12}) {
+    const auto got =
+        DistributedMinimumDnf(PartitionDnf(dnf, k), FastParams(99));
+    EXPECT_GE(got.estimate, exact / 2.6) << "k=" << k;
+    EXPECT_LE(got.estimate, exact * 2.6) << "k=" << k;
+  }
+}
+
+TEST(Distributed, CommunicationGrowsWithSites) {
+  Rng rng(11);
+  const Dnf dnf = RandomDnf(14, 24, 2, 5, rng);
+  const DistributedParams params = FastParams(5);
+  const auto small = DistributedMinimumDnf(PartitionDnf(dnf, 2), params);
+  const auto large = DistributedMinimumDnf(PartitionDnf(dnf, 12), params);
+  // Hash-shipping cost is k * t * Theta(n); payload also grows with k.
+  EXPECT_GT(large.comm.bits_to_sites, small.comm.bits_to_sites);
+  EXPECT_GT(large.comm.total_bits(), small.comm.total_bits());
+}
+
+TEST(Distributed, EmptySitesEstimateZero) {
+  const std::vector<Dnf> sites(3, Dnf(10));
+  const DistributedParams params = FastParams(13);
+  EXPECT_EQ(DistributedBucketingDnf(sites, params).estimate, 0.0);
+  EXPECT_EQ(DistributedMinimumDnf(sites, params).estimate, 0.0);
+  EXPECT_EQ(DistributedEstimationDnf(sites, params).estimate, 0.0);
+}
+
+TEST(Distributed, MinimumPayloadBoundedByThreshPerSiteRow) {
+  Rng rng(17);
+  const Dnf dnf = RandomDnf(12, 8, 1, 4, rng);
+  const int k = 4;
+  const DistributedParams params = FastParams(19);
+  const auto got = DistributedMinimumDnf(PartitionDnf(dnf, k), params);
+  // Each of k sites sends at most thresh values of 3n bits per row.
+  const uint64_t bound = static_cast<uint64_t>(k) * got.rows * got.thresh *
+                         (3ull * 12);
+  EXPECT_LE(got.comm.bits_from_sites, bound);
+}
+
+}  // namespace
+}  // namespace mcf0

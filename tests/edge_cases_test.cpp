@@ -1,0 +1,175 @@
+// Cross-module edge cases and failure injection: degenerate formulas,
+// boundary hash levels, exhausted enumerations, extreme ranges, and the
+// interplay of saturation caps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/approx_count_min.hpp"
+#include "core/approxmc.hpp"
+#include "core/exact_count.hpp"
+#include "formula/random_gen.hpp"
+#include "oracle/bounded_sat.hpp"
+#include "oracle/find_max_range.hpp"
+#include "oracle/find_min.hpp"
+#include "setstream/range_to_dnf.hpp"
+#include "setstream/structured_f0.hpp"
+
+namespace mcf0 {
+namespace {
+
+TEST(EdgeCases, FullUniverseDnf) {
+  // A DNF with an empty term accepts everything: count = 2^n exactly at
+  // the top cell level.
+  Dnf dnf(10);
+  dnf.AddTerm(*Term::Make({}));
+  EXPECT_EQ(ExactCountEnum(dnf), 1024u);
+  CountingParams params;
+  params.rows_override = 9;
+  params.seed = 3;
+  const CountResult got = ApproxMcDnf(dnf, params);
+  EXPECT_GE(got.estimate, 1024.0 / 2.0);
+  EXPECT_LE(got.estimate, 1024.0 * 2.0);
+}
+
+TEST(EdgeCases, BoundedSatAtFullHashDepth) {
+  // m = n: each cell is an affine point set; count is 0 or tiny.
+  Rng rng(5);
+  const Dnf dnf = RandomDnf(10, 4, 2, 5, rng);
+  const AffineHash h = AffineHash::SampleToeplitz(10, 10, rng);
+  const auto result = BoundedSatDnf(dnf, h, 10, 1000);
+  for (const BitVec& x : result.solutions) {
+    EXPECT_TRUE(dnf.Eval(x));
+    EXPECT_TRUE(h.Eval(x).IsZero());
+  }
+  // Cross-check against brute force.
+  uint64_t expect = 0;
+  BitVec x(10);
+  for (uint64_t v = 0; v < 1024; ++v) {
+    if (dnf.Eval(x) && h.Eval(x).IsZero()) ++expect;
+    x.Increment();
+  }
+  EXPECT_EQ(result.count(), expect);
+}
+
+TEST(EdgeCases, FindMinExhaustsSmallImages) {
+  // p far larger than |h(Sol)|: FindMin returns the whole image, sorted.
+  Dnf dnf(8);
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(1, false), Lit(2, false),
+                           Lit(3, false), Lit(4, false), Lit(5, false)}));
+  Rng rng(7);
+  const AffineHash h = AffineHash::SampleToeplitz(8, 24, rng);
+  const auto mins = FindMinDnf(dnf, h, 1000000);
+  EXPECT_LE(mins.size(), 4u);  // at most 2^2 solutions
+  EXPECT_TRUE(std::is_sorted(mins.begin(), mins.end()));
+}
+
+TEST(EdgeCases, FindMaxRangeOnSingleton) {
+  // One solution: the max trailing-zero count is that solution's.
+  Dnf dnf(12);
+  std::vector<Lit> lits;
+  for (int v = 0; v < 12; ++v) lits.emplace_back(v, v % 3 != 0);
+  dnf.AddTerm(*Term::Make(std::move(lits)));
+  ASSERT_EQ(ExactCountEnum(dnf), 1u);
+  Rng rng(11);
+  const AffineHash h = AffineHash::SampleXor(12, 12, rng);
+  BitVec solution(12);
+  for (int v = 0; v < 12; ++v) solution.Set(v, v % 3 == 0);
+  EXPECT_EQ(FindMaxRangeDnf(dnf, h), h.Eval(solution).TrailingZeros());
+}
+
+TEST(EdgeCases, SingleVariableFormulas) {
+  Dnf dnf(1);
+  dnf.AddTerm(*Term::Make({Lit(0, false)}));
+  EXPECT_EQ(ExactCountEnum(dnf), 1u);
+  CountingParams params;
+  params.rows_override = 5;
+  params.seed = 13;
+  EXPECT_DOUBLE_EQ(ApproxMcDnf(dnf, params).estimate, 1.0);
+  EXPECT_DOUBLE_EQ(ApproxCountMinDnf(dnf, params).estimate, 1.0);
+}
+
+TEST(EdgeCases, RangeOfSinglePointPerDimension) {
+  MultiDimRange r(3, 8);
+  r.SetDim(0, DimRange{7, 7, 0});
+  r.SetDim(1, DimRange{0, 0, 0});
+  r.SetDim(2, DimRange{255, 255, 0});
+  const Dnf dnf = RangeToDnf(r);
+  EXPECT_EQ(dnf.num_terms(), 1);
+  EXPECT_EQ(ExactCountEnum(dnf), 1u);
+}
+
+TEST(EdgeCases, ApStepLargerThanSpan) {
+  // [5, 7] with step 4: only 5 qualifies (5 mod 4 preserved).
+  const auto terms = RangeDimensionTerms(5, 7, 2, 6, 0);
+  uint64_t members = 0;
+  for (uint64_t v = 0; v < 64; ++v) {
+    const BitVec x = BitVec::FromU64(v, 6);
+    for (const Term& t : terms) {
+      if (t.Eval(x)) {
+        ++members;
+        EXPECT_EQ(v, 5u);
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(members, 1u);
+}
+
+TEST(EdgeCases, StructuredF0SaturationAtFullDepth) {
+  // More distinct elements than 2^n / thresh can separate: bucketing level
+  // hits n and the estimate saturates but stays finite.
+  StructuredF0Params p;
+  p.n = 6;
+  p.thresh_override = 4;
+  p.rows_override = 5;
+  p.algorithm = StructuredF0Algorithm::kBucketing;
+  p.seed = 17;
+  StructuredF0 est(p);
+  Dnf everything(6);
+  everything.AddTerm(*Term::Make({}));
+  est.AddDnf(everything);
+  EXPECT_GT(est.Estimate(), 0.0);
+  EXPECT_TRUE(std::isfinite(est.Estimate()));
+}
+
+TEST(EdgeCases, MinimumSketchDuplicatedHashValues) {
+  // Feeding the same hashed value repeatedly keeps the sketch a set.
+  Rng rng(19);
+  MinimumSketchRow row(AffineHash::SampleToeplitz(8, 24, rng), 10);
+  const BitVec v = BitVec::Random(24, rng);
+  for (int i = 0; i < 100; ++i) row.AddHashed(v);
+  EXPECT_EQ(row.values().size(), 1u);
+  EXPECT_DOUBLE_EQ(row.Estimate(), 1.0);
+}
+
+TEST(EdgeCases, WideTermNarrowUniverse) {
+  // Term fixing every variable: exactly one solution; all oracle
+  // subroutines agree.
+  const int n = 16;
+  std::vector<Lit> lits;
+  for (int v = 0; v < n; ++v) lits.emplace_back(v, v % 2 == 0);
+  Dnf dnf(n);
+  dnf.AddTerm(*Term::Make(std::move(lits)));
+  Rng rng(23);
+  const AffineHash h3 = AffineHash::SampleToeplitz(n, 3 * n, rng);
+  const auto mins = FindMinDnf(dnf, h3, 5);
+  ASSERT_EQ(mins.size(), 1u);
+  BitVec solution(n);
+  for (int v = 0; v < n; ++v) solution.Set(v, v % 2 != 0);
+  EXPECT_EQ(mins[0], h3.Eval(solution));
+}
+
+TEST(EdgeCases, ZeroClauseCnfCountsFullUniverse) {
+  const Cnf cnf(12);
+  CountingParams params;
+  params.rows_override = 9;
+  params.seed = 29;
+  const CountResult got = ApproxMcCnf(cnf, params);
+  EXPECT_GE(got.estimate, 4096.0 / 2.0);
+  EXPECT_LE(got.estimate, 4096.0 * 2.0);
+}
+
+}  // namespace
+}  // namespace mcf0

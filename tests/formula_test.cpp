@@ -1,0 +1,138 @@
+// Tests for the formula layer: term construction invariants, evaluation,
+// De Morgan bridges, and random generator contracts.
+#include "formula/formula.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/exact_count.hpp"
+#include "formula/random_gen.hpp"
+
+namespace mcf0 {
+namespace {
+
+TEST(Term, MakeSortsAndDeduplicates) {
+  auto t = Term::Make({Lit(3, false), Lit(1, true), Lit(3, false)});
+  ASSERT_TRUE(t.has_value());
+  ASSERT_EQ(t->Width(), 2);
+  EXPECT_EQ(t->lits()[0].var, 1);
+  EXPECT_EQ(t->lits()[1].var, 3);
+}
+
+TEST(Term, MakeRejectsContradiction) {
+  EXPECT_FALSE(Term::Make({Lit(2, false), Lit(2, true)}).has_value());
+}
+
+TEST(Term, EmptyTermIsTautology) {
+  auto t = Term::Make({});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->Eval(BitVec(4)));
+  EXPECT_TRUE(t->Eval(BitVec::Ones(4)));
+}
+
+TEST(Term, EvalAndFixedValue) {
+  // x0 AND NOT x2.
+  auto t = Term::Make({Lit(0, false), Lit(2, true)});
+  ASSERT_TRUE(t.has_value());
+  EXPECT_TRUE(t->Eval(BitVec::FromString("100")));
+  EXPECT_TRUE(t->Eval(BitVec::FromString("110")));
+  EXPECT_FALSE(t->Eval(BitVec::FromString("101")));
+  EXPECT_FALSE(t->Eval(BitVec::FromString("000")));
+  EXPECT_EQ(t->FixedValue(0), std::optional<bool>(true));
+  EXPECT_EQ(t->FixedValue(2), std::optional<bool>(false));
+  EXPECT_EQ(t->FixedValue(1), std::nullopt);
+}
+
+TEST(Clause, EvalIsDisjunction) {
+  const Clause c({Lit(0, false), Lit(1, true)});  // x0 or not x1
+  EXPECT_TRUE(c.Eval(BitVec::FromString("10")));
+  EXPECT_TRUE(c.Eval(BitVec::FromString("00")));
+  EXPECT_FALSE(c.Eval(BitVec::FromString("01")));
+}
+
+TEST(Dnf, EvalIsDisjunctionOfTerms) {
+  Dnf dnf(3);
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(1, false)}));  // x0 x1
+  dnf.AddTerm(*Term::Make({Lit(2, false)}));                 // x2
+  EXPECT_TRUE(dnf.Eval(BitVec::FromString("110")));
+  EXPECT_TRUE(dnf.Eval(BitVec::FromString("001")));
+  EXPECT_FALSE(dnf.Eval(BitVec::FromString("100")));
+  EXPECT_FALSE(dnf.Eval(BitVec::FromString("000")));
+}
+
+TEST(Dnf, EmptyDnfIsUnsatisfiable) {
+  const Dnf dnf(4);
+  EXPECT_EQ(ExactCountEnum(dnf), 0u);
+}
+
+TEST(Cnf, EmptyCnfIsTautology) {
+  const Cnf cnf(4);
+  EXPECT_EQ(ExactCountEnum(cnf), 16u);
+}
+
+TEST(NegationBridges, ComplementCounts) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Dnf dnf = RandomDnf(8, 4, 1, 4, rng);
+    const Cnf neg = NegateDnf(dnf);
+    EXPECT_EQ(ExactCountEnum(dnf) + ExactCountEnum(neg), 256u);
+    // Double negation restores the solution set.
+    const Dnf back = NegateCnf(neg);
+    EXPECT_EQ(ExactCountEnum(back), ExactCountEnum(dnf));
+  }
+}
+
+TEST(RandomGen, RandomTermHasExactWidthAndDistinctVars) {
+  Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const Term t = RandomTerm(20, 5, rng);
+    EXPECT_EQ(t.Width(), 5);
+    for (size_t i = 1; i < t.lits().size(); ++i) {
+      EXPECT_LT(t.lits()[i - 1].var, t.lits()[i].var);
+    }
+  }
+}
+
+TEST(RandomGen, RandomKCnfShape) {
+  Rng rng(11);
+  const Cnf cnf = RandomKCnf(15, 40, 3, rng);
+  EXPECT_EQ(cnf.num_vars(), 15);
+  EXPECT_EQ(cnf.num_clauses(), 40);
+  for (const Clause& c : cnf.clauses()) EXPECT_EQ(c.Width(), 3);
+}
+
+TEST(RandomGen, RandomDnfWidthsInRange) {
+  Rng rng(13);
+  const Dnf dnf = RandomDnf(20, 50, 2, 6, rng);
+  EXPECT_EQ(dnf.num_terms(), 50);
+  for (const Term& t : dnf.terms()) {
+    EXPECT_GE(t.Width(), 2);
+    EXPECT_LE(t.Width(), 6);
+  }
+}
+
+TEST(ExactCount, IncExcMatchesEnumeration) {
+  Rng rng(17);
+  for (int trial = 0; trial < 25; ++trial) {
+    const Dnf dnf = RandomDnf(12, 1 + static_cast<int>(rng.NextBelow(8)), 1, 6, rng);
+    EXPECT_EQ(ExactDnfCountIncExc(dnf), static_cast<double>(ExactCountEnum(dnf)));
+  }
+}
+
+TEST(ExactCount, IncExcSingleTerm) {
+  Dnf dnf(10);
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(5, true), Lit(9, false)}));
+  EXPECT_EQ(ExactDnfCountIncExc(dnf), 128.0);  // 2^(10-3)
+}
+
+TEST(ExactCount, IncExcWideUniverse) {
+  // n = 100 is far beyond enumeration; a single width-1 term has 2^99.
+  Dnf dnf(100);
+  dnf.AddTerm(*Term::Make({Lit(0, false)}));
+  EXPECT_DOUBLE_EQ(ExactDnfCountIncExc(dnf), std::pow(2.0, 99));
+}
+
+}  // namespace
+}  // namespace mcf0

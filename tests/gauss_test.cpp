@@ -1,0 +1,130 @@
+// Tests for incremental Gaussian elimination: solutions verified by
+// substitution, kernels verified as complete solution-space parametrizations
+// against exhaustive enumeration.
+#include "gf2/gauss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "common/rng.hpp"
+
+namespace mcf0 {
+namespace {
+
+TEST(Gf2Eliminator, DetectsInconsistency) {
+  Gf2Eliminator elim(3);
+  BitVec row = BitVec::FromString("101");
+  EXPECT_EQ(elim.AddEquation(row, false), AddResult::kIndependent);
+  EXPECT_EQ(elim.AddEquation(row, false), AddResult::kRedundant);
+  EXPECT_EQ(elim.AddEquation(row, true), AddResult::kInconsistent);
+  EXPECT_FALSE(elim.consistent());
+  EXPECT_FALSE(elim.Solve().has_value());
+}
+
+TEST(Gf2Eliminator, TestEquationDoesNotMutate) {
+  Gf2Eliminator elim(4);
+  const BitVec row = BitVec::FromString("1100");
+  EXPECT_EQ(elim.TestEquation(row, true), AddResult::kIndependent);
+  EXPECT_EQ(elim.rank(), 0);
+  elim.AddEquation(row, true);
+  EXPECT_EQ(elim.TestEquation(row, true), AddResult::kRedundant);
+  EXPECT_EQ(elim.TestEquation(row, false), AddResult::kInconsistent);
+  EXPECT_EQ(elim.rank(), 1);
+  EXPECT_TRUE(elim.consistent());
+}
+
+TEST(Gf2Eliminator, SolveSatisfiesAllEquations) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int ncols = 2 + static_cast<int>(rng.NextBelow(18));
+    const int neqs = 1 + static_cast<int>(rng.NextBelow(14));
+    // Build a guaranteed-consistent system: pick a planted solution.
+    const BitVec planted = BitVec::Random(ncols, rng);
+    Gf2Eliminator elim(ncols);
+    std::vector<std::pair<BitVec, bool>> eqs;
+    for (int e = 0; e < neqs; ++e) {
+      BitVec row = BitVec::Random(ncols, rng);
+      const bool rhs = row.DotF2(planted);
+      eqs.emplace_back(row, rhs);
+      EXPECT_NE(elim.AddEquation(row, rhs), AddResult::kInconsistent);
+    }
+    const auto sol = elim.Solve();
+    ASSERT_TRUE(sol.has_value());
+    for (const auto& [row, rhs] : eqs) EXPECT_EQ(row.DotF2(*sol), rhs);
+  }
+}
+
+TEST(Gf2Eliminator, KernelVectorsSatisfyHomogeneousSystem) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int ncols = 3 + static_cast<int>(rng.NextBelow(15));
+    const Gf2Matrix a =
+        Gf2Matrix::Random(1 + static_cast<int>(rng.NextBelow(10)), ncols, rng);
+    Gf2Eliminator elim(ncols);
+    for (int i = 0; i < a.rows(); ++i) elim.AddEquation(a.Row(i), false);
+    const Gf2Matrix kernel = elim.KernelBasisColumns();
+    EXPECT_EQ(kernel.cols(), ncols - elim.rank());
+    for (int c = 0; c < kernel.cols(); ++c) {
+      BitVec v(ncols);
+      for (int r = 0; r < ncols; ++r) {
+        if (kernel.Get(r, c)) v.Set(r, true);
+      }
+      for (int i = 0; i < a.rows(); ++i) EXPECT_FALSE(a.Row(i).DotF2(v));
+    }
+  }
+}
+
+TEST(SolveLinearSystem, InconsistentReturnsNullopt) {
+  Gf2Matrix a(2, 3);
+  a.Set(0, 0, true);
+  a.Set(1, 0, true);
+  BitVec b(2);
+  b.Set(0, true);  // x0 = 1 and x0 = 0
+  EXPECT_FALSE(SolveLinearSystem(a, b).has_value());
+}
+
+TEST(SolveLinearSystem, ParametrizationCoversExactSolutionSet) {
+  // {x0 + K t} must equal the brute-force solution set.
+  Rng rng(7);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBelow(9));  // <= 10 vars
+    const int m = 1 + static_cast<int>(rng.NextBelow(6));
+    const Gf2Matrix a = Gf2Matrix::Random(m, n, rng);
+    const BitVec b = BitVec::Random(m, rng);
+
+    std::unordered_set<BitVec> brute;
+    BitVec x(n);
+    for (uint64_t v = 0; v < (1ull << n); ++v) {
+      if ((a.Mul(x) ^ b).IsZero()) brute.insert(x);
+      x.Increment();
+    }
+
+    const auto sol = SolveLinearSystem(a, b);
+    if (brute.empty()) {
+      EXPECT_FALSE(sol.has_value());
+      continue;
+    }
+    ASSERT_TRUE(sol.has_value());
+    const int dim = sol->kernel.cols();
+    EXPECT_EQ(brute.size(), 1ull << dim);
+    std::unordered_set<BitVec> made;
+    BitVec t(dim);
+    for (uint64_t v = 0; v < (1ull << dim); ++v) {
+      made.insert(sol->kernel.Mul(t) ^ sol->x0);
+      t.Increment();
+    }
+    EXPECT_EQ(made, brute);
+  }
+}
+
+TEST(SolveLinearSystem, EmptySystemIsFullSpace) {
+  const Gf2Matrix a(0, 5);
+  const auto sol = SolveLinearSystem(a, BitVec(0));
+  ASSERT_TRUE(sol.has_value());
+  EXPECT_EQ(sol->kernel.cols(), 5);
+  EXPECT_EQ(sol->rank, 0);
+}
+
+}  // namespace
+}  // namespace mcf0

@@ -1,0 +1,145 @@
+// Tests for Gf2Matrix: algebraic identities and brute-force cross-checks.
+#include "gf2/gf2_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace mcf0 {
+namespace {
+
+TEST(Gf2Matrix, IdentityMulIsIdentityMap) {
+  Rng rng(3);
+  const Gf2Matrix id = Gf2Matrix::Identity(40);
+  for (int trial = 0; trial < 10; ++trial) {
+    const BitVec x = BitVec::Random(40, rng);
+    EXPECT_EQ(id.Mul(x), x);
+  }
+}
+
+TEST(Gf2Matrix, MulMatchesBitwiseReference) {
+  Rng rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int rows = 1 + static_cast<int>(rng.NextBelow(20));
+    const int cols = 1 + static_cast<int>(rng.NextBelow(70));
+    const Gf2Matrix a = Gf2Matrix::Random(rows, cols, rng);
+    const BitVec x = BitVec::Random(cols, rng);
+    const BitVec y = a.Mul(x);
+    for (int i = 0; i < rows; ++i) {
+      bool expect = false;
+      for (int j = 0; j < cols; ++j) expect ^= a.Get(i, j) && x.Get(j);
+      EXPECT_EQ(y.Get(i), expect);
+    }
+  }
+}
+
+TEST(Gf2Matrix, MulAffineAddsOffset) {
+  Rng rng(7);
+  const Gf2Matrix a = Gf2Matrix::Random(12, 20, rng);
+  const BitVec x = BitVec::Random(20, rng);
+  const BitVec b = BitVec::Random(12, rng);
+  EXPECT_EQ(a.MulAffine(x, b), a.Mul(x) ^ b);
+}
+
+TEST(Gf2Matrix, MulMatrixAssociatesWithMulVector) {
+  // (A * B) x == A (B x) — checked over random instances.
+  Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Gf2Matrix a = Gf2Matrix::Random(8, 12, rng);
+    const Gf2Matrix b = Gf2Matrix::Random(12, 9, rng);
+    const Gf2Matrix ab = a.MulMatrix(b);
+    EXPECT_EQ(ab.rows(), 8);
+    EXPECT_EQ(ab.cols(), 9);
+    const BitVec x = BitVec::Random(9, rng);
+    EXPECT_EQ(ab.Mul(x), a.Mul(b.Mul(x)));
+  }
+}
+
+TEST(Gf2Matrix, TransposeInvolution) {
+  Rng rng(13);
+  const Gf2Matrix a = Gf2Matrix::Random(15, 33, rng);
+  EXPECT_EQ(a.Transposed().Transposed(), a);
+}
+
+TEST(Gf2Matrix, TransposeEntries) {
+  Rng rng(17);
+  const Gf2Matrix a = Gf2Matrix::Random(6, 10, rng);
+  const Gf2Matrix t = a.Transposed();
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 10; ++j) EXPECT_EQ(a.Get(i, j), t.Get(j, i));
+  }
+}
+
+TEST(Gf2Matrix, PrefixRowsAndRowSlice) {
+  Rng rng(19);
+  const Gf2Matrix a = Gf2Matrix::Random(9, 14, rng);
+  const Gf2Matrix p = a.PrefixRows(4);
+  EXPECT_EQ(p.rows(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(p.Row(i), a.Row(i));
+  const Gf2Matrix s = a.RowSlice(3, 7);
+  EXPECT_EQ(s.rows(), 4);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(s.Row(i), a.Row(i + 3));
+}
+
+TEST(Gf2Matrix, StackBelow) {
+  Rng rng(23);
+  const Gf2Matrix a = Gf2Matrix::Random(3, 8, rng);
+  const Gf2Matrix b = Gf2Matrix::Random(5, 8, rng);
+  const Gf2Matrix s = a.StackBelow(b);
+  EXPECT_EQ(s.rows(), 8);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(s.Row(i), a.Row(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(s.Row(3 + i), b.Row(i));
+}
+
+TEST(Gf2Matrix, SelectColumns) {
+  Rng rng(29);
+  const Gf2Matrix a = Gf2Matrix::Random(7, 12, rng);
+  const std::vector<int> keep = {0, 3, 11, 5};
+  const Gf2Matrix s = a.SelectColumns(keep);
+  EXPECT_EQ(s.cols(), 4);
+  for (int i = 0; i < 7; ++i) {
+    for (size_t jj = 0; jj < keep.size(); ++jj) {
+      EXPECT_EQ(s.Get(i, static_cast<int>(jj)), a.Get(i, keep[jj]));
+    }
+  }
+}
+
+TEST(Gf2Matrix, RankIdentityAndZero) {
+  EXPECT_EQ(Gf2Matrix::Identity(17).Rank(), 17);
+  EXPECT_EQ(Gf2Matrix(5, 9).Rank(), 0);
+}
+
+TEST(Gf2Matrix, RankDuplicateRows) {
+  Rng rng(31);
+  BitVec row = BitVec::Random(20, rng);
+  Gf2Matrix m(0, 20);
+  m.AppendRow(row);
+  m.AppendRow(row);
+  m.AppendRow(row ^ row);  // zero row
+  EXPECT_EQ(m.Rank(), 1);
+}
+
+TEST(Gf2Matrix, RankBoundedByMinDim) {
+  Rng rng(37);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int rows = 1 + static_cast<int>(rng.NextBelow(12));
+    const int cols = 1 + static_cast<int>(rng.NextBelow(12));
+    const Gf2Matrix a = Gf2Matrix::Random(rows, cols, rng);
+    const int r = a.Rank();
+    EXPECT_LE(r, std::min(rows, cols));
+    EXPECT_GE(r, 0);
+  }
+}
+
+TEST(Gf2Matrix, RandomSparseDensity) {
+  Rng rng(41);
+  const Gf2Matrix sparse = Gf2Matrix::RandomSparse(100, 100, 0.05, rng);
+  int ones = 0;
+  for (int i = 0; i < 100; ++i) ones += sparse.Row(i).Popcount();
+  // 10000 entries at density 0.05: expect ~500; allow wide slack.
+  EXPECT_GT(ones, 300);
+  EXPECT_LT(ones, 800);
+}
+
+}  // namespace
+}  // namespace mcf0

@@ -1,0 +1,102 @@
+// Tests for the Karp-Luby Monte Carlo baseline: accuracy on known counts,
+// both the fixed-N and DKLR stopping-rule policies, and edge cases.
+#include "core/karp_luby.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/exact_count.hpp"
+#include "formula/random_gen.hpp"
+
+namespace mcf0 {
+namespace {
+
+TEST(KarpLuby, EmptyDnfCountsZero) {
+  const Dnf dnf(8);
+  Rng rng(1);
+  EXPECT_EQ(KarpLubyFixed(dnf, 0.5, 0.2, rng).estimate, 0.0);
+  EXPECT_EQ(KarpLubyStopping(dnf, 0.5, 0.2, rng).estimate, 0.0);
+}
+
+TEST(KarpLuby, SingleTermIsExactInExpectationAndTight) {
+  // One term: every sample is canonical, so the estimate is exactly U.
+  Dnf dnf(10);
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(3, true)}));
+  Rng rng(3);
+  const auto fixed = KarpLubyFixed(dnf, 0.3, 0.1, rng);
+  EXPECT_DOUBLE_EQ(fixed.estimate, 256.0);  // 2^8
+}
+
+TEST(KarpLuby, DisjointTermsExact) {
+  // Disjoint terms: canonical checks never fail, estimate = U = exact.
+  Dnf dnf(10);
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(1, false)}));   // 11xxxxxxxx
+  dnf.AddTerm(*Term::Make({Lit(0, true), Lit(1, true)}));     // 00xxxxxxxx
+  Rng rng(5);
+  const auto got = KarpLubyFixed(dnf, 0.3, 0.1, rng);
+  EXPECT_DOUBLE_EQ(got.estimate, 512.0);
+}
+
+struct KlCase {
+  int n;
+  int terms;
+  uint64_t seed;
+};
+
+class KarpLubySweep : public ::testing::TestWithParam<KlCase> {};
+
+TEST_P(KarpLubySweep, FixedWithinBand) {
+  const KlCase param = GetParam();
+  Rng gen_rng(param.seed);
+  const Dnf dnf = RandomDnf(param.n, param.terms, 2, 6, gen_rng);
+  const double exact = static_cast<double>(ExactCountEnum(dnf));
+  Rng mc_rng(param.seed ^ 0xBEEF);
+  const auto got = KarpLubyFixed(dnf, 0.3, 0.05, mc_rng);
+  EXPECT_GT(got.samples, 0u);
+  EXPECT_GE(got.estimate, exact / 1.6);
+  EXPECT_LE(got.estimate, exact * 1.6);
+}
+
+TEST_P(KarpLubySweep, StoppingRuleWithinBand) {
+  const KlCase param = GetParam();
+  Rng gen_rng(param.seed);
+  const Dnf dnf = RandomDnf(param.n, param.terms, 2, 6, gen_rng);
+  const double exact = static_cast<double>(ExactCountEnum(dnf));
+  Rng mc_rng(param.seed ^ 0xF00D);
+  const auto got = KarpLubyStopping(dnf, 0.3, 0.05, mc_rng);
+  EXPECT_GT(got.samples, 0u);
+  EXPECT_GE(got.estimate, exact / 1.6);
+  EXPECT_LE(got.estimate, exact * 1.6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, KarpLubySweep,
+                         ::testing::Values(KlCase{12, 5, 101},
+                                           KlCase{14, 10, 102},
+                                           KlCase{16, 20, 103}),
+                         [](const auto& info) {
+                           std::string name = "n";
+                           name += std::to_string(info.param.n);
+                           name += 'k';
+                           name += std::to_string(info.param.terms);
+                           return name;
+                         });
+
+TEST(KarpLuby, StoppingRuleAdaptsSampleCountToOverlap) {
+  // Heavily overlapping terms (low success probability) need more samples
+  // than disjoint ones at the same (eps, delta).
+  Dnf overlapping(14);
+  for (int i = 0; i < 12; ++i) {
+    // All terms share variable 0: heavy overlap.
+    overlapping.AddTerm(*Term::Make({Lit(0, false), Lit(1 + i, false)}));
+  }
+  Dnf disjoint(14);
+  disjoint.AddTerm(*Term::Make({Lit(0, false), Lit(1, false)}));
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const auto many = KarpLubyStopping(overlapping, 0.3, 0.1, rng_a);
+  const auto few = KarpLubyStopping(disjoint, 0.3, 0.1, rng_b);
+  EXPECT_GT(many.samples, few.samples);
+}
+
+}  // namespace
+}  // namespace mcf0

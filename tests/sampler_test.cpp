@@ -1,0 +1,89 @@
+// Tests for the near-uniform solution sampler (§6 direction): every sample
+// satisfies the formula; the empirical distribution over a small solution
+// set is flat within a constant factor; unsatisfiable formulas yield none.
+#include "core/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "core/exact_count.hpp"
+#include "formula/random_gen.hpp"
+
+namespace mcf0 {
+namespace {
+
+TEST(Sampler, UnsatisfiableYieldsNothing) {
+  const Dnf dnf(8);  // no terms
+  SamplerParams params;
+  params.seed = 3;
+  EXPECT_FALSE(SampleSolutionDnf(dnf, params).has_value());
+}
+
+TEST(Sampler, AllSamplesAreSolutions) {
+  Rng rng(5);
+  const Dnf dnf = RandomDnf(14, 5, 2, 6, rng);
+  SamplerParams params;
+  params.seed = 7;
+  const auto samples = SampleSolutionsDnf(dnf, 50, params);
+  EXPECT_GE(samples.size(), 45u);  // retries may rarely exhaust
+  for (const BitVec& x : samples) EXPECT_TRUE(dnf.Eval(x));
+}
+
+TEST(Sampler, SingleSolutionFormulaAlwaysReturnsIt) {
+  Dnf dnf(10);
+  std::vector<Lit> lits;
+  for (int v = 0; v < 10; ++v) lits.emplace_back(v, v % 2 == 0);
+  dnf.AddTerm(*Term::Make(std::move(lits)));
+  ASSERT_EQ(ExactCountEnum(dnf), 1u);
+  SamplerParams params;
+  params.seed = 11;
+  for (int i = 0; i < 5; ++i) {
+    params.seed = 11 + i;
+    const auto sample = SampleSolutionDnf(dnf, params);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_TRUE(dnf.Eval(*sample));
+  }
+}
+
+TEST(Sampler, EmpiricalDistributionIsNearUniform) {
+  // 12 solutions (three disjoint cubes of 4); over many samples every
+  // solution should appear with frequency within a small constant factor
+  // of uniform. Bounds are deliberately loose to avoid flakes.
+  Dnf dnf(8);
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(1, false), Lit(2, false),
+                           Lit(3, false), Lit(4, false), Lit(5, false)}));
+  dnf.AddTerm(*Term::Make({Lit(0, true), Lit(1, false), Lit(2, false),
+                           Lit(3, false), Lit(4, false), Lit(5, false)}));
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(1, true), Lit(2, false),
+                           Lit(3, false), Lit(4, false), Lit(5, false)}));
+  const uint64_t solution_count = ExactCountEnum(dnf);
+  ASSERT_EQ(solution_count, 12u);
+  SamplerParams params;
+  params.seed = 13;
+  const int kSamples = 1200;
+  const auto samples = SampleSolutionsDnf(dnf, kSamples, params);
+  ASSERT_GE(samples.size(), static_cast<size_t>(kSamples) * 9 / 10);
+  std::map<BitVec, int> freq;
+  for (const BitVec& x : samples) freq[x]++;
+  EXPECT_EQ(freq.size(), solution_count);  // every solution appears
+  const double expect = static_cast<double>(samples.size()) / 12.0;
+  for (const auto& [x, count] : freq) {
+    EXPECT_GT(count, expect / 4.0) << x.ToString();
+    EXPECT_LT(count, expect * 4.0) << x.ToString();
+  }
+}
+
+TEST(Sampler, LargeSolutionSpaceStillSamples) {
+  Dnf dnf(24);
+  dnf.AddTerm(*Term::Make({Lit(0, false)}));  // 2^23 solutions
+  SamplerParams params;
+  params.seed = 17;
+  const auto sample = SampleSolutionDnf(dnf, params);
+  ASSERT_TRUE(sample.has_value());
+  EXPECT_TRUE(dnf.Eval(*sample));
+}
+
+}  // namespace
+}  // namespace mcf0

@@ -1,0 +1,386 @@
+// Tests for the CDCL(XOR) solver: SAT/UNSAT decisions and model validity
+// are cross-checked against brute force over randomized sweeps of CNF,
+// CNF+XOR, and pure-XOR instances; assumptions, incremental use, and the
+// Tseitin encoding are exercised separately.
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/exact_count.hpp"
+#include "formula/formula.hpp"
+#include "formula/random_gen.hpp"
+#include "gf2/gauss.hpp"
+#include "oracle/cnf_oracle.hpp"
+#include "sat/tseitin.hpp"
+
+namespace mcf0 {
+namespace {
+
+using sat::LBool;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+/// Loads a CNF into a solver.
+void Load(Solver* solver, const Cnf& cnf) {
+  solver->EnsureVars(cnf.num_vars());
+  for (const Clause& c : cnf.clauses()) {
+    std::vector<Lit> lits;
+    for (const auto& l : c.lits()) lits.emplace_back(l.var, l.neg);
+    solver->AddClause(std::move(lits));
+  }
+}
+
+/// Brute-force satisfiability of cnf plus optional XOR constraints.
+bool BruteSat(const Cnf& cnf, const std::vector<XorConstraint>& xors = {}) {
+  const int n = cnf.num_vars();
+  BitVec x(n);
+  for (uint64_t v = 0; v < (1ull << n); ++v) {
+    bool ok = cnf.Eval(x);
+    for (const auto& xc : xors) {
+      if (!ok) break;
+      ok = (xc.row.DotF2(x) == xc.rhs);
+    }
+    if (ok) return true;
+    x.Increment();
+  }
+  return false;
+}
+
+TEST(Solver, TrivialSatAndModel) {
+  Solver s;
+  const Var a = s.NewVar();
+  const Var b = s.NewVar();
+  s.AddClause({Lit(a, false)});
+  s.AddClause({Lit(a, true), Lit(b, true)});
+  ASSERT_EQ(s.Solve(), LBool::kTrue);
+  EXPECT_TRUE(s.ModelValue(a));
+  EXPECT_FALSE(s.ModelValue(b));
+}
+
+TEST(Solver, TrivialUnsat) {
+  Solver s;
+  const Var a = s.NewVar();
+  s.AddClause({Lit(a, false)});
+  EXPECT_FALSE(s.AddClause({Lit(a, true)}));
+  EXPECT_EQ(s.Solve(), LBool::kFalse);
+}
+
+TEST(Solver, EmptyClauseIsUnsat) {
+  Solver s;
+  s.NewVar();
+  EXPECT_FALSE(s.AddClause({}));
+  EXPECT_EQ(s.Solve(), LBool::kFalse);
+}
+
+TEST(Solver, TautologicalClauseIgnored) {
+  Solver s;
+  const Var a = s.NewVar();
+  EXPECT_TRUE(s.AddClause({Lit(a, false), Lit(a, true)}));
+  EXPECT_EQ(s.Solve(), LBool::kTrue);
+}
+
+TEST(Solver, NoClausesIsSat) {
+  Solver s;
+  s.EnsureVars(5);
+  EXPECT_EQ(s.Solve(), LBool::kTrue);
+}
+
+struct SweepCase {
+  int n;
+  int clauses;
+  int k;
+  uint64_t seed;
+};
+
+class RandomCnfSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(RandomCnfSweep, DecisionMatchesBruteForceAndModelsAreValid) {
+  const SweepCase param = GetParam();
+  Rng rng(param.seed);
+  int sat_seen = 0;
+  int unsat_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    const Cnf cnf = RandomKCnf(param.n, param.clauses, param.k, rng);
+    Solver s;
+    Load(&s, cnf);
+    const LBool got = s.Solve();
+    const bool expect = BruteSat(cnf);
+    ASSERT_EQ(got == LBool::kTrue, expect) << "trial " << trial;
+    if (expect) {
+      ++sat_seen;
+      EXPECT_TRUE(cnf.Eval(s.ModelBits(param.n)));
+    } else {
+      ++unsat_seen;
+    }
+  }
+  // The densities below are chosen to see both outcomes.
+  EXPECT_GT(sat_seen + unsat_seen, 0);
+
+  SUCCEED() << "sat=" << sat_seen << " unsat=" << unsat_seen;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, RandomCnfSweep,
+    ::testing::Values(SweepCase{8, 20, 3, 1}, SweepCase{10, 44, 3, 2},
+                      SweepCase{12, 52, 3, 3}, SweepCase{9, 40, 2, 4},
+                      SweepCase{14, 30, 3, 5}, SweepCase{10, 25, 4, 6}),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      std::string name = "n";
+      name += std::to_string(info.param.n);
+      name += 'm';
+      name += std::to_string(info.param.clauses);
+      name += 'k';
+      name += std::to_string(info.param.k);
+      return name;
+    });
+
+TEST(SolverXor, SingleXorForcesParity) {
+  Solver s;
+  s.EnsureVars(3);
+  s.AddXorClause({0, 1, 2}, true);
+  ASSERT_EQ(s.Solve(), LBool::kTrue);
+  const BitVec m = s.ModelBits(3);
+  EXPECT_EQ(m.Popcount() % 2, 1);
+}
+
+TEST(SolverXor, ContradictoryXorsAreUnsat) {
+  Solver s;
+  s.EnsureVars(2);
+  s.AddXorClause({0, 1}, true);
+  s.AddXorClause({0, 1}, false);
+  EXPECT_EQ(s.Solve(), LBool::kFalse);
+}
+
+TEST(SolverXor, DuplicateVarsCancel) {
+  Solver s;
+  s.EnsureVars(2);
+  // x0 ^ x0 ^ x1 = 1 reduces to x1 = 1.
+  s.AddXorClause({0, 0, 1}, true);
+  ASSERT_EQ(s.Solve(), LBool::kTrue);
+  EXPECT_TRUE(s.ModelValue(1));
+}
+
+TEST(SolverXor, EmptyXorRhsTrueIsUnsat) {
+  Solver s;
+  s.EnsureVars(1);
+  EXPECT_FALSE(s.AddXorClause({0, 0}, true));
+  EXPECT_EQ(s.Solve(), LBool::kFalse);
+}
+
+TEST(SolverXor, XorSystemMatchesGaussianElimination) {
+  // Random linear systems: solver agrees with linear algebra on
+  // satisfiability, and models satisfy every equation.
+  Rng rng(31);
+  for (int trial = 0; trial < 60; ++trial) {
+    const int n = 3 + static_cast<int>(rng.NextBelow(12));
+    const int rows = 1 + static_cast<int>(rng.NextBelow(n + 3));
+    const Gf2Matrix a = Gf2Matrix::Random(rows, n, rng);
+    const BitVec b = BitVec::Random(rows, rng);
+    Solver s;
+    s.EnsureVars(n);
+    for (int i = 0; i < rows; ++i) {
+      std::vector<Var> vars;
+      for (int j = 0; j < n; ++j) {
+        if (a.Get(i, j)) vars.push_back(j);
+      }
+      s.AddXorClause(std::move(vars), b.Get(i));
+    }
+    const bool expect = SolveLinearSystem(a, b).has_value();
+    ASSERT_EQ(s.Solve() == LBool::kTrue, expect);
+    if (expect) {
+      const BitVec m = s.ModelBits(n);
+      EXPECT_EQ(a.Mul(m), b);
+    }
+  }
+}
+
+TEST(SolverXor, CnfPlusXorMatchesBruteForce) {
+  Rng rng(37);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int n = 6 + static_cast<int>(rng.NextBelow(6));
+    const Cnf cnf = RandomKCnf(n, 2 * n, 3, rng);
+    const int xors = 1 + static_cast<int>(rng.NextBelow(4));
+    std::vector<XorConstraint> constraints;
+    for (int i = 0; i < xors; ++i) {
+      constraints.push_back(
+          XorConstraint{BitVec::Random(n, rng), rng.NextBool()});
+    }
+    Solver s;
+    Load(&s, cnf);
+    for (const auto& xc : constraints) {
+      std::vector<Var> vars;
+      for (int j = 0; j < n; ++j) {
+        if (xc.row.Get(j)) vars.push_back(j);
+      }
+      s.AddXorClause(std::move(vars), xc.rhs);
+    }
+    const bool expect = BruteSat(cnf, constraints);
+    ASSERT_EQ(s.Solve() == LBool::kTrue, expect);
+    if (expect) {
+      const BitVec m = s.ModelBits(n);
+      EXPECT_TRUE(cnf.Eval(m));
+      for (const auto& xc : constraints) EXPECT_EQ(xc.row.DotF2(m), xc.rhs);
+    }
+  }
+}
+
+TEST(SolverXor, LongXorChainsPropagate) {
+  // A chain x0^x1=1, x1^x2=1, ... forces alternating values from x0.
+  Solver s;
+  const int n = 40;
+  s.EnsureVars(n);
+  for (int i = 0; i + 1 < n; ++i) s.AddXorClause({i, i + 1}, true);
+  s.AddClause({Lit(0, true)});  // x0 = 0
+  ASSERT_EQ(s.Solve(), LBool::kTrue);
+  for (int i = 0; i < n; ++i) EXPECT_EQ(s.ModelValue(i), i % 2 == 1);
+  EXPECT_GT(s.stats().xor_propagations, 0u);
+}
+
+TEST(Tseitin, EncodingPreservesSatisfiability) {
+  Rng rng(41);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int n = 4 + static_cast<int>(rng.NextBelow(8));
+    const BitVec row = BitVec::Random(n, rng);
+    const bool rhs = rng.NextBool();
+    const Cnf cnf = RandomKCnf(n, n, 3, rng);
+    // Native XOR solver.
+    Solver native;
+    Load(&native, cnf);
+    std::vector<Var> vars;
+    for (int j = 0; j < n; ++j) {
+      if (row.Get(j)) vars.push_back(j);
+    }
+    native.AddXorClause(vars, rhs);
+    // Tseitin-encoded solver.
+    Solver encoded;
+    Load(&encoded, cnf);
+    sat::AddXorAsCnf(&encoded, vars, rhs);
+    ASSERT_EQ(native.Solve() == LBool::kTrue, encoded.Solve() == LBool::kTrue);
+  }
+}
+
+TEST(Tseitin, ModelProjectionSatisfiesXor) {
+  Rng rng(43);
+  const int n = 12;
+  const BitVec row = BitVec::Random(n, rng);
+  Solver s;
+  s.EnsureVars(n);
+  std::vector<Var> vars;
+  for (int j = 0; j < n; ++j) {
+    if (row.Get(j)) vars.push_back(j);
+  }
+  ASSERT_GE(vars.size(), 2u);
+  sat::AddXorAsCnf(&s, vars, true);
+  ASSERT_EQ(s.Solve(), LBool::kTrue);
+  bool parity = false;
+  for (const Var v : vars) parity ^= s.ModelValue(v);
+  EXPECT_TRUE(parity);
+}
+
+TEST(Solver, AssumptionsRestrictAndRelease) {
+  Solver s;
+  const Var a = s.NewVar();
+  const Var b = s.NewVar();
+  s.AddClause({Lit(a, false), Lit(b, false)});  // a or b
+  // Assume not a, not b: unsat under assumptions.
+  EXPECT_EQ(s.Solve({Lit(a, true), Lit(b, true)}), LBool::kFalse);
+  // Solver remains usable without assumptions.
+  EXPECT_EQ(s.Solve(), LBool::kTrue);
+  // Assume not a: forces b.
+  ASSERT_EQ(s.Solve({Lit(a, true)}), LBool::kTrue);
+  EXPECT_TRUE(s.ModelValue(b));
+}
+
+TEST(Solver, AssumptionsMatchBruteForceSweep) {
+  Rng rng(47);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 8;
+    const Cnf cnf = RandomKCnf(n, 20, 3, rng);
+    const int fixed = 1 + static_cast<int>(rng.NextBelow(3));
+    std::vector<Lit> assumptions;
+    Cnf restricted = cnf;
+    for (int i = 0; i < fixed; ++i) {
+      const int v = static_cast<int>(rng.NextBelow(n));
+      const bool neg = rng.NextBool();
+      assumptions.emplace_back(v, neg);
+      restricted.AddClause(Clause({mcf0::Lit(v, neg)}));
+    }
+    Solver s;
+    Load(&s, cnf);
+    EXPECT_EQ(s.Solve(assumptions) == LBool::kTrue, BruteSat(restricted));
+  }
+}
+
+TEST(Solver, IncrementalBlockingClausesEnumerateAllModels) {
+  Rng rng(53);
+  for (int trial = 0; trial < 15; ++trial) {
+    const int n = 7;
+    const Cnf cnf = RandomKCnf(n, 12, 3, rng);
+    const uint64_t exact = ExactCountEnum(cnf);
+    Solver s;
+    Load(&s, cnf);
+    uint64_t found = 0;
+    while (s.Solve() == LBool::kTrue) {
+      const BitVec m = s.ModelBits(n);
+      EXPECT_TRUE(cnf.Eval(m));
+      ++found;
+      ASSERT_LE(found, exact) << "duplicate model enumerated";
+      std::vector<Lit> block;
+      for (int j = 0; j < n; ++j) block.emplace_back(j, m.Get(j));
+      if (!s.AddClause(std::move(block))) break;
+    }
+    EXPECT_EQ(found, exact);
+  }
+}
+
+TEST(Solver, ConflictBudgetReturnsUndef) {
+  // A hard-ish random instance with a tiny budget must return kUndef.
+  Rng rng(59);
+  const Cnf cnf = RandomKCnf(40, 170, 3, rng);
+  Solver s;
+  Load(&s, cnf);
+  s.SetConflictBudget(1);
+  const LBool r = s.Solve();
+  // Either it solved within one conflict or it gave up; both acceptable,
+  // but the call must terminate and leave the solver reusable.
+  if (r == LBool::kUndef) {
+    s.SetConflictBudget(-1);
+    EXPECT_NE(s.Solve(), LBool::kUndef);
+  }
+}
+
+TEST(Solver, StatsAccumulate) {
+  Rng rng(61);
+  const Cnf cnf = RandomKCnf(20, 85, 3, rng);
+  Solver s;
+  Load(&s, cnf);
+  s.Solve();
+  EXPECT_GT(s.stats().decisions + s.stats().propagations, 0u);
+}
+
+TEST(Solver, PigeonholePrincipleUnsat) {
+  // PHP(4,3): 4 pigeons, 3 holes — classic UNSAT requiring real search.
+  const int pigeons = 4;
+  const int holes = 3;
+  Solver s;
+  s.EnsureVars(pigeons * holes);
+  auto var = [&](int p, int h) { return p * holes + h; };
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<Lit> clause;
+    for (int h = 0; h < holes; ++h) clause.emplace_back(var(p, h), false);
+    s.AddClause(std::move(clause));
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.AddClause({Lit(var(p1, h), true), Lit(var(p2, h), true)});
+      }
+    }
+  }
+  EXPECT_EQ(s.Solve(), LBool::kFalse);
+}
+
+}  // namespace
+}  // namespace mcf0

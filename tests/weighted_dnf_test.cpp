@@ -1,0 +1,106 @@
+// Tests for the weighted #DNF -> multidimensional ranges reduction (§5).
+#include "setstream/weighted_dnf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "formula/random_gen.hpp"
+
+namespace mcf0 {
+namespace {
+
+std::vector<VarWeight> UniformWeights(int n, uint64_t k, int m) {
+  return std::vector<VarWeight>(n, VarWeight{k, m});
+}
+
+TEST(ExactWeightedDnf, HalfWeightsReduceToCountScaling) {
+  // rho = 1/2 for every variable: W(phi) = |Sol(phi)| / 2^n.
+  Rng rng(3);
+  const Dnf dnf = RandomDnf(10, 4, 2, 4, rng);
+  const double w = ExactWeightedDnf(dnf, UniformWeights(10, 1, 1));
+  double count = 0;
+  BitVec x(10);
+  for (uint64_t v = 0; v < 1024; ++v) {
+    count += dnf.Eval(x);
+    x.Increment();
+  }
+  EXPECT_NEAR(w, count / 1024.0, 1e-12);
+}
+
+TEST(ExactWeightedDnf, SingleTermProductForm) {
+  // W(x0 and not x1) = rho0 * (1 - rho1).
+  Dnf dnf(2);
+  dnf.AddTerm(*Term::Make({Lit(0, false), Lit(1, true)}));
+  const std::vector<VarWeight> weights = {{3, 2}, {1, 3}};  // 3/4 and 1/8
+  EXPECT_NEAR(ExactWeightedDnf(dnf, weights), 0.75 * 0.875, 1e-12);
+}
+
+TEST(TermToWeightRange, VolumeEncodesTermWeight) {
+  // The range volume divided by 2^{sum m_i} equals the term's weight.
+  Dnf dnf(3);
+  const Term term = *Term::Make({Lit(0, false), Lit(2, true)});
+  const std::vector<VarWeight> weights = {{5, 3}, {1, 2}, {3, 4}};
+  const MultiDimRange range = TermToWeightRange(term, 3, weights);
+  const double total_bits = 3 + 2 + 4;
+  // weight = (5/8) * 1 * (1 - 3/16).
+  EXPECT_NEAR(range.Volume() / std::pow(2.0, total_bits),
+              (5.0 / 8.0) * (13.0 / 16.0), 1e-12);
+}
+
+TEST(TermToWeightRange, MembershipMatchesLiteralSemantics) {
+  const Term term = *Term::Make({Lit(0, false), Lit(1, true)});
+  const std::vector<VarWeight> weights = {{2, 2}, {2, 2}};
+  const MultiDimRange range = TermToWeightRange(term, 2, weights);
+  // x0 true -> coord0 in [0, 1]; x1 false -> coord1 in [2, 3].
+  EXPECT_TRUE(range.Contains({0, 2}));
+  EXPECT_TRUE(range.Contains({1, 3}));
+  EXPECT_FALSE(range.Contains({2, 2}));
+  EXPECT_FALSE(range.Contains({0, 1}));
+}
+
+struct WeightedCase {
+  int n;
+  int terms;
+  uint64_t seed;
+};
+
+class WeightedSweep : public ::testing::TestWithParam<WeightedCase> {};
+
+TEST_P(WeightedSweep, ReductionEstimateMatchesExactWeight) {
+  const WeightedCase param = GetParam();
+  Rng rng(param.seed);
+  const Dnf dnf = RandomDnf(param.n, param.terms, 2, 4, rng);
+  std::vector<VarWeight> weights;
+  for (int i = 0; i < param.n; ++i) {
+    const int m = 1 + static_cast<int>(rng.NextBelow(3));
+    const uint64_t k = 1 + rng.NextBelow((1ull << m) - 1);
+    weights.push_back(VarWeight{k, m});
+  }
+  const double exact = ExactWeightedDnf(dnf, weights);
+  StructuredF0Params params;
+  params.eps = 0.6;
+  params.delta = 0.2;
+  params.rows_override = 15;
+  params.seed = param.seed ^ 0xABC;
+  const double got = WeightedDnfViaRanges(dnf, weights, params);
+  ASSERT_GT(exact, 0.0);
+  EXPECT_GE(got, exact / 2.3);
+  EXPECT_LE(got, exact * 2.3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, WeightedSweep,
+                         ::testing::Values(WeightedCase{6, 3, 51},
+                                           WeightedCase{8, 4, 52},
+                                           WeightedCase{10, 5, 53}),
+                         [](const auto& info) {
+                           std::string name = "n";
+                           name += std::to_string(info.param.n);
+                           name += 'k';
+                           name += std::to_string(info.param.terms);
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace mcf0
