@@ -10,7 +10,8 @@
 
 namespace mcf0 {
 
-[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr) {
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
   std::fprintf(stderr, "MCF0_CHECK failed at %s:%d: %s\n", file, line, expr);
   std::abort();
 }

@@ -70,7 +70,9 @@ class Rng {
   }
 
   /// Uniform double in [0, 1).
-  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
 
   /// Derives an independent child generator; used to hand each trial /
   /// site / hash function its own stream.

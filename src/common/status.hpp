@@ -69,7 +69,8 @@ class Status {
   }
 
  private:
-  Status(StatusCode code, std::string msg) : code_(code), message_(std::move(msg)) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
 
   StatusCode code_ = StatusCode::kOk;
   std::string message_;
@@ -80,9 +81,11 @@ template <typename T>
 class Result {
  public:
   /// Implicit construction from a value (success).
-  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  // NOLINT(google-explicit-constructor)
+  Result(T value) : data_(std::move(value)) {}
   /// Implicit construction from a non-OK status (error).
-  Result(Status status) : data_(std::move(status)) {  // NOLINT(google-explicit-constructor)
+  // NOLINT(google-explicit-constructor)
+  Result(Status status) : data_(std::move(status)) {
     MCF0_CHECK(!std::get<Status>(data_).ok());
   }
 

@@ -48,7 +48,9 @@ CountResult ApproxCountEstCnf(const Cnf& cnf, const CountingParams& params,
   oracle.SetUseTseitin(params.use_tseitin);
   CountResult result =
       EstDriver(cnf.num_vars(), params, r,
-                [&](const AffineHash& h) { return FindMaxRangeCnf(oracle, h); });
+                [&](const AffineHash& h) {
+                  return FindMaxRangeCnf(oracle, h);
+                });
   result.oracle_calls = oracle.num_calls();
   return result;
 }
@@ -85,7 +87,8 @@ double FlajoletMartinCountDnf(const Dnf& dnf, int rows, uint64_t seed) {
   return Median(std::move(estimates));
 }
 
-CountResult ApproxCountEstAutoCnf(const Cnf& cnf, const CountingParams& params) {
+CountResult ApproxCountEstAutoCnf(const Cnf& cnf,
+                                  const CountingParams& params) {
   CnfOracle oracle(cnf);
   oracle.SetUseTseitin(params.use_tseitin);
   const int fm_rows = std::max(1, CountingRows(params) / 2);
@@ -101,14 +104,18 @@ CountResult ApproxCountEstAutoCnf(const Cnf& cnf, const CountingParams& params) 
   const int r = DeriveR(rough, cnf.num_vars());
   CountResult result =
       EstDriver(cnf.num_vars(), params, r,
-                [&](const AffineHash& h) { return FindMaxRangeCnf(oracle, h); });
+                [&](const AffineHash& h) {
+                  return FindMaxRangeCnf(oracle, h);
+                });
   result.oracle_calls = oracle.num_calls();
   return result;
 }
 
-CountResult ApproxCountEstAutoDnf(const Dnf& dnf, const CountingParams& params) {
+CountResult ApproxCountEstAutoDnf(const Dnf& dnf,
+                                  const CountingParams& params) {
   const int fm_rows = std::max(1, CountingRows(params) / 2);
-  const double rough = FlajoletMartinCountDnf(dnf, fm_rows, params.seed ^ 0x9E37);
+  const double rough =
+      FlajoletMartinCountDnf(dnf, fm_rows, params.seed ^ 0x9E37);
   if (rough < 1.0) {
     CountResult empty;
     empty.thresh = CountingThresh(params);

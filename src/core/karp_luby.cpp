@@ -53,7 +53,8 @@ class KarpLubySampler {
 
 }  // namespace
 
-KarpLubyResult KarpLubyFixed(const Dnf& dnf, double eps, double delta, Rng& rng) {
+KarpLubyResult KarpLubyFixed(const Dnf& dnf, double eps, double delta,
+                             Rng& rng) {
   KarpLubyResult result;
   KarpLubySampler sampler(dnf);
   if (!sampler.has_terms()) return result;

@@ -31,7 +31,8 @@ struct KarpLubyResult {
 };
 
 /// Fixed-sample-size Karp-Luby (multiplicative Chernoff sizing).
-KarpLubyResult KarpLubyFixed(const Dnf& dnf, double eps, double delta, Rng& rng);
+KarpLubyResult KarpLubyFixed(const Dnf& dnf, double eps, double delta,
+                             Rng& rng);
 
 /// DKLR optimal-stopping Karp-Luby.
 KarpLubyResult KarpLubyStopping(const Dnf& dnf, double eps, double delta,

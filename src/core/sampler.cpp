@@ -43,7 +43,8 @@ std::optional<BitVec> SampleSolutionDnf(const Dnf& dnf,
     if (sample.has_value()) return sample;
     // Saturated cells mean m was too shallow; empty cells too deep. Nudge
     // alternately — the rough count can be off by the eps band.
-    m = std::min(dnf.num_vars(), std::max(0, m + ((attempt % 2 == 0) ? 1 : -1)));
+    m = std::min(dnf.num_vars(),
+                 std::max(0, m + ((attempt % 2 == 0) ? 1 : -1)));
   }
   return std::nullopt;
 }

@@ -78,7 +78,8 @@ DistributedResult DistributedBucketingDnf(const std::vector<Dnf>& sites,
   const uint64_t max_tuples = k * result.rows * result.thresh;
   const int fp_bits = std::min(
       64, 2 * CeilLog2(std::max<uint64_t>(2, max_tuples)) +
-              CeilLog2(static_cast<uint64_t>(std::ceil(2.0 / params.delta))) + 1);
+              CeilLog2(static_cast<uint64_t>(std::ceil(2.0 / params.delta))) +
+                  1);
   const AffineHash g = AffineHash::SampleXor(n, fp_bits, rng);
 
   std::vector<double> row_estimates;

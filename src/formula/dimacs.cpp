@@ -26,7 +26,8 @@ Status ScanDimacs(const std::string& text, const std::string& kind,
         return Status::ParseError("malformed problem line");
       }
       if (fmt != kind) {
-        return Status::ParseError("expected 'p " + kind + "', got 'p " + fmt + "'");
+        return Status::ParseError("expected 'p " + kind + "', got 'p " + fmt +
+                                  "'");
       }
       if (*num_vars < 0 || *declared_groups < 0) {
         return Status::ParseError("negative counts in problem line");
@@ -99,7 +100,9 @@ std::string ToDimacs(const Cnf& cnf) {
   std::ostringstream out;
   out << "p cnf " << cnf.num_vars() << ' ' << cnf.num_clauses() << '\n';
   for (const Clause& c : cnf.clauses()) {
-    for (const Lit& l : c.lits()) out << (l.neg ? -(l.var + 1) : l.var + 1) << ' ';
+    for (const Lit& l : c.lits()) {
+      out << (l.neg ? -(l.var + 1) : l.var + 1) << ' ';
+    }
     out << "0\n";
   }
   return out.str();
@@ -109,7 +112,9 @@ std::string ToDimacs(const Dnf& dnf) {
   std::ostringstream out;
   out << "p dnf " << dnf.num_vars() << ' ' << dnf.num_terms() << '\n';
   for (const Term& t : dnf.terms()) {
-    for (const Lit& l : t.lits()) out << (l.neg ? -(l.var + 1) : l.var + 1) << ' ';
+    for (const Lit& l : t.lits()) {
+      out << (l.neg ? -(l.var + 1) : l.var + 1) << ' ';
+    }
     out << "0\n";
   }
   return out.str();

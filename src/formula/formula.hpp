@@ -91,7 +91,9 @@ class Clause {
 /// DNF formula: T_1 or T_2 or ... or T_k over n variables.
 class Dnf {
  public:
-  explicit Dnf(int num_vars) : num_vars_(num_vars) { MCF0_CHECK(num_vars >= 0); }
+  explicit Dnf(int num_vars) : num_vars_(num_vars) {
+    MCF0_CHECK(num_vars >= 0);
+  }
 
   void AddTerm(Term t);
 
@@ -115,7 +117,9 @@ class Dnf {
 /// CNF formula: C_1 and C_2 and ... and C_m over n variables.
 class Cnf {
  public:
-  explicit Cnf(int num_vars) : num_vars_(num_vars) { MCF0_CHECK(num_vars >= 0); }
+  explicit Cnf(int num_vars) : num_vars_(num_vars) {
+    MCF0_CHECK(num_vars >= 0);
+  }
 
   void AddClause(Clause c);
 

@@ -52,7 +52,8 @@ Cnf RandomKCnf(int num_vars, int num_clauses, int k, Rng& rng) {
   return cnf;
 }
 
-Dnf RandomDnf(int num_vars, int num_terms, int min_width, int max_width, Rng& rng) {
+Dnf RandomDnf(int num_vars, int num_terms, int min_width, int max_width,
+              Rng& rng) {
   MCF0_CHECK(1 <= min_width && min_width <= max_width && max_width <= num_vars);
   Dnf dnf(num_vars);
   for (int i = 0; i < num_terms; ++i) {

@@ -17,7 +17,8 @@ Cnf RandomKCnf(int num_vars, int num_clauses, int k, Rng& rng);
 /// [min_width, max_width] and that many distinct variables, signs uniform.
 /// This is the workload family of the paper's #DNF experiments (monotone
 /// terms of moderate width produce counts spread over many magnitudes).
-Dnf RandomDnf(int num_vars, int num_terms, int min_width, int max_width, Rng& rng);
+Dnf RandomDnf(int num_vars, int num_terms, int min_width, int max_width,
+              Rng& rng);
 
 /// Random term of exactly `width` distinct variables.
 Term RandomTerm(int num_vars, int width, Rng& rng);

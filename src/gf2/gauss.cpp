@@ -38,7 +38,8 @@ AddResult Gf2Eliminator::AddEquation(const BitVec& row, bool rhs) {
     }
   }
   // Insert keeping pivot columns sorted (makes Solve/Kernel deterministic).
-  const auto pos = std::lower_bound(pivot_cols_.begin(), pivot_cols_.end(), pivot);
+  const auto pos =
+      std::lower_bound(pivot_cols_.begin(), pivot_cols_.end(), pivot);
   const size_t idx = static_cast<size_t>(pos - pivot_cols_.begin());
   pivot_cols_.insert(pos, pivot);
   rows_.insert(rows_.begin() + idx, std::move(r));

@@ -22,7 +22,8 @@ Gf2Matrix Gf2Matrix::Random(int rows, int cols, Rng& rng) {
   return m;
 }
 
-Gf2Matrix Gf2Matrix::RandomSparse(int rows, int cols, double density, Rng& rng) {
+Gf2Matrix Gf2Matrix::RandomSparse(int rows, int cols, double density,
+                                  Rng& rng) {
   Gf2Matrix m(rows, cols);
   for (int i = 0; i < rows; ++i) {
     for (int j = 0; j < cols; ++j) {

@@ -26,7 +26,8 @@ BitVec ToeplitzMatrix::Mul(const BitVec& x) const {
   MCF0_CHECK(x.size() == cols_);
   BitVec y(rows_);
   for (int i = 0; i < rows_; ++i) {
-    // Row i dot x: walk the seed window [i - cols + 1 + (cols-1) .. i + cols - 1].
+    // Row i dot x: walk the seed window
+    // [i - cols + 1 + (cols-1) .. i + cols - 1].
     bool acc = false;
     for (int j = 0; j < cols_; ++j) {
       acc ^= Get(i, j) && x.Get(j);

@@ -181,7 +181,8 @@ uint64_t Gf2Field::Pow(uint64_t a, uint64_t e) const {
   return result;
 }
 
-PolynomialHash::PolynomialHash(const Gf2Field* field, std::vector<uint64_t> coeffs)
+PolynomialHash::PolynomialHash(const Gf2Field* field,
+                               std::vector<uint64_t> coeffs)
     : field_(field), coeffs_(std::move(coeffs)) {
   MCF0_CHECK(field_ != nullptr);
   MCF0_CHECK(!coeffs_.empty());

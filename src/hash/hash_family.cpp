@@ -11,7 +11,8 @@ AffineHash AffineHash::SampleToeplitz(int n, int m, Rng& rng) {
   // Densify once: downstream consumers (prefix slices, affine composition,
   // XOR clause extraction) all need row access; the Theta(n+m) seed size is
   // what we report as the representation cost.
-  const size_t repr = static_cast<size_t>(t.SeedBits()) + static_cast<size_t>(m);
+  const size_t repr =
+      static_cast<size_t>(t.SeedBits()) + static_cast<size_t>(m);
   return AffineHash(t.ToDense(), std::move(b), AffineHashKind::kToeplitz, repr);
 }
 
@@ -24,19 +25,22 @@ AffineHash AffineHash::SampleXor(int n, int m, Rng& rng) {
   return AffineHash(std::move(a), std::move(b), AffineHashKind::kXor, repr);
 }
 
-AffineHash AffineHash::SampleSparseXor(int n, int m, double row_density, Rng& rng) {
+AffineHash AffineHash::SampleSparseXor(int n, int m, double row_density,
+                                       Rng& rng) {
   MCF0_CHECK(n >= 1 && m >= 1);
   MCF0_CHECK(row_density > 0.0 && row_density <= 1.0);
   Gf2Matrix a = Gf2Matrix::RandomSparse(m, n, row_density, rng);
   BitVec b = BitVec::Random(m, rng);
   const size_t repr = static_cast<size_t>(m) * static_cast<size_t>(n) +
                       static_cast<size_t>(m);
-  return AffineHash(std::move(a), std::move(b), AffineHashKind::kSparseXor, repr);
+  return AffineHash(std::move(a), std::move(b), AffineHashKind::kSparseXor,
+                    repr);
 }
 
 AffineHash AffineHash::FromParts(Gf2Matrix a, BitVec b, AffineHashKind kind) {
   MCF0_CHECK(b.size() == a.rows());
-  const size_t repr = static_cast<size_t>(a.rows()) * static_cast<size_t>(a.cols()) +
+  const size_t repr = static_cast<size_t>(a.rows()) *
+                          static_cast<size_t>(a.cols()) +
                       static_cast<size_t>(a.rows());
   return AffineHash(std::move(a), std::move(b), kind, repr);
 }

@@ -72,7 +72,10 @@ class AffineHash {
 
  private:
   AffineHash(Gf2Matrix a, BitVec b, AffineHashKind kind, size_t repr_bits)
-      : a_(std::move(a)), b_(std::move(b)), kind_(kind), repr_bits_(repr_bits) {}
+      : a_(std::move(a)),
+        b_(std::move(b)),
+        kind_(kind),
+        repr_bits_(repr_bits) {}
 
   Gf2Matrix a_;
   BitVec b_;

@@ -16,7 +16,8 @@ std::vector<XorConstraint> HashPrefixConstraints(const AffineHash& h, int m) {
   return xors;
 }
 
-std::vector<XorConstraint> HashSuffixZeroConstraints(const AffineHash& h, int t) {
+std::vector<XorConstraint> HashSuffixZeroConstraints(const AffineHash& h,
+                                                     int t) {
   MCF0_CHECK(t >= 0 && t <= h.m());
   std::vector<XorConstraint> xors;
   xors.reserve(t);

@@ -33,7 +33,8 @@ std::vector<XorConstraint> HashPrefixConstraints(const AffineHash& h, int m);
 
 /// Extracts the XOR constraints expressing "h(x) has >= t trailing zeros":
 /// the last t rows of A with right-hand sides from b.
-std::vector<XorConstraint> HashSuffixZeroConstraints(const AffineHash& h, int t);
+std::vector<XorConstraint> HashSuffixZeroConstraints(const AffineHash& h,
+                                                     int t);
 
 /// Counted NP oracle over a fixed CNF formula; see file comment.
 class CnfOracle {

@@ -23,7 +23,8 @@ AffineImage TermImageUnderHash(const Term& term, int num_vars,
   return AffineImage(h.A().SelectColumns(free_vars), h.Eval(fixed));
 }
 
-std::vector<BitVec> FindMinDnf(const Dnf& dnf, const AffineHash& h, uint64_t p) {
+std::vector<BitVec> FindMinDnf(const Dnf& dnf, const AffineHash& h,
+                               uint64_t p) {
   std::vector<AffineImage> images;
   images.reserve(dnf.num_terms());
   for (const Term& t : dnf.terms()) {
@@ -118,7 +119,8 @@ std::vector<BitVec> FindMinCnf(CnfOracle& oracle, const AffineHash& h,
       candidate = candidate.Concat(one);
       auto wit = QueryPrefix(oracle, h, candidate);
       if (wit.has_value()) {
-        mins.push_back(ExtendMin(oracle, h, std::move(candidate), std::move(*wit)));
+        mins.push_back(
+            ExtendMin(oracle, h, std::move(candidate), std::move(*wit)));
         found = true;
       }
     }

@@ -166,7 +166,9 @@ class Solver {
   void CancelUntil(int level);
   int DecisionLevel() const { return static_cast<int>(trail_lim_.size()); }
   Lit PickBranchLit();
-  void NewDecisionLevel() { trail_lim_.push_back(static_cast<int>(trail_.size())); }
+  void NewDecisionLevel() {
+    trail_lim_.push_back(static_cast<int>(trail_.size()));
+  }
 
   void VarBumpActivity(Var v);
   void VarDecayActivity() { var_inc_ /= kVarDecay; }

@@ -9,7 +9,8 @@ namespace mcf0 {
 namespace {
 
 /// Packs per-dimension coordinates into the Lemma 4 variable layout.
-BitVec PackPoint(const MultiDimRange& range, const std::vector<uint64_t>& point) {
+BitVec PackPoint(const MultiDimRange& range,
+                 const std::vector<uint64_t>& point) {
   BitVec x(range.TotalBits());
   int offset = 0;
   for (int j = 0; j < range.dims(); ++j) {

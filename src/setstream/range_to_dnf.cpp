@@ -41,7 +41,8 @@ std::vector<Term> RangeDimensionTerms(uint64_t lo, uint64_t hi, int log2_step,
   // aligned cubes from both ends. At most 2 * nbits cubes.
   uint64_t a = lo;
   const uint64_t b_plus = hi + 1;  // work half-open [a, b_plus)
-  const uint64_t low_value = lo & ((log2_step > 0) ? ((1ull << log2_step) - 1) : 0);
+  const uint64_t low_value =
+      lo & ((log2_step > 0) ? ((1ull << log2_step) - 1) : 0);
   while (a < b_plus) {
     // Largest aligned cube starting at a that fits in [a, b_plus):
     // size 2^j with j bounded by the alignment of a and by the remainder.

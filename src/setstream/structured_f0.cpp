@@ -43,7 +43,9 @@ StructuredF0::StructuredF0(const StructuredF0Params& params)
           AffineHash::SampleToeplitz(params.n, 3 * params.n, rng), thresh_);
     } else {
       bucket_rows_.push_back(
-          BucketRow{AffineHash::SampleToeplitz(params.n, params.n, rng), 0, {}});
+          BucketRow{AffineHash::SampleToeplitz(params.n, params.n, rng),
+                    0,
+                    {}});
     }
   }
 }

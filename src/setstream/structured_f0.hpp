@@ -86,7 +86,9 @@ class StructuredF0 {
   size_t SpaceBits() const;
 
   uint64_t thresh() const { return thresh_; }
-  int rows() const { return static_cast<int>(min_rows_.size() + bucket_rows_.size()); }
+  int rows() const {
+    return static_cast<int>(min_rows_.size() + bucket_rows_.size());
+  }
 
  private:
   struct BucketRow {

@@ -47,7 +47,8 @@ MultiDimRange TermToWeightRange(const Term& term, int num_vars,
   return range;
 }
 
-double WeightedDnfViaRanges(const Dnf& dnf, const std::vector<VarWeight>& weights,
+double WeightedDnfViaRanges(const Dnf& dnf,
+                            const std::vector<VarWeight>& weights,
                             StructuredF0Params params) {
   int total_bits = 0;
   for (const VarWeight& w : weights) total_bits += w.m;

@@ -36,7 +36,8 @@ MultiDimRange TermToWeightRange(const Term& term, int num_vars,
 /// Estimates W(phi) by streaming every term's range into StructuredF0 and
 /// scaling the F0 estimate by 2^{-sum m_i}. `params.n` is ignored (derived
 /// from the weights).
-double WeightedDnfViaRanges(const Dnf& dnf, const std::vector<VarWeight>& weights,
+double WeightedDnfViaRanges(const Dnf& dnf,
+                            const std::vector<VarWeight>& weights,
                             StructuredF0Params params);
 
 }  // namespace mcf0

@@ -61,7 +61,8 @@ MinimumSketchRow::MinimumSketchRow(AffineHash h, uint64_t thresh)
 }
 
 void MinimumSketchRow::Add(uint64_t x) {
-  AddHashed(h_.Eval(BitVec::FromU64(n_ == 64 ? x : (x & ((1ull << n_) - 1)), n_)));
+  AddHashed(
+      h_.Eval(BitVec::FromU64(n_ == 64 ? x : (x & ((1ull << n_) - 1)), n_)));
 }
 
 void MinimumSketchRow::AddHashed(const BitVec& value) {
@@ -140,7 +141,8 @@ double EstimationSketchRow::EstimateWithR(int r) const {
 size_t EstimationSketchRow::SpaceBits() const {
   // Each cell stores a value in [0, w]: ceil(log2(w+1)) bits; each hash
   // needs s field elements of w bits.
-  const size_t w = field_ != nullptr ? static_cast<size_t>(field_->degree()) : 64;
+  const size_t w =
+      field_ != nullptr ? static_cast<size_t>(field_->degree()) : 64;
   size_t cell_bits = 1;
   while ((1ull << cell_bits) < w + 1) ++cell_bits;
   size_t hash_bits = 0;
@@ -182,10 +184,14 @@ F0Estimator::F0Estimator(const F0Params& params) : params_(params) {
   const int rows = F0Rows(params);
   switch (params.algorithm) {
     case F0Algorithm::kBucketing:
-      for (int i = 0; i < rows; ++i) bucketing_rows_.emplace_back(params.n, thresh, rng);
+      for (int i = 0; i < rows; ++i) {
+        bucketing_rows_.emplace_back(params.n, thresh, rng);
+      }
       break;
     case F0Algorithm::kMinimum:
-      for (int i = 0; i < rows; ++i) minimum_rows_.emplace_back(params.n, thresh, rng);
+      for (int i = 0; i < rows; ++i) {
+        minimum_rows_.emplace_back(params.n, thresh, rng);
+      }
       break;
     case F0Algorithm::kEstimation: {
       field_ = std::make_unique<Gf2Field>(params.n);
@@ -195,7 +201,8 @@ F0Estimator::F0Estimator(const F0Params& params) : params_(params) {
               : std::max(2, static_cast<int>(std::ceil(
                                 10.0 * std::log2(1.0 / params.eps))));
       for (int i = 0; i < rows; ++i) {
-        estimation_rows_.emplace_back(field_.get(), static_cast<int>(thresh), s, rng);
+        estimation_rows_.emplace_back(field_.get(), static_cast<int>(thresh),
+                                      s, rng);
         fm_rows_.emplace_back(params.n, rng);
       }
       break;
@@ -216,7 +223,9 @@ double F0Estimator::Estimate() const {
   std::vector<double> estimates;
   switch (params_.algorithm) {
     case F0Algorithm::kBucketing:
-      for (const auto& row : bucketing_rows_) estimates.push_back(row.Estimate());
+      for (const auto& row : bucketing_rows_) {
+        estimates.push_back(row.Estimate());
+      }
       return Median(std::move(estimates));
     case F0Algorithm::kMinimum:
       for (const auto& row : minimum_rows_) estimates.push_back(row.Estimate());

@@ -1,0 +1,204 @@
+// End-to-end tests for the unified `mcf0` CLI: run the real binary on tiny
+// embedded fixtures and check the JSON output shape plus estimate sanity.
+// The binary path is injected by CMake as MCF0_CLI_PATH.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace mcf0 {
+namespace {
+
+#ifndef MCF0_CLI_PATH
+#error "MCF0_CLI_PATH must be defined to the mcf0 binary path"
+#endif
+
+struct RunOutput {
+  int exit_code = -1;
+  std::string stdout_text;
+};
+
+// Runs `mcf0 <args>` and captures stdout (stderr passes through).
+RunOutput RunCli(const std::string& args) {
+  const std::string command = std::string(MCF0_CLI_PATH) + " " + args;
+  RunOutput out;
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "popen failed for: " << command;
+  if (pipe == nullptr) return out;
+  char buffer[4096];
+  size_t read = 0;
+  while ((read = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    out.stdout_text.append(buffer, read);
+  }
+  const int status = pclose(pipe);
+  out.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return out;
+}
+
+std::string WriteFixture(const std::string& name, const std::string& text) {
+  const std::string path = testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << text;
+  EXPECT_TRUE(out.good());
+  return path;
+}
+
+// Pulls a numeric field out of the flat JSON object the CLI prints.
+double JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key << " in " << json;
+  if (pos == std::string::npos) return -1;
+  const std::string rest = json.substr(pos + needle.size());
+  try {
+    return std::stod(rest);
+  } catch (const std::exception&) {
+    // e.g. `null`, the CLI's rendering of a non-finite double.
+    ADD_FAILURE() << "key " << key << " is not numeric in " << json;
+    return -1;
+  }
+}
+
+void ExpectJsonShape(const std::string& json, const std::string& command) {
+  EXPECT_EQ(json.front(), '{') << json;
+  EXPECT_EQ(json[json.size() - 2], '}') << json;  // trailing newline
+  EXPECT_NE(json.find("\"command\": \"" + command + "\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"estimate\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"time_ms\":"), std::string::npos) << json;
+}
+
+// (x1 or x2) and (x3 or x4) over 4 vars: 3 * 4 * 3 / 4 = 9 models.
+constexpr const char kCnfFixture[] =
+    "c tiny fixture\n"
+    "p cnf 4 2\n"
+    "1 2 0\n"
+    "3 4 0\n";
+constexpr double kCnfModels = 9.0;
+
+// x1  or  (!x1 and x2) over 4 vars: 8 + 4 = 12 models.
+constexpr const char kDnfFixture[] =
+    "p dnf 4 2\n"
+    "1 0\n"
+    "-1 2 0\n";
+constexpr double kDnfModels = 12.0;
+
+TEST(CliTest, HelpAndUsageErrors) {
+  EXPECT_EQ(RunCli("help").exit_code, 0);
+  EXPECT_EQ(RunCli("frobnicate 2>/dev/null").exit_code, 2);
+  EXPECT_EQ(RunCli("count 2>/dev/null").exit_code, 2);  // missing input
+}
+
+TEST(CliTest, F0ExactRegimeCountsDistinct) {
+  // 64 distinct values, each repeated 3 times. Thresh = 96/0.8^2 = 150 > 64,
+  // so the Minimum sketch is in its exact regime and the estimate is exact.
+  std::string stream;
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    for (int value = 1; value <= 64; ++value) {
+      stream += std::to_string(value * 977) + "\n";
+    }
+  }
+  const std::string path = WriteFixture("f0_stream.txt", stream);
+  const RunOutput out = RunCli("f0 --n 32 --seed 7 " + path);
+  ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
+  ExpectJsonShape(out.stdout_text, "f0");
+  EXPECT_DOUBLE_EQ(JsonNumber(out.stdout_text, "estimate"), 64.0);
+  EXPECT_EQ(JsonNumber(out.stdout_text, "elements"), 192.0);
+  EXPECT_GT(JsonNumber(out.stdout_text, "space_bits"), 0.0);
+}
+
+TEST(CliTest, F0ReadsStdinWithDash) {
+  const std::string path = WriteFixture("f0_stdin.txt", "1 2 3 4 5\n");
+  const RunOutput out = RunCli("f0 --n 16 - < " + path);
+  ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
+  EXPECT_DOUBLE_EQ(JsonNumber(out.stdout_text, "estimate"), 5.0);
+}
+
+TEST(CliTest, CountCnfApproxMc) {
+  const std::string path = WriteFixture("fixture.cnf", kCnfFixture);
+  const RunOutput out =
+      RunCli("count --eps 0.8 --delta 0.2 --seed 3 " + path);
+  ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
+  ExpectJsonShape(out.stdout_text, "count");
+  EXPECT_NE(out.stdout_text.find("\"format\": \"cnf\""), std::string::npos);
+  EXPECT_NE(out.stdout_text.find("\"oracle_calls\":"), std::string::npos);
+  const double estimate = JsonNumber(out.stdout_text, "estimate");
+  // (eps, delta) guarantee with a wide safety margin for one fixed seed.
+  EXPECT_GE(estimate, kCnfModels / 4.0);
+  EXPECT_LE(estimate, kCnfModels * 4.0);
+  EXPECT_GT(JsonNumber(out.stdout_text, "oracle_calls"), 0.0);
+}
+
+TEST(CliTest, CountDnfAllAlgorithms) {
+  const std::string path = WriteFixture("fixture.dnf", kDnfFixture);
+  for (const std::string algo :
+       {"approxmc", "countmin", "countest", "karp-luby"}) {
+    const RunOutput out =
+        RunCli("count --algo " + algo + " --seed 5 " + path);
+    ASSERT_EQ(out.exit_code, 0) << algo << ": " << out.stdout_text;
+    ExpectJsonShape(out.stdout_text, "count");
+    const double estimate = JsonNumber(out.stdout_text, "estimate");
+    EXPECT_GE(estimate, kDnfModels / 4.0) << algo;
+    EXPECT_LE(estimate, kDnfModels * 4.0) << algo;
+  }
+}
+
+TEST(CliTest, DistributedDnfReportsCommunication) {
+  const std::string path = WriteFixture("fixture.dnf", kDnfFixture);
+  const RunOutput out = RunCli("dnf --sites 2 --seed 11 " + path);
+  ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
+  ExpectJsonShape(out.stdout_text, "dnf");
+  EXPECT_GT(JsonNumber(out.stdout_text, "total_bits"), 0.0);
+  const double estimate = JsonNumber(out.stdout_text, "estimate");
+  EXPECT_GE(estimate, kDnfModels / 4.0);
+  EXPECT_LE(estimate, kDnfModels * 4.0);
+}
+
+TEST(CliTest, StructuredStreamEstimatesUnion) {
+  const std::string path = WriteFixture("fixture.dnf", kDnfFixture);
+  const RunOutput out = RunCli("stream --seed 13 " + path);
+  ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
+  ExpectJsonShape(out.stdout_text, "stream");
+  EXPECT_EQ(JsonNumber(out.stdout_text, "items"), 2.0);
+  const double estimate = JsonNumber(out.stdout_text, "estimate");
+  EXPECT_GE(estimate, kDnfModels / 4.0);
+  EXPECT_LE(estimate, kDnfModels * 4.0);
+}
+
+TEST(CliTest, RejectsNonNumericFlagValues) {
+  // Must be a clean usage error (exit 2), not an uncaught std::stod throw.
+  EXPECT_EQ(RunCli("count --eps banana x.cnf 2>/dev/null").exit_code, 2);
+  EXPECT_EQ(RunCli("count --seed -3 x.cnf 2>/dev/null").exit_code, 2);
+  EXPECT_EQ(RunCli("f0 --n 12cats - 2>/dev/null").exit_code, 2);
+}
+
+TEST(CliTest, RejectsMalformedInput) {
+  const std::string path = WriteFixture("bad.cnf", "p cnf oops\n");
+  EXPECT_EQ(RunCli("count " + path + " 2>/dev/null").exit_code, 1);
+  const std::string bad_stream = WriteFixture("bad.txt", "12 potato\n");
+  EXPECT_EQ(RunCli("f0 " + bad_stream + " 2>/dev/null").exit_code, 1);
+}
+
+TEST(CliTest, ZeroVariableFormulaIsACleanError) {
+  // Must exit 1, not abort on an internal MCF0_CHECK.
+  const std::string path = WriteFixture("empty.dnf", "p dnf 0 0\n");
+  EXPECT_EQ(RunCli("stream " + path + " 2>/dev/null").exit_code, 1);
+  EXPECT_EQ(RunCli("count " + path + " 2>/dev/null").exit_code, 1);
+}
+
+TEST(CliTest, FormatSniffingIgnoresComments) {
+  // A CNF whose comment mentions "p dnf" must still route to the CNF path.
+  const std::string path = WriteFixture(
+      "commented.cnf",
+      "c converted from a p dnf benchmark\np cnf 4 2\n1 2 0\n3 4 0\n");
+  const RunOutput out = RunCli("count --seed 3 " + path);
+  ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
+  EXPECT_NE(out.stdout_text.find("\"format\": \"cnf\""), std::string::npos)
+      << out.stdout_text;
+}
+
+}  // namespace
+}  // namespace mcf0

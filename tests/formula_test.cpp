@@ -116,8 +116,10 @@ TEST(RandomGen, RandomDnfWidthsInRange) {
 TEST(ExactCount, IncExcMatchesEnumeration) {
   Rng rng(17);
   for (int trial = 0; trial < 25; ++trial) {
-    const Dnf dnf = RandomDnf(12, 1 + static_cast<int>(rng.NextBelow(8)), 1, 6, rng);
-    EXPECT_EQ(ExactDnfCountIncExc(dnf), static_cast<double>(ExactCountEnum(dnf)));
+    const Dnf dnf =
+        RandomDnf(12, 1 + static_cast<int>(rng.NextBelow(8)), 1, 6, rng);
+    EXPECT_EQ(ExactDnfCountIncExc(dnf),
+              static_cast<double>(ExactCountEnum(dnf)));
   }
 }
 

@@ -167,7 +167,8 @@ TEST(TermCellSolutions, MatchesDirectFilter) {
   Rng rng(29);
   for (int trial = 0; trial < 20; ++trial) {
     const int n = 9;
-    const Term term = RandomTerm(n, 1 + static_cast<int>(rng.NextBelow(5)), rng);
+    const Term term =
+        RandomTerm(n, 1 + static_cast<int>(rng.NextBelow(5)), rng);
     const AffineHash h = AffineHash::SampleToeplitz(n, n, rng);
     const int m = static_cast<int>(rng.NextBelow(5));
     std::set<BitVec> expect;
@@ -227,7 +228,9 @@ TEST(FindMin, CnfAgreesWithDnfOnEquivalentFormula) {
     for (const BitVec& x : BruteSolutions(cnf)) image.insert(h.Eval(x));
     ASSERT_EQ(via_cnf.size(), std::min<uint64_t>(p, image.size()));
     auto it = image.begin();
-    for (size_t i = 0; i < via_cnf.size(); ++i, ++it) EXPECT_EQ(via_cnf[i], *it);
+    for (size_t i = 0; i < via_cnf.size(); ++i, ++it) {
+      EXPECT_EQ(via_cnf[i], *it);
+    }
     EXPECT_GT(oracle.num_calls(), 0u);
   }
 }
@@ -301,7 +304,8 @@ TEST(TermImageUnderHash, MatchesDirectImages) {
   Rng rng(59);
   for (int trial = 0; trial < 20; ++trial) {
     const int n = 8;
-    const Term term = RandomTerm(n, 1 + static_cast<int>(rng.NextBelow(6)), rng);
+    const Term term =
+        RandomTerm(n, 1 + static_cast<int>(rng.NextBelow(6)), rng);
     const AffineHash h = AffineHash::SampleToeplitz(n, 12, rng);
     std::set<BitVec> expect;
     BitVec x(n);

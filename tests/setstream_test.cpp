@@ -169,7 +169,9 @@ TEST_P(StructuredBothStrategies, RangeStreamMatchesExactUnion) {
   const int bits = 7;
   const int d = 2;
   std::vector<MultiDimRange> ranges;
-  for (int i = 0; i < 8; ++i) ranges.push_back(MultiDimRange::Random(d, bits, rng));
+  for (int i = 0; i < 8; ++i) {
+    ranges.push_back(MultiDimRange::Random(d, bits, rng));
+  }
   const double exact = ExactRangeUnionSize(ranges);
   StructuredF0 est(FastParams(d * bits, GetParam(), 29));
   for (const auto& r : ranges) est.AddRange(r);

@@ -41,7 +41,8 @@ class SketchAccuracy : public ::testing::TestWithParam<AccuracyCase> {};
 TEST_P(SketchAccuracy, WithinToleranceOnSeededStreams) {
   const AccuracyCase param = GetParam();
   Rng data_rng(1234);
-  const auto [stream, exact] = MakeStream(param.length, param.support, data_rng);
+  const auto [stream, exact] =
+      MakeStream(param.length, param.support, data_rng);
   F0Params params;
   params.n = 32;
   params.eps = 0.5;

@@ -1,0 +1,508 @@
+// mcf0 — unified command-line driver for the Model-Counting-meets-F0
+// library. One binary, four subcommands, JSON results on stdout:
+//
+//   mcf0 f0     [opts] <elements.txt|->   classic F0 estimation (§3) over a
+//                                         whitespace-separated u64 stream
+//   mcf0 count  [opts] <file.cnf|.dnf>    approximate model counting via the
+//                                         streaming-to-counting recipe (§3)
+//   mcf0 dnf    [opts] <file.dnf>         distributed DNF counting (§4) with
+//                                         the communication ledger
+//   mcf0 stream [opts] <file.dnf>         structured set streaming (§5):
+//                                         each DNF term is one stream item
+//
+// Common options: --eps E --delta D --seed S --algo NAME. Run with no
+// arguments (or `mcf0 help`) for the full reference. Exit codes: 0 ok,
+// 1 runtime/parse failure, 2 usage error.
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "core/approx_count_est.hpp"
+#include "core/approx_count_min.hpp"
+#include "core/approxmc.hpp"
+#include "core/counting.hpp"
+#include "core/karp_luby.hpp"
+#include "distributed/distributed_dnf.hpp"
+#include "formula/dimacs.hpp"
+#include "formula/formula.hpp"
+#include "setstream/structured_f0.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace mcf0 {
+namespace {
+
+constexpr const char kUsage[] = R"(mcf0 — model counting meets F0 estimation
+
+usage: mcf0 <subcommand> [options] <input-file|->
+
+subcommands:
+  f0      estimate the number of distinct elements in a stream of 64-bit
+          integers (whitespace-separated; `-` reads stdin)
+  count   (eps, delta)-approximate the model count of a DIMACS CNF
+          (`p cnf`) or DNF (`p dnf`) file
+  dnf     distributed DNF counting: partition the terms across k sites and
+          report the estimate plus bits communicated
+  stream  structured set streaming: feed each DNF term as one set item and
+          estimate the F0 of the union
+  help    print this message
+
+common options:
+  --eps E       relative accuracy, E > 0            (default 0.8)
+  --delta D     failure probability, 0 < D < 1      (default 0.2)
+  --seed S      PRNG seed                           (default 1)
+  --algo NAME   algorithm; per subcommand:
+                  f0:     minimum | bucketing | estimation
+                  count:  approxmc | countmin | countest | karp-luby
+                  dnf:    minimum | bucketing | estimation
+                  stream: minimum | bucketing
+
+subcommand options:
+  f0      --n BITS        universe is {0,1}^BITS, BITS <= 64  (default 32)
+  count   --binary-search ApproxMC2-style level search (CNF)
+          --tseitin       Tseitin-encode XOR constraints (CNF)
+  dnf     --sites K       number of sites                     (default 4)
+
+All results are a single JSON object on stdout.
+)";
+
+struct CommonOptions {
+  double eps = 0.8;
+  double delta = 0.2;
+  uint64_t seed = 1;
+  std::string algo;
+  int n = 32;
+  int sites = 4;
+  bool binary_search = false;
+  bool tseitin = false;
+  std::string input;
+};
+
+void Fail(const std::string& message, int code = 1) {
+  std::fprintf(stderr, "mcf0: %s\n", message.c_str());
+  std::exit(code);
+}
+
+double ParseDouble(const std::string& text, const char* flag) {
+  try {
+    size_t end = 0;
+    const double value = std::stod(text, &end);
+    if (end == text.size()) return value;
+  } catch (const std::exception&) {
+  }
+  Fail(std::string(flag) + " needs a number, got '" + text + "'", 2);
+  return 0;  // unreachable
+}
+
+uint64_t ParseU64(const std::string& text, const char* flag) {
+  try {
+    size_t end = 0;
+    const uint64_t value = std::stoull(text, &end);
+    if (end == text.size() && text[0] != '-') return value;
+  } catch (const std::exception&) {
+  }
+  Fail(std::string(flag) + " needs a non-negative integer, got '" + text + "'",
+       2);
+  return 0;  // unreachable
+}
+
+int ParseInt(const std::string& text, const char* flag) {
+  const uint64_t value = ParseU64(text, flag);
+  if (value > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    Fail(std::string(flag) + " is out of range: '" + text + "'", 2);
+  }
+  return static_cast<int>(value);
+}
+
+// Parses flags; everything after them is the input path.
+CommonOptions ParseOptions(int argc, char** argv) {
+  CommonOptions opts;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) Fail(std::string(flag) + " needs a value", 2);
+      return argv[++i];
+    };
+    if (arg == "--eps") {
+      opts.eps = ParseDouble(next_value("--eps"), "--eps");
+    } else if (arg == "--delta") {
+      opts.delta = ParseDouble(next_value("--delta"), "--delta");
+    } else if (arg == "--seed") {
+      opts.seed = ParseU64(next_value("--seed"), "--seed");
+    } else if (arg == "--algo") {
+      opts.algo = next_value("--algo");
+    } else if (arg == "--n") {
+      opts.n = ParseInt(next_value("--n"), "--n");
+    } else if (arg == "--sites") {
+      opts.sites = ParseInt(next_value("--sites"), "--sites");
+    } else if (arg == "--binary-search") {
+      opts.binary_search = true;
+    } else if (arg == "--tseitin") {
+      opts.tseitin = true;
+    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      Fail("unknown option " + arg, 2);
+    } else if (opts.input.empty()) {
+      opts.input = arg;
+    } else {
+      Fail("unexpected extra argument " + arg, 2);
+    }
+  }
+  if (opts.input.empty()) Fail("missing input file (use `-` for stdin)", 2);
+  if (opts.eps <= 0) Fail("--eps must be > 0", 2);
+  if (opts.delta <= 0 || opts.delta >= 1) Fail("--delta must be in (0, 1)", 2);
+  return opts;
+}
+
+std::string ReadInput(const std::string& path) {
+  std::ostringstream buffer;
+  if (path == "-") {
+    buffer << std::cin.rdbuf();
+  } else {
+    std::ifstream in(path);
+    if (!in) Fail("cannot open " + path);
+    buffer << in.rdbuf();
+  }
+  return buffer.str();
+}
+
+// Minimal JSON emitter: flat object of key/value pairs, insertion order.
+class JsonObject {
+ public:
+  void Add(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + key + "\": \"" + Escape(value) + "\"");
+  }
+  void Add(const std::string& key, double value) {
+    if (!std::isfinite(value)) {  // JSON has no nan/inf literal
+      fields_.push_back("\"" + key + "\": null");
+      return;
+    }
+    // Shortest decimal form that round-trips to the same double.
+    char buffer[64];
+    for (int precision = 1; precision <= 17; ++precision) {
+      std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+      if (std::strtod(buffer, nullptr) == value) break;
+    }
+    fields_.push_back("\"" + key + "\": " + buffer);
+  }
+  void Add(const std::string& key, uint64_t value) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+    fields_.push_back("\"" + key + "\": " + buffer);
+  }
+  void Add(const std::string& key, int value) {
+    Add(key, static_cast<uint64_t>(value));
+  }
+
+  void Print() const {
+    std::printf("{");
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      std::printf("%s\n  %s", i == 0 ? "" : ",", fields_[i].c_str());
+    }
+    std::printf("\n}\n");
+  }
+
+ private:
+  static std::string Escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out += buffer;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::vector<std::string> fields_;
+};
+
+Dnf ParseDnfOrDie(const std::string& text) {
+  auto parsed = ParseDimacsDnf(text);
+  if (!parsed.ok()) Fail("parse error: " + parsed.status().ToString());
+  Dnf dnf = std::move(parsed).value();
+  if (dnf.num_vars() < 1) Fail("formula must have at least one variable");
+  return dnf;
+}
+
+// True iff the first non-comment problem line is a `p dnf` header
+// (comments may mention either format, so only the header counts; token
+// comparison tolerates arbitrary whitespace like the DIMACS parsers do).
+bool LooksLikeDnf(const std::string& text) {
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first) || first == "c") continue;
+    std::string kind;
+    return first == "p" && (tokens >> kind) && kind == "dnf";
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// mcf0 f0
+// ---------------------------------------------------------------------------
+
+int RunF0(const CommonOptions& opts) {
+  F0Params params;
+  params.n = opts.n;
+  params.eps = opts.eps;
+  params.delta = opts.delta;
+  params.seed = opts.seed;
+  const std::string algo = opts.algo.empty() ? "minimum" : opts.algo;
+  if (algo == "minimum") {
+    params.algorithm = F0Algorithm::kMinimum;
+  } else if (algo == "bucketing") {
+    params.algorithm = F0Algorithm::kBucketing;
+  } else if (algo == "estimation") {
+    params.algorithm = F0Algorithm::kEstimation;
+  } else {
+    Fail("f0: unknown --algo " + algo +
+             " (want minimum | bucketing | estimation)",
+         2);
+  }
+  if (params.n < 1 || params.n > 64) Fail("--n must be in [1, 64]", 2);
+
+  WallTimer timer;
+  F0Estimator estimator(params);
+  std::istringstream stream(ReadInput(opts.input));
+  uint64_t element = 0;
+  uint64_t elements = 0;
+  while (stream >> element) {
+    estimator.Add(element);
+    ++elements;
+  }
+  if (!stream.eof()) Fail("f0: input is not a whitespace-separated u64 list");
+
+  JsonObject json;
+  json.Add("command", std::string("f0"));
+  json.Add("algorithm", algo);
+  json.Add("n", params.n);
+  json.Add("eps", params.eps);
+  json.Add("delta", params.delta);
+  json.Add("seed", params.seed);
+  json.Add("elements", elements);
+  json.Add("rows", F0Rows(params));
+  json.Add("thresh", F0Thresh(params));
+  json.Add("estimate", estimator.Estimate());
+  json.Add("space_bits", static_cast<uint64_t>(estimator.SpaceBits()));
+  json.Add("time_ms", timer.Seconds() * 1e3);
+  json.Print();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// mcf0 count
+// ---------------------------------------------------------------------------
+
+int RunCount(const CommonOptions& opts) {
+  CountingParams params;
+  params.eps = opts.eps;
+  params.delta = opts.delta;
+  params.seed = opts.seed;
+  params.binary_search = opts.binary_search;
+  params.use_tseitin = opts.tseitin;
+  const std::string algo = opts.algo.empty() ? "approxmc" : opts.algo;
+
+  const std::string text = ReadInput(opts.input);
+  const bool is_dnf = LooksLikeDnf(text);
+
+  JsonObject json;
+  json.Add("command", std::string("count"));
+  json.Add("input", opts.input);
+  json.Add("format", std::string(is_dnf ? "dnf" : "cnf"));
+  json.Add("algorithm", algo);
+  json.Add("eps", params.eps);
+  json.Add("delta", params.delta);
+  json.Add("seed", params.seed);
+
+  WallTimer timer;
+  CountResult result;
+  if (is_dnf) {
+    const Dnf dnf = ParseDnfOrDie(text);
+    json.Add("num_vars", dnf.num_vars());
+    json.Add("num_terms", dnf.num_terms());
+    if (algo == "approxmc") {
+      result = ApproxMcDnf(dnf, params);
+    } else if (algo == "countmin") {
+      result = ApproxCountMinDnf(dnf, params);
+    } else if (algo == "countest") {
+      result = ApproxCountEstAutoDnf(dnf, params);
+    } else if (algo == "karp-luby") {
+      Rng rng(params.seed);
+      const KarpLubyResult kl =
+          KarpLubyStopping(dnf, params.eps, params.delta, rng);
+      result.estimate = kl.estimate;
+      result.oracle_calls = 0;
+      json.Add("samples", kl.samples);
+    } else {
+      Fail("count: unknown --algo " + algo +
+               " (want approxmc | countmin | countest | karp-luby)",
+           2);
+    }
+  } else {
+    auto parsed = ParseDimacsCnf(text);
+    if (!parsed.ok()) Fail("parse error: " + parsed.status().ToString());
+    const Cnf& cnf = parsed.value();
+    if (cnf.num_vars() < 1) Fail("formula must have at least one variable");
+    json.Add("num_vars", cnf.num_vars());
+    json.Add("num_clauses", cnf.num_clauses());
+    if (algo == "approxmc") {
+      result = ApproxMcCnf(cnf, params);
+    } else if (algo == "countmin") {
+      result = ApproxCountMinCnf(cnf, params);
+    } else if (algo == "countest") {
+      result = ApproxCountEstAutoCnf(cnf, params);
+    } else {
+      Fail("count: unknown --algo " + algo +
+               " for CNF (want approxmc | countmin | countest)",
+           2);
+    }
+  }
+
+  json.Add("estimate", result.estimate);
+  json.Add("oracle_calls", result.oracle_calls);
+  if (result.rows > 0) json.Add("rows", result.rows);
+  if (result.thresh > 0) json.Add("thresh", result.thresh);
+  json.Add("time_ms", timer.Seconds() * 1e3);
+  json.Print();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// mcf0 dnf  (distributed, §4)
+// ---------------------------------------------------------------------------
+
+int RunDnf(const CommonOptions& opts) {
+  DistributedParams params;
+  params.eps = opts.eps;
+  params.delta = opts.delta;
+  params.seed = opts.seed;
+  if (opts.sites < 1) Fail("--sites must be >= 1", 2);
+
+  const Dnf dnf = ParseDnfOrDie(ReadInput(opts.input));
+  const std::vector<Dnf> sites = PartitionDnf(dnf, opts.sites);
+
+  const std::string algo = opts.algo.empty() ? "minimum" : opts.algo;
+  WallTimer timer;
+  DistributedResult result;
+  if (algo == "minimum") {
+    result = DistributedMinimumDnf(sites, params);
+  } else if (algo == "bucketing") {
+    result = DistributedBucketingDnf(sites, params);
+  } else if (algo == "estimation") {
+    result = DistributedEstimationDnf(sites, params);
+  } else {
+    Fail("dnf: unknown --algo " + algo +
+             " (want minimum | bucketing | estimation)",
+         2);
+  }
+
+  JsonObject json;
+  json.Add("command", std::string("dnf"));
+  json.Add("input", opts.input);
+  json.Add("algorithm", algo);
+  json.Add("eps", params.eps);
+  json.Add("delta", params.delta);
+  json.Add("seed", params.seed);
+  json.Add("num_vars", dnf.num_vars());
+  json.Add("num_terms", dnf.num_terms());
+  json.Add("sites", opts.sites);
+  json.Add("estimate", result.estimate);
+  json.Add("rows", result.rows);
+  json.Add("thresh", result.thresh);
+  json.Add("bits_to_sites", result.comm.bits_to_sites);
+  json.Add("bits_from_sites", result.comm.bits_from_sites);
+  json.Add("total_bits", result.comm.total_bits());
+  json.Add("time_ms", timer.Seconds() * 1e3);
+  json.Print();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// mcf0 stream  (structured sets, §5)
+// ---------------------------------------------------------------------------
+
+int RunStream(const CommonOptions& opts) {
+  const Dnf dnf = ParseDnfOrDie(ReadInput(opts.input));
+
+  StructuredF0Params params;
+  params.n = dnf.num_vars();
+  params.eps = opts.eps;
+  params.delta = opts.delta;
+  params.seed = opts.seed;
+  const std::string algo = opts.algo.empty() ? "minimum" : opts.algo;
+  if (algo == "minimum") {
+    params.algorithm = StructuredF0Algorithm::kMinimum;
+  } else if (algo == "bucketing") {
+    params.algorithm = StructuredF0Algorithm::kBucketing;
+  } else {
+    Fail("stream: unknown --algo " + algo + " (want minimum | bucketing)", 2);
+  }
+
+  WallTimer timer;
+  StructuredF0 estimator(params);
+  // Each term is one structured-set stream item (a width-w cube).
+  for (const Term& term : dnf.terms()) {
+    estimator.AddTerms({term});
+  }
+
+  JsonObject json;
+  json.Add("command", std::string("stream"));
+  json.Add("input", opts.input);
+  json.Add("algorithm", algo);
+  json.Add("eps", params.eps);
+  json.Add("delta", params.delta);
+  json.Add("seed", params.seed);
+  json.Add("n", params.n);
+  json.Add("items", dnf.num_terms());
+  json.Add("estimate", estimator.Estimate());
+  json.Add("oracle_calls", estimator.oracle_calls());
+  json.Add("space_bits", static_cast<uint64_t>(estimator.SpaceBits()));
+  json.Add("time_ms", timer.Seconds() * 1e3);
+  json.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace mcf0
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::strcmp(argv[1], "help") == 0 ||
+      std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
+    std::fputs(mcf0::kUsage, argc < 2 ? stderr : stdout);
+    return argc < 2 ? 2 : 0;
+  }
+  const std::string command = argv[1];
+  const mcf0::CommonOptions opts = mcf0::ParseOptions(argc - 2, argv + 2);
+  if (command == "f0") return mcf0::RunF0(opts);
+  if (command == "count") return mcf0::RunCount(opts);
+  if (command == "dnf") return mcf0::RunDnf(opts);
+  if (command == "stream") return mcf0::RunStream(opts);
+  std::fprintf(stderr, "mcf0: unknown subcommand '%s'\n\n%s", command.c_str(),
+               mcf0::kUsage);
+  return 2;
+}
