@@ -1,0 +1,124 @@
+// E17 — sketch engine throughput: sharded parallel ingestion
+// (ShardedF0Engine) vs a single-threaded F0Estimator over the same
+// element stream, per algorithm and shard count.
+//
+// Because the engine's replicas share hash state and merge is an exact
+// union, the merged estimate must equal the serial estimate bit-for-bit;
+// the table prints both so the equivalence is visible next to the
+// speedup. `--smoke` runs a one-iteration miniature of the table (used by
+// CI under ASan to keep the engine's threading exercised).
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "engine/sharded_engine.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace {
+
+using namespace mcf0;
+using namespace mcf0::bench;
+
+constexpr size_t kBatch = 4096;
+
+const char* Name(F0Algorithm alg) {
+  switch (alg) {
+    case F0Algorithm::kBucketing: return "Bucketing";
+    case F0Algorithm::kMinimum: return "Minimum";
+    case F0Algorithm::kEstimation: return "Estimation";
+  }
+  return "?";
+}
+
+F0Params BenchParams(F0Algorithm alg) {
+  F0Params params;
+  params.n = 32;
+  params.eps = 0.8;
+  params.delta = 0.2;
+  params.algorithm = alg;
+  params.seed = 9;
+  params.rows_override = 13;  // reduced rows: keeps the table fast (cf. E1)
+  if (alg == F0Algorithm::kEstimation) {
+    params.thresh_override = 38;
+    params.s_override = 5;
+  }
+  return params;
+}
+
+std::vector<uint64_t> MakeStream(size_t length, uint64_t support) {
+  Rng rng(4242);
+  std::vector<uint64_t> xs(length);
+  for (auto& x : xs) x = rng.NextBelow(support);
+  return xs;
+}
+
+struct Measured {
+  double elems_per_sec = 0.0;
+  double estimate = 0.0;
+};
+
+Measured RunSerial(const F0Params& params, const std::vector<uint64_t>& xs) {
+  F0Estimator est(params);  // hash sampling excluded from the timed window
+  WallTimer timer;
+  for (const uint64_t x : xs) est.Add(x);
+  const double secs = timer.Seconds();
+  return {static_cast<double>(xs.size()) / secs, est.Estimate()};
+}
+
+Measured RunSharded(const F0Params& params, const std::vector<uint64_t>& xs,
+                    int shards) {
+  ShardedF0Engine engine(params, shards);
+  WallTimer timer;
+  for (size_t off = 0; off < xs.size(); off += kBatch) {
+    const size_t len = std::min(kBatch, xs.size() - off);
+    engine.AddBatch(std::span<const uint64_t>(xs.data() + off, len));
+  }
+  engine.Flush();  // the timed window covers ingestion through absorption
+  const double secs = timer.Seconds();
+  return {static_cast<double>(xs.size()) / secs, engine.Estimate()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  Banner("E17: sketch engine throughput (sharded parallel ingestion)",
+         "replicas with shared hash state merge to exactly the serial "
+         "sketch, so ingestion parallelizes without an accuracy tax");
+  const size_t length = smoke ? 5000 : 300000;
+  const uint64_t support = smoke ? 2000 : 50000;
+  const std::vector<int> shard_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  const std::vector<uint64_t> xs = MakeStream(length, support);
+
+  std::printf("%-11s %7s %9s %12s %9s %14s\n", "algorithm", "shards",
+              "elements", "elems/s", "speedup", "estimate");
+  for (const auto alg : {F0Algorithm::kBucketing, F0Algorithm::kMinimum,
+                         F0Algorithm::kEstimation}) {
+    const F0Params params = BenchParams(alg);
+    const Measured serial = RunSerial(params, xs);
+    std::printf("%-11s %7s %9zu %12.0f %9s %14.1f\n", Name(alg), "serial",
+                xs.size(), serial.elems_per_sec, "1.00x", serial.estimate);
+    double base_rate = 0.0;
+    for (const int shards : shard_counts) {
+      const Measured sharded = RunSharded(params, xs, shards);
+      if (shards == 1) base_rate = sharded.elems_per_sec;
+      char speedup[16];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    base_rate > 0 ? sharded.elems_per_sec / base_rate : 0.0);
+      std::printf("%-11s %7d %9zu %12.0f %9s %14.1f\n", Name(alg), shards,
+                  xs.size(), sharded.elems_per_sec, speedup,
+                  sharded.estimate);
+      if (sharded.estimate != serial.estimate) {
+        std::printf("  ^ MISMATCH: sharded estimate diverged from serial!\n");
+        return 1;
+      }
+    }
+  }
+  std::printf("\n(speedup is relative to the 1-shard engine; the serial row "
+              "is the no-engine baseline)\n\n");
+  return 0;
+}

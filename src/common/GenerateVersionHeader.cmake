@@ -1,0 +1,22 @@
+# Build-time stamping of src/common/version.hpp.in (invoked by the
+# mcf0_version_header custom target so the git SHA tracks the source tree
+# across rebuilds, not just the last CMake configure).
+#
+# Inputs (-D): VERSION_IN, VERSION_OUT, PROJECT_VERSION,
+# PROJECT_VERSION_MAJOR/MINOR/PATCH, SOURCE_DIR, GIT_EXECUTABLE (optional).
+set(MCF0_GIT_SHA "unknown")
+if(GIT_EXECUTABLE)
+  execute_process(
+    COMMAND "${GIT_EXECUTABLE}" rev-parse --short HEAD
+    WORKING_DIRECTORY "${SOURCE_DIR}"
+    OUTPUT_VARIABLE MCF0_GIT_SHA_OUT
+    OUTPUT_STRIP_TRAILING_WHITESPACE
+    RESULT_VARIABLE MCF0_GIT_SHA_RESULT
+    ERROR_QUIET)
+  if(MCF0_GIT_SHA_RESULT EQUAL 0)
+    set(MCF0_GIT_SHA "${MCF0_GIT_SHA_OUT}")
+  endif()
+endif()
+# configure_file only rewrites on content change, so dependents recompile
+# only when the SHA (or version) actually moved.
+configure_file("${VERSION_IN}" "${VERSION_OUT}" @ONLY)

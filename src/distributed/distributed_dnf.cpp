@@ -2,11 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
-#include <unordered_map>
 
 #include "common/median.hpp"
 #include "common/rng.hpp"
+#include "engine/sketch_merge.hpp"
 #include "hash/gf2_poly.hpp"
 #include "hash/hash_family.hpp"
 #include "oracle/bounded_sat.hpp"
@@ -89,9 +88,10 @@ DistributedResult DistributedBucketingDnf(const std::vector<Dnf>& sites,
     const AffineHash h_rev = ReverseHash(h);
     // Coordinator ships H[i] and (once, amortized here per row) G.
     result.comm.ChargeToSites(k * h.RepresentationBits());
-    // tuple = (fingerprint, trailing-zero depth); deduped by fingerprint,
-    // keeping the max depth (identical x always agree on depth).
-    std::unordered_map<uint64_t, int> tuples;
+    // The union rebuild is the engine's bucketing coordinator: tuples of
+    // (fingerprint, trailing-zero depth) deduped by fingerprint, then the
+    // level escalated until the union's cell de-saturates.
+    BucketingCoordinator coordinator;
     int level = 0;
     for (const Dnf& site : sites) {
       // Site: smallest cell level at which BoundedSAT de-saturates.
@@ -105,26 +105,12 @@ DistributedResult DistributedBucketingDnf(const std::vector<Dnf>& sites,
       result.comm.ChargeFromSites(cell.count() *
                                   static_cast<uint64_t>(fp_bits + tz_bits));
       for (const BitVec& x : cell.solutions) {
-        const int tz = h.Eval(x).TrailingZeros();
-        auto [it, inserted] = tuples.emplace(g.Eval(x).ToU64(), tz);
-        if (!inserted) it->second = std::max(it->second, tz);
+        coordinator.AddTuple(g.Eval(x).ToU64(), h.Eval(x).TrailingZeros());
       }
     }
-    // Coordinator: count distinct fingerprints at depth >= level; escalate
-    // while saturated.
-    auto count_at = [&](int lvl) {
-      uint64_t c = 0;
-      for (const auto& [fp, tz] : tuples) {
-        if (tz >= lvl) ++c;
-      }
-      return c;
-    };
-    uint64_t count = count_at(level);
-    while (count >= result.thresh && level < n) {
-      ++level;
-      count = count_at(level);
-    }
-    row_estimates.push_back(static_cast<double>(count) * std::pow(2.0, level));
+    const auto resolved = coordinator.Resolve(result.thresh, level, n);
+    row_estimates.push_back(static_cast<double>(resolved.count) *
+                            std::pow(2.0, resolved.level));
   }
   result.comm.ChargeToSites(k * g.RepresentationBits());
   result.estimate = Median(std::move(row_estimates));

@@ -1,0 +1,84 @@
+/// \file sharded_engine.hpp
+/// \brief Sharded parallel ingestion for F0 sketches.
+///
+/// `ShardedF0Engine` spreads a heavy element stream across N worker
+/// threads. Each worker owns a *private* F0Estimator replica built from the
+/// same F0Params — same seed, hence identical hash functions — so the
+/// replicas stay mergeable (sketch_merge.hpp) and, because every sketch
+/// operation is a set union, the merged result is exactly the sketch a
+/// single-threaded pass over the whole stream would have produced, no
+/// matter how elements are split across shards.
+///
+/// Ingestion is batched: the producer hands whole batches to shards
+/// round-robin through small bounded queues (backpressure instead of
+/// unbounded buffering), workers drain them into their replica, and
+/// queries merge-on-demand. The engine is single-producer: Add/AddBatch/
+/// Flush/Estimate must be called from one thread; workers only touch their
+/// own shard.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "streaming/f0_sketch.hpp"
+
+namespace mcf0 {
+
+class ShardedF0Engine {
+ public:
+  /// Spawns `num_shards` workers, each with a private replica built from
+  /// `params`. num_shards >= 1; 1 degenerates to background single-thread
+  /// ingestion.
+  ShardedF0Engine(const F0Params& params, int num_shards);
+
+  /// Drains outstanding batches and joins the workers.
+  ~ShardedF0Engine();
+
+  ShardedF0Engine(const ShardedF0Engine&) = delete;
+  ShardedF0Engine& operator=(const ShardedF0Engine&) = delete;
+
+  /// Buffers one element; dispatched to a shard once an internal batch
+  /// fills (or on Flush).
+  void Add(uint64_t x);
+
+  /// The hot path: hands the whole batch to the next shard round-robin.
+  /// Copies the span, so the caller may reuse its buffer immediately.
+  void AddBatch(std::span<const uint64_t> xs);
+
+  /// Blocks until every dispatched element has been absorbed by a replica.
+  void Flush();
+
+  /// Flush + merge-on-query: the union of all shard replicas, exactly the
+  /// sketch a sequential F0Estimator fed the same elements would hold.
+  F0Estimator MergedSketch();
+
+  /// MergedSketch().Estimate().
+  double Estimate();
+
+  /// Flush + total footprint across the shard replicas.
+  size_t SpaceBits();
+
+  uint64_t elements_ingested() const { return elements_; }
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const F0Params& params() const { return params_; }
+
+ private:
+  struct Shard;
+
+  void Dispatch(std::vector<uint64_t> batch);
+  static void WorkerLoop(Shard* shard);
+
+  F0Params params_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<uint64_t> pending_;  // Add() buffer, not yet dispatched
+  size_t next_shard_ = 0;
+  uint64_t elements_ = 0;
+};
+
+}  // namespace mcf0

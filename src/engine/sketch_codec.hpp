@@ -1,0 +1,73 @@
+/// \file sketch_codec.hpp
+/// \brief Versioned binary wire format for F0 sketch state.
+///
+/// The paper's composability result (§4) is only useful in practice if a
+/// sketch can leave the process that built it: a mapper serializes its
+/// local sketch, a reducer deserializes and merges (sketch_merge.hpp).
+/// `SketchCodec` defines that interchange format — little-endian, framed,
+/// checksummed, and versioned (docs/wire_format.md is the normative spec):
+///
+///   bytes 0-3   magic "MCF0"
+///   bytes 4-5   format version (uint16), currently 1
+///   byte  6     frame kind (SketchFrameKind)
+///   byte  7     reserved, 0
+///   bytes 8-15  payload length in bytes (uint64)
+///   bytes 16-23 FNV-1a-64 checksum of the payload (uint64)
+///   bytes 24-   payload
+///
+/// Hash-function state (affine matrices, offsets, polynomial coefficients)
+/// is serialized in full, so a decoded sketch is self-contained: it keeps
+/// absorbing elements and merges with any sketch built from the same
+/// parameters and seed, regardless of which process sampled the hashes.
+///
+/// Decoding never aborts on bad input: truncated buffers, corrupt bytes,
+/// bad magic/version/kind, checksum mismatches, and out-of-domain field
+/// values all surface as a non-OK `Status`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace mcf0 {
+
+/// Frame kind byte: which object a serialized blob holds.
+enum class SketchFrameKind : uint8_t {
+  kF0Estimator = 0,
+  kBucketingRow = 1,
+  kMinimumRow = 2,
+  kEstimationRow = 3,
+  kFlajoletMartinRow = 4,
+};
+
+/// Stateless encode/decode for every sketch type. Encodings are canonical:
+/// two sketches with equal state produce byte-identical blobs (unordered
+/// containers are sorted on the way out), so blob equality is state
+/// equality — the merge-algebra tests rely on this.
+class SketchCodec {
+ public:
+  /// Bumped whenever the payload layout changes; decoders reject frames
+  /// written by a different version (docs/wire_format.md).
+  static constexpr uint16_t kFormatVersion = 1;
+
+  static std::string Encode(const F0Estimator& est);
+  static std::string Encode(const BucketingSketchRow& row);
+  static std::string Encode(const MinimumSketchRow& row);
+  static std::string Encode(const EstimationSketchRow& row);
+  static std::string Encode(const FlajoletMartinRow& row);
+
+  static Result<F0Estimator> DecodeF0Estimator(std::string_view bytes);
+  static Result<BucketingSketchRow> DecodeBucketingRow(std::string_view bytes);
+  static Result<MinimumSketchRow> DecodeMinimumRow(std::string_view bytes);
+  /// `field` supplies GF(2^w) arithmetic for the decoded hashes and must
+  /// outlive the row; it may be null only for a cells-only row.
+  static Result<EstimationSketchRow> DecodeEstimationRow(
+      std::string_view bytes, const Gf2Field* field);
+  static Result<FlajoletMartinRow> DecodeFlajoletMartinRow(
+      std::string_view bytes);
+};
+
+}  // namespace mcf0

@@ -1,0 +1,116 @@
+#include "engine/sketch_merge.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+#include <utility>
+
+namespace mcf0 {
+namespace {
+
+Status Incompatible(const char* what) {
+  return Status::InvalidArgument(
+      std::string(what) +
+      ": sketches are only mergeable when built from the same parameters "
+      "and seed (identical hash state)");
+}
+
+}  // namespace
+
+Status Merge(BucketingSketchRow& into, const BucketingSketchRow& from) {
+  if (into.thresh() != from.thresh() || !(into.hash() == from.hash())) {
+    return Incompatible("bucketing rows");
+  }
+  const int n = into.hash().n();
+  int level = std::max(into.level(), from.level());
+  // The cells are nested, so both buckets re-filtered to the deeper level,
+  // unioned, and escalated while saturated reproduce exactly the state of a
+  // single pass over the concatenated streams.
+  std::unordered_set<uint64_t> bucket;
+  for (const uint64_t x : into.bucket()) {
+    if (into.InCell(x, level)) bucket.insert(x);
+  }
+  for (const uint64_t x : from.bucket()) {
+    if (into.InCell(x, level)) bucket.insert(x);
+  }
+  while (bucket.size() > into.thresh() && level < n) {
+    ++level;
+    std::erase_if(bucket,
+                  [&](uint64_t x) { return !into.InCell(x, level); });
+  }
+  into = BucketingSketchRow(into.hash(), into.thresh(), level,
+                            std::move(bucket));
+  return Status::Ok();
+}
+
+Status Merge(MinimumSketchRow& into, const MinimumSketchRow& from) {
+  if (into.thresh() != from.thresh() || !(into.hash() == from.hash())) {
+    return Incompatible("minimum rows");
+  }
+  // AddHashed is the KMV union: set-insert, then drop back to the Thresh
+  // smallest.
+  for (const BitVec& v : from.values()) into.AddHashed(v);
+  return Status::Ok();
+}
+
+Status Merge(EstimationSketchRow& into, const EstimationSketchRow& from) {
+  if (into.cells().size() != from.cells().size() ||
+      !(into.hashes() == from.hashes())) {
+    return Incompatible("estimation rows");
+  }
+  for (size_t j = 0; j < from.cells().size(); ++j) {
+    into.Merge(static_cast<int>(j), from.cells()[j]);
+  }
+  return Status::Ok();
+}
+
+Status Merge(FlajoletMartinRow& into, const FlajoletMartinRow& from) {
+  if (!(into.hash() == from.hash())) return Incompatible("FM rows");
+  into.Merge(from.max_trailing_zeros());
+  return Status::Ok();
+}
+
+Status Merge(F0Estimator& into, const F0Estimator& from) {
+  if (!(into.params() == from.params())) {
+    return Incompatible("F0 estimators");
+  }
+  auto merge_rows = [](auto& dst, const auto& src) -> Status {
+    if (dst.size() != src.size()) return Incompatible("F0 estimator rows");
+    for (size_t i = 0; i < dst.size(); ++i) {
+      Status status = Merge(dst[i], src[i]);
+      if (!status.ok()) return status;
+    }
+    return Status::Ok();
+  };
+  Status status =
+      merge_rows(into.mutable_bucketing_rows(), from.bucketing_rows());
+  if (!status.ok()) return status;
+  status = merge_rows(into.mutable_minimum_rows(), from.minimum_rows());
+  if (!status.ok()) return status;
+  status = merge_rows(into.mutable_estimation_rows(), from.estimation_rows());
+  if (!status.ok()) return status;
+  return merge_rows(into.mutable_fm_rows(), from.fm_rows());
+}
+
+void BucketingCoordinator::AddTuple(uint64_t fingerprint, int trailing_zeros) {
+  auto [it, inserted] = tuples_.emplace(fingerprint, trailing_zeros);
+  if (!inserted) it->second = std::max(it->second, trailing_zeros);
+}
+
+BucketingCoordinator::LeveledCount BucketingCoordinator::Resolve(
+    uint64_t thresh, int start_level, int max_level) const {
+  auto count_at = [&](int level) {
+    uint64_t c = 0;
+    for (const auto& [fp, tz] : tuples_) {
+      if (tz >= level) ++c;
+    }
+    return c;
+  };
+  LeveledCount result{count_at(start_level), start_level};
+  while (result.count >= thresh && result.level < max_level) {
+    ++result.level;
+    result.count = count_at(result.level);
+  }
+  return result;
+}
+
+}  // namespace mcf0

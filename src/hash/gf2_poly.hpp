@@ -64,6 +64,17 @@ class PolynomialHash {
   /// Independence degree s of the family this was drawn from.
   int s() const { return static_cast<int>(coeffs_.size()); }
 
+  /// Coefficient masks, constant term first — the full sampled state, used
+  /// by the sketch codec (src/engine) to serialize Estimation rows.
+  const std::vector<uint64_t>& coeffs() const { return coeffs_; }
+
+  /// Same polynomial over the same field degree. (Field pointers may differ
+  /// across deserialized copies; the modulus search is deterministic per
+  /// degree, so degree equality implies the same field.)
+  bool operator==(const PolynomialHash& o) const {
+    return field_->degree() == o.field_->degree() && coeffs_ == o.coeffs_;
+  }
+
  private:
   const Gf2Field* field_;            // not owned
   std::vector<uint64_t> coeffs_;

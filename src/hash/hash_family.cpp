@@ -37,11 +37,14 @@ AffineHash AffineHash::SampleSparseXor(int n, int m, double row_density,
                     repr);
 }
 
-AffineHash AffineHash::FromParts(Gf2Matrix a, BitVec b, AffineHashKind kind) {
+AffineHash AffineHash::FromParts(Gf2Matrix a, BitVec b, AffineHashKind kind,
+                                 size_t repr_bits) {
   MCF0_CHECK(b.size() == a.rows());
-  const size_t repr = static_cast<size_t>(a.rows()) *
-                          static_cast<size_t>(a.cols()) +
-                      static_cast<size_t>(a.rows());
+  const size_t repr = repr_bits > 0
+                          ? repr_bits
+                          : static_cast<size_t>(a.rows()) *
+                                    static_cast<size_t>(a.cols()) +
+                                static_cast<size_t>(a.rows());
   return AffineHash(std::move(a), std::move(b), kind, repr);
 }
 

@@ -41,9 +41,13 @@ class AffineHash {
   /// Samples a sparse-XOR hash: A entries Bernoulli(row_density), b uniform.
   static AffineHash SampleSparseXor(int n, int m, double row_density, Rng& rng);
 
-  /// Wraps explicit parts (used by tests and by distributed coordinators
-  /// that ship hash functions to sites).
-  static AffineHash FromParts(Gf2Matrix a, BitVec b, AffineHashKind kind);
+  /// Wraps explicit parts (used by tests, by distributed coordinators that
+  /// ship hash functions to sites, and by the sketch codec when rehydrating
+  /// serialized hash state). `repr_bits` preserves the original
+  /// representation cost across a serialize/deserialize round trip; 0 means
+  /// "dense": Theta(n*m + m), correct for (sparse) XOR matrices.
+  static AffineHash FromParts(Gf2Matrix a, BitVec b, AffineHashKind kind,
+                              size_t repr_bits = 0);
 
   int n() const { return a_.cols(); }
   int m() const { return a_.rows(); }
@@ -69,6 +73,12 @@ class AffineHash {
   /// Bits needed to represent the sampled function: Theta(n + m) for
   /// Toeplitz, Theta(n * m) for (sparse) XOR — the contrast in §2.
   size_t RepresentationBits() const;
+
+  /// Same function: identical matrix, offset, and sampling kind. Sketch
+  /// merges require both sides to share hash state (§4); this is the check.
+  bool operator==(const AffineHash& o) const {
+    return kind_ == o.kind_ && a_ == o.a_ && b_ == o.b_;
+  }
 
  private:
   AffineHash(Gf2Matrix a, BitVec b, AffineHashKind kind, size_t repr_bits)

@@ -16,6 +16,19 @@ BucketingSketchRow::BucketingSketchRow(int n, uint64_t thresh, Rng& rng)
   MCF0_CHECK(thresh >= 1);
 }
 
+BucketingSketchRow::BucketingSketchRow(AffineHash h, uint64_t thresh,
+                                       int level,
+                                       std::unordered_set<uint64_t> bucket)
+    : n_(h.n()),
+      thresh_(thresh),
+      h_(std::move(h)),
+      level_(level),
+      bucket_(std::move(bucket)) {
+  MCF0_CHECK(n_ >= 1 && n_ <= 64 && h_.m() == n_);
+  MCF0_CHECK(thresh >= 1);
+  MCF0_CHECK(level >= 0 && level <= n_);
+}
+
 bool BucketingSketchRow::InCell(uint64_t x, int level) const {
   if (level == 0) return true;
   const uint64_t hash = h_.Eval64(x);
@@ -111,6 +124,15 @@ EstimationSketchRow::EstimationSketchRow(int num_cols) : field_(nullptr) {
   cells_.assign(num_cols, 0);
 }
 
+EstimationSketchRow::EstimationSketchRow(const Gf2Field* field,
+                                         std::vector<PolynomialHash> hashes,
+                                         std::vector<int> cells)
+    : field_(field), hashes_(std::move(hashes)), cells_(std::move(cells)) {
+  MCF0_CHECK(!cells_.empty());
+  MCF0_CHECK(hashes_.empty() || hashes_.size() == cells_.size());
+  MCF0_CHECK(hashes_.empty() || field_ != nullptr);
+}
+
 void EstimationSketchRow::Add(uint64_t x) {
   MCF0_CHECK(field_ != nullptr);  // cells-only rows are Merge-fed
   const int w = field_->degree();
@@ -159,6 +181,12 @@ FlajoletMartinRow::FlajoletMartinRow(int n, Rng& rng)
   MCF0_CHECK(n >= 1 && n <= 64);
 }
 
+FlajoletMartinRow::FlajoletMartinRow(AffineHash h, int max_tz)
+    : n_(h.n()), h_(std::move(h)), max_tz_(max_tz) {
+  MCF0_CHECK(n_ >= 1 && n_ <= 64 && h_.m() == n_);
+  MCF0_CHECK(max_tz >= 0 && max_tz <= n_);
+}
+
 void FlajoletMartinRow::Add(uint64_t x) {
   const int t = TrailZero64(h_.Eval64(x), n_);
   if (t > max_tz_) max_tz_ = t;
@@ -174,6 +202,12 @@ uint64_t F0Thresh(const F0Params& params) {
 int F0Rows(const F0Params& params) {
   if (params.rows_override > 0) return params.rows_override;
   return static_cast<int>(std::ceil(35.0 * std::log2(1.0 / params.delta)));
+}
+
+int F0IndependenceS(const F0Params& params) {
+  if (params.s_override > 0) return params.s_override;
+  return std::max(
+      2, static_cast<int>(std::ceil(10.0 * std::log2(1.0 / params.eps))));
 }
 
 F0Estimator::F0Estimator(const F0Params& params) : params_(params) {
@@ -195,11 +229,7 @@ F0Estimator::F0Estimator(const F0Params& params) : params_(params) {
       break;
     case F0Algorithm::kEstimation: {
       field_ = std::make_unique<Gf2Field>(params.n);
-      const int s =
-          params.s_override > 0
-              ? params.s_override
-              : std::max(2, static_cast<int>(std::ceil(
-                                10.0 * std::log2(1.0 / params.eps))));
+      const int s = F0IndependenceS(params);
       for (int i = 0; i < rows; ++i) {
         estimation_rows_.emplace_back(field_.get(), static_cast<int>(thresh),
                                       s, rng);
@@ -211,6 +241,38 @@ F0Estimator::F0Estimator(const F0Params& params) : params_(params) {
 }
 
 F0Estimator::~F0Estimator() = default;
+
+F0Estimator F0Estimator::FromRows(const F0Params& params,
+                                  std::unique_ptr<Gf2Field> field,
+                                  std::vector<BucketingSketchRow> bucketing,
+                                  std::vector<MinimumSketchRow> minimum,
+                                  std::vector<EstimationSketchRow> estimation,
+                                  std::vector<FlajoletMartinRow> fm) {
+  const size_t rows = static_cast<size_t>(F0Rows(params));
+  switch (params.algorithm) {
+    case F0Algorithm::kBucketing:
+      MCF0_CHECK(bucketing.size() == rows && minimum.empty() &&
+                 estimation.empty() && fm.empty());
+      break;
+    case F0Algorithm::kMinimum:
+      MCF0_CHECK(minimum.size() == rows && bucketing.empty() &&
+                 estimation.empty() && fm.empty());
+      break;
+    case F0Algorithm::kEstimation:
+      MCF0_CHECK(estimation.size() == rows && fm.size() == rows &&
+                 bucketing.empty() && minimum.empty());
+      MCF0_CHECK(field != nullptr);
+      break;
+  }
+  F0Estimator est;
+  est.params_ = params;
+  est.field_ = std::move(field);
+  est.bucketing_rows_ = std::move(bucketing);
+  est.minimum_rows_ = std::move(minimum);
+  est.estimation_rows_ = std::move(estimation);
+  est.fm_rows_ = std::move(fm);
+  return est;
+}
 
 void F0Estimator::Add(uint64_t x) {
   for (auto& row : bucketing_rows_) row.Add(x);

@@ -40,6 +40,12 @@ class BucketingSketchRow {
  public:
   BucketingSketchRow(int n, uint64_t thresh, Rng& rng);
 
+  /// Rebuilds a row from explicit state — the engine entry point
+  /// (src/engine): SketchCodec decoding and Merge() both reconstruct rows
+  /// this way. `bucket` must be a subset of the cell at `level`.
+  BucketingSketchRow(AffineHash h, uint64_t thresh, int level,
+                     std::unordered_set<uint64_t> bucket);
+
   void Add(uint64_t x);
 
   /// |bucket| * 2^level.
@@ -47,11 +53,17 @@ class BucketingSketchRow {
 
   int level() const { return level_; }
   size_t bucket_size() const { return bucket_.size(); }
+  uint64_t thresh() const { return thresh_; }
+  const AffineHash& hash() const { return h_; }
+  const std::unordered_set<uint64_t>& bucket() const { return bucket_; }
   size_t SpaceBits() const;
 
- private:
-  /// First `level` bits of h(x) all zero?
+  /// First `level` bits of h(x) all zero? The cells are nested in `level`,
+  /// which is what makes buckets union-mergeable (re-filter to the deeper
+  /// side's level, then keep escalating while over thresh).
   bool InCell(uint64_t x, int level) const;
+
+ private:
 
   int n_;
   uint64_t thresh_;
@@ -83,7 +95,7 @@ class MinimumSketchRow {
 
   bool saturated() const { return values_.size() >= thresh_; }
   const std::set<BitVec>& values() const { return values_; }
-  /// Current cutoff: inserts only matter if below this (saturated case).
+  uint64_t thresh() const { return thresh_; }
   size_t SpaceBits() const;
   int output_bits() const { return h_.m(); }
   const AffineHash& hash() const { return h_; }
@@ -108,6 +120,13 @@ class EstimationSketchRow {
   /// EstimateWithR(). Add() is invalid on such a row.
   explicit EstimationSketchRow(int num_cols);
 
+  /// Rebuilds a row from explicit hash + cell state (the engine entry
+  /// point). `field` must outlive the row and match the hashes' field;
+  /// hashes may be empty for a cells-only row (then field may be null).
+  EstimationSketchRow(const Gf2Field* field,
+                      std::vector<PolynomialHash> hashes,
+                      std::vector<int> cells);
+
   void Add(uint64_t x);
 
   /// Raises cell j to at least `t` — the distributed merge path (§4).
@@ -119,6 +138,7 @@ class EstimationSketchRow {
   double EstimateWithR(int r) const;
 
   const std::vector<int>& cells() const { return cells_; }
+  const std::vector<PolynomialHash>& hashes() const { return hashes_; }
   size_t SpaceBits() const;
 
  private:
@@ -134,9 +154,18 @@ class FlajoletMartinRow {
  public:
   FlajoletMartinRow(int n, Rng& rng);
 
+  /// Rebuilds a row from explicit state (the engine entry point).
+  FlajoletMartinRow(AffineHash h, int max_tz);
+
   void Add(uint64_t x);
 
+  /// Raises the counter to at least `t` — the union-merge path.
+  void Merge(int t) {
+    if (t > max_tz_) max_tz_ = t;
+  }
+
   int max_trailing_zeros() const { return max_tz_; }
+  const AffineHash& hash() const { return h_; }
   double Estimate() const { return std::pow(2.0, max_tz_); }
 
  private:
@@ -160,12 +189,20 @@ struct F0Params {
   uint64_t thresh_override = 0;
   int rows_override = 0;
   int s_override = 0;      ///< Estimation independence; 0 = 10 log2(1/eps)
+
+  /// Field-wise equality; sketches are only mergeable when the parameters
+  /// (and hence the seeded hash functions) agree exactly.
+  friend bool operator==(const F0Params&, const F0Params&) = default;
 };
 
 /// Thresh = 96 / eps^2 (Algorithm 1 line 1), honoring overrides.
 uint64_t F0Thresh(const F0Params& params);
 /// t = 35 log2(1/delta) rows (Algorithm 1 line 2), honoring overrides.
 int F0Rows(const F0Params& params);
+/// Estimation hash independence s = max(2, 10 log2(1/eps)) (§3.4),
+/// honoring overrides. Shared with the sketch codec so serialized rows
+/// are validated against exactly what the constructor would sample.
+int F0IndependenceS(const F0Params& params);
 
 /// The ComputeF0 driver: t independent rows of the chosen sketch, median
 /// of row estimates. For Estimation, FM rows run in parallel to supply r
@@ -176,6 +213,20 @@ class F0Estimator {
   explicit F0Estimator(const F0Params& params);
   ~F0Estimator();
 
+  F0Estimator(F0Estimator&&) = default;
+  F0Estimator& operator=(F0Estimator&&) = default;
+
+  /// Rebuilds an estimator from deserialized row state — the engine entry
+  /// point (src/engine/sketch_codec). Exactly the vectors matching
+  /// `params.algorithm` may be non-empty; for Estimation, `field` owns the
+  /// GF(2^n) arithmetic the rows' hashes point into.
+  static F0Estimator FromRows(const F0Params& params,
+                              std::unique_ptr<Gf2Field> field,
+                              std::vector<BucketingSketchRow> bucketing,
+                              std::vector<MinimumSketchRow> minimum,
+                              std::vector<EstimationSketchRow> estimation,
+                              std::vector<FlajoletMartinRow> fm);
+
   void Add(uint64_t x);
 
   double Estimate() const;
@@ -185,7 +236,34 @@ class F0Estimator {
 
   const F0Params& params() const { return params_; }
 
+  /// Engine access (src/engine): SketchCodec serializes row state, Merge()
+  /// unions replicas row-by-row. Mutable access is for those two layers;
+  /// other callers should treat rows as opaque.
+  const Gf2Field* field() const { return field_.get(); }
+  const std::vector<BucketingSketchRow>& bucketing_rows() const {
+    return bucketing_rows_;
+  }
+  const std::vector<MinimumSketchRow>& minimum_rows() const {
+    return minimum_rows_;
+  }
+  const std::vector<EstimationSketchRow>& estimation_rows() const {
+    return estimation_rows_;
+  }
+  const std::vector<FlajoletMartinRow>& fm_rows() const { return fm_rows_; }
+  std::vector<BucketingSketchRow>& mutable_bucketing_rows() {
+    return bucketing_rows_;
+  }
+  std::vector<MinimumSketchRow>& mutable_minimum_rows() {
+    return minimum_rows_;
+  }
+  std::vector<EstimationSketchRow>& mutable_estimation_rows() {
+    return estimation_rows_;
+  }
+  std::vector<FlajoletMartinRow>& mutable_fm_rows() { return fm_rows_; }
+
  private:
+  F0Estimator() = default;
+
   F0Params params_;
   std::unique_ptr<Gf2Field> field_;  // Estimation only
   std::vector<BucketingSketchRow> bucketing_rows_;

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 namespace mcf0 {
@@ -187,6 +188,134 @@ TEST(CliTest, ZeroVariableFormulaIsACleanError) {
   const std::string path = WriteFixture("empty.dnf", "p dnf 0 0\n");
   EXPECT_EQ(RunCli("stream " + path + " 2>/dev/null").exit_code, 1);
   EXPECT_EQ(RunCli("count " + path + " 2>/dev/null").exit_code, 1);
+}
+
+TEST(CliTest, EveryResultCarriesBuildProvenance) {
+  const std::string path = WriteFixture("prov.txt", "1 2 3\n");
+  const RunOutput out = RunCli("f0 " + path);
+  ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
+  EXPECT_NE(out.stdout_text.find("\"version\": \""), std::string::npos)
+      << out.stdout_text;
+  EXPECT_NE(out.stdout_text.find("\"git_sha\": \""), std::string::npos)
+      << out.stdout_text;
+}
+
+TEST(CliTest, SketchMapReduceMatchesSinglePassF0) {
+  // 120 distinct elements < Thresh 150: the Minimum sketch is exact, so
+  // shell map-reduce (build halves -> merge -> query) must equal the
+  // single-pass `f0` answer exactly. Loop the other algorithms too; for
+  // them equality of the split/merged estimate with the single-pass
+  // estimate still holds exactly because the merge is an exact union.
+  std::string first_half;
+  std::string second_half;
+  std::string full;
+  for (int value = 1; value <= 120; ++value) {
+    const std::string line = std::to_string(value * 7919) + "\n";
+    (value <= 60 ? first_half : second_half) += line;
+    full += line;
+  }
+  const std::string path_a = WriteFixture("shard_a.txt", first_half);
+  const std::string path_b = WriteFixture("shard_b.txt", second_half);
+  const std::string path_full = WriteFixture("shard_full.txt", full);
+  const std::string dir = testing::TempDir();
+
+  for (const std::string algo : {"minimum", "bucketing", "estimation"}) {
+    const std::string common = " --seed 7 --algo " + algo + " ";
+    const std::string sketch_a = dir + "/a_" + algo + ".mcf0";
+    const std::string sketch_b = dir + "/b_" + algo + ".mcf0";
+    const std::string merged = dir + "/m_" + algo + ".mcf0";
+    ASSERT_EQ(RunCli("sketch build" + common + "--out " + sketch_a + " " +
+                     path_a)
+                  .exit_code,
+              0);
+    ASSERT_EQ(RunCli("sketch build" + common + "--out " + sketch_b + " " +
+                     path_b)
+                  .exit_code,
+              0);
+    const RunOutput merge_out = RunCli("sketch merge --out " + merged + " " +
+                                       sketch_a + " " + sketch_b);
+    ASSERT_EQ(merge_out.exit_code, 0) << merge_out.stdout_text;
+    const RunOutput query_out = RunCli("sketch query " + merged);
+    ASSERT_EQ(query_out.exit_code, 0) << query_out.stdout_text;
+    ExpectJsonShape(query_out.stdout_text, "sketch");
+
+    const RunOutput f0_out = RunCli("f0" + common + path_full);
+    ASSERT_EQ(f0_out.exit_code, 0) << f0_out.stdout_text;
+    const double single_pass = JsonNumber(f0_out.stdout_text, "estimate");
+    EXPECT_DOUBLE_EQ(JsonNumber(query_out.stdout_text, "estimate"),
+                     single_pass)
+        << algo;
+    if (algo == "minimum") EXPECT_DOUBLE_EQ(single_pass, 120.0);
+  }
+}
+
+TEST(CliTest, SketchShardedBuildMatchesSerialBuild) {
+  std::string stream;
+  for (int value = 1; value <= 100; ++value) {
+    stream += std::to_string(value * 977) + "\n";
+  }
+  const std::string path = WriteFixture("sharded.txt", stream);
+  const std::string serial = testing::TempDir() + "/serial.mcf0";
+  const std::string sharded = testing::TempDir() + "/sharded.mcf0";
+  ASSERT_EQ(RunCli("sketch build --seed 5 --out " + serial + " " + path)
+                .exit_code,
+            0);
+  const RunOutput out = RunCli("sketch build --seed 5 --shards 3 --out " +
+                               sharded + " " + path);
+  ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
+  EXPECT_DOUBLE_EQ(JsonNumber(out.stdout_text, "estimate"), 100.0);
+  // Same params + same stream => byte-identical sketch files, no matter
+  // how ingestion was parallelized.
+  std::ifstream serial_in(serial, std::ios::binary);
+  std::ifstream sharded_in(sharded, std::ios::binary);
+  const std::string serial_bytes(
+      (std::istreambuf_iterator<char>(serial_in)),
+      std::istreambuf_iterator<char>());
+  const std::string sharded_bytes(
+      (std::istreambuf_iterator<char>(sharded_in)),
+      std::istreambuf_iterator<char>());
+  EXPECT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(serial_bytes, sharded_bytes);
+}
+
+TEST(CliTest, SketchUsageAndDecodeErrors) {
+  const std::string dir = testing::TempDir();
+  EXPECT_EQ(RunCli("sketch 2>/dev/null").exit_code, 2);
+  EXPECT_EQ(RunCli("sketch frobnicate 2>/dev/null").exit_code, 2);
+  // build without --out, merge with one input: usage errors.
+  const std::string path = WriteFixture("u.txt", "1 2 3\n");
+  EXPECT_EQ(RunCli("sketch build " + path + " 2>/dev/null").exit_code, 2);
+  // --shards is capped: a typo must be a usage error, not a thread-spawn
+  // crash.
+  EXPECT_EQ(RunCli("sketch build --shards 0 --out x.mcf0 " + path +
+                   " 2>/dev/null")
+                .exit_code,
+            2);
+  EXPECT_EQ(RunCli("sketch build --shards 99999 --out x.mcf0 " + path +
+                   " 2>/dev/null")
+                .exit_code,
+            2);
+  const std::string sketch = dir + "/u.mcf0";
+  ASSERT_EQ(
+      RunCli("sketch build --out " + sketch + " " + path).exit_code, 0);
+  EXPECT_EQ(RunCli("sketch merge --out " + dir + "/v.mcf0 " + sketch +
+                   " 2>/dev/null")
+                .exit_code,
+            2);
+  // Runtime errors: missing file, corrupt sketch, mismatched merge.
+  EXPECT_EQ(RunCli("sketch query " + dir + "/nonexistent.mcf0 2>/dev/null")
+                .exit_code,
+            1);
+  const std::string garbage = WriteFixture("garbage.mcf0", "not a sketch");
+  EXPECT_EQ(RunCli("sketch query " + garbage + " 2>/dev/null").exit_code, 1);
+  const std::string other = dir + "/other.mcf0";
+  ASSERT_EQ(RunCli("sketch build --seed 99 --out " + other + " " + path)
+                .exit_code,
+            0);
+  EXPECT_EQ(RunCli("sketch merge --out " + dir + "/w.mcf0 " + sketch + " " +
+                   other + " 2>/dev/null")
+                .exit_code,
+            1);
 }
 
 TEST(CliTest, FormatSniffingIgnoresComments) {

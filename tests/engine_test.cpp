@@ -1,0 +1,400 @@
+// Engine subsystem tests (src/engine): codec round trips and checked
+// decoding on hostile input, the merge algebra (commutative, associative,
+// split-then-merge == single stream), and sharded-ingestion equivalence.
+//
+// Many assertions compare SketchCodec::Encode() blobs directly: the
+// encoding is canonical (sorted containers, unique BitVec packing), so
+// byte equality is sketch-state equality.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/sharded_engine.hpp"
+#include "engine/sketch_codec.hpp"
+#include "engine/sketch_merge.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace mcf0 {
+namespace {
+
+constexpr F0Algorithm kAllAlgorithms[] = {
+    F0Algorithm::kBucketing, F0Algorithm::kMinimum, F0Algorithm::kEstimation};
+
+// Small overrides keep every test fast while still exercising the
+// saturated regime (thresh 20 << the default 150).
+F0Params SmallParams(F0Algorithm algorithm, uint64_t seed = 7) {
+  F0Params params;
+  params.n = 24;
+  params.eps = 0.8;
+  params.delta = 0.2;
+  params.algorithm = algorithm;
+  params.seed = seed;
+  params.thresh_override = 20;
+  params.rows_override = 5;
+  params.s_override = 4;
+  return params;
+}
+
+std::vector<uint64_t> RandomStream(size_t length, uint64_t support,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> xs(length);
+  for (auto& x : xs) x = rng.NextBelow(support);
+  return xs;
+}
+
+F0Estimator Clone(const F0Estimator& est) {
+  Result<F0Estimator> decoded =
+      SketchCodec::DecodeF0Estimator(SketchCodec::Encode(est));
+  EXPECT_TRUE(decoded.ok()) << decoded.status().ToString();
+  return std::move(decoded).value();
+}
+
+// ---- codec ----------------------------------------------------------------
+
+TEST(SketchCodecTest, RoundTripsEstimatorForAllAlgorithms) {
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    const F0Params params = SmallParams(algorithm);
+    F0Estimator original(params);
+    for (const uint64_t x : RandomStream(500, 300, 11)) original.Add(x);
+
+    const std::string blob = SketchCodec::Encode(original);
+    Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(blob);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(decoded.value().params() == params);
+    EXPECT_DOUBLE_EQ(decoded.value().Estimate(), original.Estimate());
+    EXPECT_EQ(decoded.value().SpaceBits(), original.SpaceBits());
+    // Canonical encoding: re-encoding the decoded sketch is byte-identical.
+    EXPECT_EQ(SketchCodec::Encode(decoded.value()), blob);
+
+    // The decoded sketch is live, not a snapshot: hash state round-tripped,
+    // so absorbing more elements tracks the original exactly.
+    F0Estimator revived = std::move(decoded).value();
+    for (const uint64_t x : RandomStream(200, 600, 12)) {
+      original.Add(x);
+      revived.Add(x);
+    }
+    EXPECT_EQ(SketchCodec::Encode(revived), SketchCodec::Encode(original));
+  }
+}
+
+TEST(SketchCodecTest, RoundTripsIndividualRows) {
+  Rng rng(3);
+  const std::vector<uint64_t> xs = RandomStream(200, 90, 4);
+
+  BucketingSketchRow bucketing(16, 8, rng);
+  for (const uint64_t x : xs) bucketing.Add(x);
+  Result<BucketingSketchRow> b =
+      SketchCodec::DecodeBucketingRow(SketchCodec::Encode(bucketing));
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(b.value().level(), bucketing.level());
+  EXPECT_EQ(SketchCodec::Encode(b.value()), SketchCodec::Encode(bucketing));
+
+  MinimumSketchRow minimum(16, 8, rng);
+  for (const uint64_t x : xs) minimum.Add(x);
+  Result<MinimumSketchRow> m =
+      SketchCodec::DecodeMinimumRow(SketchCodec::Encode(minimum));
+  ASSERT_TRUE(m.ok()) << m.status().ToString();
+  EXPECT_EQ(m.value().values(), minimum.values());
+  EXPECT_TRUE(m.value().hash() == minimum.hash());
+
+  FlajoletMartinRow fm(16, rng);
+  for (const uint64_t x : xs) fm.Add(x);
+  Result<FlajoletMartinRow> f =
+      SketchCodec::DecodeFlajoletMartinRow(SketchCodec::Encode(fm));
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  EXPECT_EQ(f.value().max_trailing_zeros(), fm.max_trailing_zeros());
+
+  const Gf2Field field(16);
+  EstimationSketchRow estimation(&field, 6, 3, rng);
+  for (const uint64_t x : xs) estimation.Add(x);
+  Result<EstimationSketchRow> e = SketchCodec::DecodeEstimationRow(
+      SketchCodec::Encode(estimation), &field);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  EXPECT_EQ(e.value().cells(), estimation.cells());
+  EXPECT_TRUE(e.value().hashes() == estimation.hashes());
+
+  // Cells-only rows (the §4 coordinator shape) need no field at all.
+  EstimationSketchRow cells_only(6);
+  cells_only.Merge(2, 9);
+  Result<EstimationSketchRow> c = SketchCodec::DecodeEstimationRow(
+      SketchCodec::Encode(cells_only), nullptr);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c.value().cells(), cells_only.cells());
+}
+
+TEST(SketchCodecTest, RejectsTruncationAtEveryPrefixLength) {
+  F0Estimator est(SmallParams(F0Algorithm::kMinimum));
+  for (const uint64_t x : RandomStream(200, 100, 5)) est.Add(x);
+  const std::string blob = SketchCodec::Encode(est);
+  for (size_t len = 0; len < blob.size(); ++len) {
+    Result<F0Estimator> decoded =
+        SketchCodec::DecodeF0Estimator(std::string_view(blob).substr(0, len));
+    EXPECT_FALSE(decoded.ok()) << "prefix of length " << len << " decoded";
+  }
+}
+
+TEST(SketchCodecTest, RejectsCorruptedBytes) {
+  F0Estimator est(SmallParams(F0Algorithm::kBucketing));
+  for (const uint64_t x : RandomStream(300, 200, 6)) est.Add(x);
+  const std::string blob = SketchCodec::Encode(est);
+  // Every single-byte corruption must be caught — header fields by their
+  // own validation, payload bytes by the checksum.
+  for (size_t pos = 0; pos < blob.size(); pos += 7) {
+    std::string corrupt = blob;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x2a);
+    EXPECT_FALSE(SketchCodec::DecodeF0Estimator(corrupt).ok())
+        << "flip at byte " << pos << " decoded";
+  }
+  // Trailing garbage is not silently ignored either.
+  EXPECT_FALSE(SketchCodec::DecodeF0Estimator(blob + "x").ok());
+}
+
+TEST(SketchCodecTest, RejectsStructurallyInvalidRowState) {
+  // Checksum-valid blobs whose *content* violates row invariants must be
+  // rejected, not decoded into rows that misbehave later.
+  Rng rng(13);
+
+  // A bucket element outside the cell at the row's level: the from-parts
+  // constructor accepts it (the codec is the validation boundary), but the
+  // decoder must not.
+  BucketingSketchRow honest(16, 4, rng);
+  for (uint64_t x = 0; x < 300; ++x) honest.Add(x);
+  ASSERT_GT(honest.level(), 0);
+  std::unordered_set<uint64_t> bucket = honest.bucket();
+  ASSERT_FALSE(bucket.empty());
+  bucket.erase(bucket.begin());  // keep |bucket| <= thresh: isolate InCell
+  uint64_t outside = 0;
+  while (honest.InCell(outside, honest.level())) ++outside;
+  bucket.insert(outside);
+  const BucketingSketchRow tampered(honest.hash(), honest.thresh(),
+                                    honest.level(), std::move(bucket));
+  EXPECT_FALSE(
+      SketchCodec::DecodeBucketingRow(SketchCodec::Encode(tampered)).ok());
+
+  // An over-full bucket below the deepest level is unreachable state too.
+  std::unordered_set<uint64_t> oversized;
+  for (uint64_t x = 0; oversized.size() <= honest.thresh(); ++x) {
+    if (honest.InCell(x, honest.level())) oversized.insert(x);
+  }
+  const BucketingSketchRow overfull(honest.hash(), honest.thresh(),
+                                    honest.level(), std::move(oversized));
+  EXPECT_FALSE(
+      SketchCodec::DecodeBucketingRow(SketchCodec::Encode(overfull)).ok());
+
+  // A minimum row whose hash input width exceeds the word universe: Add()
+  // on such a row would be undefined, so the decoder refuses it.
+  const AffineHash wide = AffineHash::SampleXor(65, 8, rng);
+  const MinimumSketchRow wide_row(wide, 4);
+  EXPECT_FALSE(
+      SketchCodec::DecodeMinimumRow(SketchCodec::Encode(wide_row)).ok());
+}
+
+TEST(SketchCodecTest, RejectsHugeRowCountWithoutAllocating) {
+  // A tiny file whose parameters promise INT_MAX rows must be a clean
+  // Status error, not a std::bad_alloc abort from a huge reserve().
+  const std::string blob =
+      SketchCodec::Encode(F0Estimator(SmallParams(F0Algorithm::kBucketing)));
+  // Payload layout (docs/wire_format.md): algorithm u8, n u8, eps f64,
+  // delta f64, seed u64, thresh_override u64, rows_override u32,
+  // s_override u32, row count u32.
+  constexpr size_t kHeader = 24;
+  constexpr size_t kRowsOverrideOff = 1 + 1 + 8 + 8 + 8 + 8;
+  constexpr size_t kRowCountOff = kRowsOverrideOff + 4 + 4;
+  std::string payload = blob.substr(kHeader, kRowCountOff + 4);
+  for (int i = 0; i < 4; ++i) {  // rows_override = row count = 0x7fffffff
+    payload[kRowsOverrideOff + i] = static_cast<char>(i == 3 ? 0x7f : 0xff);
+    payload[kRowCountOff + i] = static_cast<char>(i == 3 ? 0x7f : 0xff);
+  }
+  std::string evil = blob.substr(0, kHeader) + payload;
+  // Rewrite the header's payload length and FNV-1a-64 checksum.
+  uint64_t length = payload.size();
+  uint64_t checksum = 14695981039346656037ull;
+  for (const char c : payload) {
+    checksum ^= static_cast<unsigned char>(c);
+    checksum *= 1099511628211ull;
+  }
+  for (int i = 0; i < 8; ++i) {
+    evil[8 + i] = static_cast<char>((length >> (8 * i)) & 0xff);
+    evil[16 + i] = static_cast<char>((checksum >> (8 * i)) & 0xff);
+  }
+  Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(evil);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(SketchCodecTest, RejectsMismatchedFrameKind) {
+  Rng rng(9);
+  MinimumSketchRow row(16, 4, rng);
+  const std::string blob = SketchCodec::Encode(row);
+  EXPECT_FALSE(SketchCodec::DecodeBucketingRow(blob).ok());
+  EXPECT_FALSE(SketchCodec::DecodeF0Estimator(blob).ok());
+  EXPECT_TRUE(SketchCodec::DecodeMinimumRow(blob).ok());
+}
+
+// ---- merge algebra --------------------------------------------------------
+
+TEST(SketchMergeTest, SplitThenMergeEqualsSingleStream) {
+  // The merge is an exact union, so splitting a stream across any number
+  // of sketches and merging reproduces the single-pass sketch state (not
+  // just an estimate within tolerance) for every algorithm.
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    const F0Params params = SmallParams(algorithm);
+    const std::vector<uint64_t> xs = RandomStream(900, 400, 21);
+
+    F0Estimator single(params);
+    for (const uint64_t x : xs) single.Add(x);
+
+    F0Estimator parts[3] = {F0Estimator(params), F0Estimator(params),
+                            F0Estimator(params)};
+    for (size_t i = 0; i < xs.size(); ++i) parts[i % 3].Add(xs[i]);
+
+    F0Estimator merged(params);
+    for (const F0Estimator& part : parts) {
+      ASSERT_TRUE(Merge(merged, part).ok());
+    }
+    EXPECT_EQ(SketchCodec::Encode(merged), SketchCodec::Encode(single));
+    EXPECT_DOUBLE_EQ(merged.Estimate(), single.Estimate());
+  }
+}
+
+TEST(SketchMergeTest, MergeIsCommutative) {
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    const F0Params params = SmallParams(algorithm);
+    F0Estimator a(params);
+    F0Estimator b(params);
+    for (const uint64_t x : RandomStream(400, 250, 31)) a.Add(x);
+    for (const uint64_t x : RandomStream(400, 250, 32)) b.Add(x);
+
+    F0Estimator ab = Clone(a);
+    ASSERT_TRUE(Merge(ab, b).ok());
+    F0Estimator ba = Clone(b);
+    ASSERT_TRUE(Merge(ba, a).ok());
+    EXPECT_EQ(SketchCodec::Encode(ab), SketchCodec::Encode(ba));
+  }
+}
+
+TEST(SketchMergeTest, MergeIsAssociative) {
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    const F0Params params = SmallParams(algorithm);
+    F0Estimator a(params);
+    F0Estimator b(params);
+    F0Estimator c(params);
+    for (const uint64_t x : RandomStream(300, 200, 41)) a.Add(x);
+    for (const uint64_t x : RandomStream(300, 200, 42)) b.Add(x);
+    for (const uint64_t x : RandomStream(300, 200, 43)) c.Add(x);
+
+    F0Estimator left = Clone(a);  // (a ∪ b) ∪ c
+    ASSERT_TRUE(Merge(left, b).ok());
+    ASSERT_TRUE(Merge(left, c).ok());
+
+    F0Estimator bc = Clone(b);  // a ∪ (b ∪ c)
+    ASSERT_TRUE(Merge(bc, c).ok());
+    F0Estimator right = Clone(a);
+    ASSERT_TRUE(Merge(right, bc).ok());
+
+    EXPECT_EQ(SketchCodec::Encode(left), SketchCodec::Encode(right));
+  }
+}
+
+TEST(SketchMergeTest, MergeIsIdempotent) {
+  // Union semantics: merging a sketch with itself changes nothing.
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    F0Estimator a(SmallParams(algorithm));
+    for (const uint64_t x : RandomStream(400, 250, 51)) a.Add(x);
+    F0Estimator aa = Clone(a);
+    ASSERT_TRUE(Merge(aa, a).ok());
+    EXPECT_EQ(SketchCodec::Encode(aa), SketchCodec::Encode(a));
+  }
+}
+
+TEST(SketchMergeTest, RejectsMismatchedSketches) {
+  F0Estimator seed7(SmallParams(F0Algorithm::kMinimum, 7));
+  F0Estimator seed8(SmallParams(F0Algorithm::kMinimum, 8));
+  EXPECT_FALSE(Merge(seed7, seed8).ok());  // different hash functions
+
+  F0Params other = SmallParams(F0Algorithm::kMinimum, 7);
+  other.thresh_override = 30;
+  F0Estimator bigger(other);
+  EXPECT_FALSE(Merge(seed7, bigger).ok());
+
+  Rng rng(5);
+  MinimumSketchRow row_a(16, 4, rng);
+  MinimumSketchRow row_b(16, 4, rng);  // independently sampled hash
+  EXPECT_FALSE(Merge(row_a, row_b).ok());
+
+  EstimationSketchRow cells_small(4);
+  EstimationSketchRow cells_big(5);
+  EXPECT_FALSE(Merge(cells_small, cells_big).ok());
+}
+
+TEST(SketchMergeTest, BucketingCoordinatorEscalatesLikeTheRow) {
+  BucketingCoordinator coordinator;
+  // 40 distinct fingerprints, each at depth >= 0; thresh 10 forces
+  // escalation until fewer than 10 survive.
+  Rng rng(77);
+  for (uint64_t fp = 0; fp < 40; ++fp) {
+    coordinator.AddTuple(fp, static_cast<int>(rng.NextBelow(12)));
+    coordinator.AddTuple(fp, 0);  // duplicate keeps the max depth
+  }
+  EXPECT_EQ(coordinator.num_tuples(), 40u);
+  const auto resolved = coordinator.Resolve(10, 0, 16);
+  EXPECT_LT(resolved.count, 10u);
+  EXPECT_GT(resolved.level, 0);
+  // Escalation stops at the first de-saturated level: one level shallower
+  // must still be saturated (>= thresh).
+  const auto shallower = coordinator.Resolve(10, resolved.level - 1, 16);
+  EXPECT_TRUE(shallower.level == resolved.level);
+}
+
+// ---- sharded engine -------------------------------------------------------
+
+TEST(ShardedEngineTest, MatchesSequentialIngestionExactly) {
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    const F0Params params = SmallParams(algorithm);
+    const std::vector<uint64_t> xs = RandomStream(2000, 700, 61);
+
+    F0Estimator sequential(params);
+    for (const uint64_t x : xs) sequential.Add(x);
+
+    ShardedF0Engine engine(params, 4);
+    // Mix the two ingestion paths: batches and single elements.
+    const size_t half = xs.size() / 2;
+    engine.AddBatch(std::span<const uint64_t>(xs.data(), half));
+    for (size_t i = half; i < xs.size(); ++i) engine.Add(xs[i]);
+
+    EXPECT_EQ(engine.elements_ingested(), xs.size());
+    F0Estimator merged = engine.MergedSketch();
+    EXPECT_EQ(SketchCodec::Encode(merged), SketchCodec::Encode(sequential));
+    EXPECT_DOUBLE_EQ(engine.Estimate(), sequential.Estimate());
+  }
+}
+
+TEST(ShardedEngineTest, SingleShardAndRepeatedQueries) {
+  const F0Params params = SmallParams(F0Algorithm::kMinimum);
+  ShardedF0Engine engine(params, 1);
+  EXPECT_EQ(engine.Estimate(), 0.0);  // empty
+
+  const std::vector<uint64_t> xs = RandomStream(500, 15, 62);
+  engine.AddBatch(xs);
+  EXPECT_DOUBLE_EQ(engine.Estimate(), 15.0);  // exact regime: 15 < thresh
+  // Queries are non-destructive; ingestion continues afterwards.
+  engine.Add(1u << 20);
+  EXPECT_DOUBLE_EQ(engine.Estimate(), 16.0);
+  EXPECT_GT(engine.SpaceBits(), 0u);
+}
+
+TEST(ShardedEngineTest, ShardedSketchSurvivesCodecRoundTrip) {
+  const F0Params params = SmallParams(F0Algorithm::kBucketing);
+  ShardedF0Engine engine(params, 3);
+  engine.AddBatch(RandomStream(1200, 500, 63));
+  const F0Estimator merged = engine.MergedSketch();
+  Result<F0Estimator> decoded =
+      SketchCodec::DecodeF0Estimator(SketchCodec::Encode(merged));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_DOUBLE_EQ(decoded.value().Estimate(), merged.Estimate());
+}
+
+}  // namespace
+}  // namespace mcf0

@@ -9,6 +9,11 @@
 //                                         the communication ledger
 //   mcf0 stream [opts] <file.dnf>         structured set streaming (§5):
 //                                         each DNF term is one stream item
+//   mcf0 sketch build|merge|query         durable F0 sketches: build from a
+//                                         stream (optionally sharded across
+//                                         threads), merge sketch files,
+//                                         query an estimate — map-reduce F0
+//                                         over file shards from the shell
 //
 // Common options: --eps E --delta D --seed S --algo NAME. Run with no
 // arguments (or `mcf0 help`) for the full reference. Exit codes: 0 ok,
@@ -28,12 +33,16 @@
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "common/version.hpp"
 #include "core/approx_count_est.hpp"
 #include "core/approx_count_min.hpp"
 #include "core/approxmc.hpp"
 #include "core/counting.hpp"
 #include "core/karp_luby.hpp"
 #include "distributed/distributed_dnf.hpp"
+#include "engine/sharded_engine.hpp"
+#include "engine/sketch_codec.hpp"
+#include "engine/sketch_merge.hpp"
 #include "formula/dimacs.hpp"
 #include "formula/formula.hpp"
 #include "setstream/structured_f0.hpp"
@@ -55,6 +64,10 @@ subcommands:
           report the estimate plus bits communicated
   stream  structured set streaming: feed each DNF term as one set item and
           estimate the F0 of the union
+  sketch  durable F0 sketches (binary .mcf0 files; see docs/wire_format.md):
+            sketch build [opts] --out F <elements.txt|->   stream -> sketch
+            sketch merge --out F <a.mcf0> <b.mcf0> [...]   union of sketches
+            sketch query <a.mcf0>                          estimate + params
   help    print this message
 
 common options:
@@ -66,14 +79,19 @@ common options:
                   count:  approxmc | countmin | countest | karp-luby
                   dnf:    minimum | bucketing | estimation
                   stream: minimum | bucketing
+                  sketch build: minimum | bucketing | estimation
 
 subcommand options:
   f0      --n BITS        universe is {0,1}^BITS, BITS <= 64  (default 32)
   count   --binary-search ApproxMC2-style level search (CNF)
           --tseitin       Tseitin-encode XOR constraints (CNF)
   dnf     --sites K       number of sites                     (default 4)
+  sketch  --out FILE      output sketch file (build, merge)
+          --shards N      build: ingest across N worker threads (default 1)
 
-All results are a single JSON object on stdout.
+All results are a single JSON object on stdout. A sketch built on one
+shard of a stream merges losslessly with sketches of the other shards as
+long as every build used the same --n/--eps/--delta/--seed/--algo.
 )";
 
 struct CommonOptions {
@@ -83,9 +101,11 @@ struct CommonOptions {
   std::string algo;
   int n = 32;
   int sites = 4;
+  int shards = 1;
   bool binary_search = false;
   bool tseitin = false;
-  std::string input;
+  std::string out;
+  std::vector<std::string> inputs;
 };
 
 void Fail(const std::string& message, int code = 1) {
@@ -145,22 +165,32 @@ CommonOptions ParseOptions(int argc, char** argv) {
       opts.n = ParseInt(next_value("--n"), "--n");
     } else if (arg == "--sites") {
       opts.sites = ParseInt(next_value("--sites"), "--sites");
+    } else if (arg == "--shards") {
+      opts.shards = ParseInt(next_value("--shards"), "--shards");
+    } else if (arg == "--out" || arg == "-o") {
+      opts.out = next_value("--out");
     } else if (arg == "--binary-search") {
       opts.binary_search = true;
     } else if (arg == "--tseitin") {
       opts.tseitin = true;
     } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
       Fail("unknown option " + arg, 2);
-    } else if (opts.input.empty()) {
-      opts.input = arg;
     } else {
-      Fail("unexpected extra argument " + arg, 2);
+      opts.inputs.push_back(arg);
     }
   }
-  if (opts.input.empty()) Fail("missing input file (use `-` for stdin)", 2);
   if (opts.eps <= 0) Fail("--eps must be > 0", 2);
   if (opts.delta <= 0 || opts.delta >= 1) Fail("--delta must be in (0, 1)", 2);
   return opts;
+}
+
+/// The one input path of the single-input subcommands.
+const std::string& SingleInput(const CommonOptions& opts) {
+  if (opts.inputs.empty()) Fail("missing input file (use `-` for stdin)", 2);
+  if (opts.inputs.size() > 1) {
+    Fail("unexpected extra argument " + opts.inputs[1], 2);
+  }
+  return opts.inputs[0];
 }
 
 std::string ReadInput(const std::string& path) {
@@ -173,6 +203,44 @@ std::string ReadInput(const std::string& path) {
     buffer << in.rdbuf();
   }
   return buffer.str();
+}
+
+/// Streams whitespace-separated u64 elements from `path` ("-" = stdin)
+/// into `sink` one value at a time — constant memory regardless of stream
+/// length, unlike ReadInput's whole-file slurp. Returns the element count.
+template <typename Sink>
+uint64_t StreamElements(const std::string& path, Sink&& sink) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (path != "-") {
+    file.open(path);
+    if (!file) Fail("cannot open " + path);
+    in = &file;
+  }
+  uint64_t element = 0;
+  uint64_t count = 0;
+  while (*in >> element) {
+    sink(element);
+    ++count;
+  }
+  if (!in->eof()) Fail("input is not a whitespace-separated u64 list");
+  return count;
+}
+
+std::string ReadBinaryFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) Fail("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+void WriteBinaryFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) Fail("cannot write " + path);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.close();
+  if (!out) Fail("failed writing " + path);
 }
 
 // Minimal JSON emitter: flat object of key/value pairs, insertion order.
@@ -238,6 +306,16 @@ class JsonObject {
   std::vector<std::string> fields_;
 };
 
+/// Every result object leads with the command plus build provenance, so
+/// saved JSON is traceable to the binary that produced it.
+JsonObject NewJson(const std::string& command) {
+  JsonObject json;
+  json.Add("command", command);
+  json.Add("version", std::string(kVersionString));
+  json.Add("git_sha", std::string(kGitSha));
+  return json;
+}
+
 Dnf ParseDnfOrDie(const std::string& text) {
   auto parsed = ParseDimacsDnf(text);
   if (!parsed.ok()) Fail("parse error: " + parsed.status().ToString());
@@ -266,7 +344,17 @@ bool LooksLikeDnf(const std::string& text) {
 // mcf0 f0
 // ---------------------------------------------------------------------------
 
-int RunF0(const CommonOptions& opts) {
+const char* F0AlgorithmName(F0Algorithm algorithm) {
+  switch (algorithm) {
+    case F0Algorithm::kBucketing: return "bucketing";
+    case F0Algorithm::kMinimum: return "minimum";
+    case F0Algorithm::kEstimation: return "estimation";
+  }
+  return "?";
+}
+
+/// Shared by `f0` and `sketch build`: flags -> sketch parameters.
+F0Params F0ParamsFromOptions(const CommonOptions& opts, const char* cmd) {
   F0Params params;
   params.n = opts.n;
   params.eps = opts.eps;
@@ -280,25 +368,26 @@ int RunF0(const CommonOptions& opts) {
   } else if (algo == "estimation") {
     params.algorithm = F0Algorithm::kEstimation;
   } else {
-    Fail("f0: unknown --algo " + algo +
+    Fail(std::string(cmd) + ": unknown --algo " + algo +
              " (want minimum | bucketing | estimation)",
          2);
   }
   if (params.n < 1 || params.n > 64) Fail("--n must be in [1, 64]", 2);
+  return params;
+}
+
+int RunF0(const CommonOptions& opts) {
+  const F0Params params = F0ParamsFromOptions(opts, "f0");
+  const std::string algo = F0AlgorithmName(params.algorithm);
 
   WallTimer timer;
   F0Estimator estimator(params);
-  std::istringstream stream(ReadInput(opts.input));
-  uint64_t element = 0;
-  uint64_t elements = 0;
-  while (stream >> element) {
-    estimator.Add(element);
-    ++elements;
-  }
-  if (!stream.eof()) Fail("f0: input is not a whitespace-separated u64 list");
+  // Incremental ingestion: sketch space is O(polylog), so the stream must
+  // never be buffered whole.
+  const uint64_t elements = StreamElements(
+      SingleInput(opts), [&](uint64_t x) { estimator.Add(x); });
 
-  JsonObject json;
-  json.Add("command", std::string("f0"));
+  JsonObject json = NewJson("f0");
   json.Add("algorithm", algo);
   json.Add("n", params.n);
   json.Add("eps", params.eps);
@@ -327,12 +416,11 @@ int RunCount(const CommonOptions& opts) {
   params.use_tseitin = opts.tseitin;
   const std::string algo = opts.algo.empty() ? "approxmc" : opts.algo;
 
-  const std::string text = ReadInput(opts.input);
+  const std::string text = ReadInput(SingleInput(opts));
   const bool is_dnf = LooksLikeDnf(text);
 
-  JsonObject json;
-  json.Add("command", std::string("count"));
-  json.Add("input", opts.input);
+  JsonObject json = NewJson("count");
+  json.Add("input", SingleInput(opts));
   json.Add("format", std::string(is_dnf ? "dnf" : "cnf"));
   json.Add("algorithm", algo);
   json.Add("eps", params.eps);
@@ -403,7 +491,7 @@ int RunDnf(const CommonOptions& opts) {
   params.seed = opts.seed;
   if (opts.sites < 1) Fail("--sites must be >= 1", 2);
 
-  const Dnf dnf = ParseDnfOrDie(ReadInput(opts.input));
+  const Dnf dnf = ParseDnfOrDie(ReadInput(SingleInput(opts)));
   const std::vector<Dnf> sites = PartitionDnf(dnf, opts.sites);
 
   const std::string algo = opts.algo.empty() ? "minimum" : opts.algo;
@@ -421,9 +509,8 @@ int RunDnf(const CommonOptions& opts) {
          2);
   }
 
-  JsonObject json;
-  json.Add("command", std::string("dnf"));
-  json.Add("input", opts.input);
+  JsonObject json = NewJson("dnf");
+  json.Add("input", SingleInput(opts));
   json.Add("algorithm", algo);
   json.Add("eps", params.eps);
   json.Add("delta", params.delta);
@@ -447,7 +534,7 @@ int RunDnf(const CommonOptions& opts) {
 // ---------------------------------------------------------------------------
 
 int RunStream(const CommonOptions& opts) {
-  const Dnf dnf = ParseDnfOrDie(ReadInput(opts.input));
+  const Dnf dnf = ParseDnfOrDie(ReadInput(SingleInput(opts)));
 
   StructuredF0Params params;
   params.n = dnf.num_vars();
@@ -470,9 +557,8 @@ int RunStream(const CommonOptions& opts) {
     estimator.AddTerms({term});
   }
 
-  JsonObject json;
-  json.Add("command", std::string("stream"));
-  json.Add("input", opts.input);
+  JsonObject json = NewJson("stream");
+  json.Add("input", SingleInput(opts));
   json.Add("algorithm", algo);
   json.Add("eps", params.eps);
   json.Add("delta", params.delta);
@@ -487,6 +573,136 @@ int RunStream(const CommonOptions& opts) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// mcf0 sketch  (engine: durable, mergeable, parallel-friendly sketches)
+// ---------------------------------------------------------------------------
+
+/// Echoes the parameters a sketch was built from; shared by the three
+/// sketch actions so their JSON shapes line up.
+void AddSketchParams(JsonObject& json, const F0Params& params) {
+  json.Add("algorithm", std::string(F0AlgorithmName(params.algorithm)));
+  json.Add("n", params.n);
+  json.Add("eps", params.eps);
+  json.Add("delta", params.delta);
+  json.Add("seed", params.seed);
+  json.Add("rows", F0Rows(params));
+  json.Add("thresh", F0Thresh(params));
+}
+
+int RunSketchBuild(const CommonOptions& opts) {
+  const F0Params params = F0ParamsFromOptions(opts, "sketch build");
+  if (opts.out.empty()) Fail("sketch build needs --out FILE", 2);
+  // Each shard is a worker thread plus a full sketch replica; cap it so a
+  // typo degrades to a usage error, not an uncaught std::thread failure.
+  if (opts.shards < 1 || opts.shards > 256) {
+    Fail("--shards must be in [1, 256]", 2);
+  }
+  const std::string& input = SingleInput(opts);
+
+  WallTimer timer;
+  uint64_t elements = 0;
+  std::string blob;
+  double estimate = 0.0;
+  size_t space_bits = 0;
+  if (opts.shards > 1) {
+    ShardedF0Engine engine(params, opts.shards);
+    // Add() batches internally; MergedSketch() flushes the tail.
+    elements = StreamElements(input, [&](uint64_t x) { engine.Add(x); });
+    const F0Estimator merged = engine.MergedSketch();
+    estimate = merged.Estimate();
+    space_bits = merged.SpaceBits();
+    blob = SketchCodec::Encode(merged);
+  } else {
+    F0Estimator estimator(params);
+    elements = StreamElements(input, [&](uint64_t x) { estimator.Add(x); });
+    estimate = estimator.Estimate();
+    space_bits = estimator.SpaceBits();
+    blob = SketchCodec::Encode(estimator);
+  }
+  WriteBinaryFile(opts.out, blob);
+
+  JsonObject json = NewJson("sketch");
+  json.Add("action", std::string("build"));
+  json.Add("input", input);
+  json.Add("out", opts.out);
+  AddSketchParams(json, params);
+  json.Add("shards", opts.shards);
+  json.Add("elements", elements);
+  json.Add("estimate", estimate);
+  json.Add("space_bits", static_cast<uint64_t>(space_bits));
+  json.Add("file_bytes", static_cast<uint64_t>(blob.size()));
+  json.Add("time_ms", timer.Seconds() * 1e3);
+  json.Print();
+  return 0;
+}
+
+F0Estimator DecodeSketchFileOrDie(const std::string& path) {
+  Result<F0Estimator> decoded =
+      SketchCodec::DecodeF0Estimator(ReadBinaryFile(path));
+  if (!decoded.ok()) Fail(path + ": " + decoded.status().ToString());
+  return std::move(decoded).value();
+}
+
+int RunSketchMerge(const CommonOptions& opts) {
+  if (opts.out.empty()) Fail("sketch merge needs --out FILE", 2);
+  if (opts.inputs.size() < 2) {
+    Fail("sketch merge needs at least two sketch files", 2);
+  }
+
+  WallTimer timer;
+  F0Estimator merged = DecodeSketchFileOrDie(opts.inputs[0]);
+  for (size_t i = 1; i < opts.inputs.size(); ++i) {
+    const F0Estimator next = DecodeSketchFileOrDie(opts.inputs[i]);
+    const Status status = Merge(merged, next);
+    if (!status.ok()) {
+      Fail(opts.inputs[i] + ": " + status.ToString());
+    }
+  }
+  const std::string blob = SketchCodec::Encode(merged);
+  WriteBinaryFile(opts.out, blob);
+
+  JsonObject json = NewJson("sketch");
+  json.Add("action", std::string("merge"));
+  json.Add("inputs", static_cast<uint64_t>(opts.inputs.size()));
+  json.Add("out", opts.out);
+  AddSketchParams(json, merged.params());
+  json.Add("estimate", merged.Estimate());
+  json.Add("space_bits", static_cast<uint64_t>(merged.SpaceBits()));
+  json.Add("file_bytes", static_cast<uint64_t>(blob.size()));
+  json.Add("time_ms", timer.Seconds() * 1e3);
+  json.Print();
+  return 0;
+}
+
+int RunSketchQuery(const CommonOptions& opts) {
+  WallTimer timer;
+  const F0Estimator sketch = DecodeSketchFileOrDie(SingleInput(opts));
+
+  JsonObject json = NewJson("sketch");
+  json.Add("action", std::string("query"));
+  json.Add("input", SingleInput(opts));
+  AddSketchParams(json, sketch.params());
+  json.Add("estimate", sketch.Estimate());
+  json.Add("space_bits", static_cast<uint64_t>(sketch.SpaceBits()));
+  json.Add("time_ms", timer.Seconds() * 1e3);
+  json.Print();
+  return 0;
+}
+
+int RunSketch(int argc, char** argv) {
+  if (argc < 1) {
+    Fail("sketch needs an action: build | merge | query", 2);
+  }
+  const std::string action = argv[0];
+  const CommonOptions opts = ParseOptions(argc - 1, argv + 1);
+  if (action == "build") return RunSketchBuild(opts);
+  if (action == "merge") return RunSketchMerge(opts);
+  if (action == "query") return RunSketchQuery(opts);
+  Fail("sketch: unknown action '" + action + "' (want build | merge | query)",
+       2);
+  return 2;  // unreachable
+}
+
 }  // namespace
 }  // namespace mcf0
 
@@ -497,6 +713,7 @@ int main(int argc, char** argv) {
     return argc < 2 ? 2 : 0;
   }
   const std::string command = argv[1];
+  if (command == "sketch") return mcf0::RunSketch(argc - 2, argv + 2);
   const mcf0::CommonOptions opts = mcf0::ParseOptions(argc - 2, argv + 2);
   if (command == "f0") return mcf0::RunF0(opts);
   if (command == "count") return mcf0::RunCount(opts);
