@@ -1,0 +1,119 @@
+// E18 — sketch wire-format size: v1 (dense hash state) vs v2
+// (seed-compressed hashes, delta + varint coded sets) for the default
+// benchmark sketches, over the E17-style element stream.
+//
+// The v2 acceptance bar is hard-coded: for every configuration the v2
+// file must be at most 25% of the v1 file, the decoded v2 sketch must
+// re-encode byte-identically, and its estimate must equal the v1-decoded
+// estimate exactly. Any violation exits 1, so the `--smoke` run in CI is
+// a real gate, not just a table.
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "engine/sketch_codec.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace {
+
+using namespace mcf0;
+using namespace mcf0::bench;
+
+const char* Name(F0Algorithm alg) {
+  switch (alg) {
+    case F0Algorithm::kBucketing: return "Bucketing";
+    case F0Algorithm::kMinimum: return "Minimum";
+    case F0Algorithm::kEstimation: return "Estimation";
+  }
+  return "?";
+}
+
+F0Params BenchParams(F0Algorithm alg) {
+  F0Params params;
+  params.n = 32;
+  params.eps = 0.8;
+  params.delta = 0.2;
+  params.algorithm = alg;
+  params.seed = 9;
+  if (alg == F0Algorithm::kEstimation) {
+    // Full-paper Estimation parameters cost Theta(Thresh * rows) hash
+    // evaluations per element — impractical at this stream length; use
+    // the same reduced configuration as E17.
+    params.rows_override = 13;
+    params.thresh_override = 38;
+    params.s_override = 5;
+  }
+  return params;
+}
+
+std::vector<uint64_t> MakeStream(size_t length, uint64_t support) {
+  Rng rng(4242);
+  std::vector<uint64_t> xs(length);
+  for (auto& x : xs) x = rng.NextBelow(support);
+  return xs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  Banner("E18: sketch wire-format size (v1 dense vs v2 compressed)",
+         "Toeplitz hashes ship as diagonal seeds, whole-estimator frames "
+         "elide canonical hash state, and sorted sets are delta+varint "
+         "coded - same sketch state, a fraction of the bytes");
+  const size_t length = smoke ? 5000 : 300000;
+  const uint64_t support = smoke ? 2000 : 50000;
+  const std::vector<uint64_t> xs = MakeStream(length, support);
+
+  std::printf("%-11s %9s %10s %10s %7s %9s %9s\n", "algorithm", "elements",
+              "v1 bytes", "v2 bytes", "ratio", "enc v2/ms", "dec v2/ms");
+  bool ok = true;
+  for (const auto alg : {F0Algorithm::kBucketing, F0Algorithm::kMinimum,
+                         F0Algorithm::kEstimation}) {
+    const F0Params params = BenchParams(alg);
+    F0Estimator est(params);
+    for (const uint64_t x : xs) est.Add(x);
+
+    const std::string v1 = SketchCodec::Encode(est, SketchCodec::kFormatV1);
+    WallTimer encode_timer;
+    const std::string v2 = SketchCodec::Encode(est, SketchCodec::kFormatV2);
+    const double encode_ms = encode_timer.Seconds() * 1e3;
+
+    WallTimer decode_timer;
+    Result<F0Estimator> back = SketchCodec::DecodeF0Estimator(v2);
+    const double decode_ms = decode_timer.Seconds() * 1e3;
+
+    const double ratio =
+        static_cast<double>(v2.size()) / static_cast<double>(v1.size());
+    std::printf("%-11s %9zu %10zu %10zu %6.1f%% %9.1f %9.1f\n", Name(alg),
+                xs.size(), v1.size(), v2.size(), 100.0 * ratio, encode_ms,
+                decode_ms);
+
+    if (!back.ok()) {
+      std::printf("  ^ FAIL: v2 decode error: %s\n",
+                  back.status().ToString().c_str());
+      ok = false;
+      continue;
+    }
+    if (SketchCodec::Encode(back.value(), SketchCodec::kFormatV2) != v2 ||
+        back.value().Estimate() != est.Estimate()) {
+      std::printf("  ^ FAIL: v2 round trip is not bit-exact!\n");
+      ok = false;
+    }
+    Result<F0Estimator> v1_back = SketchCodec::DecodeF0Estimator(v1);
+    if (!v1_back.ok() || v1_back.value().Estimate() != est.Estimate()) {
+      std::printf("  ^ FAIL: v1 decode diverged from the live sketch!\n");
+      ok = false;
+    }
+    if (ratio > 0.25) {
+      std::printf("  ^ FAIL: v2/v1 ratio %.3f exceeds the 0.25 bar!\n", ratio);
+      ok = false;
+    }
+  }
+  std::printf("\n(v2 bar: <= 25%% of v1, bit-exact round trip, identical "
+              "estimates - violations exit 1)\n\n");
+  return ok ? 0 : 1;
+}

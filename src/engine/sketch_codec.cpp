@@ -1,557 +1,135 @@
 #include "engine/sketch_codec.hpp"
 
-#include <algorithm>
-#include <bit>
-#include <cmath>
-#include <limits>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
-#include "gf2/bitvec.hpp"
-#include "gf2/gf2_matrix.hpp"
-#include "hash/gf2_poly.hpp"
-#include "hash/hash_family.hpp"
+#include "engine/sketch_reader.hpp"
+#include "engine/wire.hpp"
 
 namespace mcf0 {
 namespace {
 
-constexpr char kMagic[4] = {'M', 'C', 'F', '0'};
-constexpr size_t kHeaderBytes = 24;
-
-uint64_t Fnv1a64(std::string_view bytes) {
-  uint64_t h = 14695981039346656037ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
-
-// ---- primitive little-endian encoding -------------------------------------
-
-class ByteWriter {
- public:
-  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
-  void U16(uint16_t v) { Uint(v, 2); }
-  void U32(uint32_t v) { Uint(v, 4); }
-  void U64(uint64_t v) { Uint(v, 8); }
-  void F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
-
-  /// uint32 bit count, then ceil(size/8) bytes, MSB-first within each byte
-  /// (matching the BitVec string order); pad bits are zero.
-  void BitVecField(const BitVec& v) {
-    U32(static_cast<uint32_t>(v.size()));
-    uint8_t byte = 0;
-    for (int i = 0; i < v.size(); ++i) {
-      byte = static_cast<uint8_t>((byte << 1) | (v.Get(i) ? 1 : 0));
-      if ((i & 7) == 7) {
-        U8(byte);
-        byte = 0;
-      }
-    }
-    if (v.size() & 7) U8(static_cast<uint8_t>(byte << (8 - (v.size() & 7))));
-  }
-
-  std::string Take() { return std::move(out_); }
-
- private:
-  void Uint(uint64_t v, int bytes) {
-    for (int i = 0; i < bytes; ++i) {
-      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
-    }
-  }
-
-  std::string out_;
-};
-
-/// Bounds-checked reads; every accessor returns false (without advancing
-/// past the end) on truncation so decoders can fail with a Status instead
-/// of walking off the buffer.
-class ByteReader {
- public:
-  explicit ByteReader(std::string_view data) : data_(data) {}
-
-  bool U8(uint8_t* v) {
-    if (pos_ + 1 > data_.size()) return false;
-    *v = static_cast<uint8_t>(data_[pos_++]);
-    return true;
-  }
-  bool U16(uint16_t* v) { return Uint(v, 2); }
-  bool U32(uint32_t* v) { return Uint(v, 4); }
-  bool U64(uint64_t* v) { return Uint(v, 8); }
-  bool F64(double* v) {
-    uint64_t bits = 0;
-    if (!U64(&bits)) return false;
-    *v = std::bit_cast<double>(bits);
-    return true;
-  }
-
-  /// Counterpart of ByteWriter::BitVecField; rejects nonzero pad bits so
-  /// the encoding of a given vector is unique.
-  bool BitVecField(BitVec* v) {
-    uint32_t size = 0;
-    if (!U32(&size)) return false;
-    if (size > 8 * Remaining()) return false;
-    BitVec out(static_cast<int>(size));
-    uint8_t byte = 0;
-    for (uint32_t i = 0; i < size; ++i) {
-      if ((i & 7) == 0 && !U8(&byte)) return false;
-      if ((byte >> (7 - (i & 7))) & 1) out.Set(static_cast<int>(i), true);
-    }
-    if ((size & 7) != 0 && (byte & ((1u << (8 - (size & 7))) - 1)) != 0) {
-      return false;  // nonzero pad bits: not a canonical encoding
-    }
-    *v = std::move(out);
-    return true;
-  }
-
-  size_t Remaining() const { return data_.size() - pos_; }
-  bool Done() const { return pos_ == data_.size(); }
-
- private:
-  template <typename T>
-  bool Uint(T* v, int bytes) {
-    if (pos_ + static_cast<size_t>(bytes) > data_.size()) return false;
-    uint64_t out = 0;
-    for (int i = 0; i < bytes; ++i) {
-      out |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
-             << (8 * i);
-    }
-    pos_ += bytes;
-    *v = static_cast<T>(out);
-    return true;
-  }
-
-  std::string_view data_;
-  size_t pos_ = 0;
-};
-
-Status Truncated(const char* what) {
-  return Status::ParseError(std::string("truncated sketch data in ") + what);
-}
-
-// ---- frame ----------------------------------------------------------------
-
-std::string WrapFrame(SketchFrameKind kind, std::string payload) {
-  ByteWriter header;
-  for (const char c : kMagic) header.U8(static_cast<uint8_t>(c));
-  header.U16(SketchCodec::kFormatVersion);
-  header.U8(static_cast<uint8_t>(kind));
-  header.U8(0);  // reserved
-  header.U64(payload.size());
-  header.U64(Fnv1a64(payload));
-  return header.Take() + payload;
-}
-
-Result<std::string_view> UnwrapFrame(std::string_view bytes,
-                                     SketchFrameKind want) {
-  if (bytes.size() < kHeaderBytes) return Truncated("frame header");
-  ByteReader reader(bytes.substr(0, kHeaderBytes));
-  for (const char expect : kMagic) {
-    uint8_t got = 0;
-    reader.U8(&got);
-    if (got != static_cast<uint8_t>(expect)) {
-      return Status::ParseError("bad magic: not an mcf0 sketch blob");
-    }
-  }
-  uint16_t version = 0;
-  uint8_t kind = 0;
-  uint8_t reserved = 0;
-  uint64_t payload_size = 0;
-  uint64_t checksum = 0;
-  reader.U16(&version);
-  reader.U8(&kind);
-  reader.U8(&reserved);
-  reader.U64(&payload_size);
-  reader.U64(&checksum);
-  if (version != SketchCodec::kFormatVersion) {
-    return Status::NotSupported(
-        "sketch format version " + std::to_string(version) +
-        " (this build reads " +
-        std::to_string(SketchCodec::kFormatVersion) + ")");
-  }
-  if (kind != static_cast<uint8_t>(want)) {
-    return Status::InvalidArgument("sketch frame kind " + std::to_string(kind) +
-                                   " does not match the requested object");
-  }
-  if (reserved != 0) {
-    return Status::ParseError("nonzero reserved byte in sketch header");
-  }
-  if (payload_size != bytes.size() - kHeaderBytes) {
-    return payload_size > bytes.size() - kHeaderBytes
-               ? Truncated("frame payload")
-               : Status::ParseError("trailing bytes after sketch payload");
-  }
-  const std::string_view payload = bytes.substr(kHeaderBytes);
-  if (Fnv1a64(payload) != checksum) {
-    return Status::ParseError("sketch payload checksum mismatch (corrupt)");
-  }
-  return payload;
-}
-
-// ---- AffineHash -----------------------------------------------------------
-
-void EncodeAffineHash(ByteWriter& w, const AffineHash& h) {
-  w.U8(static_cast<uint8_t>(h.kind()));
-  w.U32(static_cast<uint32_t>(h.n()));
-  w.U32(static_cast<uint32_t>(h.m()));
-  w.U64(h.RepresentationBits());
-  w.BitVecField(h.b());
-  for (int i = 0; i < h.m(); ++i) w.BitVecField(h.A().Row(i));
-}
-
-Status DecodeAffineHash(ByteReader& r, std::optional<AffineHash>* out) {
-  uint8_t kind = 0;
-  uint32_t n = 0;
-  uint32_t m = 0;
-  uint64_t repr_bits = 0;
-  if (!r.U8(&kind) || !r.U32(&n) || !r.U32(&m) || !r.U64(&repr_bits)) {
-    return Truncated("hash function");
-  }
-  if (kind > static_cast<uint8_t>(AffineHashKind::kSparseXor)) {
-    return Status::ParseError("unknown hash kind " + std::to_string(kind));
-  }
-  // Every matrix row costs at least its 4-byte length prefix, so more
-  // claimed rows than remaining/4 is hostile. (Decode loops deliberately
-  // avoid reserve(): element objects are much larger than their wire
-  // encodings, so pre-reserving would let a small crafted file force a
-  // huge allocation — an uncaught std::bad_alloc — before the per-element
-  // reads could fail. Geometric push_back growth stays proportional to
-  // bytes actually decoded.)
-  if (n < 1 || m < 1 || m > r.Remaining() / 4) {
-    return Status::ParseError("hash dimensions out of range");
-  }
-  BitVec b;
-  if (!r.BitVecField(&b)) return Truncated("hash offset");
-  if (b.size() != static_cast<int>(m)) {
-    return Status::ParseError("hash offset length mismatch");
-  }
-  std::vector<BitVec> rows;
-  for (uint32_t i = 0; i < m; ++i) {
-    BitVec row;
-    if (!r.BitVecField(&row)) return Truncated("hash matrix row");
-    if (row.size() != static_cast<int>(n)) {
-      return Status::ParseError("hash matrix row length mismatch");
-    }
-    rows.push_back(std::move(row));
-  }
-  out->emplace(AffineHash::FromParts(Gf2Matrix::FromRows(std::move(rows)),
-                                     std::move(b),
-                                     static_cast<AffineHashKind>(kind),
-                                     repr_bits));
-  return Status::Ok();
-}
-
-/// The hash of a word-universe sketch row (Bucketing / FM): square, n <= 64.
-Status DecodeSquareHash(ByteReader& r, const char* what, int max_n,
-                        std::optional<AffineHash>* out) {
-  Status status = DecodeAffineHash(r, out);
-  if (!status.ok()) return status;
-  const AffineHash& h = out->value();
-  if (h.n() != h.m() || h.n() > max_n) {
-    return Status::ParseError(std::string(what) +
-                              ": hash must be square with n <= 64");
-  }
-  return Status::Ok();
-}
-
-// ---- row payloads ---------------------------------------------------------
-
-void EncodeBucketingPayload(ByteWriter& w, const BucketingSketchRow& row) {
-  EncodeAffineHash(w, row.hash());
-  w.U64(row.thresh());
-  w.U32(static_cast<uint32_t>(row.level()));
-  std::vector<uint64_t> elems(row.bucket().begin(), row.bucket().end());
-  std::sort(elems.begin(), elems.end());  // canonical order
-  w.U64(elems.size());
-  for (const uint64_t x : elems) w.U64(x);
-}
-
-Status DecodeBucketingPayload(ByteReader& r,
-                              std::optional<BucketingSketchRow>* out) {
-  std::optional<AffineHash> h;
-  Status status = DecodeSquareHash(r, "bucketing row", 64, &h);
-  if (!status.ok()) return status;
-  uint64_t thresh = 0;
-  uint32_t level = 0;
-  uint64_t count = 0;
-  if (!r.U64(&thresh) || !r.U32(&level) || !r.U64(&count)) {
-    return Truncated("bucketing row");
-  }
-  if (thresh < 1) return Status::ParseError("bucketing thresh must be >= 1");
-  if (level > static_cast<uint32_t>(h->n())) {
-    return Status::ParseError("bucketing level exceeds hash width");
-  }
-  if (count > r.Remaining() / 8) return Truncated("bucketing bucket");
-  std::unordered_set<uint64_t> bucket;
-  for (uint64_t i = 0; i < count; ++i) {
-    uint64_t x = 0;
-    if (!r.U64(&x)) return Truncated("bucketing bucket");
-    bucket.insert(x);
-  }
-  // No reachable state holds more than thresh elements below the deepest
-  // level (Add escalates past thresh while level < n).
-  if (level < static_cast<uint32_t>(h->n()) && bucket.size() > thresh) {
-    return Status::ParseError("bucketing bucket exceeds thresh below level n");
-  }
-  out->emplace(*std::move(h), thresh, static_cast<int>(level),
-               std::move(bucket));
-  // The from-parts invariant: every element lies in the cell at `level`.
-  // Without this, a crafted file could inflate |bucket| * 2^level estimates
-  // and break "blob equality is state equality" (Merge would re-filter).
-  const BucketingSketchRow& row = out->value();
-  for (const uint64_t x : row.bucket()) {
-    if (!row.InCell(x, row.level())) {
-      return Status::ParseError(
-          "bucketing element outside the cell at its level");
-    }
-  }
-  return Status::Ok();
-}
-
-void EncodeMinimumPayload(ByteWriter& w, const MinimumSketchRow& row) {
-  EncodeAffineHash(w, row.hash());
-  w.U64(row.thresh());
-  w.U64(row.values().size());  // std::set iterates in canonical order
-  for (const BitVec& v : row.values()) w.BitVecField(v);
-}
-
-Status DecodeMinimumPayload(ByteReader& r,
-                            std::optional<MinimumSketchRow>* out) {
-  std::optional<AffineHash> h;
-  Status status = DecodeAffineHash(r, &h);
-  if (!status.ok()) return status;
-  if (h->n() > 64) {
-    // Add() maps word elements through h, so the input side must be a
-    // word universe (the output side m is unconstrained).
-    return Status::ParseError("minimum row: hash input width exceeds 64");
-  }
-  uint64_t thresh = 0;
-  uint64_t count = 0;
-  if (!r.U64(&thresh) || !r.U64(&count)) return Truncated("minimum row");
-  if (thresh < 1) return Status::ParseError("minimum thresh must be >= 1");
-  if (count > thresh) {
-    return Status::ParseError("minimum row holds more values than thresh");
-  }
-  if (count > r.Remaining()) return Truncated("minimum values");
-  out->emplace(*std::move(h), thresh);
-  for (uint64_t i = 0; i < count; ++i) {
-    BitVec v;
-    if (!r.BitVecField(&v)) return Truncated("minimum values");
-    if (v.size() != out->value().output_bits()) {
-      return Status::ParseError("minimum value width mismatch");
-    }
-    out->value().AddHashed(v);
-  }
-  return Status::Ok();
-}
-
-void EncodeEstimationPayload(ByteWriter& w, const EstimationSketchRow& row) {
-  w.U8(row.hashes().empty() ? 0 : 1);
-  if (!row.hashes().empty()) {
-    w.U32(static_cast<uint32_t>(row.hashes().size()));
-    for (const PolynomialHash& h : row.hashes()) {
-      w.U32(static_cast<uint32_t>(h.s()));
-      for (const uint64_t c : h.coeffs()) w.U64(c);
-    }
-  }
-  w.U32(static_cast<uint32_t>(row.cells().size()));
-  for (const int c : row.cells()) w.U8(static_cast<uint8_t>(c));
-}
-
-Status DecodeEstimationPayload(ByteReader& r, const Gf2Field* field,
-                               std::optional<EstimationSketchRow>* out) {
-  uint8_t has_hashes = 0;
-  if (!r.U8(&has_hashes)) return Truncated("estimation row");
-  if (has_hashes > 1) {
-    return Status::ParseError("estimation row has a bad hash marker");
-  }
-  std::vector<PolynomialHash> hashes;
-  if (has_hashes == 1) {
-    if (field == nullptr) {
-      return Status::InvalidArgument(
-          "estimation row carries hashes but no field was supplied");
-    }
-    const uint64_t mask = field->degree() == 64
-                              ? ~0ull
-                              : ((1ull << field->degree()) - 1);
-    uint32_t num_hashes = 0;
-    if (!r.U32(&num_hashes)) return Truncated("estimation row");
-    if (num_hashes > r.Remaining() / 4) return Truncated("estimation hashes");
-    for (uint32_t i = 0; i < num_hashes; ++i) {
-      uint32_t s = 0;
-      if (!r.U32(&s)) return Truncated("estimation hashes");
-      if (s < 1) return Status::ParseError("estimation hash needs s >= 1");
-      if (s > r.Remaining() / 8) return Truncated("estimation hashes");
-      std::vector<uint64_t> coeffs(s);
-      for (auto& c : coeffs) {
-        if (!r.U64(&c)) return Truncated("estimation hashes");
-        if ((c & ~mask) != 0) {
-          return Status::ParseError("estimation coefficient outside GF(2^w)");
-        }
-      }
-      hashes.emplace_back(field, std::move(coeffs));
-    }
-  }
-  uint32_t num_cells = 0;
-  if (!r.U32(&num_cells)) return Truncated("estimation cells");
-  if (num_cells < 1) return Status::ParseError("estimation row has no cells");
-  if (!hashes.empty() && hashes.size() != num_cells) {
-    return Status::ParseError("estimation hash/cell count mismatch");
-  }
-  if (num_cells > r.Remaining()) return Truncated("estimation cells");
-  const int max_cell = field != nullptr ? field->degree() : 64;
-  std::vector<int> cells(num_cells);
-  for (auto& cell : cells) {
-    uint8_t v = 0;
-    if (!r.U8(&v)) return Truncated("estimation cells");
-    if (v > max_cell) {
-      return Status::ParseError("estimation cell exceeds the hash width");
-    }
-    cell = v;
-  }
-  out->emplace(hashes.empty() ? nullptr : field, std::move(hashes),
-               std::move(cells));
-  return Status::Ok();
-}
-
-void EncodeFmPayload(ByteWriter& w, const FlajoletMartinRow& row) {
-  EncodeAffineHash(w, row.hash());
-  w.U32(static_cast<uint32_t>(row.max_trailing_zeros()));
-}
-
-Status DecodeFmPayload(ByteReader& r, std::optional<FlajoletMartinRow>* out) {
-  std::optional<AffineHash> h;
-  Status status = DecodeSquareHash(r, "FM row", 64, &h);
-  if (!status.ok()) return status;
-  uint32_t max_tz = 0;
-  if (!r.U32(&max_tz)) return Truncated("FM row");
-  if (max_tz > static_cast<uint32_t>(h->n())) {
-    return Status::ParseError("FM counter exceeds hash width");
-  }
-  out->emplace(*std::move(h), static_cast<int>(max_tz));
-  return Status::Ok();
-}
-
-// ---- F0Estimator ----------------------------------------------------------
-
-void EncodeParams(ByteWriter& w, const F0Params& p) {
-  w.U8(static_cast<uint8_t>(p.algorithm));
-  w.U8(static_cast<uint8_t>(p.n));
-  w.F64(p.eps);
-  w.F64(p.delta);
-  w.U64(p.seed);
-  w.U64(p.thresh_override);
-  w.U32(static_cast<uint32_t>(p.rows_override));
-  w.U32(static_cast<uint32_t>(p.s_override));
-}
-
-Status DecodeParams(ByteReader& r, F0Params* out) {
-  uint8_t algorithm = 0;
-  uint8_t n = 0;
-  uint32_t rows_override = 0;
-  uint32_t s_override = 0;
-  if (!r.U8(&algorithm) || !r.U8(&n) || !r.F64(&out->eps) ||
-      !r.F64(&out->delta) || !r.U64(&out->seed) ||
-      !r.U64(&out->thresh_override) || !r.U32(&rows_override) ||
-      !r.U32(&s_override)) {
-    return Truncated("sketch parameters");
-  }
-  if (algorithm > static_cast<uint8_t>(F0Algorithm::kEstimation)) {
-    return Status::ParseError("unknown sketch algorithm " +
-                              std::to_string(algorithm));
-  }
-  if (n < 1 || n > 64) return Status::ParseError("sketch n outside [1, 64]");
-  if (!std::isfinite(out->eps) || out->eps <= 0) {
-    return Status::ParseError("sketch eps must be positive and finite");
-  }
-  if (!std::isfinite(out->delta) || out->delta <= 0 || out->delta >= 1) {
-    return Status::ParseError("sketch delta outside (0, 1)");
-  }
-  const auto int_max =
-      static_cast<uint32_t>(std::numeric_limits<int>::max());
-  if (rows_override > int_max || s_override > int_max) {
-    return Status::ParseError("sketch row/s override out of range");
-  }
-  out->algorithm = static_cast<F0Algorithm>(algorithm);
-  out->n = n;
-  out->rows_override = static_cast<int>(rows_override);
-  out->s_override = static_cast<int>(s_override);
-  return Status::Ok();
+bool ValidVersion(uint16_t version) {
+  return version == SketchCodec::kFormatV1 ||
+         version == SketchCodec::kFormatV2;
 }
 
 }  // namespace
 
-std::string SketchCodec::Encode(const BucketingSketchRow& row) {
-  ByteWriter w;
-  EncodeBucketingPayload(w, row);
-  return WrapFrame(SketchFrameKind::kBucketingRow, w.Take());
+std::string SketchCodec::Encode(const BucketingSketchRow& row,
+                                uint16_t version) {
+  MCF0_CHECK(ValidVersion(version));
+  wire::ByteWriter w;
+  wire::EncodeBucketingPayload(w, row, version, /*embed_hash=*/true);
+  return wire::WrapFrame(SketchFrameKind::kBucketingRow, version, w.Take());
 }
 
-std::string SketchCodec::Encode(const MinimumSketchRow& row) {
-  ByteWriter w;
-  EncodeMinimumPayload(w, row);
-  return WrapFrame(SketchFrameKind::kMinimumRow, w.Take());
+std::string SketchCodec::Encode(const MinimumSketchRow& row,
+                                uint16_t version) {
+  MCF0_CHECK(ValidVersion(version));
+  wire::ByteWriter w;
+  wire::EncodeMinimumPayload(w, row, version, /*embed_hash=*/true);
+  return wire::WrapFrame(SketchFrameKind::kMinimumRow, version, w.Take());
 }
 
-std::string SketchCodec::Encode(const EstimationSketchRow& row) {
-  ByteWriter w;
-  EncodeEstimationPayload(w, row);
-  return WrapFrame(SketchFrameKind::kEstimationRow, w.Take());
+std::string SketchCodec::Encode(const EstimationSketchRow& row,
+                                uint16_t version) {
+  MCF0_CHECK(ValidVersion(version));
+  wire::ByteWriter w;
+  wire::EncodeEstimationPayload(w, row, version, /*embed_hash=*/true);
+  return wire::WrapFrame(SketchFrameKind::kEstimationRow, version, w.Take());
 }
 
-std::string SketchCodec::Encode(const FlajoletMartinRow& row) {
-  ByteWriter w;
-  EncodeFmPayload(w, row);
-  return WrapFrame(SketchFrameKind::kFlajoletMartinRow, w.Take());
+std::string SketchCodec::Encode(const FlajoletMartinRow& row,
+                                uint16_t version) {
+  MCF0_CHECK(ValidVersion(version));
+  wire::ByteWriter w;
+  wire::EncodeFmPayload(w, row, version, /*embed_hash=*/true);
+  return wire::WrapFrame(SketchFrameKind::kFlajoletMartinRow, version,
+                         w.Take());
 }
 
-std::string SketchCodec::Encode(const F0Estimator& est) {
-  ByteWriter w;
-  EncodeParams(w, est.params());
+std::string SketchCodec::Encode(const F0Estimator& est, uint16_t version) {
+  MCF0_CHECK(ValidVersion(version));
+  const bool v1 = version == kFormatV1;
+  // v2 elides all hash state when it matches the canonical F0RowSampler
+  // draws for these parameters — true for every sketch the library builds
+  // itself; hand-assembled FromRows estimators fall back to embedding, as
+  // do Estimation sketches whose per-row hash state exceeds the decoder's
+  // replay allocation cap (files the codec writes must stay readable).
+  const bool elide =
+      !v1 &&
+      (est.params().algorithm != F0Algorithm::kEstimation ||
+       F0Thresh(est.params()) *
+               static_cast<uint64_t>(F0IndependenceS(est.params())) <=
+           wire::kMaxElidedHashCoeffs) &&
+      wire::HashesMatchCanonicalSample(est);
+  wire::ByteWriter w;
+  wire::EncodeParams(w, est.params());
+  if (!v1) w.U8(elide ? 1 : 0);
+  auto count = [&](size_t rows) { w.Count(version, rows); };
   switch (est.params().algorithm) {
     case F0Algorithm::kBucketing:
-      w.U32(static_cast<uint32_t>(est.bucketing_rows().size()));
+      count(est.bucketing_rows().size());
       for (const auto& row : est.bucketing_rows()) {
-        EncodeBucketingPayload(w, row);
+        wire::EncodeBucketingPayload(w, row, version, !elide);
       }
       break;
     case F0Algorithm::kMinimum:
-      w.U32(static_cast<uint32_t>(est.minimum_rows().size()));
-      for (const auto& row : est.minimum_rows()) EncodeMinimumPayload(w, row);
+      count(est.minimum_rows().size());
+      for (const auto& row : est.minimum_rows()) {
+        wire::EncodeMinimumPayload(w, row, version, !elide);
+      }
       break;
     case F0Algorithm::kEstimation:
-      w.U32(static_cast<uint32_t>(est.field()->degree()));
+      w.Count(version, static_cast<uint64_t>(est.field()->degree()));
       w.U64(est.field()->modulus_low());
-      w.U32(static_cast<uint32_t>(est.estimation_rows().size()));
+      count(est.estimation_rows().size());
       for (const auto& row : est.estimation_rows()) {
-        EncodeEstimationPayload(w, row);
+        wire::EncodeEstimationPayload(w, row, version, !elide);
       }
-      w.U32(static_cast<uint32_t>(est.fm_rows().size()));
-      for (const auto& row : est.fm_rows()) EncodeFmPayload(w, row);
+      count(est.fm_rows().size());
+      for (const auto& row : est.fm_rows()) {
+        wire::EncodeFmPayload(w, row, version, !elide);
+      }
       break;
   }
-  return WrapFrame(SketchFrameKind::kF0Estimator, w.Take());
+  return wire::WrapFrame(SketchFrameKind::kF0Estimator, version, w.Take());
+}
+
+Result<uint16_t> SketchCodec::PeekFormatVersion(std::string_view bytes) {
+  if (bytes.size() < 6 || bytes.substr(0, 4) != "MCF0") {
+    return Status::ParseError("bad magic: not an mcf0 sketch blob");
+  }
+  wire::ByteReader r(bytes.substr(4, 2));
+  uint16_t version = 0;
+  r.U16(&version);
+  return version;
 }
 
 Result<BucketingSketchRow> SketchCodec::DecodeBucketingRow(
     std::string_view bytes) {
-  auto payload = UnwrapFrame(bytes, SketchFrameKind::kBucketingRow);
+  uint16_t version = 0;
+  auto payload =
+      wire::UnwrapFrame(bytes, SketchFrameKind::kBucketingRow, &version);
   if (!payload.ok()) return payload.status();
-  ByteReader r(payload.value());
+  wire::ByteReader r(payload.value());
   std::optional<BucketingSketchRow> row;
-  Status status = DecodeBucketingPayload(r, &row);
+  Status status = wire::DecodeBucketingPayload(r, version, nullptr, &row);
   if (!status.ok()) return status;
   if (!r.Done()) return Status::ParseError("trailing bytes in bucketing row");
   return *std::move(row);
 }
 
 Result<MinimumSketchRow> SketchCodec::DecodeMinimumRow(std::string_view bytes) {
-  auto payload = UnwrapFrame(bytes, SketchFrameKind::kMinimumRow);
+  uint16_t version = 0;
+  auto payload =
+      wire::UnwrapFrame(bytes, SketchFrameKind::kMinimumRow, &version);
   if (!payload.ok()) return payload.status();
-  ByteReader r(payload.value());
+  wire::ByteReader r(payload.value());
   std::optional<MinimumSketchRow> row;
-  Status status = DecodeMinimumPayload(r, &row);
+  Status status = wire::DecodeMinimumPayload(r, version, nullptr, &row);
   if (!status.ok()) return status;
   if (!r.Done()) return Status::ParseError("trailing bytes in minimum row");
   return *std::move(row);
@@ -559,11 +137,14 @@ Result<MinimumSketchRow> SketchCodec::DecodeMinimumRow(std::string_view bytes) {
 
 Result<EstimationSketchRow> SketchCodec::DecodeEstimationRow(
     std::string_view bytes, const Gf2Field* field) {
-  auto payload = UnwrapFrame(bytes, SketchFrameKind::kEstimationRow);
+  uint16_t version = 0;
+  auto payload =
+      wire::UnwrapFrame(bytes, SketchFrameKind::kEstimationRow, &version);
   if (!payload.ok()) return payload.status();
-  ByteReader r(payload.value());
+  wire::ByteReader r(payload.value());
   std::optional<EstimationSketchRow> row;
-  Status status = DecodeEstimationPayload(r, field, &row);
+  Status status =
+      wire::DecodeEstimationPayload(r, version, field, nullptr, &row);
   if (!status.ok()) return status;
   if (!r.Done()) return Status::ParseError("trailing bytes in estimation row");
   return *std::move(row);
@@ -571,133 +152,50 @@ Result<EstimationSketchRow> SketchCodec::DecodeEstimationRow(
 
 Result<FlajoletMartinRow> SketchCodec::DecodeFlajoletMartinRow(
     std::string_view bytes) {
-  auto payload = UnwrapFrame(bytes, SketchFrameKind::kFlajoletMartinRow);
+  uint16_t version = 0;
+  auto payload =
+      wire::UnwrapFrame(bytes, SketchFrameKind::kFlajoletMartinRow, &version);
   if (!payload.ok()) return payload.status();
-  ByteReader r(payload.value());
+  wire::ByteReader r(payload.value());
   std::optional<FlajoletMartinRow> row;
-  Status status = DecodeFmPayload(r, &row);
+  Status status = wire::DecodeFmPayload(r, version, nullptr, &row);
   if (!status.ok()) return status;
   if (!r.Done()) return Status::ParseError("trailing bytes in FM row");
   return *std::move(row);
 }
 
 Result<F0Estimator> SketchCodec::DecodeF0Estimator(std::string_view bytes) {
-  auto payload = UnwrapFrame(bytes, SketchFrameKind::kF0Estimator);
-  if (!payload.ok()) return payload.status();
-  ByteReader r(payload.value());
-  F0Params params;
-  Status status = DecodeParams(r, &params);
-  if (!status.ok()) return status;
-  const auto expected_rows = static_cast<uint32_t>(F0Rows(params));
-  const uint64_t expected_thresh = F0Thresh(params);
+  // One decode path for both versions and both consumption styles: the
+  // whole-estimator decoder is the streaming cursor, drained.
+  auto opened = SketchReader::Open(bytes);
+  if (!opened.ok()) return opened.status();
+  SketchReader reader = std::move(opened).value();
 
-  std::unique_ptr<Gf2Field> field;
   std::vector<BucketingSketchRow> bucketing;
   std::vector<MinimumSketchRow> minimum;
   std::vector<EstimationSketchRow> estimation;
   std::vector<FlajoletMartinRow> fm;
-
-  auto read_count = [&](const char* what, uint32_t* count) -> Status {
-    if (!r.U32(count)) return Truncated(what);
-    if (*count != expected_rows) {
-      return Status::ParseError(std::string(what) +
-                                ": row count disagrees with parameters");
-    }
-    // Every row occupies at least one payload byte, so a count beyond the
-    // remaining bytes is hostile; rejecting here keeps the reserve() calls
-    // below from aborting on std::bad_alloc for a tiny crafted file.
-    if (*count > r.Remaining()) return Truncated(what);
-    return Status::Ok();
-  };
-
-  uint32_t count = 0;
-  switch (params.algorithm) {
-    case F0Algorithm::kBucketing: {
-      status = read_count("bucketing rows", &count);
-      if (!status.ok()) return status;
-      for (uint32_t i = 0; i < count; ++i) {
-        std::optional<BucketingSketchRow> row;
-        status = DecodeBucketingPayload(r, &row);
-        if (!status.ok()) return status;
-        if (row->hash().n() != params.n || row->thresh() != expected_thresh) {
-          return Status::ParseError(
-              "bucketing row disagrees with sketch parameters");
-        }
-        bucketing.push_back(*std::move(row));
-      }
-      break;
-    }
-    case F0Algorithm::kMinimum: {
-      status = read_count("minimum rows", &count);
-      if (!status.ok()) return status;
-      for (uint32_t i = 0; i < count; ++i) {
-        std::optional<MinimumSketchRow> row;
-        status = DecodeMinimumPayload(r, &row);
-        if (!status.ok()) return status;
-        if (row->hash().n() != params.n ||
-            row->output_bits() != 3 * params.n ||
-            row->thresh() != expected_thresh) {
-          return Status::ParseError(
-              "minimum row disagrees with sketch parameters");
-        }
-        minimum.push_back(*std::move(row));
-      }
-      break;
-    }
-    case F0Algorithm::kEstimation: {
-      uint32_t degree = 0;
-      uint64_t modulus_low = 0;
-      if (!r.U32(&degree) || !r.U64(&modulus_low)) {
-        return Truncated("estimation field");
-      }
-      if (degree != static_cast<uint32_t>(params.n)) {
-        return Status::ParseError("estimation field degree differs from n");
-      }
-      field = std::make_unique<Gf2Field>(params.n);
-      if (field->modulus_low() != modulus_low) {
-        // The modulus search is deterministic per degree; a mismatch means
-        // the blob came from an incompatible implementation.
-        return Status::NotSupported(
-            "estimation field modulus differs from this build's");
-      }
-      status = read_count("estimation rows", &count);
-      if (!status.ok()) return status;
-      // What the sampling constructor would have built: thresh cells, each
-      // hash drawn with s coefficients.
-      const int expected_s = F0IndependenceS(params);
-      for (uint32_t i = 0; i < count; ++i) {
-        std::optional<EstimationSketchRow> row;
-        status = DecodeEstimationPayload(r, field.get(), &row);
-        if (!status.ok()) return status;
-        bool consistent = !row->hashes().empty() &&
-                          row->cells().size() == expected_thresh;
-        for (const PolynomialHash& h : row->hashes()) {
-          consistent = consistent && h.s() == expected_s;
-        }
-        if (!consistent) {
-          return Status::ParseError(
-              "estimation row disagrees with sketch parameters");
-        }
-        estimation.push_back(*std::move(row));
-      }
-      status = read_count("FM rows", &count);
-      if (!status.ok()) return status;
-      for (uint32_t i = 0; i < count; ++i) {
-        std::optional<FlajoletMartinRow> row;
-        status = DecodeFmPayload(r, &row);
-        if (!status.ok()) return status;
-        if (row->hash().n() != params.n) {
-          return Status::ParseError("FM row disagrees with sketch parameters");
-        }
-        fm.push_back(*std::move(row));
-      }
-      break;
-    }
+  while (!reader.AtEnd()) {
+    auto unit = reader.Next();
+    if (!unit.ok()) return unit.status();
+    std::visit(
+        [&](auto&& row) {
+          using Row = std::decay_t<decltype(row)>;
+          if constexpr (std::is_same_v<Row, BucketingSketchRow>) {
+            bucketing.push_back(std::move(row));
+          } else if constexpr (std::is_same_v<Row, MinimumSketchRow>) {
+            minimum.push_back(std::move(row));
+          } else if constexpr (std::is_same_v<Row, EstimationSketchRow>) {
+            estimation.push_back(std::move(row));
+          } else {
+            fm.push_back(std::move(row));
+          }
+        },
+        std::move(unit).value());
   }
-  if (!r.Done()) return Status::ParseError("trailing bytes in F0 sketch");
-  return F0Estimator::FromRows(params, std::move(field), std::move(bucketing),
-                               std::move(minimum), std::move(estimation),
-                               std::move(fm));
+  return F0Estimator::FromRows(reader.params(), reader.TakeField(),
+                               std::move(bucketing), std::move(minimum),
+                               std::move(estimation), std::move(fm));
 }
 
 }  // namespace mcf0

@@ -8,17 +8,24 @@
 /// checksummed, and versioned (docs/wire_format.md is the normative spec):
 ///
 ///   bytes 0-3   magic "MCF0"
-///   bytes 4-5   format version (uint16), currently 1
+///   bytes 4-5   format version (uint16), 1 or 2
 ///   byte  6     frame kind (SketchFrameKind)
 ///   byte  7     reserved, 0
 ///   bytes 8-15  payload length in bytes (uint64)
 ///   bytes 16-23 FNV-1a-64 checksum of the payload (uint64)
 ///   bytes 24-   payload
 ///
-/// Hash-function state (affine matrices, offsets, polynomial coefficients)
-/// is serialized in full, so a decoded sketch is self-contained: it keeps
-/// absorbing elements and merges with any sketch built from the same
-/// parameters and seed, regardless of which process sampled the hashes.
+/// Version 1 serializes hash-function state in full (dense matrix rows),
+/// so a decoded sketch is self-contained. Version 2 keeps that property
+/// while shrinking the bytes: Toeplitz hashes ship their n + m - 1 bit
+/// diagonal seed instead of m dense rows, polynomial hashes pack their
+/// coefficient lists to the field width, sorted element/value sets are
+/// delta + varint coded (KMV values as n-bit preimages where they exist),
+/// and a whole-estimator frame whose hashes match what F0RowSampler
+/// derives from its own parameters elides hash state entirely. Decoding
+/// dispatches on the header's version byte — v1 files stay readable
+/// forever — and encoding takes the version as an escape hatch
+/// (`mcf0 sketch build --format v1`).
 ///
 /// Decoding never aborts on bad input: truncated buffers, corrupt bytes,
 /// bad magic/version/kind, checksum mismatches, and out-of-domain field
@@ -43,23 +50,35 @@ enum class SketchFrameKind : uint8_t {
   kFlajoletMartinRow = 4,
 };
 
-/// Stateless encode/decode for every sketch type. Encodings are canonical:
-/// two sketches with equal state produce byte-identical blobs (unordered
-/// containers are sorted on the way out), so blob equality is state
-/// equality — the merge-algebra tests rely on this.
+/// Stateless encode/decode for every sketch type. Encodings are canonical
+/// per version: two sketches with equal state produce byte-identical blobs
+/// (unordered containers are sorted on the way out), so blob equality is
+/// state equality — the merge-algebra tests rely on this.
 class SketchCodec {
  public:
-  /// Bumped whenever the payload layout changes; decoders reject frames
-  /// written by a different version (docs/wire_format.md).
-  static constexpr uint16_t kFormatVersion = 1;
+  /// v1: dense hash state, fixed-width integers. Frozen; never changes.
+  static constexpr uint16_t kFormatV1 = 1;
+  /// v2: seed-compressed hashes, delta + varint coded sets.
+  static constexpr uint16_t kFormatV2 = 2;
+  /// What Encode writes when the caller does not pick a version.
+  static constexpr uint16_t kDefaultFormatVersion = kFormatV2;
 
-  static std::string Encode(const F0Estimator& est);
-  static std::string Encode(const BucketingSketchRow& row);
-  static std::string Encode(const MinimumSketchRow& row);
-  static std::string Encode(const EstimationSketchRow& row);
-  static std::string Encode(const FlajoletMartinRow& row);
+  static std::string Encode(const F0Estimator& est,
+                            uint16_t version = kDefaultFormatVersion);
+  static std::string Encode(const BucketingSketchRow& row,
+                            uint16_t version = kDefaultFormatVersion);
+  static std::string Encode(const MinimumSketchRow& row,
+                            uint16_t version = kDefaultFormatVersion);
+  static std::string Encode(const EstimationSketchRow& row,
+                            uint16_t version = kDefaultFormatVersion);
+  static std::string Encode(const FlajoletMartinRow& row,
+                            uint16_t version = kDefaultFormatVersion);
 
   static Result<F0Estimator> DecodeF0Estimator(std::string_view bytes);
+
+  /// The wire format version a frame claims, from the first six header
+  /// bytes (magic checked; payload untouched — O(1), unlike a decode).
+  static Result<uint16_t> PeekFormatVersion(std::string_view bytes);
   static Result<BucketingSketchRow> DecodeBucketingRow(std::string_view bytes);
   static Result<MinimumSketchRow> DecodeMinimumRow(std::string_view bytes);
   /// `field` supplies GF(2^w) arithmetic for the decoded hashes and must

@@ -1,8 +1,15 @@
 #include "engine/sketch_merge.hpp"
 
 #include <algorithm>
+#include <ostream>
 #include <unordered_set>
+#include <type_traits>
 #include <utility>
+#include <variant>
+
+#include "engine/sketch_codec.hpp"
+#include "engine/sketch_reader.hpp"
+#include "engine/wire.hpp"
 
 namespace mcf0 {
 namespace {
@@ -13,6 +20,63 @@ Status Incompatible(const char* what) {
       ": sketches are only mergeable when built from the same parameters "
       "and seed (identical hash state)");
 }
+
+/// Unions `from` into `acc` when both hold the same row alternative.
+Status MergeUnits(SketchReader::Unit& acc, const SketchReader::Unit& from) {
+  return std::visit(
+      [&](auto& into) -> Status {
+        using Row = std::decay_t<decltype(into)>;
+        const Row* other = std::get_if<Row>(&from);
+        if (other == nullptr) {
+          return Status::Internal("sketch merge: row kind mismatch");
+        }
+        return Merge(into, *other);
+      },
+      acc);
+}
+
+/// Serializes one merged row in estimator-frame context.
+void EncodeUnit(wire::ByteWriter& w, const SketchReader::Unit& unit,
+                uint16_t version, bool embed_hash) {
+  std::visit(
+      [&](const auto& row) {
+        using Row = std::decay_t<decltype(row)>;
+        if constexpr (std::is_same_v<Row, BucketingSketchRow>) {
+          wire::EncodeBucketingPayload(w, row, version, embed_hash);
+        } else if constexpr (std::is_same_v<Row, MinimumSketchRow>) {
+          wire::EncodeMinimumPayload(w, row, version, embed_hash);
+        } else if constexpr (std::is_same_v<Row, EstimationSketchRow>) {
+          wire::EncodeEstimationPayload(w, row, version, embed_hash);
+        } else {
+          wire::EncodeFmPayload(w, row, version, embed_hash);
+        }
+      },
+      unit);
+}
+
+/// RAII wrapper whose constructor/destructor track how many decoded rows
+/// are alive at once — max_resident_units is a *measurement* of these
+/// objects' real lifetimes, so a regression that starts buffering rows
+/// (e.g. collecting ResidentUnits in a container) shows up in the stat
+/// and fails the reducer-memory test.
+class ResidentUnit {
+ public:
+  ResidentUnit(SketchReader::Unit&& unit, int* live, int* peak)
+      : unit_(std::move(unit)), live_(live) {
+    ++*live_;
+    *peak = std::max(*peak, *live_);
+  }
+  ~ResidentUnit() { --*live_; }
+  ResidentUnit(const ResidentUnit&) = delete;
+  ResidentUnit& operator=(const ResidentUnit&) = delete;
+
+  SketchReader::Unit& unit() { return unit_; }
+  const SketchReader::Unit& unit() const { return unit_; }
+
+ private:
+  SketchReader::Unit unit_;
+  int* live_;
+};
 
 }  // namespace
 
@@ -89,6 +153,90 @@ Status Merge(F0Estimator& into, const F0Estimator& from) {
   status = merge_rows(into.mutable_estimation_rows(), from.estimation_rows());
   if (!status.ok()) return status;
   return merge_rows(into.mutable_fm_rows(), from.fm_rows());
+}
+
+Result<SketchStreamMergeStats> MergeSketchStreams(
+    const std::vector<std::string_view>& inputs, uint16_t out_version,
+    std::ostream& out) {
+  MCF0_CHECK(out_version == SketchCodec::kFormatV1 ||
+             out_version == SketchCodec::kFormatV2);
+  if (inputs.empty()) {
+    return Status::InvalidArgument("sketch merge needs at least one input");
+  }
+  std::vector<SketchReader> readers;
+  readers.reserve(inputs.size());
+  bool all_elided = true;
+  for (const std::string_view blob : inputs) {
+    auto opened = SketchReader::Open(blob);
+    if (!opened.ok()) return opened.status();
+    readers.push_back(std::move(opened).value());
+    all_elided = all_elided && readers.back().hashes_elided();
+  }
+  const F0Params& params = readers.front().params();
+  for (const SketchReader& reader : readers) {
+    if (!(reader.params() == params)) return Incompatible("F0 estimators");
+  }
+  // Elide hash state only when *every* input frame attested canonical
+  // hashes — then each decoded hash (matrices, offsets, and
+  // representation-bit counts alike) came from the canonical sampler, so
+  // the merged frame round-trips exactly. A partial attestation would
+  // almost work (Merge() proves matrix/offset equality row by row), but
+  // AffineHash::operator== ignores representation bits, so an embedded
+  // input could smuggle nonstandard repr counts into an elided output.
+  // With any embedded input, stay conservative and embed.
+  const bool elide =
+      out_version == SketchCodec::kFormatV2 && all_elided;
+  const bool v1_out = out_version == SketchCodec::kFormatV1;
+
+  wire::FrameSink sink(&out, SketchFrameKind::kF0Estimator, out_version);
+  const int rows = F0Rows(params);
+  {
+    wire::ByteWriter prelude;
+    wire::EncodeParams(prelude, params);
+    if (!v1_out) prelude.U8(elide ? 1 : 0);
+    if (params.algorithm == F0Algorithm::kEstimation) {
+      const Gf2Field* field = readers.front().field();
+      prelude.Count(out_version, static_cast<uint64_t>(field->degree()));
+      prelude.U64(field->modulus_low());
+    }
+    prelude.Count(out_version, static_cast<uint64_t>(rows));
+    sink.Append(prelude.Take());
+  }
+
+  SketchStreamMergeStats stats;
+  int live_units = 0;
+  const int num_units = readers.front().num_units();
+  for (int k = 0; k < num_units; ++k) {
+    if (params.algorithm == F0Algorithm::kEstimation && k == rows) {
+      // The FM block's own row count sits between the two row sequences.
+      wire::ByteWriter count;
+      count.Count(out_version, static_cast<uint64_t>(rows));
+      sink.Append(count.Take());
+    }
+    auto first = readers.front().Next();
+    if (!first.ok()) return first.status();
+    ResidentUnit acc(std::move(first).value(), &live_units,
+                     &stats.max_resident_units);
+    for (size_t j = 1; j < readers.size(); ++j) {
+      auto next = readers[j].Next();
+      if (!next.ok()) return next.status();
+      // `from` lives only for this fold: the accumulator plus one
+      // in-flight row is the whole decoded footprint.
+      const ResidentUnit from(std::move(next).value(), &live_units,
+                              &stats.max_resident_units);
+      Status status = MergeUnits(acc.unit(), from.unit());
+      if (!status.ok()) return status;
+    }
+    wire::ByteWriter w;
+    EncodeUnit(w, acc.unit(), out_version, /*embed_hash=*/!elide);
+    sink.Append(w.Take());
+    ++stats.units;
+  }
+  Status status = sink.Finish();
+  if (!status.ok()) return status;
+  stats.payload_bytes = sink.payload_bytes();
+  stats.frame_bytes = sink.payload_bytes() + wire::kHeaderBytes;
+  return stats;
 }
 
 void BucketingCoordinator::AddTuple(uint64_t fingerprint, int trailing_zeros) {

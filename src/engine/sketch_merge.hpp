@@ -26,7 +26,10 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+#include <string_view>
 #include <unordered_map>
+#include <vector>
 
 #include "common/status.hpp"
 #include "streaming/f0_sketch.hpp"
@@ -46,6 +49,32 @@ Status Merge(FlajoletMartinRow& into, const FlajoletMartinRow& from);
 /// Row-wise union of two estimators built from identical F0Params
 /// (including the seed, so all sampled hash functions coincide).
 Status Merge(F0Estimator& into, const F0Estimator& from);
+
+/// What MergeSketchStreams did, for callers that report on it.
+struct SketchStreamMergeStats {
+  uint64_t payload_bytes = 0;  ///< frame payload written (header excluded)
+  uint64_t frame_bytes = 0;    ///< total bytes written, header included
+  int units = 0;               ///< rows folded (per input)
+  /// Peak number of decoded rows simultaneously alive during the merge —
+  /// the accumulator plus at most one in-flight row, *independent of the
+  /// input count*. The reducer-memory test pins this at <= 2.
+  int max_resident_units = 0;
+};
+
+/// The bounded-memory reducer: folds N serialized estimator frames into
+/// one merged frame without ever materializing a whole estimator. Inputs
+/// are co-iterated row by row through SketchReader cursors, each row
+/// union is encoded and appended to `out` immediately (via a FrameSink
+/// that patches the header afterwards — `out` must be seekable), and the
+/// decoded state alive at any instant is one accumulator row plus the row
+/// being folded in. All inputs must share F0Params; v1 and v2 inputs mix
+/// freely. `out_version` selects the output layout; the merged frame
+/// elides hash state only when *every* input frame attested canonical
+/// hashes (i.e. all are seed-elided v2), otherwise hashes are embedded.
+/// On error the partial output should be discarded by the caller.
+Result<SketchStreamMergeStats> MergeSketchStreams(
+    const std::vector<std::string_view>& inputs, uint16_t out_version,
+    std::ostream& out);
 
 /// Coordinator-side bucket union for the distributed Bucketing protocol
 /// (§4): sites ship (fingerprint, TrailZero(H[i](x))) tuples for the

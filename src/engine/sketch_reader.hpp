@@ -1,0 +1,98 @@
+/// \file sketch_reader.hpp
+/// \brief Incremental row-at-a-time decode of F0Estimator sketch frames.
+///
+/// `SketchCodec::DecodeF0Estimator` materializes a whole estimator; a
+/// reducer merging many shard files doesn't need that — it folds inputs
+/// row by row (sketch_merge.hpp's MergeSketchStreams), so its decoded
+/// state stays bounded by a single row no matter how many shards arrive.
+/// `SketchReader` is the cursor that makes this possible: it validates the
+/// frame header, checksum, and parameters up front, then yields one
+/// decoded row per Next() call, in the payload's layout order (for the
+/// Estimation algorithm: all Estimation rows, then all FM rows).
+///
+/// Both wire format versions decode through the same cursor; for v2
+/// frames with seed-elided hash state ("canonical hashes"), the reader
+/// replays the F0RowSampler draws lazily, so even hash reconstruction is
+/// row-at-a-time. The whole-estimator decoder is itself built on this
+/// class — there is exactly one decode path to audit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace mcf0 {
+namespace wire {
+class ByteReader;
+}  // namespace wire
+
+class SketchReader {
+ public:
+  /// One decoded row in payload order. Which alternative appears follows
+  /// params().algorithm (Estimation frames yield EstimationSketchRow for
+  /// the first F0Rows units, FlajoletMartinRow for the rest).
+  using Unit = std::variant<BucketingSketchRow, MinimumSketchRow,
+                            EstimationSketchRow, FlajoletMartinRow>;
+
+  /// Validates the frame (magic, version, kind, checksum) and the
+  /// parameter block. `blob` must outlive the reader — rows are decoded
+  /// from views into it.
+  static Result<SketchReader> Open(std::string_view blob);
+
+  SketchReader(SketchReader&&) noexcept;
+  SketchReader& operator=(SketchReader&&) noexcept;
+  ~SketchReader();
+
+  const F0Params& params() const { return params_; }
+  /// The frame's wire format version (1 or 2).
+  uint16_t version() const { return version_; }
+  /// True when the frame elides hash state (v2 canonical-hash mode).
+  bool hashes_elided() const { return elided_; }
+  /// Total units Next() will yield: F0Rows for Bucketing/Minimum, twice
+  /// that for Estimation (paired FM rows follow the Estimation rows).
+  int num_units() const { return num_units_; }
+  int units_read() const { return units_read_; }
+  bool AtEnd() const { return units_read_ == num_units_; }
+
+  /// Decodes and validates the next row. The final unit also checks that
+  /// the payload is fully consumed. Estimation rows reference field();
+  /// they must not outlive this reader unless TakeField() hands the field
+  /// to their new owner.
+  Result<Unit> Next();
+
+  /// GF(2^n) arithmetic for decoded Estimation rows (null otherwise).
+  const Gf2Field* field() const { return field_.get(); }
+  /// Transfers field ownership (for F0Estimator::FromRows); call after
+  /// the last Next().
+  std::unique_ptr<Gf2Field> TakeField() { return std::move(field_); }
+
+ private:
+  SketchReader();
+
+  F0Params params_;
+  uint16_t version_ = 0;
+  bool elided_ = false;
+  int num_units_ = 0;
+  int units_read_ = 0;
+  uint64_t expected_thresh_ = 0;
+  int expected_rows_ = 0;
+  int expected_s_ = 0;
+  std::unique_ptr<wire::ByteReader> reader_;
+  std::unique_ptr<Gf2Field> field_;
+  std::optional<F0RowSampler> sampler_;
+  // v2 canonical-hash Estimation frames sample (estimation, fm) pairs but
+  // lay FM rows out after all Estimation rows. Rather than buffering the
+  // FM hashes of the first pass (O(rows) dense matrices — exactly what a
+  // bounded-memory reader must not hold), the FM block replays the draws
+  // with a second sampler and keeps only the FM half of each pair.
+  std::optional<F0RowSampler> fm_replay_sampler_;
+  bool fm_count_read_ = false;
+};
+
+}  // namespace mcf0

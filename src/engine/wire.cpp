@@ -1,0 +1,941 @@
+#include "engine/wire.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "gf2/bitvec.hpp"
+#include "gf2/gf2_matrix.hpp"
+#include "hash/gf2_poly.hpp"
+#include "hash/hash_family.hpp"
+
+namespace mcf0 {
+namespace wire {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'C', 'F', '0'};
+
+/// Largest element of the n-bit word universe.
+uint64_t UniverseMax(int n) {
+  return n == 64 ? ~0ull : ((1ull << n) - 1);
+}
+
+/// Writes `set` (strictly ascending) as varint(first), then
+/// varint(gap - 1) per successor — the v2 delta coding for sorted word
+/// sets. Zero gaps are unrepresentable, so duplicates cannot be encoded.
+void EncodeAscendingU64Set(ByteWriter& w, const std::vector<uint64_t>& set) {
+  for (size_t i = 0; i < set.size(); ++i) {
+    w.Varint(i == 0 ? set[0] : set[i] - set[i - 1] - 1);
+  }
+}
+
+/// Counterpart of EncodeAscendingU64Set: `count` values, all <= `max`.
+/// Overflow and out-of-range sums are rejected with their own message,
+/// never wrapped and never misreported as truncation (`what` names the
+/// field for both diagnostics).
+Status DecodeAscendingU64Set(ByteReader& r, uint64_t count, uint64_t max,
+                             const char* what, std::vector<uint64_t>* out) {
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t delta = 0;
+    if (!r.Varint(&delta)) return Truncated(what);
+    const bool in_range =
+        i == 0 ? delta <= max : prev < max && delta <= max - prev - 1;
+    if (!in_range) {
+      return Status::ParseError(std::string(what) +
+                                ": delta-coded set element out of range");
+    }
+    prev = i == 0 ? delta : prev + delta + 1;
+    out->push_back(prev);
+  }
+  return Status::Ok();
+}
+
+/// Solves A x = rhs over GF(2) for many right-hand sides sharing A: one
+/// row reduction up front (tracking, per pivot row, which combination of
+/// original rows produced it), then each solve is a handful of dot
+/// products. Powers the v2 preimage coding of KMV value sets: a Minimum
+/// row's values are hash outputs, so storing one n-bit preimage per value
+/// beats storing the m = 3n bit value — the decoder just re-hashes.
+class PreimageSolver {
+ public:
+  explicit PreimageSolver(const Gf2Matrix& a) : a_(a) {
+    const int m = a.rows();
+    for (int i = 0; i < m; ++i) {
+      BitVec row = a.Row(i);
+      BitVec combo(m);
+      combo.Set(i, true);
+      for (size_t k = 0; k < rows_.size(); ++k) {
+        if (row.Get(pivots_[k])) {
+          row ^= rows_[k];
+          combo ^= combos_[k];
+        }
+      }
+      const int lead = row.LeadingBit();
+      if (lead < 0) continue;  // linearly dependent on earlier rows
+      for (size_t k = 0; k < rows_.size(); ++k) {
+        if (rows_[k].Get(lead)) {
+          rows_[k] ^= row;
+          combos_[k] ^= combo;
+        }
+      }
+      rows_.push_back(std::move(row));
+      combos_.push_back(std::move(combo));
+      pivots_.push_back(lead);
+    }
+  }
+
+  /// The canonical solution (free variables zero), or nullopt when the
+  /// system is inconsistent. Deterministic, so re-encoding a decoded row
+  /// reproduces the exact preimage bytes.
+  std::optional<BitVec> Solve(const BitVec& rhs) const {
+    BitVec x(a_.cols());
+    for (size_t k = 0; k < rows_.size(); ++k) {
+      if (combos_[k].DotF2(rhs)) x.Set(pivots_[k], true);
+    }
+    if (!(a_.Mul(x) == rhs)) return std::nullopt;
+    return x;
+  }
+
+ private:
+  const Gf2Matrix& a_;
+  std::vector<BitVec> rows_;    // RREF rows of A
+  std::vector<BitVec> combos_;  // rows_[k] = combos_[k] · (original rows)
+  std::vector<int> pivots_;
+};
+
+/// The sorted canonical preimages of every KMV value, or nullopt if any
+/// value has none (then the explicit-value fallback encoding is used).
+std::optional<std::vector<uint64_t>> KmvPreimages(const MinimumSketchRow& row) {
+  if (row.hash().n() > 64) return std::nullopt;
+  const PreimageSolver solver(row.hash().A());
+  std::vector<uint64_t> preimages;
+  preimages.reserve(row.values().size());
+  for (const BitVec& value : row.values()) {
+    const std::optional<BitVec> x = solver.Solve(value ^ row.hash().b());
+    if (!x.has_value()) return std::nullopt;
+    preimages.push_back(x->ToU64());
+  }
+  std::sort(preimages.begin(), preimages.end());
+  return preimages;
+}
+
+/// The hash of a word-universe sketch row (Bucketing / FM): square, n <= 64.
+Status DecodeSquareHash(ByteReader& r, uint16_t version, const char* what,
+                        int max_n, std::optional<AffineHash>* out) {
+  Status status = DecodeAffineHash(r, version, out);
+  if (!status.ok()) return status;
+  const AffineHash& h = out->value();
+  if (h.n() != h.m() || h.n() > max_n) {
+    return Status::ParseError(std::string(what) +
+                              ": hash must be square with n <= 64");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+uint64_t Fnv1a64(std::string_view bytes) {
+  Fnv1a64State state;
+  state.Update(bytes);
+  return state.hash;
+}
+
+// ---- ByteWriter -----------------------------------------------------------
+
+void ByteWriter::F64(double v) { U64(std::bit_cast<uint64_t>(v)); }
+
+void ByteWriter::Varint(uint64_t v) {
+  while (v >= 0x80) {
+    U8(static_cast<uint8_t>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  U8(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::Count(uint16_t version, uint64_t v) {
+  if (version == SketchCodec::kFormatV1) {
+    U32(static_cast<uint32_t>(v));
+  } else {
+    Varint(v);
+  }
+}
+
+void ByteWriter::BitVecField(const BitVec& v) {
+  U32(static_cast<uint32_t>(v.size()));
+  RawBits(v);
+}
+
+void ByteWriter::RawBits(const BitVec& v) {
+  uint8_t byte = 0;
+  for (int i = 0; i < v.size(); ++i) {
+    byte = static_cast<uint8_t>((byte << 1) | (v.Get(i) ? 1 : 0));
+    if ((i & 7) == 7) {
+      U8(byte);
+      byte = 0;
+    }
+  }
+  if (v.size() & 7) U8(static_cast<uint8_t>(byte << (8 - (v.size() & 7))));
+}
+
+void ByteWriter::Uint(uint64_t v, int bytes) {
+  for (int i = 0; i < bytes; ++i) {
+    out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+// ---- ByteReader -----------------------------------------------------------
+
+bool ByteReader::U8(uint8_t* v) {
+  if (pos_ + 1 > data_.size()) return false;
+  *v = static_cast<uint8_t>(data_[pos_++]);
+  return true;
+}
+
+bool ByteReader::F64(double* v) {
+  uint64_t bits = 0;
+  if (!U64(&bits)) return false;
+  *v = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool ByteReader::Varint(uint64_t* v) {
+  const size_t start = pos_;
+  uint64_t out = 0;
+  for (int i = 0; i < 10; ++i) {
+    uint8_t byte = 0;
+    if (!U8(&byte)) {
+      pos_ = start;
+      return false;
+    }
+    const uint64_t group = byte & 0x7f;
+    // The 10th byte holds bits 63..70; anything above bit 63 overflows.
+    if (i == 9 && group > 1) {
+      pos_ = start;
+      return false;
+    }
+    out |= group << (7 * i);
+    if ((byte & 0x80) == 0) {
+      // Minimal form: a multi-byte encoding must not end in a zero group.
+      if (i > 0 && group == 0) {
+        pos_ = start;
+        return false;
+      }
+      *v = out;
+      return true;
+    }
+  }
+  pos_ = start;
+  return false;  // continuation bit set on the 10th byte
+}
+
+bool ByteReader::Count(uint16_t version, uint64_t* v) {
+  if (version == SketchCodec::kFormatV1) {
+    uint32_t v32 = 0;
+    if (!U32(&v32)) return false;
+    *v = v32;
+    return true;
+  }
+  return Varint(v);
+}
+
+bool ByteReader::BitVecField(BitVec* v) {
+  uint32_t size = 0;
+  if (!U32(&size)) return false;
+  if (size > 8 * Remaining()) return false;
+  return RawBits(static_cast<int>(size), v);
+}
+
+bool ByteReader::RawBits(int nbits, BitVec* v) {
+  if (static_cast<size_t>((nbits + 7) / 8) > Remaining()) return false;
+  BitVec out(nbits);
+  uint8_t byte = 0;
+  for (int i = 0; i < nbits; ++i) {
+    if ((i & 7) == 0 && !U8(&byte)) return false;
+    if ((byte >> (7 - (i & 7))) & 1) out.Set(i, true);
+  }
+  if ((nbits & 7) != 0 && (byte & ((1u << (8 - (nbits & 7))) - 1)) != 0) {
+    return false;  // nonzero pad bits: not a canonical encoding
+  }
+  *v = std::move(out);
+  return true;
+}
+
+Status Truncated(const char* what) {
+  return Status::ParseError(std::string("truncated sketch data in ") + what);
+}
+
+// ---- frame ----------------------------------------------------------------
+
+std::string WrapFrame(SketchFrameKind kind, uint16_t version,
+                      std::string payload) {
+  ByteWriter header;
+  for (const char c : kMagic) header.U8(static_cast<uint8_t>(c));
+  header.U16(version);
+  header.U8(static_cast<uint8_t>(kind));
+  header.U8(0);  // reserved
+  header.U64(payload.size());
+  header.U64(Fnv1a64(payload));
+  return header.Take() + payload;
+}
+
+Result<std::string_view> UnwrapFrame(std::string_view bytes,
+                                     SketchFrameKind want, uint16_t* version) {
+  if (bytes.size() < kHeaderBytes) return Truncated("frame header");
+  ByteReader reader(bytes.substr(0, kHeaderBytes));
+  for (const char expect : kMagic) {
+    uint8_t got = 0;
+    reader.U8(&got);
+    if (got != static_cast<uint8_t>(expect)) {
+      return Status::ParseError("bad magic: not an mcf0 sketch blob");
+    }
+  }
+  uint8_t kind = 0;
+  uint8_t reserved = 0;
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;
+  reader.U16(version);
+  reader.U8(&kind);
+  reader.U8(&reserved);
+  reader.U64(&payload_size);
+  reader.U64(&checksum);
+  if (*version != SketchCodec::kFormatV1 &&
+      *version != SketchCodec::kFormatV2) {
+    return Status::NotSupported(
+        "sketch format version " + std::to_string(*version) +
+        " (this build reads " + std::to_string(SketchCodec::kFormatV1) +
+        " and " + std::to_string(SketchCodec::kFormatV2) + ")");
+  }
+  if (kind != static_cast<uint8_t>(want)) {
+    return Status::InvalidArgument("sketch frame kind " + std::to_string(kind) +
+                                   " does not match the requested object");
+  }
+  if (reserved != 0) {
+    return Status::ParseError("nonzero reserved byte in sketch header");
+  }
+  if (payload_size != bytes.size() - kHeaderBytes) {
+    return payload_size > bytes.size() - kHeaderBytes
+               ? Truncated("frame payload")
+               : Status::ParseError("trailing bytes after sketch payload");
+  }
+  const std::string_view payload = bytes.substr(kHeaderBytes);
+  if (Fnv1a64(payload) != checksum) {
+    return Status::ParseError("sketch payload checksum mismatch (corrupt)");
+  }
+  return payload;
+}
+
+FrameSink::FrameSink(std::ostream* out, SketchFrameKind kind, uint16_t version)
+    : out_(out), header_pos_(out->tellp()) {
+  ByteWriter header;
+  for (const char c : kMagic) header.U8(static_cast<uint8_t>(c));
+  header.U16(version);
+  header.U8(static_cast<uint8_t>(kind));
+  header.U8(0);  // reserved
+  header.U64(0);  // payload length, patched by Finish()
+  header.U64(0);  // checksum, patched by Finish()
+  const std::string bytes = header.Take();
+  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void FrameSink::Append(std::string_view payload_chunk) {
+  MCF0_CHECK(!finished_);
+  fnv_.Update(payload_chunk);
+  bytes_ += payload_chunk.size();
+  out_->write(payload_chunk.data(),
+              static_cast<std::streamsize>(payload_chunk.size()));
+}
+
+Status FrameSink::Finish() {
+  MCF0_CHECK(!finished_);
+  finished_ = true;
+  const std::streampos end = out_->tellp();
+  out_->seekp(header_pos_ + std::streamoff(8));
+  ByteWriter tail;
+  tail.U64(bytes_);
+  tail.U64(fnv_.hash);
+  const std::string bytes = tail.Take();
+  out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out_->seekp(end);
+  if (!*out_) return Status::Internal("sketch frame sink: stream write failed");
+  return Status::Ok();
+}
+
+// ---- AffineHash -----------------------------------------------------------
+
+void EncodeAffineHash(ByteWriter& w, const AffineHash& h, uint16_t version) {
+  if (version == SketchCodec::kFormatV1) {
+    w.U8(static_cast<uint8_t>(h.kind()));
+    w.U32(static_cast<uint32_t>(h.n()));
+    w.U32(static_cast<uint32_t>(h.m()));
+    w.U64(h.RepresentationBits());
+    w.BitVecField(h.b());
+    for (int i = 0; i < h.m(); ++i) w.BitVecField(h.A().Row(i));
+    return;
+  }
+  // v2: Toeplitz hashes ship their n + m - 1 bit diagonal seed; everything
+  // else falls back to dense rows (without v1's per-row length prefixes).
+  // The seed path is capped at n <= 64, m <= 4096 — far beyond any real
+  // hash (word universes cap n at 64, Minimum uses m = 3n) — because the
+  // decoder must refuse to densify a quadratically amplified matrix from
+  // a small seed; dense encodings cost file bytes proportionally, so they
+  // need no such cap.
+  const bool seeded = h.kind() == AffineHashKind::kToeplitz &&
+                      h.HasToeplitzMatrix() && h.n() <= 64 && h.m() <= 4096;
+  w.U8(static_cast<uint8_t>(h.kind()));
+  w.Varint(static_cast<uint64_t>(h.n()));
+  w.Varint(static_cast<uint64_t>(h.m()));
+  w.Varint(h.RepresentationBits());
+  w.U8(seeded ? 1 : 0);
+  w.RawBits(h.b());
+  if (seeded) {
+    w.RawBits(h.ToeplitzSeed());
+  } else {
+    for (int i = 0; i < h.m(); ++i) w.RawBits(h.A().Row(i));
+  }
+}
+
+Status DecodeAffineHash(ByteReader& r, uint16_t version,
+                        std::optional<AffineHash>* out) {
+  if (version == SketchCodec::kFormatV1) {
+    uint8_t kind = 0;
+    uint32_t n = 0;
+    uint32_t m = 0;
+    uint64_t repr_bits = 0;
+    if (!r.U8(&kind) || !r.U32(&n) || !r.U32(&m) || !r.U64(&repr_bits)) {
+      return Truncated("hash function");
+    }
+    if (kind > static_cast<uint8_t>(AffineHashKind::kSparseXor)) {
+      return Status::ParseError("unknown hash kind " + std::to_string(kind));
+    }
+    // Every matrix row costs at least its 4-byte length prefix, so more
+    // claimed rows than remaining/4 is hostile. (Decode loops deliberately
+    // avoid reserve(): element objects are much larger than their wire
+    // encodings, so pre-reserving would let a small crafted file force a
+    // huge allocation — an uncaught std::bad_alloc — before the per-element
+    // reads could fail. Geometric push_back growth stays proportional to
+    // bytes actually decoded.)
+    if (n < 1 || m < 1 || m > r.Remaining() / 4) {
+      return Status::ParseError("hash dimensions out of range");
+    }
+    BitVec b;
+    if (!r.BitVecField(&b)) return Truncated("hash offset");
+    if (b.size() != static_cast<int>(m)) {
+      return Status::ParseError("hash offset length mismatch");
+    }
+    std::vector<BitVec> rows;
+    for (uint32_t i = 0; i < m; ++i) {
+      BitVec row;
+      if (!r.BitVecField(&row)) return Truncated("hash matrix row");
+      if (row.size() != static_cast<int>(n)) {
+        return Status::ParseError("hash matrix row length mismatch");
+      }
+      rows.push_back(std::move(row));
+    }
+    out->emplace(AffineHash::FromParts(Gf2Matrix::FromRows(std::move(rows)),
+                                       std::move(b),
+                                       static_cast<AffineHashKind>(kind),
+                                       repr_bits));
+    return Status::Ok();
+  }
+
+  uint8_t kind = 0;
+  uint64_t n = 0;
+  uint64_t m = 0;
+  uint64_t repr_bits = 0;
+  uint8_t seeded = 0;
+  if (!r.U8(&kind) || !r.Varint(&n) || !r.Varint(&m) || !r.Varint(&repr_bits) ||
+      !r.U8(&seeded)) {
+    return Truncated("hash function");
+  }
+  if (kind > static_cast<uint8_t>(AffineHashKind::kSparseXor)) {
+    return Status::ParseError("unknown hash kind " + std::to_string(kind));
+  }
+  // RawBits bounds every bit-string read against the remaining bytes
+  // before allocating; the cap here only keeps the int casts below safe.
+  if (n < 1 || m < 1 || n > (1u << 24) || m > (1u << 24)) {
+    return Status::ParseError("hash dimensions out of range");
+  }
+  if (seeded > 1) {
+    return Status::ParseError("bad hash matrix marker " +
+                              std::to_string(seeded));
+  }
+  if (seeded == 1 && kind != static_cast<uint8_t>(AffineHashKind::kToeplitz)) {
+    return Status::ParseError("seed-coded hash must be Toeplitz");
+  }
+  if (seeded == 1 && (n > 64 || m > 4096)) {
+    // Densifying an m x n matrix from an (n + m - 1)-bit seed amplifies a
+    // small blob quadratically; no canonical encoder emits seeds at these
+    // dimensions, so reject before allocating (never bad_alloc-abort).
+    return Status::ParseError("seed-coded hash dimensions out of range");
+  }
+  BitVec b;
+  if (!r.RawBits(static_cast<int>(m), &b)) return Truncated("hash offset");
+  if (seeded == 1) {
+    BitVec seed;
+    if (!r.RawBits(static_cast<int>(n + m - 1), &seed)) {
+      return Truncated("hash Toeplitz seed");
+    }
+    out->emplace(AffineHash::FromToeplitzSeed(static_cast<int>(n),
+                                              static_cast<int>(m), seed,
+                                              std::move(b), repr_bits));
+    return Status::Ok();
+  }
+  std::vector<BitVec> rows;
+  for (uint64_t i = 0; i < m; ++i) {
+    BitVec row;
+    if (!r.RawBits(static_cast<int>(n), &row)) {
+      return Truncated("hash matrix row");
+    }
+    rows.push_back(std::move(row));
+  }
+  out->emplace(AffineHash::FromParts(Gf2Matrix::FromRows(std::move(rows)),
+                                     std::move(b),
+                                     static_cast<AffineHashKind>(kind),
+                                     repr_bits));
+  return Status::Ok();
+}
+
+// ---- parameters -----------------------------------------------------------
+
+void EncodeParams(ByteWriter& w, const F0Params& p) {
+  w.U8(static_cast<uint8_t>(p.algorithm));
+  w.U8(static_cast<uint8_t>(p.n));
+  w.F64(p.eps);
+  w.F64(p.delta);
+  w.U64(p.seed);
+  w.U64(p.thresh_override);
+  w.U32(static_cast<uint32_t>(p.rows_override));
+  w.U32(static_cast<uint32_t>(p.s_override));
+}
+
+Status DecodeParams(ByteReader& r, F0Params* out) {
+  uint8_t algorithm = 0;
+  uint8_t n = 0;
+  uint32_t rows_override = 0;
+  uint32_t s_override = 0;
+  if (!r.U8(&algorithm) || !r.U8(&n) || !r.F64(&out->eps) ||
+      !r.F64(&out->delta) || !r.U64(&out->seed) ||
+      !r.U64(&out->thresh_override) || !r.U32(&rows_override) ||
+      !r.U32(&s_override)) {
+    return Truncated("sketch parameters");
+  }
+  if (algorithm > static_cast<uint8_t>(F0Algorithm::kEstimation)) {
+    return Status::ParseError("unknown sketch algorithm " +
+                              std::to_string(algorithm));
+  }
+  if (n < 1 || n > 64) return Status::ParseError("sketch n outside [1, 64]");
+  if (!std::isfinite(out->eps) || out->eps <= 0) {
+    return Status::ParseError("sketch eps must be positive and finite");
+  }
+  // When the override is zero, F0Thresh computes 96/eps^2 and casts it to
+  // uint64 — UB past 2^64 — so bound eps exactly where that hazard exists
+  // (no real sketch comes near eps = 1e-6: thresh would be ~10^14 values
+  // per row). Files carrying an explicit override never hit the formula,
+  // and rejecting them would break previously-valid v1 files.
+  if (out->thresh_override == 0 && out->eps < 1e-6) {
+    return Status::ParseError(
+        "sketch eps below 1e-6 needs an explicit thresh override");
+  }
+  if (!std::isfinite(out->delta) || out->delta <= 0 || out->delta >= 1) {
+    return Status::ParseError("sketch delta outside (0, 1)");
+  }
+  const auto int_max =
+      static_cast<uint32_t>(std::numeric_limits<int>::max());
+  if (rows_override > int_max || s_override > int_max) {
+    return Status::ParseError("sketch row/s override out of range");
+  }
+  out->algorithm = static_cast<F0Algorithm>(algorithm);
+  out->n = n;
+  out->rows_override = static_cast<int>(rows_override);
+  out->s_override = static_cast<int>(s_override);
+  return Status::Ok();
+}
+
+// ---- Bucketing row --------------------------------------------------------
+
+void EncodeBucketingPayload(ByteWriter& w, const BucketingSketchRow& row,
+                            uint16_t version, bool embed_hash) {
+  if (version == SketchCodec::kFormatV1) {
+    EncodeAffineHash(w, row.hash(), version);
+    w.U64(row.thresh());
+    w.U32(static_cast<uint32_t>(row.level()));
+    std::vector<uint64_t> elems(row.bucket().begin(), row.bucket().end());
+    std::sort(elems.begin(), elems.end());  // canonical order
+    w.U64(elems.size());
+    for (const uint64_t x : elems) w.U64(x);
+    return;
+  }
+  if (embed_hash) EncodeAffineHash(w, row.hash(), version);
+  w.Varint(row.thresh());
+  w.Varint(static_cast<uint64_t>(row.level()));
+  std::vector<uint64_t> elems(row.bucket().begin(), row.bucket().end());
+  std::sort(elems.begin(), elems.end());
+  w.Varint(elems.size());
+  EncodeAscendingU64Set(w, elems);
+}
+
+Status DecodeBucketingPayload(ByteReader& r, uint16_t version,
+                              const AffineHash* elided_hash,
+                              std::optional<BucketingSketchRow>* out) {
+  const bool v1 = version == SketchCodec::kFormatV1;
+  std::optional<AffineHash> h;
+  if (elided_hash != nullptr) {
+    h = *elided_hash;
+  } else {
+    Status status = DecodeSquareHash(r, version, "bucketing row", 64, &h);
+    if (!status.ok()) return status;
+  }
+  uint64_t thresh = 0;
+  uint64_t level = 0;
+  uint64_t count = 0;
+  if (v1) {
+    uint32_t level32 = 0;
+    if (!r.U64(&thresh) || !r.U32(&level32) || !r.U64(&count)) {
+      return Truncated("bucketing row");
+    }
+    level = level32;
+  } else if (!r.Varint(&thresh) || !r.Varint(&level) || !r.Varint(&count)) {
+    return Truncated("bucketing row");
+  }
+  if (thresh < 1) return Status::ParseError("bucketing thresh must be >= 1");
+  if (level > static_cast<uint64_t>(h->n())) {
+    return Status::ParseError("bucketing level exceeds hash width");
+  }
+  if (count > r.Remaining() / (v1 ? 8 : 1)) {
+    return Truncated("bucketing bucket");
+  }
+  std::unordered_set<uint64_t> bucket;
+  if (v1) {
+    for (uint64_t i = 0; i < count; ++i) {
+      uint64_t x = 0;
+      if (!r.U64(&x)) return Truncated("bucketing bucket");
+      bucket.insert(x);
+    }
+  } else {
+    // Bucket elements are the raw 64-bit stream words (ingestion stores
+    // them unmasked; only their hash is n-bit), so the full u64 range is
+    // the bound — matching v1, which shipped raw U64s.
+    std::vector<uint64_t> elems;
+    Status status =
+        DecodeAscendingU64Set(r, count, ~0ull, "bucketing bucket", &elems);
+    if (!status.ok()) return status;
+    bucket.insert(elems.begin(), elems.end());
+  }
+  // No reachable state holds more than thresh elements below the deepest
+  // level (Add escalates past thresh while level < n).
+  if (level < static_cast<uint64_t>(h->n()) && bucket.size() > thresh) {
+    return Status::ParseError("bucketing bucket exceeds thresh below level n");
+  }
+  out->emplace(*std::move(h), thresh, static_cast<int>(level),
+               std::move(bucket));
+  // The from-parts invariant: every element lies in the cell at `level`.
+  // Without this, a crafted file could inflate |bucket| * 2^level estimates
+  // and break "blob equality is state equality" (Merge would re-filter).
+  const BucketingSketchRow& row = out->value();
+  for (const uint64_t x : row.bucket()) {
+    if (!row.InCell(x, row.level())) {
+      return Status::ParseError(
+          "bucketing element outside the cell at its level");
+    }
+  }
+  return Status::Ok();
+}
+
+// ---- Minimum row ----------------------------------------------------------
+
+void EncodeMinimumPayload(ByteWriter& w, const MinimumSketchRow& row,
+                          uint16_t version, bool embed_hash) {
+  if (version == SketchCodec::kFormatV1) {
+    EncodeAffineHash(w, row.hash(), version);
+    w.U64(row.thresh());
+    w.U64(row.values().size());  // std::set iterates in canonical order
+    for (const BitVec& v : row.values()) w.BitVecField(v);
+    return;
+  }
+  if (embed_hash) EncodeAffineHash(w, row.hash(), version);
+  w.Varint(row.thresh());
+  w.Varint(row.values().size());
+  // Preimage coding: each m = 3n bit KMV value shrinks to the n-bit
+  // element that hashes to it, delta-coded as a sorted set; the decoder
+  // re-hashes. Values without preimages (inserted via AddHashed by the §4
+  // and §5 protocols) fall back to explicit sorted values.
+  const std::optional<std::vector<uint64_t>> preimages = KmvPreimages(row);
+  w.U8(preimages.has_value() ? 1 : 0);
+  if (preimages.has_value()) {
+    EncodeAscendingU64Set(w, *preimages);
+  } else {
+    for (const BitVec& v : row.values()) w.RawBits(v);
+  }
+}
+
+Status DecodeMinimumPayload(ByteReader& r, uint16_t version,
+                            const AffineHash* elided_hash,
+                            std::optional<MinimumSketchRow>* out) {
+  const bool v1 = version == SketchCodec::kFormatV1;
+  std::optional<AffineHash> h;
+  if (elided_hash != nullptr) {
+    h = *elided_hash;
+  } else {
+    Status status = DecodeAffineHash(r, version, &h);
+    if (!status.ok()) return status;
+  }
+  if (h->n() > 64) {
+    // Add() maps word elements through h, so the input side must be a
+    // word universe (the output side m is unconstrained).
+    return Status::ParseError("minimum row: hash input width exceeds 64");
+  }
+  uint64_t thresh = 0;
+  uint64_t count = 0;
+  if (v1 ? (!r.U64(&thresh) || !r.U64(&count))
+         : (!r.Varint(&thresh) || !r.Varint(&count))) {
+    return Truncated("minimum row");
+  }
+  if (thresh < 1) return Status::ParseError("minimum thresh must be >= 1");
+  if (count > thresh) {
+    return Status::ParseError("minimum row holds more values than thresh");
+  }
+  if (count > r.Remaining()) return Truncated("minimum values");
+  if (v1) {
+    out->emplace(*std::move(h), thresh);
+    for (uint64_t i = 0; i < count; ++i) {
+      BitVec v;
+      if (!r.BitVecField(&v)) return Truncated("minimum values");
+      if (v.size() != out->value().output_bits()) {
+        return Status::ParseError("minimum value width mismatch");
+      }
+      out->value().AddHashed(v);
+    }
+    return Status::Ok();
+  }
+  uint8_t preimage_coded = 0;
+  if (!r.U8(&preimage_coded)) return Truncated("minimum row");
+  if (preimage_coded > 1) {
+    return Status::ParseError("bad minimum value-set marker " +
+                              std::to_string(preimage_coded));
+  }
+  const int n = h->n();
+  out->emplace(*std::move(h), thresh);
+  MinimumSketchRow& row = out->value();
+  if (preimage_coded == 1) {
+    std::vector<uint64_t> preimages;
+    Status set_status = DecodeAscendingU64Set(r, count, UniverseMax(n),
+                                              "minimum values", &preimages);
+    if (!set_status.ok()) return set_status;
+    for (const uint64_t x : preimages) row.Add(x);
+    if (row.values().size() != count) {
+      // Two preimages collided on one hash value; the canonical encoder
+      // derives one preimage per distinct value, so this blob is bogus.
+      return Status::ParseError("minimum preimages collide");
+    }
+    // Canonicality: each shipped preimage must be the solver's own
+    // (free-variables-zero) solution — for a rank-deficient hash, x ⊕ k
+    // with kernel vector k would hash identically, and accepting it would
+    // give one row state two wire encodings, unlike every other v2 field.
+    if (count > 0) {
+      const PreimageSolver solver(row.hash().A());
+      for (const uint64_t x : preimages) {
+        const BitVec hashed =
+            row.hash().Eval(BitVec::FromU64(x, n)) ^ row.hash().b();
+        const std::optional<BitVec> canonical = solver.Solve(hashed);
+        if (!canonical.has_value() || canonical->ToU64() != x) {
+          return Status::ParseError("minimum preimage is not canonical");
+        }
+      }
+    }
+    return Status::Ok();
+  }
+  BitVec prev;
+  for (uint64_t i = 0; i < count; ++i) {
+    BitVec v;
+    if (!r.RawBits(row.output_bits(), &v)) return Truncated("minimum values");
+    if (i > 0 && !(prev < v)) {
+      return Status::ParseError("minimum values not strictly ascending");
+    }
+    prev = v;
+    row.AddHashed(v);
+  }
+  return Status::Ok();
+}
+
+// ---- Estimation row -------------------------------------------------------
+
+void EncodeEstimationPayload(ByteWriter& w, const EstimationSketchRow& row,
+                             uint16_t version, bool embed_hash) {
+  if (version == SketchCodec::kFormatV1) {
+    w.U8(row.hashes().empty() ? 0 : 1);
+    if (!row.hashes().empty()) {
+      w.U32(static_cast<uint32_t>(row.hashes().size()));
+      for (const PolynomialHash& h : row.hashes()) {
+        w.U32(static_cast<uint32_t>(h.s()));
+        for (const uint64_t c : h.coeffs()) w.U64(c);
+      }
+    }
+    w.U32(static_cast<uint32_t>(row.cells().size()));
+    for (const int c : row.cells()) w.U8(static_cast<uint8_t>(c));
+    return;
+  }
+  if (embed_hash) {
+    w.U8(row.hashes().empty() ? 0 : 1);
+    if (!row.hashes().empty()) {
+      // Coefficients are field elements of w bits; ship exactly
+      // ceil(w/8) bytes each instead of v1's fixed 8.
+      const int degree = row.hashes().front().field_degree();
+      const int coeff_bytes = (degree + 7) / 8;
+      w.Varint(row.hashes().size());
+      for (const PolynomialHash& h : row.hashes()) {
+        w.Varint(static_cast<uint64_t>(h.s()));
+        for (const uint64_t c : h.coeffs()) w.UintN(c, coeff_bytes);
+      }
+    }
+  }
+  w.Varint(row.cells().size());
+  for (const int c : row.cells()) w.U8(static_cast<uint8_t>(c));
+}
+
+Status DecodeEstimationPayload(ByteReader& r, uint16_t version,
+                               const Gf2Field* field,
+                               std::vector<PolynomialHash>* elided,
+                               std::optional<EstimationSketchRow>* out) {
+  const bool v1 = version == SketchCodec::kFormatV1;
+  std::vector<PolynomialHash> hashes;
+  if (elided != nullptr) {
+    MCF0_CHECK(!v1 && field != nullptr);
+    hashes = std::move(*elided);
+  } else {
+    uint8_t has_hashes = 0;
+    if (!r.U8(&has_hashes)) return Truncated("estimation row");
+    if (has_hashes > 1) {
+      return Status::ParseError("estimation row has a bad hash marker");
+    }
+    if (has_hashes == 1) {
+      if (field == nullptr) {
+        return Status::InvalidArgument(
+            "estimation row carries hashes but no field was supplied");
+      }
+      const uint64_t mask = field->degree() == 64
+                                ? ~0ull
+                                : ((1ull << field->degree()) - 1);
+      const int coeff_bytes = (field->degree() + 7) / 8;
+      uint64_t num_hashes = 0;
+      if (!r.Count(version, &num_hashes)) return Truncated("estimation row");
+      if (num_hashes > r.Remaining() / (v1 ? 4 : 1)) {
+        return Truncated("estimation hashes");
+      }
+      for (uint64_t i = 0; i < num_hashes; ++i) {
+        uint64_t s = 0;
+        if (!r.Count(version, &s)) return Truncated("estimation hashes");
+        if (s < 1) return Status::ParseError("estimation hash needs s >= 1");
+        if (s > r.Remaining() / (v1 ? 8 : 1)) {
+          return Truncated("estimation hashes");
+        }
+        std::vector<uint64_t> coeffs(s);
+        for (auto& c : coeffs) {
+          if (v1 ? !r.U64(&c) : !r.UintN(&c, coeff_bytes)) {
+            return Truncated("estimation hashes");
+          }
+          if ((c & ~mask) != 0) {
+            return Status::ParseError("estimation coefficient outside GF(2^w)");
+          }
+        }
+        hashes.emplace_back(field, std::move(coeffs));
+      }
+    }
+  }
+  uint64_t num_cells = 0;
+  if (!r.Count(version, &num_cells)) return Truncated("estimation cells");
+  if (num_cells < 1) return Status::ParseError("estimation row has no cells");
+  if (!hashes.empty() && hashes.size() != num_cells) {
+    return Status::ParseError("estimation hash/cell count mismatch");
+  }
+  if (num_cells > r.Remaining()) return Truncated("estimation cells");
+  const int max_cell = field != nullptr ? field->degree() : 64;
+  std::vector<int> cells(num_cells);
+  for (auto& cell : cells) {
+    uint8_t v = 0;
+    if (!r.U8(&v)) return Truncated("estimation cells");
+    if (v > max_cell) {
+      return Status::ParseError("estimation cell exceeds the hash width");
+    }
+    cell = v;
+  }
+  out->emplace(hashes.empty() ? nullptr : field, std::move(hashes),
+               std::move(cells));
+  return Status::Ok();
+}
+
+// ---- Flajolet-Martin row --------------------------------------------------
+
+void EncodeFmPayload(ByteWriter& w, const FlajoletMartinRow& row,
+                     uint16_t version, bool embed_hash) {
+  if (version == SketchCodec::kFormatV1) {
+    EncodeAffineHash(w, row.hash(), version);
+    w.U32(static_cast<uint32_t>(row.max_trailing_zeros()));
+    return;
+  }
+  if (embed_hash) EncodeAffineHash(w, row.hash(), version);
+  w.Varint(static_cast<uint64_t>(row.max_trailing_zeros()));
+}
+
+Status DecodeFmPayload(ByteReader& r, uint16_t version,
+                       const AffineHash* elided_hash,
+                       std::optional<FlajoletMartinRow>* out) {
+  const bool v1 = version == SketchCodec::kFormatV1;
+  std::optional<AffineHash> h;
+  if (elided_hash != nullptr) {
+    h = *elided_hash;
+  } else {
+    Status status = DecodeSquareHash(r, version, "FM row", 64, &h);
+    if (!status.ok()) return status;
+  }
+  uint64_t max_tz = 0;
+  if (v1) {
+    uint32_t tz32 = 0;
+    if (!r.U32(&tz32)) return Truncated("FM row");
+    max_tz = tz32;
+  } else if (!r.Varint(&max_tz)) {
+    return Truncated("FM row");
+  }
+  if (max_tz > static_cast<uint64_t>(h->n())) {
+    return Status::ParseError("FM counter exceeds hash width");
+  }
+  out->emplace(*std::move(h), static_cast<int>(max_tz));
+  return Status::Ok();
+}
+
+// ---- canonical-hash eligibility -------------------------------------------
+
+bool HashesMatchCanonicalSample(const F0Estimator& est) {
+  F0RowSampler sampler(est.params());
+  auto same = [](const AffineHash& a, const AffineHash& b) {
+    return a == b && a.RepresentationBits() == b.RepresentationBits();
+  };
+  switch (est.params().algorithm) {
+    case F0Algorithm::kBucketing:
+      for (const auto& row : est.bucketing_rows()) {
+        if (!same(row.hash(), sampler.NextBucketingRow().hash())) return false;
+      }
+      return true;
+    case F0Algorithm::kMinimum:
+      for (const auto& row : est.minimum_rows()) {
+        if (!same(row.hash(), sampler.NextMinimumRow().hash())) return false;
+      }
+      return true;
+    case F0Algorithm::kEstimation:
+      for (size_t i = 0; i < est.estimation_rows().size(); ++i) {
+        const auto [sampled_est, sampled_fm] =
+            sampler.NextEstimationPair(est.field());
+        if (!(est.estimation_rows()[i].hashes() == sampled_est.hashes()) ||
+            !same(est.fm_rows()[i].hash(), sampled_fm.hash())) {
+          return false;
+        }
+      }
+      return true;
+  }
+  return false;
+}
+
+}  // namespace wire
+}  // namespace mcf0

@@ -1,0 +1,237 @@
+/// \file wire.hpp
+/// \brief Wire-level building blocks shared by the sketch codec layers.
+///
+/// This is the engine's *internal* serialization toolkit: byte-exact
+/// little-endian primitives (ByteWriter / ByteReader), the framed header
+/// (WrapFrame / UnwrapFrame / FrameSink), and the per-row payload codecs
+/// for both wire format versions (docs/wire_format.md). Three consumers
+/// build on it and nothing else should:
+///
+///   * `SketchCodec`   — whole-blob encode/decode (sketch_codec.hpp)
+///   * `SketchReader`  — incremental row-at-a-time decode (sketch_reader.hpp)
+///   * `MergeSketchStreams` — bounded-memory reducer merge (sketch_merge.hpp)
+///
+/// Version-1 payloads are frozen: the functions here must keep producing
+/// and accepting the exact bytes the original codec did (the golden-file
+/// compat tests pin this). Version-2 payloads add the compressed
+/// representations: Toeplitz hashes as diagonal seeds, seed-elided hash
+/// state for whole estimators, and delta+varint coded element/value sets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "engine/sketch_codec.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace mcf0 {
+namespace wire {
+
+/// Frame header size in bytes (magic, version, kind, reserved, length,
+/// checksum); see docs/wire_format.md.
+inline constexpr size_t kHeaderBytes = 24;
+
+/// Elided estimator frames make the decoder *sample* thresh hashes of s
+/// coefficients per row from the parameter block alone, so the product is
+/// capped: encoders fall back to embedding past it, and decoders reject
+/// elided frames beyond it instead of allocating gigabytes on behalf of a
+/// 100-byte crafted file. 2^24 coefficients (128 MiB transient per row)
+/// is orders of magnitude above any real configuration (default: 600).
+inline constexpr uint64_t kMaxElidedHashCoeffs = 1ull << 24;
+
+/// FNV-1a-64 over `bytes` — the frame payload checksum.
+uint64_t Fnv1a64(std::string_view bytes);
+
+/// Running FNV-1a-64 state for streaming writers (FrameSink).
+struct Fnv1a64State {
+  uint64_t hash = 14695981039346656037ull;
+  void Update(std::string_view bytes) {
+    for (const char c : bytes) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ull;
+    }
+  }
+};
+
+// ---- primitive little-endian encoding -------------------------------------
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U16(uint16_t v) { Uint(v, 2); }
+  void U32(uint32_t v) { Uint(v, 4); }
+  void U64(uint64_t v) { Uint(v, 8); }
+  void F64(double v);
+
+  /// Unsigned integer in exactly `bytes` little-endian bytes (v2 packed
+  /// field coefficients). Requires v < 2^(8*bytes).
+  void UintN(uint64_t v, int bytes) { Uint(v, bytes); }
+
+  /// LEB128 varint: 7 value bits per byte, low group first, high bit set
+  /// on every byte but the last. Minimal-length by construction.
+  void Varint(uint64_t v);
+
+  /// A count/width field: fixed u32 in v1, varint in v2. Every site that
+  /// writes one goes through here so encoder and decoder can't diverge.
+  void Count(uint16_t version, uint64_t v);
+
+  /// v1 bit-string field: uint32 bit count, then ceil(size/8) bytes,
+  /// MSB-first within each byte (matching the BitVec string order); pad
+  /// bits are zero.
+  void BitVecField(const BitVec& v);
+
+  /// v2 bit-string field: the bytes of BitVecField without the length
+  /// prefix — used where the bit count is implied by context.
+  void RawBits(const BitVec& v);
+
+  std::string Take() { return std::move(out_); }
+  size_t size() const { return out_.size(); }
+
+ private:
+  void Uint(uint64_t v, int bytes);
+
+  std::string out_;
+};
+
+/// Bounds-checked reads; every accessor returns false (without advancing
+/// past the end) on truncation so decoders can fail with a Status instead
+/// of walking off the buffer.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  bool U8(uint8_t* v);
+  bool U16(uint16_t* v) { return Uint(v, 2); }
+  bool U32(uint32_t* v) { return Uint(v, 4); }
+  bool U64(uint64_t* v) { return Uint(v, 8); }
+  bool F64(double* v);
+  bool UintN(uint64_t* v, int bytes) { return Uint(v, bytes); }
+
+  /// Counterpart of ByteWriter::Varint. Rejects non-minimal encodings
+  /// (redundant trailing zero groups) and values beyond 64 bits, so every
+  /// uint64 has exactly one wire representation.
+  bool Varint(uint64_t* v);
+
+  /// Counterpart of ByteWriter::Count: fixed u32 in v1, varint in v2.
+  bool Count(uint16_t version, uint64_t* v);
+
+  /// Counterpart of ByteWriter::BitVecField; rejects nonzero pad bits so
+  /// the encoding of a given vector is unique.
+  bool BitVecField(BitVec* v);
+
+  /// Counterpart of ByteWriter::RawBits for a known bit count; rejects
+  /// nonzero pad bits.
+  bool RawBits(int nbits, BitVec* v);
+
+  size_t Remaining() const { return data_.size() - pos_; }
+  bool Done() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  bool Uint(T* v, int bytes) {
+    if (pos_ + static_cast<size_t>(bytes) > data_.size()) return false;
+    uint64_t out = 0;
+    for (int i = 0; i < bytes; ++i) {
+      out |= static_cast<uint64_t>(static_cast<unsigned char>(data_[pos_ + i]))
+             << (8 * i);
+    }
+    pos_ += bytes;
+    *v = static_cast<T>(out);
+    return true;
+  }
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+Status Truncated(const char* what);
+
+// ---- frame ----------------------------------------------------------------
+
+/// Wraps `payload` in the 24-byte header carrying `version`.
+std::string WrapFrame(SketchFrameKind kind, uint16_t version,
+                      std::string payload);
+
+/// Validates header, kind, length, and checksum; accepts any version the
+/// library reads (v1 and v2) and reports which via `version`.
+Result<std::string_view> UnwrapFrame(std::string_view bytes,
+                                     SketchFrameKind want, uint16_t* version);
+
+/// Incremental frame writer for bounded-memory producers: writes a
+/// placeholder header up front, streams payload chunks while accumulating
+/// length + FNV-1a-64, then patches the header in place on Finish(). The
+/// destination stream must be seekable (a file or stringstream).
+class FrameSink {
+ public:
+  FrameSink(std::ostream* out, SketchFrameKind kind, uint16_t version);
+
+  void Append(std::string_view payload_chunk);
+  /// Seeks back and rewrites the header's length + checksum fields.
+  Status Finish();
+
+  uint64_t payload_bytes() const { return bytes_; }
+
+ private:
+  std::ostream* out_;
+  std::streampos header_pos_;
+  Fnv1a64State fnv_;
+  uint64_t bytes_ = 0;
+  bool finished_ = false;
+};
+
+// ---- payload codecs -------------------------------------------------------
+//
+// Encoders write exactly one canonical byte string per state; decoders
+// validate every field domain. `version` selects the layout. The v2 row
+// codecs take a hash context: when an estimator frame elides hash state
+// ("canonical hashes", mode byte 1), the caller re-derives each row's
+// hashes via F0RowSampler and passes them in; `embed_hash == false` on the
+// encode side skips them symmetrically.
+
+void EncodeAffineHash(ByteWriter& w, const AffineHash& h, uint16_t version);
+Status DecodeAffineHash(ByteReader& r, uint16_t version,
+                        std::optional<AffineHash>* out);
+
+void EncodeParams(ByteWriter& w, const F0Params& p);
+Status DecodeParams(ByteReader& r, F0Params* out);
+
+void EncodeBucketingPayload(ByteWriter& w, const BucketingSketchRow& row,
+                            uint16_t version, bool embed_hash);
+Status DecodeBucketingPayload(ByteReader& r, uint16_t version,
+                              const AffineHash* elided_hash,
+                              std::optional<BucketingSketchRow>* out);
+
+void EncodeMinimumPayload(ByteWriter& w, const MinimumSketchRow& row,
+                          uint16_t version, bool embed_hash);
+Status DecodeMinimumPayload(ByteReader& r, uint16_t version,
+                            const AffineHash* elided_hash,
+                            std::optional<MinimumSketchRow>* out);
+
+void EncodeEstimationPayload(ByteWriter& w, const EstimationSketchRow& row,
+                             uint16_t version, bool embed_hash);
+/// `elided`, when non-null, supplies the replayed hashes and is moved
+/// from (the caller's replay row is a temporary anyway).
+Status DecodeEstimationPayload(ByteReader& r, uint16_t version,
+                               const Gf2Field* field,
+                               std::vector<PolynomialHash>* elided,
+                               std::optional<EstimationSketchRow>* out);
+
+void EncodeFmPayload(ByteWriter& w, const FlajoletMartinRow& row,
+                     uint16_t version, bool embed_hash);
+Status DecodeFmPayload(ByteReader& r, uint16_t version,
+                       const AffineHash* elided_hash,
+                       std::optional<FlajoletMartinRow>* out);
+
+/// True iff every hash in `est` matches what F0RowSampler derives from
+/// `est.params()` — the eligibility test for the v2 seed-elided estimator
+/// encoding. Representation-bit counts are compared too, so SpaceBits()
+/// survives the round trip exactly.
+bool HashesMatchCanonicalSample(const F0Estimator& est);
+
+}  // namespace wire
+}  // namespace mcf0

@@ -64,6 +64,10 @@ class PolynomialHash {
   /// Independence degree s of the family this was drawn from.
   int s() const { return static_cast<int>(coeffs_.size()); }
 
+  /// Degree w of the underlying GF(2^w) — the bit width of every
+  /// coefficient, which the v2 sketch codec uses to pack them.
+  int field_degree() const { return field_->degree(); }
+
   /// Coefficient masks, constant term first — the full sampled state, used
   /// by the sketch codec (src/engine) to serialize Estimation rows.
   const std::vector<uint64_t>& coeffs() const { return coeffs_; }

@@ -48,6 +48,34 @@ AffineHash AffineHash::FromParts(Gf2Matrix a, BitVec b, AffineHashKind kind,
   return AffineHash(std::move(a), std::move(b), kind, repr);
 }
 
+AffineHash AffineHash::FromToeplitzSeed(int n, int m, const BitVec& seed,
+                                        BitVec b, size_t repr_bits) {
+  MCF0_CHECK(n >= 1 && m >= 1);
+  MCF0_CHECK(seed.size() == n + m - 1);
+  return FromParts(ToeplitzMatrix(m, n, seed).ToDense(), std::move(b),
+                   AffineHashKind::kToeplitz, repr_bits);
+}
+
+bool AffineHash::HasToeplitzMatrix() const {
+  // Constant along diagonals: every entry equals its upper-left neighbor.
+  for (int i = 1; i < m(); ++i) {
+    for (int j = 1; j < n(); ++j) {
+      if (a_.Get(i, j) != a_.Get(i - 1, j - 1)) return false;
+    }
+  }
+  return true;
+}
+
+BitVec AffineHash::ToeplitzSeed() const {
+  MCF0_DCHECK(HasToeplitzMatrix());
+  // T[i][j] = seed[i - j + n - 1]: indices [0, n) come from the first row
+  // (right to left), indices [n, n + m - 1) run down the first column.
+  BitVec seed(n() + m() - 1);
+  for (int j = 0; j < n(); ++j) seed.Set(n() - 1 - j, a_.Get(0, j));
+  for (int i = 1; i < m(); ++i) seed.Set(i + n() - 1, a_.Get(i, 0));
+  return seed;
+}
+
 BitVec AffineHash::EvalPrefix(const BitVec& x, int l) const {
   MCF0_CHECK(l >= 0 && l <= m());
   BitVec y(l);

@@ -49,6 +49,23 @@ class AffineHash {
   static AffineHash FromParts(Gf2Matrix a, BitVec b, AffineHashKind kind,
                               size_t repr_bits = 0);
 
+  /// Rebuilds h(x) = A x + b from a Toeplitz diagonal seed of n + m - 1
+  /// bits — the wire-format-v2 reconstruction ctor (docs/wire_format.md):
+  /// a serialized Toeplitz hash ships only its seed and offset, not the
+  /// materialized rows.
+  static AffineHash FromToeplitzSeed(int n, int m, const BitVec& seed,
+                                     BitVec b, size_t repr_bits);
+
+  /// True iff A is constant along its diagonals, i.e. representable by the
+  /// n + m - 1 bit diagonal seed. Always true for SampleToeplitz hashes;
+  /// the sketch codec checks it before seed-encoding a hash whose kind
+  /// merely *claims* Toeplitz (FromParts accepts arbitrary matrices).
+  bool HasToeplitzMatrix() const;
+
+  /// The diagonal seed (first row read right-to-left, then down the first
+  /// column; see gf2/toeplitz.hpp). Requires HasToeplitzMatrix().
+  BitVec ToeplitzSeed() const;
+
   int n() const { return a_.cols(); }
   int m() const { return a_.rows(); }
   AffineHashKind kind() const { return kind_; }

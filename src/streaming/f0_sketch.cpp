@@ -196,7 +196,11 @@ void FlajoletMartinRow::Add(uint64_t x) {
 
 uint64_t F0Thresh(const F0Params& params) {
   if (params.thresh_override > 0) return params.thresh_override;
-  return static_cast<uint64_t>(std::ceil(96.0 / (params.eps * params.eps)));
+  const double thresh = std::ceil(96.0 / (params.eps * params.eps));
+  // Casting past 2^64 is UB; an eps that small is a caller bug (the wire
+  // decoder bounds eps before ever reaching here).
+  MCF0_CHECK(thresh <= 9.0e18);
+  return static_cast<uint64_t>(thresh);
 }
 
 int F0Rows(const F0Params& params) {
@@ -210,30 +214,58 @@ int F0IndependenceS(const F0Params& params) {
       2, static_cast<int>(std::ceil(10.0 * std::log2(1.0 / params.eps))));
 }
 
-F0Estimator::F0Estimator(const F0Params& params) : params_(params) {
+F0RowSampler::F0RowSampler(const F0Params& params)
+    : params_(params), rng_(params.seed) {
+  // Validate before deriving: F0Thresh casts 96/eps^2 to an integer, which
+  // is undefined for eps <= 0, so the checks must run first.
   MCF0_CHECK(params.n >= 1 && params.n <= 64);
   MCF0_CHECK(params.eps > 0 && params.delta > 0 && params.delta < 1);
-  Rng rng(params.seed);
-  const uint64_t thresh = F0Thresh(params);
+  thresh_ = F0Thresh(params);
+  s_ = F0IndependenceS(params);
+}
+
+BucketingSketchRow F0RowSampler::NextBucketingRow() {
+  MCF0_CHECK(params_.algorithm == F0Algorithm::kBucketing);
+  return BucketingSketchRow(params_.n, thresh_, rng_);
+}
+
+MinimumSketchRow F0RowSampler::NextMinimumRow() {
+  MCF0_CHECK(params_.algorithm == F0Algorithm::kMinimum);
+  return MinimumSketchRow(params_.n, thresh_, rng_);
+}
+
+std::pair<EstimationSketchRow, FlajoletMartinRow>
+F0RowSampler::NextEstimationPair(const Gf2Field* field) {
+  MCF0_CHECK(params_.algorithm == F0Algorithm::kEstimation);
+  MCF0_CHECK(field != nullptr && field->degree() == params_.n);
+  // Draw order matches the historical constructor: the Estimation row's
+  // polynomial hashes, then the paired FM row's affine hash. Changing this
+  // order would silently re-key every seed-elided v2 sketch file.
+  EstimationSketchRow est(field, static_cast<int>(thresh_), s_, rng_);
+  FlajoletMartinRow fm(params_.n, rng_);
+  return {std::move(est), std::move(fm)};
+}
+
+F0Estimator::F0Estimator(const F0Params& params) : params_(params) {
+  F0RowSampler sampler(params);
   const int rows = F0Rows(params);
   switch (params.algorithm) {
     case F0Algorithm::kBucketing:
       for (int i = 0; i < rows; ++i) {
-        bucketing_rows_.emplace_back(params.n, thresh, rng);
+        bucketing_rows_.push_back(sampler.NextBucketingRow());
       }
       break;
     case F0Algorithm::kMinimum:
       for (int i = 0; i < rows; ++i) {
-        minimum_rows_.emplace_back(params.n, thresh, rng);
+        minimum_rows_.push_back(sampler.NextMinimumRow());
       }
       break;
     case F0Algorithm::kEstimation: {
       field_ = std::make_unique<Gf2Field>(params.n);
-      const int s = F0IndependenceS(params);
       for (int i = 0; i < rows; ++i) {
-        estimation_rows_.emplace_back(field_.get(), static_cast<int>(thresh),
-                                      s, rng);
-        fm_rows_.emplace_back(params.n, rng);
+        auto [est, fm] = sampler.NextEstimationPair(field_.get());
+        estimation_rows_.push_back(std::move(est));
+        fm_rows_.push_back(std::move(fm));
       }
       break;
     }

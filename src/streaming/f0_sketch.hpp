@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/median.hpp"
+#include "common/rng.hpp"
 #include "gf2/bitvec.hpp"
 #include "hash/gf2_poly.hpp"
 #include "hash/hash_family.hpp"
@@ -139,6 +140,10 @@ class EstimationSketchRow {
 
   const std::vector<int>& cells() const { return cells_; }
   const std::vector<PolynomialHash>& hashes() const { return hashes_; }
+  /// Moves the hash state out of a row being discarded — the v2 decode
+  /// path hands a replayed row's hashes to the row actually decoded
+  /// instead of copying thresh * s coefficients.
+  std::vector<PolynomialHash> TakeHashes() && { return std::move(hashes_); }
   size_t SpaceBits() const;
 
  private:
@@ -203,6 +208,34 @@ int F0Rows(const F0Params& params);
 /// honoring overrides. Shared with the sketch codec so serialized rows
 /// are validated against exactly what the constructor would sample.
 int F0IndependenceS(const F0Params& params);
+
+/// Replays the deterministic hash sampling of `F0Estimator`'s constructor
+/// one row at a time. The constructor itself draws rows through this class,
+/// so the sampling order is defined in exactly one place — which is what
+/// lets the v2 sketch wire format elide hash state entirely ("canonical
+/// hashes", docs/wire_format.md): a decoder re-derives every hash from
+/// `params.seed` by replaying the same draws, row by row, without holding
+/// more than one row's hashes in memory.
+class F0RowSampler {
+ public:
+  explicit F0RowSampler(const F0Params& params);
+
+  /// Fresh (empty) rows with the next sampled hash state. Which getter is
+  /// valid follows params.algorithm; Estimation draws interleave one
+  /// Estimation row and one FM row per driver row, in that order.
+  BucketingSketchRow NextBucketingRow();
+  MinimumSketchRow NextMinimumRow();
+  /// `field` supplies GF(2^n) arithmetic for the row's hashes and must
+  /// outlive the returned row.
+  std::pair<EstimationSketchRow, FlajoletMartinRow> NextEstimationPair(
+      const Gf2Field* field);
+
+ private:
+  F0Params params_;
+  uint64_t thresh_ = 0;
+  int s_ = 0;
+  Rng rng_;
+};
 
 /// The ComputeF0 driver: t independent rows of the chosen sketch, median
 /// of row estimates. For Estimation, FM rows run in parallel to supply r

@@ -5,10 +5,12 @@
 
 #include <sys/wait.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <vector>
 
 namespace mcf0 {
 namespace {
@@ -91,6 +93,13 @@ TEST(CliTest, HelpAndUsageErrors) {
   EXPECT_EQ(RunCli("help").exit_code, 0);
   EXPECT_EQ(RunCli("frobnicate 2>/dev/null").exit_code, 2);
   EXPECT_EQ(RunCli("count 2>/dev/null").exit_code, 2);  // missing input
+  // Tiny, NaN, or infinite eps/delta would abort via library CHECKs (or
+  // overflow the Thresh formula); the flag bounds must turn every one of
+  // them into a clean usage error.
+  EXPECT_EQ(RunCli("f0 --eps 1e-10 - < /dev/null 2>/dev/null").exit_code, 2);
+  EXPECT_EQ(RunCli("f0 --eps nan - < /dev/null 2>/dev/null").exit_code, 2);
+  EXPECT_EQ(RunCli("f0 --eps inf - < /dev/null 2>/dev/null").exit_code, 2);
+  EXPECT_EQ(RunCli("f0 --delta nan - < /dev/null 2>/dev/null").exit_code, 2);
 }
 
 TEST(CliTest, F0ExactRegimeCountsDistinct) {
@@ -245,7 +254,9 @@ TEST(CliTest, SketchMapReduceMatchesSinglePassF0) {
     EXPECT_DOUBLE_EQ(JsonNumber(query_out.stdout_text, "estimate"),
                      single_pass)
         << algo;
-    if (algo == "minimum") EXPECT_DOUBLE_EQ(single_pass, 120.0);
+    if (algo == "minimum") {
+      EXPECT_DOUBLE_EQ(single_pass, 120.0);
+    }
   }
 }
 
@@ -276,6 +287,96 @@ TEST(CliTest, SketchShardedBuildMatchesSerialBuild) {
       std::istreambuf_iterator<char>());
   EXPECT_FALSE(serial_bytes.empty());
   EXPECT_EQ(serial_bytes, sharded_bytes);
+}
+
+TEST(CliTest, SketchMerge32ShardsIsByteIdenticalToSinglePass) {
+  // The reducer contract end to end: build 32 shard sketches, stream-merge
+  // them (`sketch merge` folds row by row, so its memory stays bounded by
+  // one row no matter the shard count), and the merged file must be
+  // byte-identical to a single-pass build over the whole stream. Covered
+  // for both wire formats via --format.
+  constexpr int kShards = 32;
+  std::vector<std::string> shard_streams(kShards);
+  std::string full;
+  for (int i = 0; i < 600; ++i) {
+    const std::string line = std::to_string((i * 2654435761ull) % 50021) +
+                             "\n";
+    shard_streams[i % kShards] += line;
+    full += line;
+  }
+  const std::string dir = testing::TempDir();
+  const std::string path_full = WriteFixture("merge32_full.txt", full);
+
+  auto read_bytes = [](const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  };
+
+  for (const std::string format : {"v1", "v2"}) {
+    const std::string common = " --seed 9 --format " + format + " ";
+    std::string inputs;
+    for (int s = 0; s < kShards; ++s) {
+      const std::string stream_path = WriteFixture(
+          "merge32_" + format + "_" + std::to_string(s) + ".txt",
+          shard_streams[s]);
+      const std::string sketch_path =
+          dir + "/merge32_" + format + "_" + std::to_string(s) + ".mcf0";
+      ASSERT_EQ(RunCli("sketch build" + common + "--out " + sketch_path +
+                       " " + stream_path)
+                    .exit_code,
+                0);
+      inputs += " " + sketch_path;
+    }
+    const std::string single = dir + "/merge32_single_" + format + ".mcf0";
+    ASSERT_EQ(RunCli("sketch build" + common + "--out " + single + " " +
+                     path_full)
+                  .exit_code,
+              0);
+    const std::string merged = dir + "/merge32_merged_" + format + ".mcf0";
+    const RunOutput merge_out =
+        RunCli("sketch merge" + common + "--out " + merged + inputs);
+    ASSERT_EQ(merge_out.exit_code, 0) << merge_out.stdout_text;
+    EXPECT_EQ(JsonNumber(merge_out.stdout_text, "inputs"), kShards);
+
+    const std::string single_bytes = read_bytes(single);
+    EXPECT_FALSE(single_bytes.empty());
+    EXPECT_EQ(read_bytes(merged), single_bytes) << "format " << format;
+  }
+}
+
+TEST(CliTest, SketchFormatFlagSelectsWireVersion) {
+  const std::string path = WriteFixture("fmt.txt", "1 2 3 4 5\n");
+  const std::string dir = testing::TempDir();
+  const std::string v1 = dir + "/fmt_v1.mcf0";
+  const std::string v2 = dir + "/fmt_v2.mcf0";
+  const RunOutput b1 =
+      RunCli("sketch build --format v1 --out " + v1 + " " + path);
+  ASSERT_EQ(b1.exit_code, 0) << b1.stdout_text;
+  EXPECT_EQ(JsonNumber(b1.stdout_text, "format"), 1.0);
+  const RunOutput b2 = RunCli("sketch build --out " + v2 + " " + path);
+  ASSERT_EQ(b2.exit_code, 0) << b2.stdout_text;
+  EXPECT_EQ(JsonNumber(b2.stdout_text, "format"), 2.0);
+
+  // query reports the version it found and answers identically for both.
+  const RunOutput q1 = RunCli("sketch query " + v1);
+  const RunOutput q2 = RunCli("sketch query " + v2);
+  ASSERT_EQ(q1.exit_code, 0);
+  ASSERT_EQ(q2.exit_code, 0);
+  EXPECT_EQ(JsonNumber(q1.stdout_text, "format"), 1.0);
+  EXPECT_EQ(JsonNumber(q2.stdout_text, "format"), 2.0);
+  EXPECT_DOUBLE_EQ(JsonNumber(q1.stdout_text, "estimate"),
+                   JsonNumber(q2.stdout_text, "estimate"));
+
+  // Both versions merge together.
+  const std::string mixed = dir + "/fmt_mixed.mcf0";
+  EXPECT_EQ(RunCli("sketch merge --out " + mixed + " " + v1 + " " + v2)
+                .exit_code,
+            0);
+  EXPECT_EQ(
+      RunCli("sketch build --format v3 --out x.mcf0 " + path + " 2>/dev/null")
+          .exit_code,
+      2);
 }
 
 TEST(CliTest, SketchUsageAndDecodeErrors) {

@@ -7,6 +7,9 @@
 // byte equality is sketch-state equality.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -14,6 +17,8 @@
 #include "engine/sharded_engine.hpp"
 #include "engine/sketch_codec.hpp"
 #include "engine/sketch_merge.hpp"
+#include "engine/sketch_reader.hpp"
+#include "engine/wire.hpp"
 #include "streaming/f0_sketch.hpp"
 
 namespace mcf0 {
@@ -21,6 +26,9 @@ namespace {
 
 constexpr F0Algorithm kAllAlgorithms[] = {
     F0Algorithm::kBucketing, F0Algorithm::kMinimum, F0Algorithm::kEstimation};
+
+constexpr uint16_t kBothVersions[] = {SketchCodec::kFormatV1,
+                                      SketchCodec::kFormatV2};
 
 // Small overrides keep every test fast while still exercising the
 // saturated regime (thresh 20 << the default 150).
@@ -54,29 +62,32 @@ F0Estimator Clone(const F0Estimator& est) {
 
 // ---- codec ----------------------------------------------------------------
 
-TEST(SketchCodecTest, RoundTripsEstimatorForAllAlgorithms) {
+TEST(SketchCodecTest, RoundTripsEstimatorForAllAlgorithmsAndVersions) {
   for (const F0Algorithm algorithm : kAllAlgorithms) {
-    const F0Params params = SmallParams(algorithm);
-    F0Estimator original(params);
-    for (const uint64_t x : RandomStream(500, 300, 11)) original.Add(x);
+    for (const uint16_t version : kBothVersions) {
+      const F0Params params = SmallParams(algorithm);
+      F0Estimator original(params);
+      for (const uint64_t x : RandomStream(500, 300, 11)) original.Add(x);
 
-    const std::string blob = SketchCodec::Encode(original);
-    Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(blob);
-    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
-    EXPECT_TRUE(decoded.value().params() == params);
-    EXPECT_DOUBLE_EQ(decoded.value().Estimate(), original.Estimate());
-    EXPECT_EQ(decoded.value().SpaceBits(), original.SpaceBits());
-    // Canonical encoding: re-encoding the decoded sketch is byte-identical.
-    EXPECT_EQ(SketchCodec::Encode(decoded.value()), blob);
+      const std::string blob = SketchCodec::Encode(original, version);
+      Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(blob);
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      EXPECT_TRUE(decoded.value().params() == params);
+      EXPECT_DOUBLE_EQ(decoded.value().Estimate(), original.Estimate());
+      EXPECT_EQ(decoded.value().SpaceBits(), original.SpaceBits());
+      // Canonical per version: re-encoding the decoded sketch is
+      // byte-identical.
+      EXPECT_EQ(SketchCodec::Encode(decoded.value(), version), blob);
 
-    // The decoded sketch is live, not a snapshot: hash state round-tripped,
-    // so absorbing more elements tracks the original exactly.
-    F0Estimator revived = std::move(decoded).value();
-    for (const uint64_t x : RandomStream(200, 600, 12)) {
-      original.Add(x);
-      revived.Add(x);
+      // The decoded sketch is live, not a snapshot: hash state
+      // round-tripped, so absorbing more elements tracks the original.
+      F0Estimator revived = std::move(decoded).value();
+      for (const uint64_t x : RandomStream(200, 600, 12)) {
+        original.Add(x);
+        revived.Add(x);
+      }
+      EXPECT_EQ(SketchCodec::Encode(revived), SketchCodec::Encode(original));
     }
-    EXPECT_EQ(SketchCodec::Encode(revived), SketchCodec::Encode(original));
   }
 }
 
@@ -126,30 +137,35 @@ TEST(SketchCodecTest, RoundTripsIndividualRows) {
 }
 
 TEST(SketchCodecTest, RejectsTruncationAtEveryPrefixLength) {
-  F0Estimator est(SmallParams(F0Algorithm::kMinimum));
-  for (const uint64_t x : RandomStream(200, 100, 5)) est.Add(x);
-  const std::string blob = SketchCodec::Encode(est);
-  for (size_t len = 0; len < blob.size(); ++len) {
-    Result<F0Estimator> decoded =
-        SketchCodec::DecodeF0Estimator(std::string_view(blob).substr(0, len));
-    EXPECT_FALSE(decoded.ok()) << "prefix of length " << len << " decoded";
+  for (const uint16_t version : kBothVersions) {
+    F0Estimator est(SmallParams(F0Algorithm::kMinimum));
+    for (const uint64_t x : RandomStream(200, 100, 5)) est.Add(x);
+    const std::string blob = SketchCodec::Encode(est, version);
+    for (size_t len = 0; len < blob.size(); ++len) {
+      Result<F0Estimator> decoded =
+          SketchCodec::DecodeF0Estimator(std::string_view(blob).substr(0, len));
+      EXPECT_FALSE(decoded.ok())
+          << "v" << version << " prefix of length " << len << " decoded";
+    }
   }
 }
 
 TEST(SketchCodecTest, RejectsCorruptedBytes) {
-  F0Estimator est(SmallParams(F0Algorithm::kBucketing));
-  for (const uint64_t x : RandomStream(300, 200, 6)) est.Add(x);
-  const std::string blob = SketchCodec::Encode(est);
-  // Every single-byte corruption must be caught — header fields by their
-  // own validation, payload bytes by the checksum.
-  for (size_t pos = 0; pos < blob.size(); pos += 7) {
-    std::string corrupt = blob;
-    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x2a);
-    EXPECT_FALSE(SketchCodec::DecodeF0Estimator(corrupt).ok())
-        << "flip at byte " << pos << " decoded";
+  for (const uint16_t version : kBothVersions) {
+    F0Estimator est(SmallParams(F0Algorithm::kBucketing));
+    for (const uint64_t x : RandomStream(300, 200, 6)) est.Add(x);
+    const std::string blob = SketchCodec::Encode(est, version);
+    // Every single-byte corruption must be caught — header fields by their
+    // own validation, payload bytes by the checksum.
+    for (size_t pos = 0; pos < blob.size(); pos += 7) {
+      std::string corrupt = blob;
+      corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x2a);
+      EXPECT_FALSE(SketchCodec::DecodeF0Estimator(corrupt).ok())
+          << "v" << version << " flip at byte " << pos << " decoded";
+    }
+    // Trailing garbage is not silently ignored either.
+    EXPECT_FALSE(SketchCodec::DecodeF0Estimator(blob + "x").ok());
   }
-  // Trailing garbage is not silently ignored either.
-  EXPECT_FALSE(SketchCodec::DecodeF0Estimator(blob + "x").ok());
 }
 
 TEST(SketchCodecTest, RejectsStructurallyInvalidRowState) {
@@ -195,9 +211,10 @@ TEST(SketchCodecTest, RejectsStructurallyInvalidRowState) {
 TEST(SketchCodecTest, RejectsHugeRowCountWithoutAllocating) {
   // A tiny file whose parameters promise INT_MAX rows must be a clean
   // Status error, not a std::bad_alloc abort from a huge reserve().
-  const std::string blob =
-      SketchCodec::Encode(F0Estimator(SmallParams(F0Algorithm::kBucketing)));
-  // Payload layout (docs/wire_format.md): algorithm u8, n u8, eps f64,
+  const std::string blob = SketchCodec::Encode(
+      F0Estimator(SmallParams(F0Algorithm::kBucketing)),
+      SketchCodec::kFormatV1);
+  // v1 payload layout (docs/wire_format.md): algorithm u8, n u8, eps f64,
   // delta f64, seed u64, thresh_override u64, rows_override u32,
   // s_override u32, row count u32.
   constexpr size_t kHeader = 24;
@@ -208,20 +225,23 @@ TEST(SketchCodecTest, RejectsHugeRowCountWithoutAllocating) {
     payload[kRowsOverrideOff + i] = static_cast<char>(i == 3 ? 0x7f : 0xff);
     payload[kRowCountOff + i] = static_cast<char>(i == 3 ? 0x7f : 0xff);
   }
-  std::string evil = blob.substr(0, kHeader) + payload;
-  // Rewrite the header's payload length and FNV-1a-64 checksum.
-  uint64_t length = payload.size();
-  uint64_t checksum = 14695981039346656037ull;
-  for (const char c : payload) {
-    checksum ^= static_cast<unsigned char>(c);
-    checksum *= 1099511628211ull;
-  }
-  for (int i = 0; i < 8; ++i) {
-    evil[8 + i] = static_cast<char>((length >> (8 * i)) & 0xff);
-    evil[16 + i] = static_cast<char>((checksum >> (8 * i)) & 0xff);
-  }
-  Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(evil);
-  EXPECT_FALSE(decoded.ok());
+  EXPECT_FALSE(SketchCodec::DecodeF0Estimator(
+                   wire::WrapFrame(SketchFrameKind::kF0Estimator,
+                                   SketchCodec::kFormatV1, payload))
+                   .ok());
+
+  // Same attack against the v2 layout: params block, hash-mode byte, then
+  // a varint row count claiming 2^31 - 1 rows.
+  wire::ByteWriter w;
+  F0Params huge = SmallParams(F0Algorithm::kBucketing);
+  huge.rows_override = 0x7fffffff;
+  wire::EncodeParams(w, huge);
+  w.U8(1);  // canonical hashes — nothing else needed per row
+  w.Varint(0x7fffffffull);
+  EXPECT_FALSE(SketchCodec::DecodeF0Estimator(
+                   wire::WrapFrame(SketchFrameKind::kF0Estimator,
+                                   SketchCodec::kFormatV2, w.Take()))
+                   .ok());
 }
 
 TEST(SketchCodecTest, RejectsMismatchedFrameKind) {
@@ -231,6 +251,367 @@ TEST(SketchCodecTest, RejectsMismatchedFrameKind) {
   EXPECT_FALSE(SketchCodec::DecodeBucketingRow(blob).ok());
   EXPECT_FALSE(SketchCodec::DecodeF0Estimator(blob).ok());
   EXPECT_TRUE(SketchCodec::DecodeMinimumRow(blob).ok());
+}
+
+// ---- v2 wire format -------------------------------------------------------
+
+TEST(SketchCodecTest, V2IsDramaticallySmallerThanV1) {
+  // The headline property of the version bump: seed-compressed hashes +
+  // delta-coded sets. Exact ratios are benchmarked (E18); here just pin
+  // that every algorithm shrinks by a wide margin.
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    F0Estimator est(SmallParams(algorithm));
+    for (const uint64_t x : RandomStream(600, 400, 77)) est.Add(x);
+    const size_t v1 = SketchCodec::Encode(est, SketchCodec::kFormatV1).size();
+    const size_t v2 = SketchCodec::Encode(est, SketchCodec::kFormatV2).size();
+    EXPECT_LT(v2 * 2, v1) << "algorithm " << static_cast<int>(algorithm);
+  }
+}
+
+TEST(SketchCodecTest, VarintEdgeCases) {
+  // Round-trip the boundary values, including the 10-byte encoding of
+  // 2^64 - 1, and reject the two malformed shapes: non-minimal encodings
+  // (a redundant trailing zero group) and >64-bit values.
+  for (const uint64_t v : {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+                           ~0ull >> 1, ~0ull}) {
+    wire::ByteWriter w;
+    w.Varint(v);
+    const std::string bytes = w.Take();
+    wire::ByteReader r(bytes);
+    uint64_t back = 0;
+    ASSERT_TRUE(r.Varint(&back));
+    EXPECT_EQ(back, v);
+    EXPECT_TRUE(r.Done());
+  }
+  {
+    wire::ByteReader r(std::string_view("\x80\x00", 2));  // non-minimal 0
+    uint64_t v = 0;
+    EXPECT_FALSE(r.Varint(&v));
+  }
+  {
+    // 2^64: continuation into an 11th byte / overflow group.
+    const char overflow[] = {'\x80', '\x80', '\x80', '\x80', '\x80', '\x80',
+                             '\x80', '\x80', '\x80', '\x02'};
+    wire::ByteReader r(std::string_view(overflow, sizeof(overflow)));
+    uint64_t v = 0;
+    EXPECT_FALSE(r.Varint(&v));
+  }
+  {
+    wire::ByteReader r(std::string_view("\xff", 1));  // truncated
+    uint64_t v = 0;
+    EXPECT_FALSE(r.Varint(&v));
+    uint8_t byte = 0;  // the failed read must not consume anything
+    EXPECT_TRUE(r.U8(&byte));
+  }
+}
+
+TEST(SketchCodecTest, V2DeltaSetEdgeCases) {
+  Rng rng(19);
+  // Empty KMV set: a fresh Minimum row round-trips with zero values.
+  const MinimumSketchRow empty(16, 8, rng);
+  for (const uint16_t version : kBothVersions) {
+    Result<MinimumSketchRow> decoded =
+        SketchCodec::DecodeMinimumRow(SketchCodec::Encode(empty, version));
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_TRUE(decoded.value().values().empty());
+  }
+
+  // Max-width universe: n = 64 elements at both ends of the range force
+  // 10-byte varints and the unsigned-overflow guards in the delta sums.
+  BucketingSketchRow wide(64, 8, rng);
+  for (const uint64_t x : {0ull, 1ull, ~0ull, ~0ull - 1, 1ull << 63}) {
+    wide.Add(x);
+  }
+  Result<BucketingSketchRow> wide_back =
+      SketchCodec::DecodeBucketingRow(SketchCodec::Encode(wide));
+  ASSERT_TRUE(wide_back.ok()) << wide_back.status().ToString();
+  EXPECT_EQ(SketchCodec::Encode(wide_back.value()), SketchCodec::Encode(wide));
+
+  // A crafted delta chain that wraps past 2^64 must be rejected, not
+  // wrapped: first element 2^64 - 1, then any further gap overflows.
+  wire::ByteWriter w;
+  wire::EncodeAffineHash(w, wide.hash(), SketchCodec::kFormatV2);
+  w.Varint(8);   // thresh
+  w.Varint(0);   // level (elements stay unfiltered)
+  w.Varint(2);   // count
+  w.Varint(~0ull);  // first element = 2^64 - 1
+  w.Varint(0);      // gap - 1 = 0 -> next element would be 2^64
+  EXPECT_FALSE(SketchCodec::DecodeBucketingRow(
+                   wire::WrapFrame(SketchFrameKind::kBucketingRow,
+                                   SketchCodec::kFormatV2, w.Take()))
+                   .ok());
+
+  // Elements above 2^n round-trip: ingestion stores the raw 64-bit word
+  // (only its hash is n-bit), v1 shipped raw U64s, and v2 must keep every
+  // sketch the library builds readable. Regression: `mcf0 sketch build
+  // --algo bucketing --n 8` on a stream containing 300 used to produce a
+  // default-format file the library then refused to decode.
+  BucketingSketchRow raw_word(8, 8, rng);
+  for (const uint64_t x : {300ull, 5ull, 7ull, (1ull << 40) + 3}) {
+    raw_word.Add(x);
+  }
+  Result<BucketingSketchRow> raw_back =
+      SketchCodec::DecodeBucketingRow(SketchCodec::Encode(raw_word));
+  ASSERT_TRUE(raw_back.ok()) << raw_back.status().ToString();
+  EXPECT_EQ(SketchCodec::Encode(raw_back.value()),
+            SketchCodec::Encode(raw_word));
+}
+
+TEST(SketchCodecTest, V2RejectsAmplifiedSeedHashWithoutAllocating) {
+  // A seed-coded Toeplitz hash densifies to an m x n matrix from
+  // n + m - 1 bits — quadratic amplification — so the decoder must bound
+  // the dimensions *before* materializing (a clean Status, never a
+  // std::bad_alloc abort). No canonical encoder emits seeds past
+  // n = 64 / m = 4096.
+  for (const auto& [n, m] : {std::pair<uint64_t, uint64_t>{65, 65},
+                             std::pair<uint64_t, uint64_t>{64, 8192}}) {
+    wire::ByteWriter w;
+    w.U8(0);  // kind Toeplitz
+    w.Varint(n);
+    w.Varint(m);
+    w.Varint(n + m);  // repr bits
+    w.U8(1);          // seed-coded
+    w.RawBits(BitVec(static_cast<int>(m)));          // offset b
+    w.RawBits(BitVec(static_cast<int>(n + m - 1)));  // diagonal seed
+    w.Varint(8);  // thresh
+    w.Varint(0);  // value count
+    w.U8(1);      // preimage-coded (empty)
+    EXPECT_FALSE(SketchCodec::DecodeMinimumRow(
+                     wire::WrapFrame(SketchFrameKind::kMinimumRow,
+                                     SketchCodec::kFormatV2, w.Take()))
+                     .ok())
+        << n << "x" << m;
+  }
+}
+
+TEST(SketchCodecTest, V2KmvFallsBackWhenValuesHaveNoPreimage) {
+  // AddHashed can insert values outside the hash's image (the §4/§5
+  // protocols ship raw hash outputs; a hostile or exotic caller could ship
+  // anything). Those rows still round-trip — via the explicit sorted-value
+  // encoding — and re-encode canonically.
+  Rng rng(23);
+  MinimumSketchRow row(8, 4, rng);
+  row.Add(3);
+  // A value certainly outside the image: flip a bit of a real hash output
+  // until insertion keeps it (thresh has room), then check the codec.
+  BitVec alien = BitVec::Ones(row.output_bits());
+  row.AddHashed(alien);
+  const std::string blob = SketchCodec::Encode(row, SketchCodec::kFormatV2);
+  Result<MinimumSketchRow> decoded = SketchCodec::DecodeMinimumRow(blob);
+  if (decoded.ok()) {
+    EXPECT_EQ(decoded.value().values(), row.values());
+    EXPECT_EQ(SketchCodec::Encode(decoded.value(), SketchCodec::kFormatV2),
+              blob);
+  } else {
+    // Only acceptable failure: `alien` happened to lie in the hash image
+    // after all (a 24-bit hash of an 8-bit universe misses it with
+    // overwhelming probability, so treat this as a real failure).
+    FAIL() << decoded.status().ToString();
+  }
+}
+
+TEST(SketchCodecTest, V2ToeplitzKindWithDenseMatrixStillRoundTrips) {
+  // FromParts can claim kToeplitz for a matrix that is not Toeplitz; the
+  // v2 encoder must detect that and embed dense rows instead of lying
+  // with a seed.
+  Rng rng(29);
+  const AffineHash fake = AffineHash::FromParts(
+      Gf2Matrix::Random(24, 8, rng), BitVec::Random(24, rng),
+      AffineHashKind::kToeplitz);
+  ASSERT_FALSE(fake.HasToeplitzMatrix());
+  MinimumSketchRow row(fake, 4);
+  row.Add(77);
+  Result<MinimumSketchRow> decoded = SketchCodec::DecodeMinimumRow(
+      SketchCodec::Encode(row, SketchCodec::kFormatV2));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_TRUE(decoded.value().hash() == fake);
+  EXPECT_EQ(decoded.value().values(), row.values());
+}
+
+TEST(SketchCodecTest, V2EmbedsHashesWhenTheyAreNotCanonical) {
+  // An estimator whose rows were assembled out of order no longer matches
+  // the canonical F0RowSampler draws; v2 must embed the hash state (and
+  // still round-trip exactly) rather than elide it.
+  const F0Params params = SmallParams(F0Algorithm::kMinimum);
+  F0Estimator built(params);
+  for (const uint64_t x : RandomStream(300, 200, 31)) built.Add(x);
+  std::vector<MinimumSketchRow> rows = built.minimum_rows();
+  std::swap(rows[0], rows[1]);
+  F0Estimator shuffled = F0Estimator::FromRows(params, nullptr, {},
+                                               std::move(rows), {}, {});
+
+  const std::string canonical = SketchCodec::Encode(built);
+  const std::string embedded = SketchCodec::Encode(shuffled);
+  // Embedded hashes still seed-compress, but they cost real bytes.
+  EXPECT_GT(embedded.size(), canonical.size());
+
+  Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(embedded);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(SketchCodec::Encode(decoded.value()), embedded);
+  EXPECT_DOUBLE_EQ(decoded.value().Estimate(), shuffled.Estimate());
+}
+
+TEST(SketchCodecTest, RejectsHostileParameterBlocksWithoutSampling) {
+  // The v2 elided path derives hash state from the parameter block, so
+  // params that would drive huge sampling allocations (or UB casts) must
+  // be rejected by validation — a clean Status, never an abort. Craft
+  // them by patching a genuine elided estimation frame's params bytes and
+  // re-wrapping with a fresh checksum.
+  F0Estimator est(SmallParams(F0Algorithm::kEstimation));
+  for (const uint64_t x : RandomStream(200, 150, 97)) est.Add(x);
+  const std::string blob = SketchCodec::Encode(est);
+  std::string payload(std::string_view(blob).substr(24));
+  // Params layout: algorithm u8, n u8, eps f64, delta f64, seed u64,
+  // thresh_override u64 at offset 26, rows_override u32, s_override u32.
+  constexpr size_t kEpsOff = 2;
+  constexpr size_t kThreshOverrideOff = 26;
+  constexpr size_t kSOverrideOff = 38;
+
+  {
+    std::string evil = payload;  // thresh_override = 2^33
+    for (int i = 0; i < 8; ++i) evil[kThreshOverrideOff + i] = '\0';
+    evil[kThreshOverrideOff + 4] = 2;
+    Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(
+        wire::WrapFrame(SketchFrameKind::kF0Estimator,
+                        SketchCodec::kFormatV2, evil));
+    EXPECT_FALSE(decoded.ok());
+  }
+  {
+    // s_override = INT_MAX: the elided replay would sample thresh * s
+    // coefficients per row, so the thresh * s cap must refuse the frame.
+    std::string evil = payload;
+    for (int i = 0; i < 4; ++i) {
+      evil[kSOverrideOff + i] = static_cast<char>(i == 3 ? 0x7f : 0xff);
+    }
+    Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(
+        wire::WrapFrame(SketchFrameKind::kF0Estimator,
+                        SketchCodec::kFormatV2, evil));
+    EXPECT_FALSE(decoded.ok());
+  }
+  {
+    // eps = 1e-12 with no thresh override: F0Thresh's 96/eps^2 cast would
+    // overflow uint64, so the parameter block itself must be refused.
+    // (With an explicit override the formula never runs and tiny eps
+    // stays legal — old v1 files relied on that.)
+    std::string evil = payload;
+    const uint64_t tiny = std::bit_cast<uint64_t>(1e-12);
+    for (int i = 0; i < 8; ++i) {
+      evil[kEpsOff + i] = static_cast<char>((tiny >> (8 * i)) & 0xff);
+      evil[kThreshOverrideOff + i] = '\0';
+    }
+    Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(
+        wire::WrapFrame(SketchFrameKind::kF0Estimator,
+                        SketchCodec::kFormatV2, evil));
+    EXPECT_FALSE(decoded.ok());
+  }
+}
+
+// ---- streaming reader + merge ---------------------------------------------
+
+TEST(SketchReaderTest, YieldsEveryRowInLayoutOrder) {
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    for (const uint16_t version : kBothVersions) {
+      F0Estimator est(SmallParams(algorithm));
+      for (const uint64_t x : RandomStream(400, 250, 91)) est.Add(x);
+      const std::string blob = SketchCodec::Encode(est, version);
+
+      auto opened = SketchReader::Open(blob);
+      ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+      SketchReader reader = std::move(opened).value();
+      EXPECT_TRUE(reader.params() == est.params());
+      EXPECT_EQ(reader.version(), version);
+      const int expected_units =
+          algorithm == F0Algorithm::kEstimation
+              ? 2 * F0Rows(est.params())
+              : F0Rows(est.params());
+      EXPECT_EQ(reader.num_units(), expected_units);
+      int units = 0;
+      while (!reader.AtEnd()) {
+        auto unit = reader.Next();
+        ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+        ++units;
+      }
+      EXPECT_EQ(units, expected_units);
+    }
+  }
+}
+
+TEST(SketchMergeTest, StreamingMergeIsByteIdenticalAndBoundedBy32Inputs) {
+  // The reducer contract: folding 32 shard frames row by row produces the
+  // exact bytes of a single-pass sketch, while never holding more than
+  // the accumulator row plus one in-flight row.
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    const F0Params params = SmallParams(algorithm);
+    const std::vector<uint64_t> xs = RandomStream(1600, 700, 93);
+
+    F0Estimator single(params);
+    for (const uint64_t x : xs) single.Add(x);
+
+    constexpr int kShards = 32;
+    std::vector<std::string> blobs;
+    for (int s = 0; s < kShards; ++s) {
+      F0Estimator shard(params);
+      for (size_t i = s; i < xs.size(); i += kShards) shard.Add(xs[i]);
+      blobs.push_back(SketchCodec::Encode(shard));
+    }
+
+    std::stringstream out;
+    const std::vector<std::string_view> views(blobs.begin(), blobs.end());
+    auto stats = MergeSketchStreams(views, SketchCodec::kFormatV2, out);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_EQ(out.str(), SketchCodec::Encode(single));
+    EXPECT_LE(stats.value().max_resident_units, 2);
+    EXPECT_EQ(stats.value().units,
+              algorithm == F0Algorithm::kEstimation ? 2 * F0Rows(params)
+                                                    : F0Rows(params));
+  }
+}
+
+TEST(SketchMergeTest, StreamingMergeMixesWireVersions) {
+  // v1 shard + v2 shard -> v2 output. The v1 input embeds its hashes, so
+  // the merged frame conservatively embeds too (elision requires *every*
+  // input to attest canonical hashes); the merged *state* still equals
+  // the single-pass sketch exactly.
+  const F0Params params = SmallParams(F0Algorithm::kBucketing);
+  const std::vector<uint64_t> xs = RandomStream(900, 400, 95);
+  F0Estimator single(params);
+  F0Estimator a(params);
+  F0Estimator b(params);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    single.Add(xs[i]);
+    (i % 2 == 0 ? a : b).Add(xs[i]);
+  }
+  const std::string blob_a = SketchCodec::Encode(a, SketchCodec::kFormatV1);
+  const std::string blob_b = SketchCodec::Encode(b, SketchCodec::kFormatV2);
+  std::stringstream out;
+  auto stats =
+      MergeSketchStreams({blob_a, blob_b}, SketchCodec::kFormatV2, out);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(out.str());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(SketchCodec::Encode(decoded.value()), SketchCodec::Encode(single));
+
+  // All-v2 inputs keep the bit-identical elided fast path.
+  std::stringstream out2;
+  auto stats2 = MergeSketchStreams({SketchCodec::Encode(a),
+                                    SketchCodec::Encode(b)},
+                                   SketchCodec::kFormatV2, out2);
+  ASSERT_TRUE(stats2.ok()) << stats2.status().ToString();
+  EXPECT_EQ(out2.str(), SketchCodec::Encode(single));
+}
+
+TEST(SketchMergeTest, StreamingMergeRejectsMismatchedInputs) {
+  F0Estimator seed7(SmallParams(F0Algorithm::kMinimum, 7));
+  F0Estimator seed8(SmallParams(F0Algorithm::kMinimum, 8));
+  const std::string blob7 = SketchCodec::Encode(seed7);
+  const std::string blob8 = SketchCodec::Encode(seed8);
+  std::stringstream out;
+  EXPECT_FALSE(
+      MergeSketchStreams({blob7, blob8}, SketchCodec::kFormatV2, out).ok());
+  std::stringstream out2;
+  EXPECT_FALSE(MergeSketchStreams({blob7, std::string_view("garbage")},
+                                  SketchCodec::kFormatV2, out2)
+                   .ok());
 }
 
 // ---- merge algebra --------------------------------------------------------

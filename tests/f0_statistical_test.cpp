@@ -1,0 +1,102 @@
+// Statistical acceptance harness for the (eps, delta) guarantee, run
+// through the wire format: at each setting we build sketches over streams
+// with known F0 using the paper's own parameter formulas (Thresh =
+// ceil(96 / eps^2), t = ceil(35 log2(1/delta)) — no overrides), round
+// every sketch through the v1 *and* v2 codecs, and tally how often the
+// relative error exceeds eps across >= 200 independently seeded trials.
+// The paper promises failure probability <= delta; with its generous
+// constants the true rate sits far below that, so asserting
+// failures <= delta * trials is robust against binomial noise while still
+// catching any compression bug that nudges estimates.
+//
+// Both codec versions must also agree with the in-memory estimator
+// *exactly* (the codec is lossless), so the statistical guarantee
+// transfers to round-tripped sketches by identity — which is precisely
+// what this harness pins down: compression can never silently change an
+// estimate.
+//
+// The Estimation algorithm is exercised for exactness elsewhere
+// (engine_test round trips); its Theta(Thresh * t) work per stream element
+// makes paper-formula trials impractical here.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "engine/sketch_codec.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace mcf0 {
+namespace {
+
+struct Setting {
+  F0Algorithm algorithm;
+  double eps;
+  double delta;
+  uint64_t f0;  // distinct elements per stream
+  int trials;
+};
+
+// Distinct elements, varied per trial: odd-multiplier mixing is a
+// bijection on the n-bit universe, and the trial XOR keeps streams
+// distinct across trials without breaking injectivity.
+uint64_t Element(uint64_t i, uint64_t trial, int n) {
+  const uint64_t mask = (1ull << n) - 1;
+  return ((i * 2654435761ull) ^ (trial * 0x9e37ull)) & mask;
+}
+
+void RunSetting(const Setting& setting) {
+  constexpr int kN = 16;
+  int failures = 0;
+  for (int trial = 0; trial < setting.trials; ++trial) {
+    F0Params params;
+    params.n = kN;
+    params.eps = setting.eps;
+    params.delta = setting.delta;
+    params.algorithm = setting.algorithm;
+    params.seed = 1000 + trial;
+
+    F0Estimator est(params);
+    for (uint64_t i = 0; i < setting.f0; ++i) {
+      est.Add(Element(i, trial, kN));
+    }
+
+    const double direct = est.Estimate();
+    for (const uint16_t version :
+         {SketchCodec::kFormatV1, SketchCodec::kFormatV2}) {
+      Result<F0Estimator> decoded =
+          SketchCodec::DecodeF0Estimator(SketchCodec::Encode(est, version));
+      ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+      // Lossless: the round-tripped estimator answers identically.
+      ASSERT_DOUBLE_EQ(decoded.value().Estimate(), direct)
+          << "format v" << version << ", trial " << trial;
+    }
+
+    const double f0 = static_cast<double>(setting.f0);
+    if (std::abs(direct - f0) > setting.eps * f0) ++failures;
+  }
+  EXPECT_LE(failures, setting.delta * setting.trials)
+      << "observed failure rate "
+      << static_cast<double>(failures) / setting.trials
+      << " breaks the paper's delta = " << setting.delta << " bound";
+}
+
+TEST(F0StatisticalTest, BucketingModerateEpsDelta) {
+  RunSetting({F0Algorithm::kBucketing, 0.9, 0.25, 500, 200});
+}
+
+TEST(F0StatisticalTest, BucketingTightEpsLooseDelta) {
+  RunSetting({F0Algorithm::kBucketing, 0.6, 0.35, 800, 200});
+}
+
+TEST(F0StatisticalTest, MinimumModerateEpsDelta) {
+  RunSetting({F0Algorithm::kMinimum, 0.9, 0.25, 500, 200});
+}
+
+TEST(F0StatisticalTest, MinimumTightEpsLooseDelta) {
+  RunSetting({F0Algorithm::kMinimum, 0.7, 0.3, 600, 200});
+}
+
+}  // namespace
+}  // namespace mcf0

@@ -27,8 +27,11 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -43,6 +46,7 @@
 #include "engine/sharded_engine.hpp"
 #include "engine/sketch_codec.hpp"
 #include "engine/sketch_merge.hpp"
+#include "engine/sketch_reader.hpp"
 #include "formula/dimacs.hpp"
 #include "formula/formula.hpp"
 #include "setstream/structured_f0.hpp"
@@ -68,10 +72,14 @@ subcommands:
             sketch build [opts] --out F <elements.txt|->   stream -> sketch
             sketch merge --out F <a.mcf0> <b.mcf0> [...]   union of sketches
             sketch query <a.mcf0>                          estimate + params
+          merge streams its inputs row by row (a SketchReader cursor per
+          file), so decoded sketch state stays bounded by one row no
+          matter how many shard files are merged (the raw bytes of each
+          input file are still buffered)
   help    print this message
 
 common options:
-  --eps E       relative accuracy, E > 0            (default 0.8)
+  --eps E       relative accuracy, E >= 1e-6        (default 0.8)
   --delta D     failure probability, 0 < D < 1      (default 0.2)
   --seed S      PRNG seed                           (default 1)
   --algo NAME   algorithm; per subcommand:
@@ -88,10 +96,13 @@ subcommand options:
   dnf     --sites K       number of sites                     (default 4)
   sketch  --out FILE      output sketch file (build, merge)
           --shards N      build: ingest across N worker threads (default 1)
+          --format V      wire format to write: v1 | v2      (default v2;
+                          both versions are always readable)
 
 All results are a single JSON object on stdout. A sketch built on one
 shard of a stream merges losslessly with sketches of the other shards as
-long as every build used the same --n/--eps/--delta/--seed/--algo.
+long as every build used the same --n/--eps/--delta/--seed/--algo;
+v1- and v2-encoded sketch files mix freely in one merge.
 )";
 
 struct CommonOptions {
@@ -105,6 +116,7 @@ struct CommonOptions {
   bool binary_search = false;
   bool tseitin = false;
   std::string out;
+  uint16_t format = SketchCodec::kDefaultFormatVersion;
   std::vector<std::string> inputs;
 };
 
@@ -169,6 +181,15 @@ CommonOptions ParseOptions(int argc, char** argv) {
       opts.shards = ParseInt(next_value("--shards"), "--shards");
     } else if (arg == "--out" || arg == "-o") {
       opts.out = next_value("--out");
+    } else if (arg == "--format") {
+      const std::string format = next_value("--format");
+      if (format == "v1" || format == "1") {
+        opts.format = SketchCodec::kFormatV1;
+      } else if (format == "v2" || format == "2") {
+        opts.format = SketchCodec::kFormatV2;
+      } else {
+        Fail("--format must be v1 or v2, got '" + format + "'", 2);
+      }
     } else if (arg == "--binary-search") {
       opts.binary_search = true;
     } else if (arg == "--tseitin") {
@@ -179,8 +200,15 @@ CommonOptions ParseOptions(int argc, char** argv) {
       opts.inputs.push_back(arg);
     }
   }
-  if (opts.eps <= 0) Fail("--eps must be > 0", 2);
-  if (opts.delta <= 0 || opts.delta >= 1) Fail("--delta must be in (0, 1)", 2);
+  // The lower bound keeps the Thresh = 96/eps^2 formula inside uint64
+  // (library CHECKs would abort otherwise); no real run wants eps there.
+  // isfinite + negated comparisons make NaN and inf usage errors too.
+  if (!std::isfinite(opts.eps) || opts.eps < 1e-6) {
+    Fail("--eps must be a finite number >= 1e-6", 2);
+  }
+  if (!(opts.delta > 0 && opts.delta < 1)) {
+    Fail("--delta must be in (0, 1)", 2);
+  }
   return opts;
 }
 
@@ -611,13 +639,13 @@ int RunSketchBuild(const CommonOptions& opts) {
     const F0Estimator merged = engine.MergedSketch();
     estimate = merged.Estimate();
     space_bits = merged.SpaceBits();
-    blob = SketchCodec::Encode(merged);
+    blob = SketchCodec::Encode(merged, opts.format);
   } else {
     F0Estimator estimator(params);
     elements = StreamElements(input, [&](uint64_t x) { estimator.Add(x); });
     estimate = estimator.Estimate();
     space_bits = estimator.SpaceBits();
-    blob = SketchCodec::Encode(estimator);
+    blob = SketchCodec::Encode(estimator, opts.format);
   }
   WriteBinaryFile(opts.out, blob);
 
@@ -625,6 +653,7 @@ int RunSketchBuild(const CommonOptions& opts) {
   json.Add("action", std::string("build"));
   json.Add("input", input);
   json.Add("out", opts.out);
+  json.Add("format", static_cast<int>(opts.format));
   AddSketchParams(json, params);
   json.Add("shards", opts.shards);
   json.Add("elements", elements);
@@ -650,25 +679,65 @@ int RunSketchMerge(const CommonOptions& opts) {
   }
 
   WallTimer timer;
-  F0Estimator merged = DecodeSketchFileOrDie(opts.inputs[0]);
-  for (size_t i = 1; i < opts.inputs.size(); ++i) {
-    const F0Estimator next = DecodeSketchFileOrDie(opts.inputs[i]);
-    const Status status = Merge(merged, next);
-    if (!status.ok()) {
-      Fail(opts.inputs[i] + ": " + status.ToString());
+  // Streaming reduce: the inputs are co-iterated row by row and each
+  // merged row is written out immediately, so decoded sketch state never
+  // exceeds one accumulator row plus one in-flight row — regardless of
+  // how many shard files are being merged. (Raw file bytes are still
+  // buffered; see ROADMAP for the mmap follow-on.)
+  std::vector<std::string> blobs;
+  blobs.reserve(opts.inputs.size());
+  for (const std::string& path : opts.inputs) {
+    blobs.push_back(ReadBinaryFile(path));
+  }
+  // Pre-validate each frame individually so a bad shard is reported by
+  // *name* — MergeSketchStreams sees anonymous byte ranges and could only
+  // say "some input is corrupt/incompatible".
+  std::optional<F0Params> first_params;
+  for (size_t i = 0; i < blobs.size(); ++i) {
+    Result<SketchReader> opened = SketchReader::Open(blobs[i]);
+    if (!opened.ok()) {
+      Fail(opts.inputs[i] + ": " + opened.status().ToString());
+    }
+    if (!first_params.has_value()) {
+      first_params = opened.value().params();
+    } else if (!(opened.value().params() == *first_params)) {
+      Fail(opts.inputs[i] + ": parameters differ from " + opts.inputs[0] +
+           " (sketches merge only when built with the same "
+           "--n/--eps/--delta/--seed/--algo)");
     }
   }
-  const std::string blob = SketchCodec::Encode(merged);
-  WriteBinaryFile(opts.out, blob);
+  uint64_t file_bytes = 0;
+  {
+    std::ofstream out(opts.out, std::ios::binary | std::ios::trunc);
+    if (!out) Fail("cannot write " + opts.out);
+    const std::vector<std::string_view> views(blobs.begin(), blobs.end());
+    const Result<SketchStreamMergeStats> merged =
+        MergeSketchStreams(views, opts.format, out);
+    if (!merged.ok()) {
+      out.close();
+      std::remove(opts.out.c_str());  // discard the partial frame
+      Fail(merged.status().ToString());
+    }
+    out.close();
+    if (!out) {
+      std::remove(opts.out.c_str());  // discard the truncated frame
+      Fail("failed writing " + opts.out);
+    }
+    file_bytes = merged.value().frame_bytes;
+  }
+  // Re-open the merged frame (one estimator, independent of input count)
+  // for the estimate and parameter echo in the JSON result.
+  const F0Estimator merged = DecodeSketchFileOrDie(opts.out);
 
   JsonObject json = NewJson("sketch");
   json.Add("action", std::string("merge"));
   json.Add("inputs", static_cast<uint64_t>(opts.inputs.size()));
   json.Add("out", opts.out);
+  json.Add("format", static_cast<int>(opts.format));
   AddSketchParams(json, merged.params());
   json.Add("estimate", merged.Estimate());
   json.Add("space_bits", static_cast<uint64_t>(merged.SpaceBits()));
-  json.Add("file_bytes", static_cast<uint64_t>(blob.size()));
+  json.Add("file_bytes", file_bytes);
   json.Add("time_ms", timer.Seconds() * 1e3);
   json.Print();
   return 0;
@@ -676,11 +745,19 @@ int RunSketchMerge(const CommonOptions& opts) {
 
 int RunSketchQuery(const CommonOptions& opts) {
   WallTimer timer;
-  const F0Estimator sketch = DecodeSketchFileOrDie(SingleInput(opts));
+  const std::string blob = ReadBinaryFile(SingleInput(opts));
+  Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(blob);
+  if (!decoded.ok()) {
+    Fail(SingleInput(opts) + ": " + decoded.status().ToString());
+  }
+  const F0Estimator sketch = std::move(decoded).value();
+  // O(1) header peek; the successful decode above already validated it.
+  const int format = SketchCodec::PeekFormatVersion(blob).value();
 
   JsonObject json = NewJson("sketch");
   json.Add("action", std::string("query"));
   json.Add("input", SingleInput(opts));
+  json.Add("format", format);
   AddSketchParams(json, sketch.params());
   json.Add("estimate", sketch.Estimate());
   json.Add("space_bits", static_cast<uint64_t>(sketch.SpaceBits()));
