@@ -1,12 +1,17 @@
 // E18 — sketch wire-format size: v1 (dense hash state) vs v2
-// (seed-compressed hashes, delta + varint coded sets) for the default
-// benchmark sketches, over the E17-style element stream.
+// (seed-compressed hashes, delta + varint coded sets, bit-packed cells)
+// for the default benchmark sketches, over the E17-style element stream.
 //
 // The v2 acceptance bar is hard-coded: for every configuration the v2
 // file must be at most 25% of the v1 file, the decoded v2 sketch must
 // re-encode byte-identically, and its estimate must equal the v1-decoded
-// estimate exactly. Any violation exits 1, so the `--smoke` run in CI is
-// a real gate, not just a table.
+// estimate exactly. The sealed-API bar rides along: encoding a freshly
+// built sketch must perform ZERO sampler row draws (the hashes_canonical
+// attestation replaces the per-encode replay — the O(1) canonical-encode
+// fast path), while the same sketch with its attestation stripped must
+// measurably re-run the replay and still produce identical bytes. Any
+// violation exits 1, so the `--smoke` run in CI is a real gate, not just
+// a table.
 #include <cstring>
 #include <string>
 #include <vector>
@@ -68,8 +73,9 @@ int main(int argc, char** argv) {
   const uint64_t support = smoke ? 2000 : 50000;
   const std::vector<uint64_t> xs = MakeStream(length, support);
 
-  std::printf("%-11s %9s %10s %10s %7s %9s %9s\n", "algorithm", "elements",
-              "v1 bytes", "v2 bytes", "ratio", "enc v2/ms", "dec v2/ms");
+  std::printf("%-11s %9s %10s %10s %7s %9s %9s %10s\n", "algorithm",
+              "elements", "v1 bytes", "v2 bytes", "ratio", "enc v2/ms",
+              "dec v2/ms", "replay/ms");
   bool ok = true;
   for (const auto alg : {F0Algorithm::kBucketing, F0Algorithm::kMinimum,
                          F0Algorithm::kEstimation}) {
@@ -78,20 +84,51 @@ int main(int argc, char** argv) {
     for (const uint64_t x : xs) est.Add(x);
 
     const std::string v1 = SketchCodec::Encode(est, SketchCodec::kFormatV1);
+    // The O(1)-canonical-encode gate: a freshly built sketch carries the
+    // hashes_canonical attestation, so its v2 encode must not re-run a
+    // single sampler row draw.
+    const uint64_t draws_before = TotalSamplerRowDraws();
     WallTimer encode_timer;
     const std::string v2 = SketchCodec::Encode(est, SketchCodec::kFormatV2);
     const double encode_ms = encode_timer.Seconds() * 1e3;
+    const uint64_t fast_path_draws = TotalSamplerRowDraws() - draws_before;
 
     WallTimer decode_timer;
     Result<F0Estimator> back = SketchCodec::DecodeF0Estimator(v2);
     const double decode_ms = decode_timer.Seconds() * 1e3;
 
+    // Strip the attestation (hand the state through the sealed Parts
+    // exchange with the flag cleared): the encoder must fall back to the
+    // full sampler replay — measurably, via the draw counter — and still
+    // emit identical bytes.
+    F0Estimator::Parts parts = std::move(est).ReleaseParts();
+    parts.hashes_canonical = false;
+    const F0Estimator stripped = F0Estimator::FromParts(std::move(parts));
+    const uint64_t draws_before_slow = TotalSamplerRowDraws();
+    WallTimer replay_timer;
+    const std::string v2_slow =
+        SketchCodec::Encode(stripped, SketchCodec::kFormatV2);
+    const double replay_ms = replay_timer.Seconds() * 1e3;
+    const uint64_t slow_path_draws =
+        TotalSamplerRowDraws() - draws_before_slow;
+
     const double ratio =
         static_cast<double>(v2.size()) / static_cast<double>(v1.size());
-    std::printf("%-11s %9zu %10zu %10zu %6.1f%% %9.1f %9.1f\n", Name(alg),
-                xs.size(), v1.size(), v2.size(), 100.0 * ratio, encode_ms,
-                decode_ms);
+    std::printf("%-11s %9zu %10zu %10zu %6.1f%% %9.1f %9.1f %10.1f\n",
+                Name(alg), xs.size(), v1.size(), v2.size(), 100.0 * ratio,
+                encode_ms, decode_ms, replay_ms);
 
+    if (fast_path_draws != 0) {
+      std::printf("  ^ FAIL: canonical encode made %llu sampler draws "
+                  "(must be 0)!\n",
+                  static_cast<unsigned long long>(fast_path_draws));
+      ok = false;
+    }
+    if (slow_path_draws == 0 || v2_slow != v2) {
+      std::printf("  ^ FAIL: attestation-stripped encode skipped the replay "
+                  "or diverged!\n");
+      ok = false;
+    }
     if (!back.ok()) {
       std::printf("  ^ FAIL: v2 decode error: %s\n",
                   back.status().ToString().c_str());
@@ -99,12 +136,12 @@ int main(int argc, char** argv) {
       continue;
     }
     if (SketchCodec::Encode(back.value(), SketchCodec::kFormatV2) != v2 ||
-        back.value().Estimate() != est.Estimate()) {
+        back.value().Estimate() != stripped.Estimate()) {
       std::printf("  ^ FAIL: v2 round trip is not bit-exact!\n");
       ok = false;
     }
     Result<F0Estimator> v1_back = SketchCodec::DecodeF0Estimator(v1);
-    if (!v1_back.ok() || v1_back.value().Estimate() != est.Estimate()) {
+    if (!v1_back.ok() || v1_back.value().Estimate() != stripped.Estimate()) {
       std::printf("  ^ FAIL: v1 decode diverged from the live sketch!\n");
       ok = false;
     }
@@ -113,7 +150,8 @@ int main(int argc, char** argv) {
       ok = false;
     }
   }
-  std::printf("\n(v2 bar: <= 25%% of v1, bit-exact round trip, identical "
-              "estimates - violations exit 1)\n\n");
+  std::printf("\n(v2 bar: <= 25%% of v1, bit-exact round trips, identical "
+              "estimates, zero sampler draws on canonical encode - "
+              "violations exit 1)\n\n");
   return ok ? 0 : 1;
 }

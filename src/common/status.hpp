@@ -53,6 +53,14 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  /// The same code with `prefix + ": "` prepended to the message — error
+  /// attribution (e.g. naming the input file a streaming merge failed on).
+  /// No-op on OK statuses and empty prefixes.
+  Status WithPrefix(const std::string& prefix) const {
+    if (ok() || prefix.empty()) return *this;
+    return Status(code_, prefix + ": " + message_);
+  }
+
   /// Human-readable rendering, e.g. "ParseError: bad header".
   std::string ToString() const {
     if (ok()) return "OK";

@@ -56,6 +56,10 @@ class ShardedF0Engine {
 
   /// Flush + merge-on-query: the union of all shard replicas, exactly the
   /// sketch a sequential F0Estimator fed the same elements would hold.
+  /// The result carries the hashes_canonical attestation (fresh replica,
+  /// Merge preserves it), so encoding it takes the codec's O(state)
+  /// seed-elided fast path — `mcf0 sketch build --shards N` never replays
+  /// the sampler at encode time.
   F0Estimator MergedSketch();
 
   /// MergedSketch().Estimate().

@@ -50,12 +50,53 @@ std::string SketchCodec::Encode(const FlajoletMartinRow& row,
                          w.Take());
 }
 
+std::string SketchCodec::Encode(const StructuredBucketRow& row,
+                                uint16_t version) {
+  MCF0_CHECK(version == kFormatV2);  // structured frames are v2-only
+  wire::ByteWriter w;
+  wire::EncodeStructuredBucketPayload(w, row, version, /*embed_hash=*/true);
+  return wire::WrapFrame(SketchFrameKind::kStructuredBucketRow, version,
+                         w.Take());
+}
+
+std::string SketchCodec::Encode(const StructuredF0& sketch, uint16_t version) {
+  MCF0_CHECK(version == kFormatV2);  // structured frames are v2-only
+  // The same elision rule as raw estimators: hash state vanishes when it
+  // is attested (or proven) to match the canonical sampler replay — and
+  // when the replay itself is affordable for a decoder driven by the
+  // untrusted parameter block alone.
+  const bool elide =
+      static_cast<uint64_t>(sketch.params().n) <=
+          wire::kMaxElidedStructuredUniverseBits &&
+      (sketch.hashes_canonical() || wire::HashesMatchCanonicalSample(sketch));
+  wire::ByteWriter w;
+  wire::EncodeStructuredParams(w, sketch.params());
+  w.U8(elide ? 1 : 0);
+  const bool minimum =
+      sketch.params().algorithm == StructuredF0Algorithm::kMinimum;
+  w.Varint(minimum ? sketch.minimum_rows().size()
+                   : sketch.bucketing_rows().size());
+  if (minimum) {
+    for (const auto& row : sketch.minimum_rows()) {
+      wire::EncodeMinimumPayload(w, row, version, !elide);
+    }
+  } else {
+    for (const auto& row : sketch.bucketing_rows()) {
+      wire::EncodeStructuredBucketPayload(w, row, version, !elide);
+    }
+  }
+  return wire::WrapFrame(SketchFrameKind::kStructuredF0, version, w.Take());
+}
+
 std::string SketchCodec::Encode(const F0Estimator& est, uint16_t version) {
   MCF0_CHECK(ValidVersion(version));
   const bool v1 = version == kFormatV1;
   // v2 elides all hash state when it matches the canonical F0RowSampler
-  // draws for these parameters — true for every sketch the library builds
-  // itself; hand-assembled FromRows estimators fall back to embedding, as
+  // draws for these parameters. The common case is O(state): a freshly
+  // constructed or canonically decoded estimator carries a
+  // hashes_canonical attestation (see F0Estimator::Parts) and skips the
+  // sampler replay entirely. Hand-assembled FromParts estimators take the
+  // slow comparison path — and fall back to embedding when it fails — as
   // do Estimation sketches whose per-row hash state exceeds the decoder's
   // replay allocation cap (files the codec writes must stay readable).
   const bool elide =
@@ -64,7 +105,7 @@ std::string SketchCodec::Encode(const F0Estimator& est, uint16_t version) {
        F0Thresh(est.params()) *
                static_cast<uint64_t>(F0IndependenceS(est.params())) <=
            wire::kMaxElidedHashCoeffs) &&
-      wire::HashesMatchCanonicalSample(est);
+      (est.hashes_canonical() || wire::HashesMatchCanonicalSample(est));
   wire::ByteWriter w;
   wire::EncodeParams(w, est.params());
   if (!v1) w.U8(elide ? 1 : 0);
@@ -108,6 +149,18 @@ Result<uint16_t> SketchCodec::PeekFormatVersion(std::string_view bytes) {
   return version;
 }
 
+Result<SketchFrameKind> SketchCodec::PeekFrameKind(std::string_view bytes) {
+  if (bytes.size() < 7 || bytes.substr(0, 4) != "MCF0") {
+    return Status::ParseError("bad magic: not an mcf0 sketch blob");
+  }
+  const uint8_t kind = static_cast<uint8_t>(bytes[6]);
+  if (kind > static_cast<uint8_t>(SketchFrameKind::kStructuredBucketRow)) {
+    return Status::ParseError("unknown sketch frame kind " +
+                              std::to_string(kind));
+  }
+  return static_cast<SketchFrameKind>(kind);
+}
+
 Result<BucketingSketchRow> SketchCodec::DecodeBucketingRow(
     std::string_view bytes) {
   uint16_t version = 0;
@@ -132,6 +185,24 @@ Result<MinimumSketchRow> SketchCodec::DecodeMinimumRow(std::string_view bytes) {
   Status status = wire::DecodeMinimumPayload(r, version, nullptr, &row);
   if (!status.ok()) return status;
   if (!r.Done()) return Status::ParseError("trailing bytes in minimum row");
+  return *std::move(row);
+}
+
+Result<StructuredBucketRow> SketchCodec::DecodeStructuredBucketRow(
+    std::string_view bytes) {
+  uint16_t version = 0;
+  auto payload =
+      wire::UnwrapFrame(bytes, SketchFrameKind::kStructuredBucketRow,
+                        &version);
+  if (!payload.ok()) return payload.status();
+  wire::ByteReader r(payload.value());
+  std::optional<StructuredBucketRow> row;
+  Status status =
+      wire::DecodeStructuredBucketPayload(r, version, nullptr, &row);
+  if (!status.ok()) return status;
+  if (!r.Done()) {
+    return Status::ParseError("trailing bytes in structured bucketing row");
+  }
   return *std::move(row);
 }
 
@@ -171,10 +242,7 @@ Result<F0Estimator> SketchCodec::DecodeF0Estimator(std::string_view bytes) {
   if (!opened.ok()) return opened.status();
   SketchReader reader = std::move(opened).value();
 
-  std::vector<BucketingSketchRow> bucketing;
-  std::vector<MinimumSketchRow> minimum;
-  std::vector<EstimationSketchRow> estimation;
-  std::vector<FlajoletMartinRow> fm;
+  F0Estimator::Parts parts = F0Estimator::EmptyParts();
   while (!reader.AtEnd()) {
     auto unit = reader.Next();
     if (!unit.ok()) return unit.status();
@@ -182,20 +250,97 @@ Result<F0Estimator> SketchCodec::DecodeF0Estimator(std::string_view bytes) {
         [&](auto&& row) {
           using Row = std::decay_t<decltype(row)>;
           if constexpr (std::is_same_v<Row, BucketingSketchRow>) {
-            bucketing.push_back(std::move(row));
+            parts.bucketing.push_back(std::move(row));
           } else if constexpr (std::is_same_v<Row, MinimumSketchRow>) {
-            minimum.push_back(std::move(row));
+            parts.minimum.push_back(std::move(row));
           } else if constexpr (std::is_same_v<Row, EstimationSketchRow>) {
-            estimation.push_back(std::move(row));
+            parts.estimation.push_back(std::move(row));
+          } else if constexpr (std::is_same_v<Row, FlajoletMartinRow>) {
+            parts.fm.push_back(std::move(row));
           } else {
-            fm.push_back(std::move(row));
+            MCF0_CHECK(false);  // structured rows never appear in raw frames
           }
         },
         std::move(unit).value());
   }
-  return F0Estimator::FromRows(reader.params(), reader.TakeField(),
-                               std::move(bucketing), std::move(minimum),
-                               std::move(estimation), std::move(fm));
+  parts.params = reader.params();
+  parts.field = reader.TakeField();
+  // An elided frame's hashes were just *derived from* the canonical
+  // sampler replay, so the attestation holds by construction; embedded
+  // frames (and all of v1) stay conservatively unattested — Encode's slow
+  // comparison path can still prove them canonical later.
+  parts.hashes_canonical = reader.hashes_elided();
+  return F0Estimator::FromParts(std::move(parts));
+}
+
+Result<StructuredF0> SketchCodec::DecodeStructuredF0(std::string_view bytes) {
+  // Same shape as the raw decoder: the streaming cursor, drained.
+  auto opened = SketchReader::Open(bytes);
+  if (!opened.ok()) return opened.status();
+  SketchReader reader = std::move(opened).value();
+  if (reader.frame_kind() != SketchFrameKind::kStructuredF0) {
+    return Status::InvalidArgument(
+        "sketch frame holds a raw F0 estimator, not a structured sketch");
+  }
+
+  StructuredF0::Parts parts = StructuredF0::EmptyParts();
+  while (!reader.AtEnd()) {
+    auto unit = reader.Next();
+    if (!unit.ok()) return unit.status();
+    std::visit(
+        [&](auto&& row) {
+          using Row = std::decay_t<decltype(row)>;
+          if constexpr (std::is_same_v<Row, MinimumSketchRow>) {
+            parts.minimum.push_back(std::move(row));
+          } else if constexpr (std::is_same_v<Row, StructuredBucketRow>) {
+            parts.bucketing.push_back(std::move(row));
+          } else {
+            MCF0_CHECK(false);  // word rows never appear in structured frames
+          }
+        },
+        std::move(unit).value());
+  }
+  parts.params = reader.structured_params();
+  parts.hashes_canonical = reader.hashes_elided();
+  return StructuredF0::FromParts(std::move(parts));
+}
+
+// ---- SketchVariant --------------------------------------------------------
+
+Result<SketchVariant> SketchVariant::Decode(std::string_view bytes) {
+  auto kind = SketchCodec::PeekFrameKind(bytes);
+  if (!kind.ok()) return kind.status();
+  if (kind.value() == SketchFrameKind::kStructuredF0) {
+    auto sketch = SketchCodec::DecodeStructuredF0(bytes);
+    if (!sketch.ok()) return sketch.status();
+    return SketchVariant(std::move(sketch).value());
+  }
+  // Anything else routes through the raw decoder, whose frame check
+  // produces the canonical kind-mismatch error for row frames.
+  auto est = SketchCodec::DecodeF0Estimator(bytes);
+  if (!est.ok()) return est.status();
+  return SketchVariant(std::move(est).value());
+}
+
+double SketchVariant::Estimate() const {
+  return std::visit([](const auto& sketch) { return sketch.Estimate(); },
+                    sketch_);
+}
+
+size_t SketchVariant::SpaceBits() const {
+  return std::visit([](const auto& sketch) { return sketch.SpaceBits(); },
+                    sketch_);
+}
+
+bool SketchVariant::hashes_canonical() const {
+  return std::visit(
+      [](const auto& sketch) { return sketch.hashes_canonical(); }, sketch_);
+}
+
+std::string SketchVariant::Encode(uint16_t version) const {
+  return std::visit(
+      [&](const auto& sketch) { return SketchCodec::Encode(sketch, version); },
+      sketch_);
 }
 
 }  // namespace mcf0

@@ -35,19 +35,25 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <variant>
 
 #include "common/status.hpp"
+#include "setstream/structured_f0.hpp"
 #include "streaming/f0_sketch.hpp"
 
 namespace mcf0 {
 
-/// Frame kind byte: which object a serialized blob holds.
+/// Frame kind byte: which object a serialized blob holds. Kinds 5 and 6
+/// (structured sketches, §5 streams) exist only at format v2 — v1 is
+/// frozen and predates them.
 enum class SketchFrameKind : uint8_t {
   kF0Estimator = 0,
   kBucketingRow = 1,
   kMinimumRow = 2,
   kEstimationRow = 3,
   kFlajoletMartinRow = 4,
+  kStructuredF0 = 5,
+  kStructuredBucketRow = 6,
 };
 
 /// Stateless encode/decode for every sketch type. Encodings are canonical
@@ -73,20 +79,74 @@ class SketchCodec {
                             uint16_t version = kDefaultFormatVersion);
   static std::string Encode(const FlajoletMartinRow& row,
                             uint16_t version = kDefaultFormatVersion);
+  /// Structured sketches (§5 streams) serialize at v2 only; passing v1 is
+  /// a programming error (the CLI rejects `--format v1 --input dnf|range`
+  /// up front).
+  static std::string Encode(const StructuredF0& sketch,
+                            uint16_t version = kDefaultFormatVersion);
+  static std::string Encode(const StructuredBucketRow& row,
+                            uint16_t version = kDefaultFormatVersion);
 
   static Result<F0Estimator> DecodeF0Estimator(std::string_view bytes);
+  static Result<StructuredF0> DecodeStructuredF0(std::string_view bytes);
 
   /// The wire format version a frame claims, from the first six header
   /// bytes (magic checked; payload untouched — O(1), unlike a decode).
   static Result<uint16_t> PeekFormatVersion(std::string_view bytes);
+  /// The frame kind a blob claims (byte 6; magic checked, O(1)).
+  static Result<SketchFrameKind> PeekFrameKind(std::string_view bytes);
   static Result<BucketingSketchRow> DecodeBucketingRow(std::string_view bytes);
   static Result<MinimumSketchRow> DecodeMinimumRow(std::string_view bytes);
+  static Result<StructuredBucketRow> DecodeStructuredBucketRow(
+      std::string_view bytes);
   /// `field` supplies GF(2^w) arithmetic for the decoded hashes and must
   /// outlive the row; it may be null only for a cells-only row.
   static Result<EstimationSketchRow> DecodeEstimationRow(
       std::string_view bytes, const Gf2Field* field);
   static Result<FlajoletMartinRow> DecodeFlajoletMartinRow(
       std::string_view bytes);
+};
+
+/// One owning handle over either sketch kind — the single surface the
+/// merge/query layers and the CLI dispatch through, so raw element
+/// streams (§3) and structured set streams (§5) get identical durability
+/// treatment. Decode() dispatches on the frame-kind byte; every accessor
+/// below forwards to the corresponding member of the held sketch.
+class SketchVariant {
+ public:
+  explicit SketchVariant(F0Estimator est) : sketch_(std::move(est)) {}
+  explicit SketchVariant(StructuredF0 sketch) : sketch_(std::move(sketch)) {}
+
+  /// Decodes a whole-sketch frame of either kind (raw F0Estimator or
+  /// StructuredF0); row frames are rejected with their usual kind error.
+  static Result<SketchVariant> Decode(std::string_view bytes);
+
+  bool structured() const {
+    return std::holds_alternative<StructuredF0>(sketch_);
+  }
+  SketchFrameKind kind() const {
+    return structured() ? SketchFrameKind::kStructuredF0
+                        : SketchFrameKind::kF0Estimator;
+  }
+
+  double Estimate() const;
+  size_t SpaceBits() const;
+  bool hashes_canonical() const;
+  std::string Encode(uint16_t version = SketchCodec::kDefaultFormatVersion)
+      const;
+
+  /// The held sketch; the kind must match (checked).
+  const F0Estimator& raw() const { return std::get<F0Estimator>(sketch_); }
+  F0Estimator& raw() { return std::get<F0Estimator>(sketch_); }
+  const StructuredF0& structured_sketch() const {
+    return std::get<StructuredF0>(sketch_);
+  }
+  StructuredF0& structured_sketch() {
+    return std::get<StructuredF0>(sketch_);
+  }
+
+ private:
+  std::variant<F0Estimator, StructuredF0> sketch_;
 };
 
 }  // namespace mcf0

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <ostream>
+#include <set>
 #include <unordered_set>
 #include <type_traits>
 #include <utility>
@@ -35,7 +36,7 @@ Status MergeUnits(SketchReader::Unit& acc, const SketchReader::Unit& from) {
       acc);
 }
 
-/// Serializes one merged row in estimator-frame context.
+/// Serializes one merged row in whole-sketch-frame context.
 void EncodeUnit(wire::ByteWriter& w, const SketchReader::Unit& unit,
                 uint16_t version, bool embed_hash) {
   std::visit(
@@ -47,6 +48,8 @@ void EncodeUnit(wire::ByteWriter& w, const SketchReader::Unit& unit,
           wire::EncodeMinimumPayload(w, row, version, embed_hash);
         } else if constexpr (std::is_same_v<Row, EstimationSketchRow>) {
           wire::EncodeEstimationPayload(w, row, version, embed_hash);
+        } else if constexpr (std::is_same_v<Row, StructuredBucketRow>) {
+          wire::EncodeStructuredBucketPayload(w, row, version, embed_hash);
         } else {
           wire::EncodeFmPayload(w, row, version, embed_hash);
         }
@@ -133,10 +136,46 @@ Status Merge(FlajoletMartinRow& into, const FlajoletMartinRow& from) {
   return Status::Ok();
 }
 
+Status Merge(StructuredBucketRow& into, const StructuredBucketRow& from) {
+  if (into.thresh() != from.thresh() || !(into.hash() == from.hash())) {
+    return Incompatible("structured bucketing rows");
+  }
+  const int n = into.n();
+  int level = std::max(into.level(), from.level());
+  // Nested cells again: both buckets re-filtered to the deeper level,
+  // unioned, escalated while saturated == the single-pass state.
+  std::set<BitVec> bucket;
+  for (const BitVec& x : into.bucket()) {
+    if (into.InCell(x, level)) bucket.insert(x);
+  }
+  for (const BitVec& x : from.bucket()) {
+    if (into.InCell(x, level)) bucket.insert(x);
+  }
+  while (bucket.size() > into.thresh() && level < n) {
+    ++level;
+    std::erase_if(bucket,
+                  [&](const BitVec& x) { return !into.InCell(x, level); });
+  }
+  into = StructuredBucketRow(into.hash(), into.thresh(), level,
+                             std::move(bucket));
+  return Status::Ok();
+}
+
 Status Merge(F0Estimator& into, const F0Estimator& from) {
   if (!(into.params() == from.params())) {
     return Incompatible("F0 estimators");
   }
+  // Self-merge is an idempotent no-op; short-circuit before the parts
+  // exchange below empties the aliased `from`.
+  if (&into == &from) return Status::Ok();
+  // The sealed exchange: take the whole state out of `into`, fold `from`'s
+  // rows in, and reassemble. The hashes_canonical attestation rides along
+  // in the bundle untouched — merging exchanges row *contents* only, and
+  // each row Merge() proves hash equality before touching state, so
+  // `into`'s own hashes are exactly what they were. Reassembly happens on
+  // every path (including row-level failure) so `into` is never left
+  // moved-from.
+  F0Estimator::Parts parts = std::move(into).ReleaseParts();
   auto merge_rows = [](auto& dst, const auto& src) -> Status {
     if (dst.size() != src.size()) return Incompatible("F0 estimator rows");
     for (size_t i = 0; i < dst.size(); ++i) {
@@ -145,36 +184,100 @@ Status Merge(F0Estimator& into, const F0Estimator& from) {
     }
     return Status::Ok();
   };
-  Status status =
-      merge_rows(into.mutable_bucketing_rows(), from.bucketing_rows());
-  if (!status.ok()) return status;
-  status = merge_rows(into.mutable_minimum_rows(), from.minimum_rows());
-  if (!status.ok()) return status;
-  status = merge_rows(into.mutable_estimation_rows(), from.estimation_rows());
-  if (!status.ok()) return status;
-  return merge_rows(into.mutable_fm_rows(), from.fm_rows());
+  Status status = merge_rows(parts.bucketing, from.bucketing_rows());
+  if (status.ok()) status = merge_rows(parts.minimum, from.minimum_rows());
+  if (status.ok()) {
+    status = merge_rows(parts.estimation, from.estimation_rows());
+  }
+  if (status.ok()) status = merge_rows(parts.fm, from.fm_rows());
+  into = F0Estimator::FromParts(std::move(parts));
+  return status;
+}
+
+Status Merge(StructuredF0& into, const StructuredF0& from) {
+  if (!(into.params() == from.params())) {
+    return Incompatible("structured F0 sketches");
+  }
+  if (&into == &from) return Status::Ok();  // see the raw-estimator merge
+  // The same sealed exchange as the raw estimator merge: state out, rows
+  // folded, state back in on every path, attestation untouched.
+  StructuredF0::Parts parts = std::move(into).ReleaseParts();
+  auto merge_rows = [](auto& dst, const auto& src) -> Status {
+    if (dst.size() != src.size()) return Incompatible("structured F0 rows");
+    for (size_t i = 0; i < dst.size(); ++i) {
+      Status status = Merge(dst[i], src[i]);
+      if (!status.ok()) return status;
+    }
+    return Status::Ok();
+  };
+  Status status = merge_rows(parts.minimum, from.minimum_rows());
+  if (status.ok()) status = merge_rows(parts.bucketing, from.bucketing_rows());
+  if (status.ok()) parts.oracle_calls += from.oracle_calls();
+  into = StructuredF0::FromParts(std::move(parts));
+  return status;
+}
+
+Status Merge(SketchVariant& into, const SketchVariant& from) {
+  if (into.structured() != from.structured()) {
+    return Status::InvalidArgument(
+        "cannot merge a raw F0 sketch with a structured sketch");
+  }
+  return into.structured() ? Merge(into.structured_sketch(),
+                                   from.structured_sketch())
+                           : Merge(into.raw(), from.raw());
 }
 
 Result<SketchStreamMergeStats> MergeSketchStreams(
-    const std::vector<std::string_view>& inputs, uint16_t out_version,
+    const std::vector<LabeledSource>& inputs, uint16_t out_version,
     std::ostream& out) {
   MCF0_CHECK(out_version == SketchCodec::kFormatV1 ||
              out_version == SketchCodec::kFormatV2);
   if (inputs.empty()) {
     return Status::InvalidArgument("sketch merge needs at least one input");
   }
+  // Attributes an input's failure to its name — the single-pass contract:
+  // whatever goes wrong with shard i (corrupt frame, mismatched
+  // parameters, incompatible row) surfaces with inputs[i].name up front,
+  // so no caller needs a separate pre-open validation sweep.
+  auto attributed = [&](size_t i, const Status& status) {
+    return status.WithPrefix(std::string(inputs[i].name));
+  };
   std::vector<SketchReader> readers;
   readers.reserve(inputs.size());
   bool all_elided = true;
-  for (const std::string_view blob : inputs) {
-    auto opened = SketchReader::Open(blob);
-    if (!opened.ok()) return opened.status();
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    auto opened = SketchReader::Open(inputs[i].bytes);
+    if (!opened.ok()) return attributed(i, opened.status());
     readers.push_back(std::move(opened).value());
     all_elided = all_elided && readers.back().hashes_elided();
   }
-  const F0Params& params = readers.front().params();
-  for (const SketchReader& reader : readers) {
-    if (!(reader.params() == params)) return Incompatible("F0 estimators");
+  const bool structured = readers.front().structured();
+  if (structured && out_version == SketchCodec::kFormatV1) {
+    return Status::NotSupported(
+        "structured sketch frames require format v2 output");
+  }
+  for (size_t i = 1; i < readers.size(); ++i) {
+    if (readers[i].structured() != structured) {
+      if (inputs[i].name.empty()) return Incompatible("F0 sketches");
+      return Status::InvalidArgument(
+          std::string(inputs[i].name) + " holds a " +
+          (readers[i].structured() ? "structured" : "raw") + " sketch but " +
+          std::string(inputs.front().name) + " holds a " +
+          (structured ? "structured" : "raw") +
+          " one (sketch kinds do not merge with each other)");
+    }
+    const bool same_params =
+        structured ? readers[i].structured_params() ==
+                         readers.front().structured_params()
+                   : readers[i].params() == readers.front().params();
+    if (!same_params) {
+      if (inputs[i].name.empty()) return Incompatible("F0 sketches");
+      return Status::InvalidArgument(
+          std::string(inputs[i].name) + ": parameters differ from " +
+          std::string(inputs.front().name) +
+          " (sketches merge only when built from the same parameters and "
+          "seed)");
+    }
   }
   // Elide hash state only when *every* input frame attested canonical
   // hashes — then each decoded hash (matrices, offsets, and
@@ -187,19 +290,35 @@ Result<SketchStreamMergeStats> MergeSketchStreams(
   const bool elide =
       out_version == SketchCodec::kFormatV2 && all_elided;
   const bool v1_out = out_version == SketchCodec::kFormatV1;
+  const bool estimation =
+      !structured &&
+      readers.front().params().algorithm == F0Algorithm::kEstimation;
 
-  wire::FrameSink sink(&out, SketchFrameKind::kF0Estimator, out_version);
-  const int rows = F0Rows(params);
+  wire::FrameSink sink(&out,
+                       structured ? SketchFrameKind::kStructuredF0
+                                  : SketchFrameKind::kF0Estimator,
+                       out_version);
+  const int rows = structured
+                       ? StructuredF0Rows(readers.front().structured_params())
+                       : F0Rows(readers.front().params());
   {
     wire::ByteWriter prelude;
-    wire::EncodeParams(prelude, params);
-    if (!v1_out) prelude.U8(elide ? 1 : 0);
-    if (params.algorithm == F0Algorithm::kEstimation) {
-      const Gf2Field* field = readers.front().field();
-      prelude.Count(out_version, static_cast<uint64_t>(field->degree()));
-      prelude.U64(field->modulus_low());
+    if (structured) {
+      wire::EncodeStructuredParams(prelude,
+                                   readers.front().structured_params());
+      prelude.U8(elide ? 1 : 0);
+      prelude.Varint(static_cast<uint64_t>(rows));
+    } else {
+      const F0Params& params = readers.front().params();
+      wire::EncodeParams(prelude, params);
+      if (!v1_out) prelude.U8(elide ? 1 : 0);
+      if (estimation) {
+        const Gf2Field* field = readers.front().field();
+        prelude.Count(out_version, static_cast<uint64_t>(field->degree()));
+        prelude.U64(field->modulus_low());
+      }
+      prelude.Count(out_version, static_cast<uint64_t>(rows));
     }
-    prelude.Count(out_version, static_cast<uint64_t>(rows));
     sink.Append(prelude.Take());
   }
 
@@ -207,25 +326,25 @@ Result<SketchStreamMergeStats> MergeSketchStreams(
   int live_units = 0;
   const int num_units = readers.front().num_units();
   for (int k = 0; k < num_units; ++k) {
-    if (params.algorithm == F0Algorithm::kEstimation && k == rows) {
+    if (estimation && k == rows) {
       // The FM block's own row count sits between the two row sequences.
       wire::ByteWriter count;
       count.Count(out_version, static_cast<uint64_t>(rows));
       sink.Append(count.Take());
     }
     auto first = readers.front().Next();
-    if (!first.ok()) return first.status();
+    if (!first.ok()) return attributed(0, first.status());
     ResidentUnit acc(std::move(first).value(), &live_units,
                      &stats.max_resident_units);
     for (size_t j = 1; j < readers.size(); ++j) {
       auto next = readers[j].Next();
-      if (!next.ok()) return next.status();
+      if (!next.ok()) return attributed(j, next.status());
       // `from` lives only for this fold: the accumulator plus one
       // in-flight row is the whole decoded footprint.
       const ResidentUnit from(std::move(next).value(), &live_units,
                               &stats.max_resident_units);
       Status status = MergeUnits(acc.unit(), from.unit());
-      if (!status.ok()) return status;
+      if (!status.ok()) return attributed(j, status);
     }
     wire::ByteWriter w;
     EncodeUnit(w, acc.unit(), out_version, /*embed_hash=*/!elide);
@@ -237,6 +356,17 @@ Result<SketchStreamMergeStats> MergeSketchStreams(
   stats.payload_bytes = sink.payload_bytes();
   stats.frame_bytes = sink.payload_bytes() + wire::kHeaderBytes;
   return stats;
+}
+
+Result<SketchStreamMergeStats> MergeSketchStreams(
+    const std::vector<std::string_view>& inputs, uint16_t out_version,
+    std::ostream& out) {
+  std::vector<LabeledSource> labeled;
+  labeled.reserve(inputs.size());
+  for (const std::string_view bytes : inputs) {
+    labeled.push_back(LabeledSource{std::string_view(), bytes});
+  }
+  return MergeSketchStreams(labeled, out_version, out);
 }
 
 void BucketingCoordinator::AddTuple(uint64_t fingerprint, int trailing_zeros) {

@@ -32,6 +32,8 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "engine/sketch_codec.hpp"
+#include "setstream/structured_f0.hpp"
 #include "streaming/f0_sketch.hpp"
 
 namespace mcf0 {
@@ -45,10 +47,22 @@ Status Merge(MinimumSketchRow& into, const MinimumSketchRow& from);
 /// state; cells-only rows merge with cells-only rows.
 Status Merge(EstimationSketchRow& into, const EstimationSketchRow& from);
 Status Merge(FlajoletMartinRow& into, const FlajoletMartinRow& from);
+/// Structured (§5) bucketing rows union exactly like the word-universe
+/// ones: re-filter to the deeper side's level, then keep escalating while
+/// over thresh.
+Status Merge(StructuredBucketRow& into, const StructuredBucketRow& from);
 
 /// Row-wise union of two estimators built from identical F0Params
 /// (including the seed, so all sampled hash functions coincide).
 Status Merge(F0Estimator& into, const F0Estimator& from);
+
+/// Row-wise union of two structured sketches built from identical
+/// StructuredF0Params. Oracle-call counters accumulate.
+Status Merge(StructuredF0& into, const StructuredF0& from);
+
+/// Kind-dispatching union over the unified handle: raw merges with raw,
+/// structured with structured; mixing kinds is InvalidArgument.
+Status Merge(SketchVariant& into, const SketchVariant& from);
 
 /// What MergeSketchStreams did, for callers that report on it.
 struct SketchStreamMergeStats {
@@ -61,17 +75,35 @@ struct SketchStreamMergeStats {
   int max_resident_units = 0;
 };
 
-/// The bounded-memory reducer: folds N serialized estimator frames into
-/// one merged frame without ever materializing a whole estimator. Inputs
-/// are co-iterated row by row through SketchReader cursors, each row
-/// union is encoded and appended to `out` immediately (via a FrameSink
-/// that patches the header afterwards — `out` must be seekable), and the
+/// One reducer input with a name for error attribution. `name` is
+/// typically the shard's file name; an empty name degrades every error
+/// for this input to its bare message. Both views must outlive the merge.
+struct LabeledSource {
+  std::string_view name;
+  std::string_view bytes;
+};
+
+/// The bounded-memory reducer: folds N serialized whole-sketch frames
+/// (raw estimators or structured sketches — all inputs one kind) into one
+/// merged frame without ever materializing a whole sketch. Inputs are
+/// co-iterated row by row through SketchReader cursors, each row union is
+/// encoded and appended to `out` immediately (via a FrameSink that
+/// patches the header afterwards — `out` must be seekable), and the
 /// decoded state alive at any instant is one accumulator row plus the row
-/// being folded in. All inputs must share F0Params; v1 and v2 inputs mix
-/// freely. `out_version` selects the output layout; the merged frame
+/// being folded in. All inputs must share parameters; v1 and v2 raw
+/// inputs mix freely (structured frames are v2-only, as is structured
+/// output). `out_version` selects the output layout; the merged frame
 /// elides hash state only when *every* input frame attested canonical
 /// hashes (i.e. all are seed-elided v2), otherwise hashes are embedded.
-/// On error the partial output should be discarded by the caller.
+/// Every error is attributed to the offending input by name in a single
+/// pass — corrupt shards, parameter mismatches, and row-level
+/// incompatibilities alike — so callers need no pre-open validation
+/// sweep. On error the partial output should be discarded by the caller.
+Result<SketchStreamMergeStats> MergeSketchStreams(
+    const std::vector<LabeledSource>& inputs, uint16_t out_version,
+    std::ostream& out);
+
+/// Anonymous-input convenience (errors carry no input names).
 Result<SketchStreamMergeStats> MergeSketchStreams(
     const std::vector<std::string_view>& inputs, uint16_t out_version,
     std::ostream& out);

@@ -15,14 +15,64 @@ SketchReader& SketchReader::operator=(SketchReader&&) noexcept = default;
 SketchReader::~SketchReader() = default;
 
 Result<SketchReader> SketchReader::Open(std::string_view blob) {
+  // Dispatch on the frame-kind byte: the cursor walks raw estimator
+  // frames and (v2) structured frames through one entry point. A
+  // non-whole-sketch kind goes down the raw path, whose UnwrapFrame
+  // produces the canonical kind-mismatch error.
+  const SketchFrameKind want =
+      blob.size() >= 7 &&
+              static_cast<uint8_t>(blob[6]) ==
+                  static_cast<uint8_t>(SketchFrameKind::kStructuredF0)
+          ? SketchFrameKind::kStructuredF0
+          : SketchFrameKind::kF0Estimator;
   uint16_t version = 0;
-  auto payload =
-      wire::UnwrapFrame(blob, SketchFrameKind::kF0Estimator, &version);
+  auto payload = wire::UnwrapFrame(blob, want, &version);
   if (!payload.ok()) return payload.status();
   SketchReader sr;
+  sr.frame_kind_ = want;
   sr.version_ = version;
   sr.reader_ = std::make_unique<wire::ByteReader>(payload.value());
   wire::ByteReader& r = *sr.reader_;
+
+  if (want == SketchFrameKind::kStructuredF0) {
+    if (version != SketchCodec::kFormatV2) {
+      return Status::NotSupported(
+          "structured sketch frames require format v2");
+    }
+    Status status = wire::DecodeStructuredParams(r, &sr.structured_params_);
+    if (!status.ok()) return status;
+    sr.expected_thresh_ = StructuredF0Thresh(sr.structured_params_);
+    sr.expected_rows_ = StructuredF0Rows(sr.structured_params_);
+
+    uint8_t hash_mode = 0;
+    if (!r.U8(&hash_mode)) return wire::Truncated("sketch hash mode");
+    if (hash_mode > 1) {
+      return Status::ParseError("bad sketch hash mode " +
+                                std::to_string(hash_mode));
+    }
+    sr.elided_ = hash_mode == 1;
+    if (sr.elided_) {
+      // The replay densifies one Toeplitz hash of up to n x 3n bits per
+      // row from the untrusted parameter block alone; bound n before the
+      // first sample (the encoder honors the same cap by embedding).
+      if (static_cast<uint64_t>(sr.structured_params_.n) >
+          wire::kMaxElidedStructuredUniverseBits) {
+        return Status::ParseError(
+            "elided structured frame exceeds the universe-bits cap");
+      }
+      sr.structured_sampler_.emplace(sr.structured_params_);
+    }
+    uint64_t count = 0;
+    if (!r.Varint(&count)) return wire::Truncated("structured rows");
+    if (count != static_cast<uint64_t>(sr.expected_rows_)) {
+      return Status::ParseError(
+          "structured rows: row count disagrees with parameters");
+    }
+    // Every row occupies at least one payload byte.
+    if (count > r.Remaining()) return wire::Truncated("structured rows");
+    sr.num_units_ = sr.expected_rows_;
+    return sr;
+  }
 
   Status status = wire::DecodeParams(r, &sr.params_);
   if (!status.ok()) return status;
@@ -94,13 +144,13 @@ Result<SketchReader> SketchReader::Open(std::string_view blob) {
       // The canonical sampler materializes thresh polynomial hashes of s
       // coefficients per row, driven purely by the (untrusted) parameter
       // block — so before any elided row is sampled, pin thresh against
-      // what a well-formed frame must carry anyway (at least one cell
-      // byte per column) and thresh * s against the replay allocation cap
-      // the encoder honors. This keeps a tiny crafted file from forcing a
-      // huge sampling allocation or an int-narrowing abort ("decoding
-      // never aborts on bad input").
+      // what a well-formed frame must carry anyway (at least one *bit*
+      // per cell, now that v2 packs the cell block) and thresh * s
+      // against the replay allocation cap the encoder honors. This keeps
+      // a tiny crafted file from forcing a huge sampling allocation or an
+      // int-narrowing abort ("decoding never aborts on bad input").
       if (sr.elided_ &&
-          (sr.expected_thresh_ > r.Remaining() ||
+          (sr.expected_thresh_ > 8 * r.Remaining() ||
            sr.expected_thresh_ >
                static_cast<uint64_t>(std::numeric_limits<int>::max()) ||
            sr.expected_thresh_ * static_cast<uint64_t>(sr.expected_s_) >
@@ -119,6 +169,42 @@ Result<SketchReader::Unit> SketchReader::Next() {
   wire::ByteReader& r = *reader_;
   Status status;
   std::optional<Unit> unit;
+  if (structured()) {
+    if (structured_params_.algorithm == StructuredF0Algorithm::kMinimum) {
+      std::optional<MinimumSketchRow> sampled;
+      if (elided_) sampled = structured_sampler_->NextMinimumRow();
+      std::optional<MinimumSketchRow> row;
+      status = wire::DecodeMinimumPayload(
+          r, version_, sampled ? &sampled->hash() : nullptr, &row,
+          /*wide_universe=*/true);
+      if (!status.ok()) return status;
+      if (row->hash().n() != structured_params_.n ||
+          row->output_bits() != 3 * structured_params_.n ||
+          row->thresh() != expected_thresh_) {
+        return Status::ParseError(
+            "structured minimum row disagrees with sketch parameters");
+      }
+      unit.emplace(*std::move(row));
+    } else {
+      std::optional<StructuredBucketRow> sampled;
+      if (elided_) sampled = structured_sampler_->NextBucketingRow();
+      std::optional<StructuredBucketRow> row;
+      status = wire::DecodeStructuredBucketPayload(
+          r, version_, sampled ? &sampled->hash() : nullptr, &row);
+      if (!status.ok()) return status;
+      if (row->n() != structured_params_.n ||
+          row->thresh() != expected_thresh_) {
+        return Status::ParseError(
+            "structured bucketing row disagrees with sketch parameters");
+      }
+      unit.emplace(*std::move(row));
+    }
+    ++units_read_;
+    if (AtEnd() && !reader_->Done()) {
+      return Status::ParseError("trailing bytes in F0 sketch");
+    }
+    return *std::move(unit);
+  }
   switch (params_.algorithm) {
     case F0Algorithm::kBucketing: {
       std::optional<BucketingSketchRow> sampled;

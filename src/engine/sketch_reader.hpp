@@ -10,11 +10,15 @@
 /// decoded row per Next() call, in the payload's layout order (for the
 /// Estimation algorithm: all Estimation rows, then all FM rows).
 ///
-/// Both wire format versions decode through the same cursor; for v2
-/// frames with seed-elided hash state ("canonical hashes"), the reader
-/// replays the F0RowSampler draws lazily, so even hash reconstruction is
-/// row-at-a-time. The whole-estimator decoder is itself built on this
-/// class — there is exactly one decode path to audit.
+/// Both wire format versions decode through the same cursor, and both
+/// whole-sketch frame kinds: raw `F0Estimator` frames and v2 structured
+/// `StructuredF0` frames (frame_kind() says which; structured frames
+/// yield MinimumSketchRow or StructuredBucketRow units). For v2 frames
+/// with seed-elided hash state ("canonical hashes"), the reader replays
+/// the F0RowSampler / StructuredF0RowSampler draws lazily, so even hash
+/// reconstruction is row-at-a-time. The whole-sketch decoders are
+/// themselves built on this class — there is exactly one decode path to
+/// audit.
 #pragma once
 
 #include <cstdint>
@@ -25,6 +29,8 @@
 #include <vector>
 
 #include "common/status.hpp"
+#include "engine/sketch_codec.hpp"
+#include "setstream/structured_f0.hpp"
 #include "streaming/f0_sketch.hpp"
 
 namespace mcf0 {
@@ -35,10 +41,13 @@ class ByteReader;
 class SketchReader {
  public:
   /// One decoded row in payload order. Which alternative appears follows
-  /// params().algorithm (Estimation frames yield EstimationSketchRow for
-  /// the first F0Rows units, FlajoletMartinRow for the rest).
+  /// the frame kind and algorithm (Estimation frames yield
+  /// EstimationSketchRow for the first F0Rows units, FlajoletMartinRow
+  /// for the rest; structured frames yield MinimumSketchRow or
+  /// StructuredBucketRow).
   using Unit = std::variant<BucketingSketchRow, MinimumSketchRow,
-                            EstimationSketchRow, FlajoletMartinRow>;
+                            EstimationSketchRow, FlajoletMartinRow,
+                            StructuredBucketRow>;
 
   /// Validates the frame (magic, version, kind, checksum) and the
   /// parameter block. `blob` must outlive the reader — rows are decoded
@@ -49,13 +58,25 @@ class SketchReader {
   SketchReader& operator=(SketchReader&&) noexcept;
   ~SketchReader();
 
+  /// Which whole-sketch frame this cursor walks: kF0Estimator or
+  /// kStructuredF0.
+  SketchFrameKind frame_kind() const { return frame_kind_; }
+  bool structured() const {
+    return frame_kind_ == SketchFrameKind::kStructuredF0;
+  }
+  /// Raw-frame parameters; valid only when !structured().
   const F0Params& params() const { return params_; }
+  /// Structured-frame parameters; valid only when structured().
+  const StructuredF0Params& structured_params() const {
+    return structured_params_;
+  }
   /// The frame's wire format version (1 or 2).
   uint16_t version() const { return version_; }
   /// True when the frame elides hash state (v2 canonical-hash mode).
   bool hashes_elided() const { return elided_; }
-  /// Total units Next() will yield: F0Rows for Bucketing/Minimum, twice
-  /// that for Estimation (paired FM rows follow the Estimation rows).
+  /// Total units Next() will yield: F0Rows for Bucketing/Minimum and for
+  /// structured frames, twice that for Estimation (paired FM rows follow
+  /// the Estimation rows).
   int num_units() const { return num_units_; }
   int units_read() const { return units_read_; }
   bool AtEnd() const { return units_read_ == num_units_; }
@@ -68,7 +89,7 @@ class SketchReader {
 
   /// GF(2^n) arithmetic for decoded Estimation rows (null otherwise).
   const Gf2Field* field() const { return field_.get(); }
-  /// Transfers field ownership (for F0Estimator::FromRows); call after
+  /// Transfers field ownership (for F0Estimator::FromParts); call after
   /// the last Next().
   std::unique_ptr<Gf2Field> TakeField() { return std::move(field_); }
 
@@ -76,6 +97,8 @@ class SketchReader {
   SketchReader();
 
   F0Params params_;
+  StructuredF0Params structured_params_;
+  SketchFrameKind frame_kind_ = SketchFrameKind::kF0Estimator;
   uint16_t version_ = 0;
   bool elided_ = false;
   int num_units_ = 0;
@@ -86,6 +109,7 @@ class SketchReader {
   std::unique_ptr<wire::ByteReader> reader_;
   std::unique_ptr<Gf2Field> field_;
   std::optional<F0RowSampler> sampler_;
+  std::optional<StructuredF0RowSampler> structured_sampler_;
   // v2 canonical-hash Estimation frames sample (estimation, fm) pairs but
   // lay FM rows out after all Estimation rows. Rather than buffering the
   // FM hashes of the first pass (O(rows) dense matrices — exactly what a

@@ -673,7 +673,8 @@ void EncodeMinimumPayload(ByteWriter& w, const MinimumSketchRow& row,
 
 Status DecodeMinimumPayload(ByteReader& r, uint16_t version,
                             const AffineHash* elided_hash,
-                            std::optional<MinimumSketchRow>* out) {
+                            std::optional<MinimumSketchRow>* out,
+                            bool wide_universe) {
   const bool v1 = version == SketchCodec::kFormatV1;
   std::optional<AffineHash> h;
   if (elided_hash != nullptr) {
@@ -682,9 +683,10 @@ Status DecodeMinimumPayload(ByteReader& r, uint16_t version,
     Status status = DecodeAffineHash(r, version, &h);
     if (!status.ok()) return status;
   }
-  if (h->n() > 64) {
+  if (h->n() > 64 && !wide_universe) {
     // Add() maps word elements through h, so the input side must be a
-    // word universe (the output side m is unconstrained).
+    // word universe (the output side m is unconstrained). Structured
+    // frames lift the bound: their rows are BitVec-fed (AddHashed).
     return Status::ParseError("minimum row: hash input width exceeds 64");
   }
   uint64_t thresh = 0;
@@ -715,6 +717,11 @@ Status DecodeMinimumPayload(ByteReader& r, uint16_t version,
   if (preimage_coded > 1) {
     return Status::ParseError("bad minimum value-set marker " +
                               std::to_string(preimage_coded));
+  }
+  if (preimage_coded == 1 && h->n() > 64) {
+    // Preimages are u64 deltas; the canonical encoder never preimage-codes
+    // a wide-universe (structured) row.
+    return Status::ParseError("minimum preimage coding needs n <= 64");
   }
   const int n = h->n();
   out->emplace(*std::move(h), thresh);
@@ -762,6 +769,64 @@ Status DecodeMinimumPayload(ByteReader& r, uint16_t version,
 
 // ---- Estimation row -------------------------------------------------------
 
+namespace {
+
+/// Bits per packed v2 cell counter: cells hold trailing-zero counts in
+/// [0, D] where D is the hash width (the field degree, or 64 for a
+/// cells-only row), so ceil(log2(D + 1)) bits suffice — 6 for the default
+/// n = 32 sketches, 7 at most. Both sides derive D the same way, from the
+/// (decoded or to-be-encoded) hash list, so the width is never stored.
+int CellBits(int max_cell) {
+  return std::bit_width(static_cast<unsigned>(max_cell));
+}
+
+/// Packs `cells` at `cell_bits` bits each, MSB-first within bytes, zero
+/// pad bits — the v2 cell-block layout.
+void PackCells(ByteWriter& w, const std::vector<int>& cells, int cell_bits) {
+  uint32_t acc = 0;
+  int nbits = 0;
+  for (const int c : cells) {
+    acc = (acc << cell_bits) | static_cast<uint32_t>(c);
+    nbits += cell_bits;
+    while (nbits >= 8) {
+      w.U8(static_cast<uint8_t>(acc >> (nbits - 8)));
+      nbits -= 8;
+      acc &= (1u << nbits) - 1;
+    }
+  }
+  if (nbits > 0) w.U8(static_cast<uint8_t>(acc << (8 - nbits)));
+}
+
+/// Counterpart of PackCells; rejects out-of-domain counters and nonzero
+/// pad bits (one canonical encoding per cell vector).
+Status UnpackCells(ByteReader& r, uint64_t count, int cell_bits, int max_cell,
+                   std::vector<int>* out) {
+  uint32_t acc = 0;
+  int nbits = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    while (nbits < cell_bits) {
+      uint8_t byte = 0;
+      if (!r.U8(&byte)) return Truncated("estimation cells");
+      acc = (acc << 8) | byte;
+      nbits += 8;
+    }
+    const uint32_t cell =
+        (acc >> (nbits - cell_bits)) & ((1u << cell_bits) - 1);
+    nbits -= cell_bits;
+    acc &= (1u << nbits) - 1;
+    if (cell > static_cast<uint32_t>(max_cell)) {
+      return Status::ParseError("estimation cell exceeds the hash width");
+    }
+    out->push_back(static_cast<int>(cell));
+  }
+  if (acc != 0) {
+    return Status::ParseError("nonzero pad bits in estimation cell block");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 void EncodeEstimationPayload(ByteWriter& w, const EstimationSketchRow& row,
                              uint16_t version, bool embed_hash) {
   if (version == SketchCodec::kFormatV1) {
@@ -792,7 +857,9 @@ void EncodeEstimationPayload(ByteWriter& w, const EstimationSketchRow& row,
     }
   }
   w.Varint(row.cells().size());
-  for (const int c : row.cells()) w.U8(static_cast<uint8_t>(c));
+  const int max_cell =
+      row.hashes().empty() ? 64 : row.hashes().front().field_degree();
+  PackCells(w, row.cells(), CellBits(max_cell));
 }
 
 Status DecodeEstimationPayload(ByteReader& r, uint16_t version,
@@ -850,16 +917,30 @@ Status DecodeEstimationPayload(ByteReader& r, uint16_t version,
   if (!hashes.empty() && hashes.size() != num_cells) {
     return Status::ParseError("estimation hash/cell count mismatch");
   }
-  if (num_cells > r.Remaining()) return Truncated("estimation cells");
   const int max_cell = field != nullptr ? field->degree() : 64;
-  std::vector<int> cells(num_cells);
-  for (auto& cell : cells) {
-    uint8_t v = 0;
-    if (!r.U8(&v)) return Truncated("estimation cells");
-    if (v > max_cell) {
-      return Status::ParseError("estimation cell exceeds the hash width");
+  std::vector<int> cells;
+  if (v1) {
+    if (num_cells > r.Remaining()) return Truncated("estimation cells");
+    for (uint64_t i = 0; i < num_cells; ++i) {
+      uint8_t v = 0;
+      if (!r.U8(&v)) return Truncated("estimation cells");
+      if (v > max_cell) {
+        return Status::ParseError("estimation cell exceeds the hash width");
+      }
+      cells.push_back(v);
     }
-    cell = v;
+  } else {
+    // v2 packs counters at CellBits(D) bits each, D derived from the hash
+    // list exactly as the encoder derives it. Bound the claimed count
+    // before allocating: every cell costs at least one bit.
+    const int cell_bits = CellBits(hashes.empty() ? 64 : field->degree());
+    if (num_cells > 8 * r.Remaining()) return Truncated("estimation cells");
+    if ((num_cells * static_cast<uint64_t>(cell_bits) + 7) / 8 >
+        r.Remaining()) {
+      return Truncated("estimation cells");
+    }
+    Status status = UnpackCells(r, num_cells, cell_bits, max_cell, &cells);
+    if (!status.ok()) return status;
   }
   out->emplace(hashes.empty() ? nullptr : field, std::move(hashes),
                std::move(cells));
@@ -905,6 +986,136 @@ Status DecodeFmPayload(ByteReader& r, uint16_t version,
   return Status::Ok();
 }
 
+// ---- structured params ----------------------------------------------------
+
+void EncodeStructuredParams(ByteWriter& w, const StructuredF0Params& p) {
+  w.U8(static_cast<uint8_t>(p.algorithm));
+  w.Varint(static_cast<uint64_t>(p.n));
+  w.F64(p.eps);
+  w.F64(p.delta);
+  w.U64(p.seed);
+  w.Varint(p.thresh_override);
+  w.Varint(static_cast<uint64_t>(p.rows_override));
+}
+
+Status DecodeStructuredParams(ByteReader& r, StructuredF0Params* out) {
+  uint8_t algorithm = 0;
+  uint64_t n = 0;
+  uint64_t thresh_override = 0;
+  uint64_t rows_override = 0;
+  if (!r.U8(&algorithm) || !r.Varint(&n) || !r.F64(&out->eps) ||
+      !r.F64(&out->delta) || !r.U64(&out->seed) ||
+      !r.Varint(&thresh_override) ||
+      !r.Varint(&rows_override)) {
+    return Truncated("structured sketch parameters");
+  }
+  if (algorithm > static_cast<uint8_t>(StructuredF0Algorithm::kBucketing)) {
+    return Status::ParseError("unknown structured sketch algorithm " +
+                              std::to_string(algorithm));
+  }
+  // Structured universes are not word-capped, but an n the hash decoder
+  // would refuse anyway (2^24) is hostile here too.
+  if (n < 1 || n > (1u << 24)) {
+    return Status::ParseError("structured sketch n out of range");
+  }
+  if (!std::isfinite(out->eps) || out->eps <= 0) {
+    return Status::ParseError("sketch eps must be positive and finite");
+  }
+  // Same hazard as the raw params block: with no override the thresh
+  // formula casts 96/eps^2 to uint64, so bound eps where that runs.
+  if (thresh_override == 0 && out->eps < 1e-6) {
+    return Status::ParseError(
+        "sketch eps below 1e-6 needs an explicit thresh override");
+  }
+  if (!std::isfinite(out->delta) || out->delta <= 0 || out->delta >= 1) {
+    return Status::ParseError("sketch delta outside (0, 1)");
+  }
+  if (rows_override >
+      static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    return Status::ParseError("sketch row override out of range");
+  }
+  out->algorithm = static_cast<StructuredF0Algorithm>(algorithm);
+  out->n = static_cast<int>(n);
+  out->thresh_override = thresh_override;
+  out->rows_override = static_cast<int>(rows_override);
+  return Status::Ok();
+}
+
+// ---- structured Bucketing row ---------------------------------------------
+
+void EncodeStructuredBucketPayload(ByteWriter& w,
+                                   const StructuredBucketRow& row,
+                                   uint16_t version, bool embed_hash) {
+  MCF0_CHECK(version == SketchCodec::kFormatV2);  // structured is v2-only
+  if (embed_hash) EncodeAffineHash(w, row.hash(), version);
+  w.Varint(row.thresh());
+  w.Varint(static_cast<uint64_t>(row.level()));
+  w.Varint(row.bucket().size());
+  // std::set<BitVec> iterates in lexicographic (strictly ascending) order:
+  // the canonical layout, n bits per element.
+  for (const BitVec& x : row.bucket()) w.RawBits(x);
+}
+
+Status DecodeStructuredBucketPayload(ByteReader& r, uint16_t version,
+                                     const AffineHash* elided_hash,
+                                     std::optional<StructuredBucketRow>* out) {
+  if (version != SketchCodec::kFormatV2) {
+    return Status::NotSupported("structured sketch frames require format v2");
+  }
+  std::optional<AffineHash> h;
+  if (elided_hash != nullptr) {
+    h = *elided_hash;
+  } else {
+    Status status = DecodeAffineHash(r, version, &h);
+    if (!status.ok()) return status;
+    if (h->n() != h->m()) {
+      return Status::ParseError("structured bucketing row: hash must be "
+                                "square");
+    }
+  }
+  const int n = h->n();
+  uint64_t thresh = 0;
+  uint64_t level = 0;
+  uint64_t count = 0;
+  if (!r.Varint(&thresh) || !r.Varint(&level) || !r.Varint(&count)) {
+    return Truncated("structured bucketing row");
+  }
+  if (thresh < 1) return Status::ParseError("bucketing thresh must be >= 1");
+  if (level > static_cast<uint64_t>(n)) {
+    return Status::ParseError("bucketing level exceeds hash width");
+  }
+  // Every element costs ceil(n/8) >= 1 payload bytes.
+  if (count > r.Remaining()) return Truncated("structured bucket");
+  if (level < static_cast<uint64_t>(n) && count > thresh) {
+    return Status::ParseError("bucketing bucket exceeds thresh below level n");
+  }
+  std::set<BitVec> bucket;
+  BitVec prev;
+  for (uint64_t i = 0; i < count; ++i) {
+    BitVec x;
+    if (!r.RawBits(n, &x)) return Truncated("structured bucket");
+    if (i > 0 && !(prev < x)) {
+      return Status::ParseError(
+          "structured bucket elements not strictly ascending");
+    }
+    prev = x;
+    bucket.insert(std::move(x));
+  }
+  out->emplace(*std::move(h), thresh, static_cast<int>(level),
+               std::move(bucket));
+  // The from-parts invariant, as for the word-universe row: every element
+  // lies in the cell at `level` (else estimates inflate and blob equality
+  // stops being state equality).
+  const StructuredBucketRow& row = out->value();
+  for (const BitVec& x : row.bucket()) {
+    if (!row.InCell(x, row.level())) {
+      return Status::ParseError(
+          "structured bucket element outside the cell at its level");
+    }
+  }
+  return Status::Ok();
+}
+
 // ---- canonical-hash eligibility -------------------------------------------
 
 bool HashesMatchCanonicalSample(const F0Estimator& est) {
@@ -935,6 +1146,23 @@ bool HashesMatchCanonicalSample(const F0Estimator& est) {
       return true;
   }
   return false;
+}
+
+bool HashesMatchCanonicalSample(const StructuredF0& sketch) {
+  StructuredF0RowSampler sampler(sketch.params());
+  auto same = [](const AffineHash& a, const AffineHash& b) {
+    return a == b && a.RepresentationBits() == b.RepresentationBits();
+  };
+  if (sketch.params().algorithm == StructuredF0Algorithm::kMinimum) {
+    for (const auto& row : sketch.minimum_rows()) {
+      if (!same(row.hash(), sampler.NextMinimumRow().hash())) return false;
+    }
+  } else {
+    for (const auto& row : sketch.bucketing_rows()) {
+      if (!same(row.hash(), sampler.NextBucketingRow().hash())) return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace wire

@@ -27,6 +27,7 @@
 
 #include "common/status.hpp"
 #include "engine/sketch_codec.hpp"
+#include "setstream/structured_f0.hpp"
 #include "streaming/f0_sketch.hpp"
 
 namespace mcf0 {
@@ -43,6 +44,15 @@ inline constexpr size_t kHeaderBytes = 24;
 /// 100-byte crafted file. 2^24 coefficients (128 MiB transient per row)
 /// is orders of magnitude above any real configuration (default: 600).
 inline constexpr uint64_t kMaxElidedHashCoeffs = 1ull << 24;
+
+/// Elided *structured* frames make the decoder sample one Toeplitz hash of
+/// up to n x 3n dense bits per row from the parameter block alone, so n is
+/// capped: encoders fall back to embedding past it (then the file pays for
+/// the hash bytes proportionally), and decoders reject elided frames
+/// beyond it. 4096 universe bits (~6 MiB transient per KMV row) is far
+/// above any real structured stream (DNF benchmarks run tens of
+/// variables).
+inline constexpr uint64_t kMaxElidedStructuredUniverseBits = 4096;
 
 /// FNV-1a-64 over `bytes` — the frame payload checksum.
 uint64_t Fnv1a64(std::string_view bytes);
@@ -206,11 +216,16 @@ Status DecodeBucketingPayload(ByteReader& r, uint16_t version,
                               const AffineHash* elided_hash,
                               std::optional<BucketingSketchRow>* out);
 
+/// `wide_universe` permits hash input widths beyond 64 bits — valid only
+/// in structured-frame context, where KMV rows live on the BitVec universe
+/// and are fed through AddHashed/Eval (never the word-stream Add). Word
+/// frames keep rejecting wide hashes, whose Add() would be undefined.
 void EncodeMinimumPayload(ByteWriter& w, const MinimumSketchRow& row,
                           uint16_t version, bool embed_hash);
 Status DecodeMinimumPayload(ByteReader& r, uint16_t version,
                             const AffineHash* elided_hash,
-                            std::optional<MinimumSketchRow>* out);
+                            std::optional<MinimumSketchRow>* out,
+                            bool wide_universe = false);
 
 void EncodeEstimationPayload(ByteWriter& w, const EstimationSketchRow& row,
                              uint16_t version, bool embed_hash);
@@ -227,11 +242,26 @@ Status DecodeFmPayload(ByteReader& r, uint16_t version,
                        const AffineHash* elided_hash,
                        std::optional<FlajoletMartinRow>* out);
 
+// ---- structured-sketch payloads (v2 only; docs/wire_format.md) ------------
+
+void EncodeStructuredParams(ByteWriter& w, const StructuredF0Params& p);
+Status DecodeStructuredParams(ByteReader& r, StructuredF0Params* out);
+
+void EncodeStructuredBucketPayload(ByteWriter& w,
+                                   const StructuredBucketRow& row,
+                                   uint16_t version, bool embed_hash);
+Status DecodeStructuredBucketPayload(ByteReader& r, uint16_t version,
+                                     const AffineHash* elided_hash,
+                                     std::optional<StructuredBucketRow>* out);
+
 /// True iff every hash in `est` matches what F0RowSampler derives from
 /// `est.params()` — the eligibility test for the v2 seed-elided estimator
 /// encoding. Representation-bit counts are compared too, so SpaceBits()
-/// survives the round trip exactly.
+/// survives the round trip exactly. The slow path behind the
+/// hashes_canonical attestation (used only when the flag is unset).
 bool HashesMatchCanonicalSample(const F0Estimator& est);
+/// The structured twin, against StructuredF0RowSampler.
+bool HashesMatchCanonicalSample(const StructuredF0& sketch);
 
 }  // namespace wire
 }  // namespace mcf0

@@ -1,6 +1,7 @@
 #include "setstream/structured_f0.hpp"
 
 #include <cmath>
+#include <utility>
 
 #include "common/median.hpp"
 #include "common/rng.hpp"
@@ -24,30 +25,149 @@ std::optional<AffineImage> AffineCellSolutions(const Gf2Matrix& a,
 
 }  // namespace
 
-StructuredF0::StructuredF0(const StructuredF0Params& params)
-    : params_(params) {
-  MCF0_CHECK(params.n >= 1);
-  MCF0_CHECK(params.eps > 0 && params.delta > 0 && params.delta < 1);
-  thresh_ = params.thresh_override > 0
-                ? params.thresh_override
-                : static_cast<uint64_t>(
-                      std::ceil(96.0 / (params.eps * params.eps)));
-  const int rows =
-      params.rows_override > 0
-          ? params.rows_override
-          : static_cast<int>(std::ceil(35.0 * std::log2(1.0 / params.delta)));
-  Rng rng(params.seed);
-  for (int i = 0; i < rows; ++i) {
-    if (params.algorithm == StructuredF0Algorithm::kMinimum) {
-      min_rows_.emplace_back(
-          AffineHash::SampleToeplitz(params.n, 3 * params.n, rng), thresh_);
+uint64_t StructuredF0Thresh(const StructuredF0Params& params) {
+  if (params.thresh_override > 0) return params.thresh_override;
+  const double thresh = std::ceil(96.0 / (params.eps * params.eps));
+  // Casting past 2^64 is UB; the wire decoder bounds eps before reaching
+  // here (exactly as for the raw-sketch F0Thresh).
+  MCF0_CHECK(thresh <= 9.0e18);
+  return static_cast<uint64_t>(thresh);
+}
+
+int StructuredF0Rows(const StructuredF0Params& params) {
+  if (params.rows_override > 0) return params.rows_override;
+  return static_cast<int>(std::ceil(35.0 * std::log2(1.0 / params.delta)));
+}
+
+// ---- StructuredBucketRow --------------------------------------------------
+
+StructuredBucketRow::StructuredBucketRow(AffineHash h, uint64_t thresh)
+    : thresh_(thresh), h_(std::move(h)) {
+  MCF0_CHECK(h_.n() >= 1 && h_.m() == h_.n());
+  MCF0_CHECK(thresh >= 1);
+}
+
+StructuredBucketRow::StructuredBucketRow(AffineHash h, uint64_t thresh,
+                                         int level, std::set<BitVec> bucket)
+    : thresh_(thresh),
+      h_(std::move(h)),
+      level_(level),
+      bucket_(std::move(bucket)) {
+  MCF0_CHECK(h_.n() >= 1 && h_.m() == h_.n());
+  MCF0_CHECK(thresh >= 1);
+  MCF0_CHECK(level >= 0 && level <= h_.n());
+}
+
+bool StructuredBucketRow::InCell(const BitVec& x, int level) const {
+  return h_.EvalPrefix(x, level).IsZero();
+}
+
+void StructuredBucketRow::FilterToLevel() {
+  for (auto it = bucket_.begin(); it != bucket_.end();) {
+    if (!InCell(*it, level_)) {
+      it = bucket_.erase(it);
     } else {
-      bucket_rows_.push_back(
-          BucketRow{AffineHash::SampleToeplitz(params.n, params.n, rng),
-                    0,
-                    {}});
+      ++it;
     }
   }
+}
+
+bool StructuredBucketRow::InsertInCell(const BitVec& x) {
+  MCF0_DCHECK(x.size() == h_.n());
+  bucket_.insert(x);
+  if (bucket_.size() > thresh_ && level_ < h_.n()) {
+    ++level_;
+    FilterToLevel();
+    return true;
+  }
+  return false;
+}
+
+void StructuredBucketRow::AddElement(const BitVec& x) {
+  if (!InCell(x, level_)) return;
+  bucket_.insert(x);
+  while (bucket_.size() > thresh_ && level_ < h_.n()) {
+    ++level_;
+    FilterToLevel();
+  }
+}
+
+double StructuredBucketRow::Estimate() const {
+  return static_cast<double>(bucket_.size()) * std::pow(2.0, level_);
+}
+
+size_t StructuredBucketRow::SpaceBits() const {
+  return bucket_.size() * static_cast<size_t>(h_.n()) +
+         h_.RepresentationBits() + /*level counter*/ 8;
+}
+
+// ---- StructuredF0RowSampler -----------------------------------------------
+
+StructuredF0RowSampler::StructuredF0RowSampler(const StructuredF0Params& params)
+    : params_(params), rng_(params.seed) {
+  // Validate before deriving (StructuredF0Thresh casts 96/eps^2).
+  MCF0_CHECK(params.n >= 1);
+  MCF0_CHECK(params.eps > 0 && params.delta > 0 && params.delta < 1);
+  thresh_ = StructuredF0Thresh(params);
+}
+
+MinimumSketchRow StructuredF0RowSampler::NextMinimumRow() {
+  MCF0_CHECK(params_.algorithm == StructuredF0Algorithm::kMinimum);
+  internal::BumpSamplerRowDraws();
+  return MinimumSketchRow(
+      AffineHash::SampleToeplitz(params_.n, 3 * params_.n, rng_), thresh_);
+}
+
+StructuredBucketRow StructuredF0RowSampler::NextBucketingRow() {
+  MCF0_CHECK(params_.algorithm == StructuredF0Algorithm::kBucketing);
+  internal::BumpSamplerRowDraws();
+  return StructuredBucketRow(
+      AffineHash::SampleToeplitz(params_.n, params_.n, rng_), thresh_);
+}
+
+// ---- StructuredF0 ---------------------------------------------------------
+
+StructuredF0::StructuredF0(const StructuredF0Params& params)
+    : params_(params), hashes_canonical_(true) {
+  // Canonical by construction, exactly as in F0Estimator: the sampler
+  // replays params.seed, so structured v2 frames may elide hash state.
+  StructuredF0RowSampler sampler(params);
+  thresh_ = StructuredF0Thresh(params);
+  const int rows = StructuredF0Rows(params);
+  for (int i = 0; i < rows; ++i) {
+    if (params.algorithm == StructuredF0Algorithm::kMinimum) {
+      min_rows_.push_back(sampler.NextMinimumRow());
+    } else {
+      bucket_rows_.push_back(sampler.NextBucketingRow());
+    }
+  }
+}
+
+StructuredF0::Parts StructuredF0::ReleaseParts() && {
+  Parts parts;
+  parts.params = params_;
+  parts.minimum = std::move(min_rows_);
+  parts.bucketing = std::move(bucket_rows_);
+  parts.oracle_calls = oracle_calls_;
+  parts.hashes_canonical = hashes_canonical_;
+  return parts;
+}
+
+StructuredF0 StructuredF0::FromParts(Parts parts) {
+  const size_t rows = static_cast<size_t>(StructuredF0Rows(parts.params));
+  if (parts.params.algorithm == StructuredF0Algorithm::kMinimum) {
+    MCF0_CHECK(parts.minimum.size() == rows && parts.bucketing.empty());
+  } else {
+    MCF0_CHECK(parts.bucketing.size() == rows && parts.minimum.empty());
+  }
+  StructuredF0 sketch;
+  sketch.params_ = parts.params;
+  sketch.thresh_ = StructuredF0Thresh(parts.params);
+  sketch.oracle_calls_ = parts.oracle_calls;
+  sketch.hashes_canonical_ = parts.hashes_canonical;
+  sketch.min_rows_ = std::move(parts.minimum);
+  sketch.bucket_rows_ = std::move(parts.bucketing);
+  return sketch;
 }
 
 void StructuredF0::AddDnf(const Dnf& dnf) {
@@ -75,30 +195,21 @@ void StructuredF0::AddTerms(const std::vector<Term>& terms) {
   for (auto& row : bucket_rows_) BucketAddTerms(&row, terms);
 }
 
-void StructuredF0::BucketAddTerms(BucketRow* row,
+void StructuredF0::BucketAddTerms(StructuredBucketRow* row,
                                   const std::vector<Term>& terms) {
   for (;;) {
     // Enumerate the item's solutions inside the current cell; on overflow
-    // escalate the level, filter the bucket, and re-enumerate the item
-    // against the smaller cell.
+    // the row escalates one level (filtering its bucket) and we
+    // re-enumerate the item against the smaller cell.
     std::vector<AffineImage> pieces;
     for (const Term& t : terms) {
-      auto piece = TermCellSolutions(t, params_.n, row->h, row->level);
+      auto piece = TermCellSolutions(t, params_.n, row->hash(), row->level());
       if (piece.has_value()) pieces.push_back(std::move(*piece));
     }
     UnionLexEnumerator merge(std::move(pieces));
     bool overflow = false;
     for (auto x = merge.Next(); x.has_value(); x = merge.Next()) {
-      row->bucket.insert(*x);
-      if (row->bucket.size() > thresh_ && row->level < params_.n) {
-        ++row->level;
-        for (auto it = row->bucket.begin(); it != row->bucket.end();) {
-          if (!row->h.EvalPrefix(*it, row->level).IsZero()) {
-            it = row->bucket.erase(it);
-          } else {
-            ++it;
-          }
-        }
+      if (row->InsertInCell(*x)) {
         overflow = true;
         break;
       }
@@ -107,25 +218,16 @@ void StructuredF0::BucketAddTerms(BucketRow* row,
   }
 }
 
-void StructuredF0::BucketAddAffine(BucketRow* row, const Gf2Matrix& a,
-                                   const BitVec& b) {
+void StructuredF0::BucketAddAffine(StructuredBucketRow* row,
+                                   const Gf2Matrix& a, const BitVec& b) {
   for (;;) {
-    auto piece = AffineCellSolutions(a, b, row->h, row->level);
+    auto piece = AffineCellSolutions(a, b, row->hash(), row->level());
     if (!piece.has_value()) return;
     bool overflow = false;
     BitVec cur = piece->Min();
     for (std::optional<BitVec> x = cur;; x = piece->MinGt(*x)) {
       if (!x.has_value()) break;
-      row->bucket.insert(*x);
-      if (row->bucket.size() > thresh_ && row->level < params_.n) {
-        ++row->level;
-        for (auto it = row->bucket.begin(); it != row->bucket.end();) {
-          if (!row->h.EvalPrefix(*it, row->level).IsZero()) {
-            it = row->bucket.erase(it);
-          } else {
-            ++it;
-          }
-        }
+      if (row->InsertInCell(*x)) {
         overflow = true;
         break;
       }
@@ -168,25 +270,13 @@ void StructuredF0::AddCnf(const Cnf& cnf) {
     // oracle, escalating the level on overflow as in BucketAddTerms.
     for (;;) {
       const BoundedSatResult cell =
-          BoundedSatCnf(oracle, row.h, row.level, thresh_ + 1);
+          BoundedSatCnf(oracle, row.hash(), row.level(), thresh_ + 1);
       bool overflow = false;
       for (const BitVec& x : cell.solutions) {
-        row.bucket.insert(x);
-        if (row.bucket.size() > thresh_ && row.level < params_.n) {
-          ++row.level;
-          for (auto it = row.bucket.begin(); it != row.bucket.end();) {
-            if (!row.h.EvalPrefix(*it, row.level).IsZero()) {
-              it = row.bucket.erase(it);
-            } else {
-              ++it;
-            }
-          }
+        if (row.InsertInCell(x)) {
           overflow = true;
           break;
         }
-      }
-      if (!overflow && cell.saturated && row.level >= params_.n) {
-        break;  // cannot refine further; bucket stays saturated
       }
       if (!overflow) break;
     }
@@ -200,40 +290,21 @@ void StructuredF0::AddElement(const BitVec& x) {
     row.AddHashed(row.hash().Eval(x));
   }
   for (auto& row : bucket_rows_) {
-    if (row.h.EvalPrefix(x, row.level).IsZero()) {
-      row.bucket.insert(x);
-      // Singleton overflow handling mirrors the classic sketch.
-      while (row.bucket.size() > thresh_ && row.level < params_.n) {
-        ++row.level;
-        for (auto it = row.bucket.begin(); it != row.bucket.end();) {
-          if (!row.h.EvalPrefix(*it, row.level).IsZero()) {
-            it = row.bucket.erase(it);
-          } else {
-            ++it;
-          }
-        }
-      }
-    }
+    row.AddElement(x);
   }
 }
 
 double StructuredF0::Estimate() const {
   std::vector<double> estimates;
   for (const auto& row : min_rows_) estimates.push_back(row.Estimate());
-  for (const auto& row : bucket_rows_) {
-    estimates.push_back(static_cast<double>(row.bucket.size()) *
-                        std::pow(2.0, row.level));
-  }
+  for (const auto& row : bucket_rows_) estimates.push_back(row.Estimate());
   return Median(std::move(estimates));
 }
 
 size_t StructuredF0::SpaceBits() const {
   size_t bits = 0;
   for (const auto& row : min_rows_) bits += row.SpaceBits();
-  for (const auto& row : bucket_rows_) {
-    bits += row.bucket.size() * static_cast<size_t>(params_.n) +
-            row.h.RepresentationBits();
-  }
+  for (const auto& row : bucket_rows_) bits += row.SpaceBits();
   return bits;
 }
 

@@ -1,8 +1,10 @@
 #include "streaming/f0_sketch.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <utility>
 
 #include "common/rng.hpp"
 
@@ -214,6 +216,20 @@ int F0IndependenceS(const F0Params& params) {
       2, static_cast<int>(std::ceil(10.0 * std::log2(1.0 / params.eps))));
 }
 
+namespace {
+std::atomic<uint64_t> g_sampler_row_draws{0};
+}  // namespace
+
+uint64_t TotalSamplerRowDraws() {
+  return g_sampler_row_draws.load(std::memory_order_relaxed);
+}
+
+namespace internal {
+void BumpSamplerRowDraws() {
+  g_sampler_row_draws.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace internal
+
 F0RowSampler::F0RowSampler(const F0Params& params)
     : params_(params), rng_(params.seed) {
   // Validate before deriving: F0Thresh casts 96/eps^2 to an integer, which
@@ -226,11 +242,13 @@ F0RowSampler::F0RowSampler(const F0Params& params)
 
 BucketingSketchRow F0RowSampler::NextBucketingRow() {
   MCF0_CHECK(params_.algorithm == F0Algorithm::kBucketing);
+  internal::BumpSamplerRowDraws();
   return BucketingSketchRow(params_.n, thresh_, rng_);
 }
 
 MinimumSketchRow F0RowSampler::NextMinimumRow() {
   MCF0_CHECK(params_.algorithm == F0Algorithm::kMinimum);
+  internal::BumpSamplerRowDraws();
   return MinimumSketchRow(params_.n, thresh_, rng_);
 }
 
@@ -238,6 +256,7 @@ std::pair<EstimationSketchRow, FlajoletMartinRow>
 F0RowSampler::NextEstimationPair(const Gf2Field* field) {
   MCF0_CHECK(params_.algorithm == F0Algorithm::kEstimation);
   MCF0_CHECK(field != nullptr && field->degree() == params_.n);
+  internal::BumpSamplerRowDraws();
   // Draw order matches the historical constructor: the Estimation row's
   // polynomial hashes, then the paired FM row's affine hash. Changing this
   // order would silently re-key every seed-elided v2 sketch file.
@@ -246,7 +265,11 @@ F0RowSampler::NextEstimationPair(const Gf2Field* field) {
   return {std::move(est), std::move(fm)};
 }
 
-F0Estimator::F0Estimator(const F0Params& params) : params_(params) {
+F0Estimator::F0Estimator(const F0Params& params)
+    : params_(params), hashes_canonical_(true) {
+  // Canonical by construction: every hash below comes from the sampler's
+  // deterministic replay of params.seed — the attestation the v2 encoder's
+  // O(state) elided fast path rides on.
   F0RowSampler sampler(params);
   const int rows = F0Rows(params);
   switch (params.algorithm) {
@@ -274,35 +297,43 @@ F0Estimator::F0Estimator(const F0Params& params) : params_(params) {
 
 F0Estimator::~F0Estimator() = default;
 
-F0Estimator F0Estimator::FromRows(const F0Params& params,
-                                  std::unique_ptr<Gf2Field> field,
-                                  std::vector<BucketingSketchRow> bucketing,
-                                  std::vector<MinimumSketchRow> minimum,
-                                  std::vector<EstimationSketchRow> estimation,
-                                  std::vector<FlajoletMartinRow> fm) {
-  const size_t rows = static_cast<size_t>(F0Rows(params));
-  switch (params.algorithm) {
+F0Estimator::Parts F0Estimator::ReleaseParts() && {
+  Parts parts;
+  parts.params = params_;
+  parts.field = std::move(field_);
+  parts.bucketing = std::move(bucketing_rows_);
+  parts.minimum = std::move(minimum_rows_);
+  parts.estimation = std::move(estimation_rows_);
+  parts.fm = std::move(fm_rows_);
+  parts.hashes_canonical = hashes_canonical_;
+  return parts;
+}
+
+F0Estimator F0Estimator::FromParts(Parts parts) {
+  const size_t rows = static_cast<size_t>(F0Rows(parts.params));
+  switch (parts.params.algorithm) {
     case F0Algorithm::kBucketing:
-      MCF0_CHECK(bucketing.size() == rows && minimum.empty() &&
-                 estimation.empty() && fm.empty());
+      MCF0_CHECK(parts.bucketing.size() == rows && parts.minimum.empty() &&
+                 parts.estimation.empty() && parts.fm.empty());
       break;
     case F0Algorithm::kMinimum:
-      MCF0_CHECK(minimum.size() == rows && bucketing.empty() &&
-                 estimation.empty() && fm.empty());
+      MCF0_CHECK(parts.minimum.size() == rows && parts.bucketing.empty() &&
+                 parts.estimation.empty() && parts.fm.empty());
       break;
     case F0Algorithm::kEstimation:
-      MCF0_CHECK(estimation.size() == rows && fm.size() == rows &&
-                 bucketing.empty() && minimum.empty());
-      MCF0_CHECK(field != nullptr);
+      MCF0_CHECK(parts.estimation.size() == rows && parts.fm.size() == rows &&
+                 parts.bucketing.empty() && parts.minimum.empty());
+      MCF0_CHECK(parts.field != nullptr);
       break;
   }
   F0Estimator est;
-  est.params_ = params;
-  est.field_ = std::move(field);
-  est.bucketing_rows_ = std::move(bucketing);
-  est.minimum_rows_ = std::move(minimum);
-  est.estimation_rows_ = std::move(estimation);
-  est.fm_rows_ = std::move(fm);
+  est.params_ = parts.params;
+  est.field_ = std::move(parts.field);
+  est.bucketing_rows_ = std::move(parts.bucketing);
+  est.minimum_rows_ = std::move(parts.minimum);
+  est.estimation_rows_ = std::move(parts.estimation);
+  est.fm_rows_ = std::move(parts.fm);
+  est.hashes_canonical_ = parts.hashes_canonical;
   return est;
 }
 

@@ -209,6 +209,18 @@ int F0Rows(const F0Params& params);
 /// are validated against exactly what the constructor would sample.
 int F0IndependenceS(const F0Params& params);
 
+/// Process-wide count of sketch-row hash draws (F0RowSampler and
+/// StructuredF0RowSampler alike). Construction-cost observability: the
+/// sealed-API contract is that encoding a canonical sketch performs *zero*
+/// draws, and the engine/E18 tests pin that by diffing this counter around
+/// an Encode() call. Monotone, atomic, never reset.
+uint64_t TotalSamplerRowDraws();
+
+namespace internal {
+/// Bumps TotalSamplerRowDraws(); for the row samplers only.
+void BumpSamplerRowDraws();
+}  // namespace internal
+
 /// Replays the deterministic hash sampling of `F0Estimator`'s constructor
 /// one row at a time. The constructor itself draws rows through this class,
 /// so the sampling order is defined in exactly one place — which is what
@@ -243,22 +255,61 @@ class F0RowSampler {
 /// the validity window [2 F0, 50 F0].
 class F0Estimator {
  public:
+  /// The sealed mutation exchange. An estimator never hands out mutable
+  /// references to its rows; to alter row state a caller must *take the
+  /// whole state out* (ReleaseParts, which consumes the estimator) and put
+  /// it back (FromParts). That linear-type discipline is what lets
+  /// `hashes_canonical` survive by construction: the flag rides along in
+  /// the bundle, so there is no window in which hashes could be swapped
+  /// behind a live attestation.
+  ///
+  /// `hashes_canonical == true` attests that every row's hash function
+  /// (including representation-bit counts) equals the canonical
+  /// F0RowSampler replay from `params.seed`. Only two producers set it:
+  /// the sampling constructor and the codec's elided-decode path — both by
+  /// construction, never by comparison. Row *contents* (buckets, KMV
+  /// values, cells, counters) may be exchanged freely under a true flag;
+  /// swapping a row's hash function voids the attestation, so any code
+  /// doing that must clear the flag. The v2 encoder elides hash state on
+  /// the strength of this bit (O(state) encode, no sampler replay).
+  class Parts {
+   public:
+    Parts(Parts&&) = default;
+    Parts& operator=(Parts&&) = default;
+    Parts(const Parts&) = delete;
+    Parts& operator=(const Parts&) = delete;
+
+    F0Params params;
+    std::unique_ptr<Gf2Field> field;  // Estimation only
+    std::vector<BucketingSketchRow> bucketing;
+    std::vector<MinimumSketchRow> minimum;
+    std::vector<EstimationSketchRow> estimation;
+    std::vector<FlajoletMartinRow> fm;
+    bool hashes_canonical = false;
+
+   private:
+    Parts() = default;
+    friend class F0Estimator;
+  };
+
   explicit F0Estimator(const F0Params& params);
   ~F0Estimator();
 
   F0Estimator(F0Estimator&&) = default;
   F0Estimator& operator=(F0Estimator&&) = default;
 
-  /// Rebuilds an estimator from deserialized row state — the engine entry
-  /// point (src/engine/sketch_codec). Exactly the vectors matching
-  /// `params.algorithm` may be non-empty; for Estimation, `field` owns the
-  /// GF(2^n) arithmetic the rows' hashes point into.
-  static F0Estimator FromRows(const F0Params& params,
-                              std::unique_ptr<Gf2Field> field,
-                              std::vector<BucketingSketchRow> bucketing,
-                              std::vector<MinimumSketchRow> minimum,
-                              std::vector<EstimationSketchRow> estimation,
-                              std::vector<FlajoletMartinRow> fm);
+  /// Moves the entire state out, consuming the estimator (it is left
+  /// moved-from: destroy or assign only). The returned bundle is the only
+  /// mutable view of row state the class ever grants.
+  Parts ReleaseParts() &&;
+
+  /// Rebuilds an estimator from a state bundle — the engine entry point
+  /// (src/engine/sketch_codec decode, sketch_merge row exchange). Exactly
+  /// the row vectors matching `parts.params.algorithm` may be non-empty
+  /// and must hold the row count the parameters imply; for Estimation,
+  /// `parts.field` owns the GF(2^n) arithmetic the rows' hashes point
+  /// into. `parts.hashes_canonical` is trusted (see Parts).
+  static F0Estimator FromParts(Parts parts);
 
   void Add(uint64_t x);
 
@@ -269,9 +320,14 @@ class F0Estimator {
 
   const F0Params& params() const { return params_; }
 
-  /// Engine access (src/engine): SketchCodec serializes row state, Merge()
-  /// unions replicas row-by-row. Mutable access is for those two layers;
-  /// other callers should treat rows as opaque.
+  /// True iff every row hash is attested to equal the canonical
+  /// F0RowSampler replay (see Parts). The sampling constructor starts
+  /// true; merges preserve it (they exchange row contents, never hashes).
+  bool hashes_canonical() const { return hashes_canonical_; }
+
+  /// Engine read access (src/engine): SketchCodec serializes row state,
+  /// Merge() unions replicas row-by-row. Other callers should treat rows
+  /// as opaque; mutation goes through the Parts exchange above.
   const Gf2Field* field() const { return field_.get(); }
   const std::vector<BucketingSketchRow>& bucketing_rows() const {
     return bucketing_rows_;
@@ -283,16 +339,11 @@ class F0Estimator {
     return estimation_rows_;
   }
   const std::vector<FlajoletMartinRow>& fm_rows() const { return fm_rows_; }
-  std::vector<BucketingSketchRow>& mutable_bucketing_rows() {
-    return bucketing_rows_;
-  }
-  std::vector<MinimumSketchRow>& mutable_minimum_rows() {
-    return minimum_rows_;
-  }
-  std::vector<EstimationSketchRow>& mutable_estimation_rows() {
-    return estimation_rows_;
-  }
-  std::vector<FlajoletMartinRow>& mutable_fm_rows() { return fm_rows_; }
+
+  /// An empty Parts bundle to fill by hand (decode layers, tests). Its
+  /// hashes_canonical starts false — hand-assembled state is presumed
+  /// non-canonical until a blessed producer says otherwise.
+  static Parts EmptyParts() { return Parts(); }
 
  private:
   F0Estimator() = default;
@@ -303,6 +354,7 @@ class F0Estimator {
   std::vector<MinimumSketchRow> minimum_rows_;
   std::vector<EstimationSketchRow> estimation_rows_;
   std::vector<FlajoletMartinRow> fm_rows_;
+  bool hashes_canonical_ = false;
 };
 
 }  // namespace mcf0

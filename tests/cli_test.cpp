@@ -419,6 +419,154 @@ TEST(CliTest, SketchUsageAndDecodeErrors) {
             1);
 }
 
+TEST(CliTest, StructuredSketchMapReduceMatchesSinglePass) {
+  // §5 streams get the full map-reduce treatment: build structured
+  // sketches from DNF shards, merge, query — and the merged file is
+  // byte-identical to a single-pass build over the whole formula (whose
+  // estimate equals `mcf0 stream` on the same file, since both run the
+  // same StructuredF0).
+  const std::string whole = WriteFixture("s_whole.dnf", kDnfFixture);
+  const std::string shard_a = WriteFixture("s_a.dnf", "p dnf 4 1\n1 0\n");
+  const std::string shard_b = WriteFixture("s_b.dnf", "p dnf 4 1\n-1 2 0\n");
+  const std::string dir = testing::TempDir();
+
+  for (const std::string algo : {"minimum", "bucketing"}) {
+    const std::string common = " --seed 7 --algo " + algo + " --input dnf ";
+    const std::string single = dir + "/s_single_" + algo + ".mcf0";
+    const std::string a = dir + "/s_a_" + algo + ".mcf0";
+    const std::string b = dir + "/s_b_" + algo + ".mcf0";
+    const std::string merged = dir + "/s_m_" + algo + ".mcf0";
+
+    const RunOutput build_out =
+        RunCli("sketch build" + common + "--out " + single + " " + whole);
+    ASSERT_EQ(build_out.exit_code, 0) << build_out.stdout_text;
+    EXPECT_NE(build_out.stdout_text.find("\"kind\": \"structured\""),
+              std::string::npos)
+        << build_out.stdout_text;
+    EXPECT_EQ(JsonNumber(build_out.stdout_text, "items"), 2.0);
+    ASSERT_EQ(RunCli("sketch build" + common + "--out " + a + " " + shard_a)
+                  .exit_code,
+              0);
+    ASSERT_EQ(RunCli("sketch build" + common + "--out " + b + " " + shard_b)
+                  .exit_code,
+              0);
+    const RunOutput merge_out =
+        RunCli("sketch merge --out " + merged + " " + a + " " + b);
+    ASSERT_EQ(merge_out.exit_code, 0) << merge_out.stdout_text;
+    EXPECT_NE(merge_out.stdout_text.find("\"kind\": \"structured\""),
+              std::string::npos)
+        << merge_out.stdout_text;
+
+    std::ifstream single_in(single, std::ios::binary);
+    std::ifstream merged_in(merged, std::ios::binary);
+    const std::string single_bytes(
+        (std::istreambuf_iterator<char>(single_in)),
+        std::istreambuf_iterator<char>());
+    const std::string merged_bytes(
+        (std::istreambuf_iterator<char>(merged_in)),
+        std::istreambuf_iterator<char>());
+    EXPECT_FALSE(single_bytes.empty());
+    EXPECT_EQ(merged_bytes, single_bytes) << algo;
+
+    const RunOutput query_out = RunCli("sketch query " + merged);
+    ASSERT_EQ(query_out.exit_code, 0) << query_out.stdout_text;
+    ExpectJsonShape(query_out.stdout_text, "sketch");
+    const RunOutput stream_out =
+        RunCli("stream --seed 7 --algo " + algo + " " + whole);
+    ASSERT_EQ(stream_out.exit_code, 0);
+    EXPECT_DOUBLE_EQ(JsonNumber(query_out.stdout_text, "estimate"),
+                     JsonNumber(stream_out.stdout_text, "estimate"))
+        << algo;
+  }
+}
+
+TEST(CliTest, SketchBuildRangeInput) {
+  // Two overlapping 2-d ranges over 4-bit coordinates: |[0,3]^2| = 16
+  // plus |[2,5] x [1,1]| = 4 minus the overlap [2,3] x [1,1] = 2 -> 18
+  // distinct points, exact in the sub-threshold regime.
+  const std::string path = WriteFixture(
+      "ranges.txt",
+      "c two overlapping ranges\np range 2 4\n0 3 0 3\n2 5 1 1\n");
+  const std::string out = testing::TempDir() + "/ranges.mcf0";
+  const RunOutput build =
+      RunCli("sketch build --input range --seed 3 --out " + out + " " + path);
+  ASSERT_EQ(build.exit_code, 0) << build.stdout_text;
+  EXPECT_EQ(JsonNumber(build.stdout_text, "items"), 2.0);
+  EXPECT_EQ(JsonNumber(build.stdout_text, "n"), 8.0);
+  EXPECT_DOUBLE_EQ(JsonNumber(build.stdout_text, "estimate"), 18.0);
+  const RunOutput query = RunCli("sketch query " + out);
+  ASSERT_EQ(query.exit_code, 0);
+  EXPECT_DOUBLE_EQ(JsonNumber(query.stdout_text, "estimate"), 18.0);
+}
+
+TEST(CliTest, SketchMerge32ShardsNamesTheCorruptFileInOnePass) {
+  // The single-pass labeled-source contract end to end: 32 shard files,
+  // one corrupted mid-payload — the merge fails naming exactly that file
+  // (stderr captured via 2>&1), and no pre-open pass re-reads inputs.
+  const std::string dir = testing::TempDir();
+  std::string inputs;
+  for (int s = 0; s < 32; ++s) {
+    const std::string stream_path = WriteFixture(
+        "named_" + std::to_string(s) + ".txt",
+        std::to_string(1000 + s) + " " + std::to_string(2000 + s) + "\n");
+    const std::string sketch_path =
+        dir + "/named_" + std::to_string(s) + ".mcf0";
+    ASSERT_EQ(RunCli("sketch build --seed 4 --out " + sketch_path + " " +
+                     stream_path)
+                  .exit_code,
+              0);
+    inputs += " " + sketch_path;
+  }
+  // Flip one payload byte of shard 13.
+  const std::string victim = dir + "/named_13.mcf0";
+  {
+    std::ifstream in(victim, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 40u);
+    bytes[40] = static_cast<char>(bytes[40] ^ 0x2a);
+    std::ofstream out(victim, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const RunOutput merge = RunCli("sketch merge --out " + dir +
+                                 "/named_merged.mcf0" + inputs + " 2>&1");
+  EXPECT_EQ(merge.exit_code, 1);
+  EXPECT_NE(merge.stdout_text.find("named_13.mcf0"), std::string::npos)
+      << merge.stdout_text;
+}
+
+TEST(CliTest, StructuredSketchUsageErrors) {
+  const std::string dnf = WriteFixture("su.dnf", kDnfFixture);
+  EXPECT_EQ(RunCli("sketch build --input bogus --out x.mcf0 " + dnf +
+                   " 2>/dev/null")
+                .exit_code,
+            2);
+  // Structured frames exist only at v2, and sharded ingestion is a raw
+  // element-stream feature.
+  EXPECT_EQ(RunCli("sketch build --input dnf --format v1 --out x.mcf0 " +
+                   dnf + " 2>/dev/null")
+                .exit_code,
+            2);
+  EXPECT_EQ(RunCli("sketch build --input dnf --shards 2 --out x.mcf0 " +
+                   dnf + " 2>/dev/null")
+                .exit_code,
+            2);
+  // Range parse errors are runtime failures, not aborts.
+  const std::string bad_range = WriteFixture("bad_range.txt", "0 3 0 3\n");
+  EXPECT_EQ(RunCli("sketch build --input range --out x.mcf0 " + bad_range +
+                   " 2>/dev/null")
+                .exit_code,
+            1);
+  // A dims claim whose dims * bits product overflows int must hit the
+  // universe cap cleanly, not wrap past it into a giant allocation.
+  const std::string huge_range = WriteFixture(
+      "huge_range.txt", "p range 33554433 64\n0 1 0 1\n");
+  EXPECT_EQ(RunCli("sketch build --input range --out x.mcf0 " + huge_range +
+                   " 2>/dev/null")
+                .exit_code,
+            1);
+}
+
 TEST(CliTest, FormatSniffingIgnoresComments) {
   // A CNF whose comment mentions "p dnf" must still route to the CNF path.
   const std::string path = WriteFixture(

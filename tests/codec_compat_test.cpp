@@ -1,18 +1,20 @@
-// Wire-format compatibility tests against checked-in golden v1 fixtures
-// (tests/data/*.mcf0). The fixtures were written by the v1 encoder and are
-// never regenerated automatically; they pin three guarantees across codec
-// changes:
+// Wire-format compatibility tests against checked-in golden fixtures
+// (tests/data/*.mcf0): v1 raw estimator files, v2 raw estimator files,
+// and v2 structured-sketch files. The fixtures are never regenerated
+// automatically; they pin these guarantees across codec changes:
 //
 //   1. the v1 *encoder* still produces those exact bytes (no silent drift
-//      of the frozen format),
-//   2. current decode reads v1 files bit-exactly: the decoded estimator's
-//      queries match the original sketch and re-encoding as v1 reproduces
-//      the file,
+//      of the frozen format), and likewise the v2 encoder — any
+//      intentional v2 layout change must regenerate the v2 fixtures *and*
+//      justify itself against the "bump the version" rule below,
+//   2. current decode reads golden files bit-exactly: the decoded
+//      sketch's queries match the original and re-encoding at the same
+//      version reproduces the file,
 //   3. estimators decoded from v1 files merge with v2-round-tripped
 //      estimators (cross-version map-reduce keeps working).
 //
-// To regenerate after an *intentional* v1 change (there should never be
-// one — bump the version instead), run this binary with
+// To regenerate after an *intentional* layout change (for v1 there should
+// never be one — bump the version instead), run this binary with
 // --gtest_also_run_disabled_tests --gtest_filter='*RegenerateFixtures*'.
 #include <gtest/gtest.h>
 
@@ -24,6 +26,8 @@
 
 #include "engine/sketch_codec.hpp"
 #include "engine/sketch_merge.hpp"
+#include "formula/formula.hpp"
+#include "setstream/structured_f0.hpp"
 #include "streaming/f0_sketch.hpp"
 
 namespace mcf0 {
@@ -83,10 +87,58 @@ F0Estimator BuildFixture(F0Algorithm algorithm,
   return est;
 }
 
-std::string FixturePath(F0Algorithm algorithm, const char* shard) {
+std::string FixturePath(F0Algorithm algorithm, const char* shard,
+                        const char* version = "v1") {
   return std::string(MCF0_TEST_DATA_DIR) + "/" + AlgoName(algorithm) + "_" +
-         shard + "_v1.mcf0";
+         shard + "_" + version + ".mcf0";
 }
+
+// ---- structured fixtures (v2-only frames) ---------------------------------
+
+const char* StructuredAlgoName(StructuredF0Algorithm algorithm) {
+  return algorithm == StructuredF0Algorithm::kMinimum ? "minimum"
+                                                      : "bucketing";
+}
+
+StructuredF0Params StructuredFixtureParams(StructuredF0Algorithm algorithm) {
+  StructuredF0Params params;
+  params.n = 12;
+  params.eps = 0.8;
+  params.delta = 0.2;
+  params.algorithm = algorithm;
+  params.seed = 5;
+  params.thresh_override = 8;
+  params.rows_override = 3;
+  return params;
+}
+
+// Deterministic width-3 cubes over 12 variables: term i fixes variables
+// (i, i+3, i+7 mod 12) — always distinct, so Make never fails — with a
+// sign pattern from i's bits.
+std::vector<Term> StructuredFixtureTerms() {
+  std::vector<Term> terms;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<Lit> lits = {Lit(i % 12, (i & 1) != 0),
+                             Lit((i + 3) % 12, (i & 2) != 0),
+                             Lit((i + 7) % 12, (i & 4) != 0)};
+    terms.push_back(*Term::Make(std::move(lits)));
+  }
+  return terms;
+}
+
+StructuredF0 BuildStructuredFixture(StructuredF0Algorithm algorithm) {
+  StructuredF0 sketch(StructuredFixtureParams(algorithm));
+  for (const Term& t : StructuredFixtureTerms()) sketch.AddTerms({t});
+  return sketch;
+}
+
+std::string StructuredFixturePath(StructuredF0Algorithm algorithm) {
+  return std::string(MCF0_TEST_DATA_DIR) + "/structured_" +
+         StructuredAlgoName(algorithm) + "_v2.mcf0";
+}
+
+constexpr StructuredF0Algorithm kStructuredAlgorithms[] = {
+    StructuredF0Algorithm::kMinimum, StructuredF0Algorithm::kBucketing};
 
 std::string ReadFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -172,6 +224,59 @@ TEST(CodecCompatTest, MergesV1DecodedWithV2DecodedAcrossVersions) {
   }
 }
 
+TEST(CodecCompatTest, GoldenV2FilesMatchTheV2Encoder) {
+  // The v2 drift pin: today's v2 encoder reproduces the checked-in bytes
+  // for the same parameters and streams — raw estimator frames (all
+  // three algorithms) and structured frames (both strategies). Any
+  // intentional v2 layout change must regenerate these files (and the
+  // docs' measured-size table) consciously, not silently.
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    EXPECT_EQ(ReadFile(FixturePath(algorithm, "a", "v2")),
+              SketchCodec::Encode(BuildFixture(algorithm, ShardA()),
+                                  SketchCodec::kFormatV2))
+        << AlgoName(algorithm);
+    EXPECT_EQ(ReadFile(FixturePath(algorithm, "b", "v2")),
+              SketchCodec::Encode(BuildFixture(algorithm, ShardB()),
+                                  SketchCodec::kFormatV2))
+        << AlgoName(algorithm);
+  }
+  for (const StructuredF0Algorithm algorithm : kStructuredAlgorithms) {
+    EXPECT_EQ(ReadFile(StructuredFixturePath(algorithm)),
+              SketchCodec::Encode(BuildStructuredFixture(algorithm),
+                                  SketchCodec::kFormatV2))
+        << StructuredAlgoName(algorithm);
+  }
+}
+
+TEST(CodecCompatTest, DecodesGoldenV2FilesBitExactly) {
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    const std::string blob = ReadFile(FixturePath(algorithm, "a", "v2"));
+    Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(blob);
+    ASSERT_TRUE(decoded.ok())
+        << AlgoName(algorithm) << ": " << decoded.status().ToString();
+    const F0Estimator original = BuildFixture(algorithm, ShardA());
+    EXPECT_TRUE(decoded.value().params() == original.params());
+    EXPECT_DOUBLE_EQ(decoded.value().Estimate(), original.Estimate());
+    EXPECT_EQ(decoded.value().SpaceBits(), original.SpaceBits());
+    // The golden files are seed-elided, so decode attests canonicality
+    // and the re-encode takes the O(state) fast path.
+    EXPECT_TRUE(decoded.value().hashes_canonical());
+    EXPECT_EQ(SketchCodec::Encode(decoded.value(), SketchCodec::kFormatV2),
+              blob);
+  }
+  for (const StructuredF0Algorithm algorithm : kStructuredAlgorithms) {
+    const std::string blob = ReadFile(StructuredFixturePath(algorithm));
+    Result<StructuredF0> decoded = SketchCodec::DecodeStructuredF0(blob);
+    ASSERT_TRUE(decoded.ok()) << StructuredAlgoName(algorithm) << ": "
+                              << decoded.status().ToString();
+    const StructuredF0 original = BuildStructuredFixture(algorithm);
+    EXPECT_DOUBLE_EQ(decoded.value().Estimate(), original.Estimate());
+    EXPECT_TRUE(decoded.value().hashes_canonical());
+    EXPECT_EQ(SketchCodec::Encode(decoded.value(), SketchCodec::kFormatV2),
+              blob);
+  }
+}
+
 TEST(CodecCompatTest, StreamingMergeReadsGoldenV1Files) {
   // The row-at-a-time reducer handles v1 frames too: streaming both
   // golden shards equals the in-memory union, for v1 and v2 output.
@@ -207,21 +312,32 @@ TEST(CodecCompatTest, StreamingMergeReadsGoldenV1Files) {
   }
 }
 
-// Manual regeneration hook; see the file comment. Writes into the source
-// tree, so it stays disabled in normal runs.
+// Manual regeneration hook; see the file comment. Emits every fixture
+// generation — v1 and v2 raw frames plus the v2 structured frames — and
+// writes into the source tree, so it stays disabled in normal runs.
 TEST(CodecCompatTest, DISABLED_RegenerateFixtures) {
+  auto write = [](const std::string& path, const std::string& blob) {
+    std::ofstream out(path, std::ios::binary);
+    out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+    ASSERT_TRUE(out.good()) << path;
+  };
   for (const F0Algorithm algorithm : kAllAlgorithms) {
     const struct {
       const char* shard;
       std::vector<uint64_t> xs;
     } shards[] = {{"a", ShardA()}, {"b", ShardB()}};
     for (const auto& [shard, xs] : shards) {
-      const std::string blob = SketchCodec::Encode(
-          BuildFixture(algorithm, xs), SketchCodec::kFormatV1);
-      std::ofstream out(FixturePath(algorithm, shard), std::ios::binary);
-      out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
-      ASSERT_TRUE(out.good());
+      const F0Estimator est = BuildFixture(algorithm, xs);
+      write(FixturePath(algorithm, shard, "v1"),
+            SketchCodec::Encode(est, SketchCodec::kFormatV1));
+      write(FixturePath(algorithm, shard, "v2"),
+            SketchCodec::Encode(est, SketchCodec::kFormatV2));
     }
+  }
+  for (const StructuredF0Algorithm algorithm : kStructuredAlgorithms) {
+    write(StructuredFixturePath(algorithm),
+          SketchCodec::Encode(BuildStructuredFixture(algorithm),
+                              SketchCodec::kFormatV2));
   }
 }
 

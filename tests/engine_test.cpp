@@ -435,10 +435,14 @@ TEST(SketchCodecTest, V2EmbedsHashesWhenTheyAreNotCanonical) {
   const F0Params params = SmallParams(F0Algorithm::kMinimum);
   F0Estimator built(params);
   for (const uint64_t x : RandomStream(300, 200, 31)) built.Add(x);
-  std::vector<MinimumSketchRow> rows = built.minimum_rows();
-  std::swap(rows[0], rows[1]);
-  F0Estimator shuffled = F0Estimator::FromRows(params, nullptr, {},
-                                               std::move(rows), {}, {});
+  F0Estimator::Parts parts = std::move(built).ReleaseParts();
+  std::swap(parts.minimum[0], parts.minimum[1]);
+  // Hand-shuffled hashes void the attestation; a correct caller clears it
+  // (EmptyParts starts false, but this bundle came from ReleaseParts).
+  parts.hashes_canonical = false;
+  F0Estimator shuffled = F0Estimator::FromParts(std::move(parts));
+  built = F0Estimator(params);
+  for (const uint64_t x : RandomStream(300, 200, 31)) built.Add(x);
 
   const std::string canonical = SketchCodec::Encode(built);
   const std::string embedded = SketchCodec::Encode(shuffled);

@@ -69,13 +69,19 @@ subcommands:
   stream  structured set streaming: feed each DNF term as one set item and
           estimate the F0 of the union
   sketch  durable F0 sketches (binary .mcf0 files; see docs/wire_format.md):
-            sketch build [opts] --out F <elements.txt|->   stream -> sketch
+            sketch build [opts] --out F <input|->          stream -> sketch
             sketch merge --out F <a.mcf0> <b.mcf0> [...]   union of sketches
             sketch query <a.mcf0>                          estimate + params
-          merge streams its inputs row by row (a SketchReader cursor per
-          file), so decoded sketch state stays bounded by one row no
+          build reads raw u64 element streams by default; --input dnf
+          treats each term of a DIMACS DNF file as one structured set
+          item (§5), --input range reads `p range <dims> <bits>` headers
+          with one multidimensional range per line — both persist a
+          StructuredF0 sketch that merges and queries exactly like a raw
+          one. merge streams its inputs row by row (a SketchReader cursor
+          per file), so decoded sketch state stays bounded by one row no
           matter how many shard files are merged (the raw bytes of each
-          input file are still buffered)
+          input file are still buffered); a bad shard is reported by file
+          name in that same single pass
   help    print this message
 
 common options:
@@ -95,14 +101,18 @@ subcommand options:
           --tseitin       Tseitin-encode XOR constraints (CNF)
   dnf     --sites K       number of sites                     (default 4)
   sketch  --out FILE      output sketch file (build, merge)
+          --input KIND    build input: raw | dnf | range     (default raw;
+                          dnf/range build structured §5 sketches — v2-only,
+                          --shards stays 1, --algo minimum | bucketing)
           --shards N      build: ingest across N worker threads (default 1)
           --format V      wire format to write: v1 | v2      (default v2;
                           both versions are always readable)
 
 All results are a single JSON object on stdout. A sketch built on one
 shard of a stream merges losslessly with sketches of the other shards as
-long as every build used the same --n/--eps/--delta/--seed/--algo;
-v1- and v2-encoded sketch files mix freely in one merge.
+long as every build used the same --n/--eps/--delta/--seed/--algo (and
+the same --input kind); v1- and v2-encoded raw sketch files mix freely
+in one merge.
 )";
 
 struct CommonOptions {
@@ -116,6 +126,7 @@ struct CommonOptions {
   bool binary_search = false;
   bool tseitin = false;
   std::string out;
+  std::string input_kind = "raw";  // sketch build: raw | dnf | range
   uint16_t format = SketchCodec::kDefaultFormatVersion;
   std::vector<std::string> inputs;
 };
@@ -181,6 +192,14 @@ CommonOptions ParseOptions(int argc, char** argv) {
       opts.shards = ParseInt(next_value("--shards"), "--shards");
     } else if (arg == "--out" || arg == "-o") {
       opts.out = next_value("--out");
+    } else if (arg == "--input") {
+      opts.input_kind = next_value("--input");
+      if (opts.input_kind != "raw" && opts.input_kind != "dnf" &&
+          opts.input_kind != "range") {
+        Fail("--input must be raw, dnf, or range, got '" + opts.input_kind +
+                 "'",
+             2);
+      }
     } else if (arg == "--format") {
       const std::string format = next_value("--format");
       if (format == "v1" || format == "1") {
@@ -617,8 +636,166 @@ void AddSketchParams(JsonObject& json, const F0Params& params) {
   json.Add("thresh", F0Thresh(params));
 }
 
+void AddStructuredSketchParams(JsonObject& json,
+                               const StructuredF0Params& params) {
+  json.Add("algorithm",
+           std::string(params.algorithm == StructuredF0Algorithm::kMinimum
+                           ? "minimum"
+                           : "bucketing"));
+  json.Add("n", params.n);
+  json.Add("eps", params.eps);
+  json.Add("delta", params.delta);
+  json.Add("seed", params.seed);
+  json.Add("rows", StructuredF0Rows(params));
+  json.Add("thresh", StructuredF0Thresh(params));
+}
+
+/// Echoes whichever kind the unified handle holds (plus the "kind" field
+/// the query/merge consumers branch on).
+void AddVariantParams(JsonObject& json, const SketchVariant& sketch) {
+  json.Add("kind",
+           std::string(sketch.structured() ? "structured" : "raw"));
+  if (sketch.structured()) {
+    AddStructuredSketchParams(json, sketch.structured_sketch().params());
+  } else {
+    AddSketchParams(json, sketch.raw().params());
+  }
+}
+
+/// Flags -> structured sketch parameters; `n` comes from the input
+/// (DNF variable count / range dimensions), not --n.
+StructuredF0Params StructuredParamsFromOptions(const CommonOptions& opts,
+                                               int n, const char* cmd) {
+  StructuredF0Params params;
+  params.n = n;
+  params.eps = opts.eps;
+  params.delta = opts.delta;
+  params.seed = opts.seed;
+  const std::string algo = opts.algo.empty() ? "minimum" : opts.algo;
+  if (algo == "minimum") {
+    params.algorithm = StructuredF0Algorithm::kMinimum;
+  } else if (algo == "bucketing") {
+    params.algorithm = StructuredF0Algorithm::kBucketing;
+  } else {
+    Fail(std::string(cmd) + ": unknown --algo " + algo +
+             " for structured input (want minimum | bucketing)",
+         2);
+  }
+  return params;
+}
+
+/// `--input range` text format: comment lines (`c ...`), one
+/// `p range <dims> <bits_per_dim>` header, then one range item per line
+/// as `lo hi` pairs, one pair per dimension (inclusive bounds, each
+/// within [0, 2^bits)).
+std::vector<MultiDimRange> ParseRangeFileOrDie(const std::string& text,
+                                               int* dims_out, int* bits_out) {
+  std::istringstream lines(text);
+  std::string line;
+  int dims = 0;
+  int bits = 0;
+  bool have_header = false;
+  std::vector<MultiDimRange> items;
+  while (std::getline(lines, line)) {
+    std::istringstream tokens(line);
+    std::string first;
+    if (!(tokens >> first) || first == "c") continue;
+    if (!have_header) {
+      std::string kind;
+      if (first != "p" || !(tokens >> kind) || kind != "range" ||
+          !(tokens >> dims >> bits) || dims < 1 || bits < 1 || bits > 64) {
+        Fail("range input needs a `p range <dims> <bits>` header line");
+      }
+      // Bound before multiplying: a huge claimed dims must not overflow
+      // the int product (UB) on its way to this check.
+      if (static_cast<int64_t>(dims) * bits > 4096) {
+        Fail("range universe exceeds 4096 total bits");
+      }
+      have_header = true;
+      continue;
+    }
+    MultiDimRange range(dims, bits);
+    std::istringstream row(line);
+    const uint64_t max = bits == 64 ? ~0ull : ((1ull << bits) - 1);
+    for (int j = 0; j < dims; ++j) {
+      uint64_t lo = 0;
+      uint64_t hi = 0;
+      if (!(row >> lo >> hi)) {
+        Fail("range line needs one `lo hi` pair per dimension");
+      }
+      if (lo > hi || hi > max) {
+        Fail("range bounds out of order or outside the dimension domain");
+      }
+      range.SetDim(j, DimRange{lo, hi, 0});
+    }
+    std::string extra;
+    if (row >> extra) Fail("trailing tokens on range line");
+    items.push_back(std::move(range));
+  }
+  if (!have_header) {
+    Fail("range input needs a `p range <dims> <bits>` header line");
+  }
+  *dims_out = dims;
+  *bits_out = bits;
+  return items;
+}
+
+/// The structured build paths (`--input dnf | range`): every item is one
+/// §5 set, the sketch is a StructuredF0, and the file a v2 structured
+/// frame — the same durable object `sketch merge|query` then treat
+/// uniformly with raw sketches.
+int RunSketchBuildStructured(const CommonOptions& opts,
+                             const std::string& input) {
+  if (opts.format != SketchCodec::kFormatV2) {
+    Fail("structured sketches (--input dnf|range) require --format v2", 2);
+  }
+  if (opts.shards != 1) {
+    Fail("--shards applies to raw element streams only", 2);
+  }
+  WallTimer timer;
+  uint64_t items = 0;
+  std::optional<StructuredF0> sketch;
+  if (opts.input_kind == "dnf") {
+    const Dnf dnf = ParseDnfOrDie(ReadInput(input));
+    sketch.emplace(
+        StructuredParamsFromOptions(opts, dnf.num_vars(), "sketch build"));
+    for (const Term& term : dnf.terms()) {
+      sketch->AddTerms({term});
+      ++items;
+    }
+  } else {
+    int dims = 0;
+    int bits = 0;
+    const std::vector<MultiDimRange> ranges =
+        ParseRangeFileOrDie(ReadInput(input), &dims, &bits);
+    sketch.emplace(
+        StructuredParamsFromOptions(opts, dims * bits, "sketch build"));
+    for (const MultiDimRange& range : ranges) {
+      sketch->AddRange(range);
+      ++items;
+    }
+  }
+  const std::string blob = SketchCodec::Encode(*sketch, opts.format);
+  WriteBinaryFile(opts.out, blob);
+
+  JsonObject json = NewJson("sketch");
+  json.Add("action", std::string("build"));
+  json.Add("input", input);
+  json.Add("input_kind", opts.input_kind);
+  json.Add("kind", std::string("structured"));
+  json.Add("out", opts.out);
+  json.Add("format", static_cast<int>(opts.format));
+  AddStructuredSketchParams(json, sketch->params());
+  json.Add("items", items);
+  json.Add("estimate", sketch->Estimate());
+  json.Add("space_bits", static_cast<uint64_t>(sketch->SpaceBits()));
+  json.Add("file_bytes", static_cast<uint64_t>(blob.size()));
+  json.Add("time_ms", timer.Seconds() * 1e3);
+  json.Print();
+  return 0;
+}
+
 int RunSketchBuild(const CommonOptions& opts) {
-  const F0Params params = F0ParamsFromOptions(opts, "sketch build");
   if (opts.out.empty()) Fail("sketch build needs --out FILE", 2);
   // Each shard is a worker thread plus a full sketch replica; cap it so a
   // typo degrades to a usage error, not an uncaught std::thread failure.
@@ -626,6 +803,8 @@ int RunSketchBuild(const CommonOptions& opts) {
     Fail("--shards must be in [1, 256]", 2);
   }
   const std::string& input = SingleInput(opts);
+  if (opts.input_kind != "raw") return RunSketchBuildStructured(opts, input);
+  const F0Params params = F0ParamsFromOptions(opts, "sketch build");
 
   WallTimer timer;
   uint64_t elements = 0;
@@ -652,6 +831,8 @@ int RunSketchBuild(const CommonOptions& opts) {
   JsonObject json = NewJson("sketch");
   json.Add("action", std::string("build"));
   json.Add("input", input);
+  json.Add("input_kind", opts.input_kind);
+  json.Add("kind", std::string("raw"));
   json.Add("out", opts.out);
   json.Add("format", static_cast<int>(opts.format));
   AddSketchParams(json, params);
@@ -665,13 +846,6 @@ int RunSketchBuild(const CommonOptions& opts) {
   return 0;
 }
 
-F0Estimator DecodeSketchFileOrDie(const std::string& path) {
-  Result<F0Estimator> decoded =
-      SketchCodec::DecodeF0Estimator(ReadBinaryFile(path));
-  if (!decoded.ok()) Fail(path + ": " + decoded.status().ToString());
-  return std::move(decoded).value();
-}
-
 int RunSketchMerge(const CommonOptions& opts) {
   if (opts.out.empty()) Fail("sketch merge needs --out FILE", 2);
   if (opts.inputs.size() < 2) {
@@ -683,36 +857,26 @@ int RunSketchMerge(const CommonOptions& opts) {
   // merged row is written out immediately, so decoded sketch state never
   // exceeds one accumulator row plus one in-flight row — regardless of
   // how many shard files are being merged. (Raw file bytes are still
-  // buffered; see ROADMAP for the mmap follow-on.)
+  // buffered; see ROADMAP for the mmap follow-on.) Input labels ride
+  // through the engine, so a corrupt or mismatched shard is named in this
+  // same single pass — no pre-open validation sweep, no double
+  // checksumming.
   std::vector<std::string> blobs;
   blobs.reserve(opts.inputs.size());
   for (const std::string& path : opts.inputs) {
     blobs.push_back(ReadBinaryFile(path));
   }
-  // Pre-validate each frame individually so a bad shard is reported by
-  // *name* — MergeSketchStreams sees anonymous byte ranges and could only
-  // say "some input is corrupt/incompatible".
-  std::optional<F0Params> first_params;
-  for (size_t i = 0; i < blobs.size(); ++i) {
-    Result<SketchReader> opened = SketchReader::Open(blobs[i]);
-    if (!opened.ok()) {
-      Fail(opts.inputs[i] + ": " + opened.status().ToString());
-    }
-    if (!first_params.has_value()) {
-      first_params = opened.value().params();
-    } else if (!(opened.value().params() == *first_params)) {
-      Fail(opts.inputs[i] + ": parameters differ from " + opts.inputs[0] +
-           " (sketches merge only when built with the same "
-           "--n/--eps/--delta/--seed/--algo)");
-    }
-  }
   uint64_t file_bytes = 0;
   {
     std::ofstream out(opts.out, std::ios::binary | std::ios::trunc);
     if (!out) Fail("cannot write " + opts.out);
-    const std::vector<std::string_view> views(blobs.begin(), blobs.end());
+    std::vector<LabeledSource> sources;
+    sources.reserve(blobs.size());
+    for (size_t i = 0; i < blobs.size(); ++i) {
+      sources.push_back(LabeledSource{opts.inputs[i], blobs[i]});
+    }
     const Result<SketchStreamMergeStats> merged =
-        MergeSketchStreams(views, opts.format, out);
+        MergeSketchStreams(sources, opts.format, out);
     if (!merged.ok()) {
       out.close();
       std::remove(opts.out.c_str());  // discard the partial frame
@@ -725,18 +889,20 @@ int RunSketchMerge(const CommonOptions& opts) {
     }
     file_bytes = merged.value().frame_bytes;
   }
-  // Re-open the merged frame (one estimator, independent of input count)
+  // Re-open the merged frame (one sketch, independent of input count)
   // for the estimate and parameter echo in the JSON result.
-  const F0Estimator merged = DecodeSketchFileOrDie(opts.out);
+  const std::string merged_blob = ReadBinaryFile(opts.out);
+  Result<SketchVariant> merged = SketchVariant::Decode(merged_blob);
+  if (!merged.ok()) Fail(opts.out + ": " + merged.status().ToString());
 
   JsonObject json = NewJson("sketch");
   json.Add("action", std::string("merge"));
   json.Add("inputs", static_cast<uint64_t>(opts.inputs.size()));
   json.Add("out", opts.out);
   json.Add("format", static_cast<int>(opts.format));
-  AddSketchParams(json, merged.params());
-  json.Add("estimate", merged.Estimate());
-  json.Add("space_bits", static_cast<uint64_t>(merged.SpaceBits()));
+  AddVariantParams(json, merged.value());
+  json.Add("estimate", merged.value().Estimate());
+  json.Add("space_bits", static_cast<uint64_t>(merged.value().SpaceBits()));
   json.Add("file_bytes", file_bytes);
   json.Add("time_ms", timer.Seconds() * 1e3);
   json.Print();
@@ -746,11 +912,11 @@ int RunSketchMerge(const CommonOptions& opts) {
 int RunSketchQuery(const CommonOptions& opts) {
   WallTimer timer;
   const std::string blob = ReadBinaryFile(SingleInput(opts));
-  Result<F0Estimator> decoded = SketchCodec::DecodeF0Estimator(blob);
+  Result<SketchVariant> decoded = SketchVariant::Decode(blob);
   if (!decoded.ok()) {
     Fail(SingleInput(opts) + ": " + decoded.status().ToString());
   }
-  const F0Estimator sketch = std::move(decoded).value();
+  const SketchVariant& sketch = decoded.value();
   // O(1) header peek; the successful decode above already validated it.
   const int format = SketchCodec::PeekFormatVersion(blob).value();
 
@@ -758,7 +924,7 @@ int RunSketchQuery(const CommonOptions& opts) {
   json.Add("action", std::string("query"));
   json.Add("input", SingleInput(opts));
   json.Add("format", format);
-  AddSketchParams(json, sketch.params());
+  AddVariantParams(json, sketch);
   json.Add("estimate", sketch.Estimate());
   json.Add("space_bits", static_cast<uint64_t>(sketch.SpaceBits()));
   json.Add("time_ms", timer.Seconds() * 1e3);
