@@ -1,20 +1,35 @@
-// E17 — sketch engine throughput: sharded parallel ingestion
-// (ShardedF0Engine) vs a single-threaded F0Estimator over the same
-// element stream, per algorithm and shard count.
+// E17 — sketch engine throughput: the generic sharded engine vs a
+// single-threaded sketch over the same stream, in three tables:
+//
+//   1. raw sharded ingestion (ShardedF0Engine), per algorithm and shard
+//      count — the original E17;
+//   2. raw multi-producer ingestion: P producer threads feeding one
+//      4-shard engine through private Producer handles (no global
+//      producer lock on the hot path);
+//   3. structured (§5) term streams through ShardedStructuredEngine —
+//      DNF terms sharded as *items* across same-seed StructuredF0
+//      replicas, per variant and shard count.
 //
 // Because the engine's replicas share hash state and merge is an exact
-// union, the merged estimate must equal the serial estimate bit-for-bit;
-// the table prints both so the equivalence is visible next to the
-// speedup. `--smoke` runs a one-iteration miniature of the table (used by
-// CI under ASan to keep the engine's threading exercised).
+// union, every parallel estimate must equal the serial estimate
+// bit-for-bit (and for structured, the encoded sketches must be
+// byte-identical); the tables print both so the equivalence is visible
+// next to the speedup, and any mismatch exits 1. `--smoke` runs a
+// one-iteration miniature of all three tables (used by CI under ASan to
+// keep the engine's threading exercised and gate scaling regressions).
 #include <cstring>
 #include <span>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "engine/sharded_engine.hpp"
+#include "engine/sketch_codec.hpp"
+#include "formula/formula.hpp"
+#include "setstream/structured_f0.hpp"
 #include "streaming/f0_sketch.hpp"
 
 namespace {
@@ -31,6 +46,10 @@ const char* Name(F0Algorithm alg) {
     case F0Algorithm::kEstimation: return "Estimation";
   }
   return "?";
+}
+
+const char* Name(StructuredF0Algorithm alg) {
+  return alg == StructuredF0Algorithm::kMinimum ? "Minimum" : "Bucketing";
 }
 
 F0Params BenchParams(F0Algorithm alg) {
@@ -81,19 +100,104 @@ Measured RunSharded(const F0Params& params, const std::vector<uint64_t>& xs,
   return {static_cast<double>(xs.size()) / secs, engine.Estimate()};
 }
 
+Measured RunMultiProducer(const F0Params& params,
+                          const std::vector<uint64_t>& xs, int shards,
+                          int producers) {
+  ShardedF0Engine engine(params, shards);
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&engine, &xs, p, producers] {
+      auto producer = engine.MakeProducer();
+      // Producer p ingests the batches with index == p (mod producers).
+      for (size_t off = static_cast<size_t>(p) * kBatch; off < xs.size();
+           off += static_cast<size_t>(producers) * kBatch) {
+        const size_t len = std::min(kBatch, xs.size() - off);
+        producer.AddBatch(std::span<const uint64_t>(xs.data() + off, len));
+      }
+      producer.Flush();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double secs = timer.Seconds();
+  return {static_cast<double>(xs.size()) / secs, engine.Estimate()};
+}
+
+// Deterministic random DNF terms over n variables (the §5 item stream).
+std::vector<Term> MakeTerms(int n, int count) {
+  Rng rng(777);
+  std::vector<Term> terms;
+  while (static_cast<int>(terms.size()) < count) {
+    std::vector<Lit> lits;
+    const int width = 4 + static_cast<int>(rng.NextBelow(4));
+    for (int i = 0; i < width; ++i) {
+      lits.emplace_back(static_cast<int>(rng.NextBelow(n)),
+                        rng.NextBelow(2) == 1);
+    }
+    auto term = Term::Make(std::move(lits));
+    if (term.has_value()) terms.push_back(std::move(*term));
+  }
+  return terms;
+}
+
+StructuredF0Params StructuredBenchParams(StructuredF0Algorithm alg, int n) {
+  StructuredF0Params params;
+  params.n = n;
+  params.eps = 0.8;
+  params.delta = 0.2;
+  params.algorithm = alg;
+  params.seed = 9;
+  params.thresh_override = 64;
+  params.rows_override = 9;  // reduced rows: per-item work is heavy
+  return params;
+}
+
+struct StructuredMeasured {
+  double items_per_sec = 0.0;
+  double estimate = 0.0;
+  std::string bytes;  // encoded sketch: the byte-identity gate
+};
+
+StructuredMeasured RunStructuredSerial(const StructuredF0Params& params,
+                                       const std::vector<Term>& terms) {
+  StructuredF0 sketch(params);
+  WallTimer timer;
+  for (const Term& t : terms) sketch.AddTerms({t});
+  const double secs = timer.Seconds();
+  return {static_cast<double>(terms.size()) / secs, sketch.Estimate(),
+          SketchCodec::Encode(sketch)};
+}
+
+StructuredMeasured RunStructuredSharded(const StructuredF0Params& params,
+                                        const std::vector<Term>& terms,
+                                        int shards) {
+  ShardedStructuredEngine engine(params, shards);
+  WallTimer timer;
+  for (const Term& t : terms) engine.AddTerms({t});
+  engine.Flush();
+  const double secs = timer.Seconds();
+  StructuredF0 merged = engine.MergedSketch();
+  return {static_cast<double>(terms.size()) / secs, merged.Estimate(),
+          SketchCodec::Encode(merged)};
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   Banner("E17: sketch engine throughput (sharded parallel ingestion)",
          "replicas with shared hash state merge to exactly the serial "
-         "sketch, so ingestion parallelizes without an accuracy tax");
+         "sketch, so ingestion parallelizes without an accuracy tax — for "
+         "raw element streams, multi-producer front ends, and structured "
+         "(§5) item streams alike");
   const size_t length = smoke ? 5000 : 300000;
   const uint64_t support = smoke ? 2000 : 50000;
   const std::vector<int> shard_counts =
       smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
   const std::vector<uint64_t> xs = MakeStream(length, support);
 
+  std::printf("-- raw element streams, single producer --\n");
   std::printf("%-11s %7s %9s %12s %9s %14s\n", "algorithm", "shards",
               "elements", "elems/s", "speedup", "estimate");
   for (const auto alg : {F0Algorithm::kBucketing, F0Algorithm::kMinimum,
@@ -118,7 +222,64 @@ int main(int argc, char** argv) {
       }
     }
   }
-  std::printf("\n(speedup is relative to the 1-shard engine; the serial row "
-              "is the no-engine baseline)\n\n");
+
+  std::printf("\n-- raw element streams, multi-producer (4 shards) --\n");
+  std::printf("%-11s %9s %9s %12s %9s %14s\n", "algorithm", "producers",
+              "elements", "elems/s", "speedup", "estimate");
+  const std::vector<int> producer_counts =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4};
+  for (const auto alg : {F0Algorithm::kBucketing, F0Algorithm::kMinimum}) {
+    const F0Params params = BenchParams(alg);
+    const Measured serial = RunSerial(params, xs);
+    double base_rate = 0.0;
+    for (const int producers : producer_counts) {
+      const Measured measured = RunMultiProducer(params, xs, 4, producers);
+      if (producers == 1) base_rate = measured.elems_per_sec;
+      char speedup[16];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    base_rate > 0 ? measured.elems_per_sec / base_rate : 0.0);
+      std::printf("%-11s %9d %9zu %12.0f %9s %14.1f\n", Name(alg), producers,
+                  xs.size(), measured.elems_per_sec, speedup,
+                  measured.estimate);
+      if (measured.estimate != serial.estimate) {
+        std::printf(
+            "  ^ MISMATCH: multi-producer estimate diverged from serial!\n");
+        return 1;
+      }
+    }
+  }
+
+  std::printf("\n-- structured (§5) term streams, items sharded --\n");
+  std::printf("%-11s %7s %9s %12s %9s %14s\n", "variant", "shards", "items",
+              "items/s", "speedup", "estimate");
+  const int n = 24;
+  const std::vector<Term> terms = MakeTerms(n, smoke ? 64 : 1500);
+  for (const auto alg : {StructuredF0Algorithm::kMinimum,
+                         StructuredF0Algorithm::kBucketing}) {
+    const StructuredF0Params params = StructuredBenchParams(alg, n);
+    const StructuredMeasured serial = RunStructuredSerial(params, terms);
+    std::printf("%-11s %7s %9zu %12.0f %9s %14.1f\n", Name(alg), "serial",
+                terms.size(), serial.items_per_sec, "1.00x", serial.estimate);
+    double base_rate = 0.0;
+    for (const int shards : shard_counts) {
+      const StructuredMeasured sharded =
+          RunStructuredSharded(params, terms, shards);
+      if (shards == 1) base_rate = sharded.items_per_sec;
+      char speedup[16];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    base_rate > 0 ? sharded.items_per_sec / base_rate : 0.0);
+      std::printf("%-11s %7d %9zu %12.0f %9s %14.1f\n", Name(alg), shards,
+                  terms.size(), sharded.items_per_sec, speedup,
+                  sharded.estimate);
+      if (sharded.bytes != serial.bytes) {
+        std::printf(
+            "  ^ MISMATCH: sharded structured sketch bytes diverged!\n");
+        return 1;
+      }
+    }
+  }
+
+  std::printf("\n(speedups are relative to the 1-shard / 1-producer engine; "
+              "the serial rows are the no-engine baseline)\n\n");
   return 0;
 }

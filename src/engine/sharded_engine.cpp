@@ -1,145 +1,22 @@
 #include "engine/sharded_engine.hpp"
 
-#include <utility>
-
-#include "common/check.hpp"
-#include "engine/sketch_merge.hpp"
-
 namespace mcf0 {
-namespace {
 
-/// Elements buffered by Add() before a batch is dispatched. Large enough to
-/// amortize the queue handoff, small enough to keep shards busy on modest
-/// streams.
-constexpr size_t kAddBatchSize = 2048;
-
-/// Bound on batches queued per shard; the producer blocks past this, so a
-/// slow consumer exerts backpressure instead of growing memory without
-/// limit.
-constexpr size_t kMaxQueuedBatches = 64;
-
-}  // namespace
-
-struct ShardedF0Engine::Shard {
-  explicit Shard(const F0Params& params)
-      : sketch(std::make_unique<F0Estimator>(params)) {}
-
-  std::unique_ptr<F0Estimator> sketch;  // worker-private between flushes
-  std::mutex mu;
-  std::condition_variable work_ready;  // producer -> worker
-  std::condition_variable drained;     // worker -> producer (flush, space)
-  std::deque<std::vector<uint64_t>> queue;
-  size_t inflight = 0;  // queued batches + the one being absorbed
-  bool stop = false;
-  std::thread thread;
-};
-
-ShardedF0Engine::ShardedF0Engine(const F0Params& params, int num_shards)
-    : params_(params) {
-  MCF0_CHECK(num_shards >= 1);
-  shards_.reserve(num_shards);
-  for (int i = 0; i < num_shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(params));
-  }
-  // Replicas first, threads second: if an estimator constructor throws
-  // there are no workers to unwind.
-  for (auto& shard : shards_) {
-    shard->thread = std::thread(WorkerLoop, shard.get());
-  }
-}
-
-ShardedF0Engine::~ShardedF0Engine() {
-  // Hand the Add() tail buffer to a worker; the workers drain their queues
-  // before honoring stop, so nothing ingested is dropped.
-  Dispatch(std::move(pending_));
-  for (auto& shard : shards_) {
-    {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      shard->stop = true;
-    }
-    shard->work_ready.notify_all();
-  }
-  for (auto& shard : shards_) shard->thread.join();
-}
-
-void ShardedF0Engine::WorkerLoop(Shard* shard) {
-  for (;;) {
-    std::vector<uint64_t> batch;
-    {
-      std::unique_lock<std::mutex> lock(shard->mu);
-      shard->work_ready.wait(
-          lock, [shard] { return shard->stop || !shard->queue.empty(); });
-      if (shard->queue.empty()) return;  // stop requested, queue drained
-      batch = std::move(shard->queue.front());
-      shard->queue.pop_front();
-    }
-    for (const uint64_t x : batch) shard->sketch->Add(x);
-    {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      --shard->inflight;
-    }
-    shard->drained.notify_all();
-  }
-}
-
-void ShardedF0Engine::Dispatch(std::vector<uint64_t> batch) {
-  if (batch.empty()) return;
-  Shard& shard = *shards_[next_shard_];
-  next_shard_ = (next_shard_ + 1) % shards_.size();
-  {
-    std::unique_lock<std::mutex> lock(shard.mu);
-    shard.drained.wait(
-        lock, [&shard] { return shard.queue.size() < kMaxQueuedBatches; });
-    shard.queue.push_back(std::move(batch));
-    ++shard.inflight;
-  }
-  shard.work_ready.notify_one();
-}
-
-void ShardedF0Engine::Add(uint64_t x) {
-  ++elements_;
-  if (pending_.capacity() < kAddBatchSize) pending_.reserve(kAddBatchSize);
-  pending_.push_back(x);
-  if (pending_.size() >= kAddBatchSize) {
-    Dispatch(std::move(pending_));
-    pending_.clear();  // moved-from: restore a definite empty state
-  }
-}
-
-void ShardedF0Engine::AddBatch(std::span<const uint64_t> xs) {
-  if (xs.empty()) return;
-  elements_ += xs.size();
-  Dispatch(std::vector<uint64_t>(xs.begin(), xs.end()));
-}
-
-void ShardedF0Engine::Flush() {
-  Dispatch(std::move(pending_));
-  pending_.clear();
-  for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard->mu);
-    shard->drained.wait(lock, [&shard] { return shard->inflight == 0; });
-  }
-}
-
-F0Estimator ShardedF0Engine::MergedSketch() {
-  Flush();
-  // A fresh estimator from the same params has identical hash functions and
-  // empty state — the natural merge target.
-  F0Estimator merged(params_);
-  for (auto& shard : shards_) {
-    const Status status = Merge(merged, *shard->sketch);
-    MCF0_CHECK(status.ok());  // replicas share params by construction
-  }
-  return merged;
-}
-
-double ShardedF0Engine::Estimate() { return MergedSketch().Estimate(); }
-
-size_t ShardedF0Engine::SpaceBits() {
-  Flush();
-  size_t bits = 0;
-  for (const auto& shard : shards_) bits += shard->sketch->SpaceBits();
-  return bits;
+void AbsorbItem(StructuredF0& sketch, const StructuredItem& item) {
+  std::visit(
+      [&sketch](const auto& value) {
+        using T = std::decay_t<decltype(value)>;
+        if constexpr (std::is_same_v<T, std::vector<Term>>) {
+          sketch.AddTerms(value);
+        } else if constexpr (std::is_same_v<T, MultiDimRange>) {
+          sketch.AddRange(value);
+        } else if constexpr (std::is_same_v<T, AffineSpaceItem>) {
+          sketch.AddAffine(value.a, value.b);
+        } else {
+          sketch.AddElement(value);
+        }
+      },
+      item);
 }
 
 }  // namespace mcf0

@@ -1,88 +1,588 @@
 /// \file sharded_engine.hpp
-/// \brief Sharded parallel ingestion for F0 sketches.
+/// \brief Variant-generic, multi-producer sharded ingestion for F0 sketches.
 ///
-/// `ShardedF0Engine` spreads a heavy element stream across N worker
-/// threads. Each worker owns a *private* F0Estimator replica built from the
-/// same F0Params — same seed, hence identical hash functions — so the
-/// replicas stay mergeable (sketch_merge.hpp) and, because every sketch
-/// operation is a set union, the merged result is exactly the sketch a
-/// single-threaded pass over the whole stream would have produced, no
-/// matter how elements are split across shards.
+/// `ShardedEngine<Sketch, Item>` spreads a heavy item stream across N
+/// worker threads. Each worker owns a *private* replica built by the same
+/// factory — same params, same seed, hence identical hash functions — so
+/// the replicas stay mergeable (sketch_merge.hpp) and, because every
+/// sketch operation is a set union, the merged result is exactly the
+/// sketch a single-threaded pass over the whole stream would have
+/// produced, no matter how items are split across shards or producers.
 ///
-/// Ingestion is batched: the producer hands whole batches to shards
-/// round-robin through small bounded queues (backpressure instead of
-/// unbounded buffering), workers drain them into their replica, and
-/// queries merge-on-demand. The engine is single-producer: Add/AddBatch/
-/// Flush/Estimate must be called from one thread; workers only touch their
-/// own shard.
+/// The engine is generic over the sketch and its item type through two
+/// ADL customization points:
+///
+///   * `AbsorbItem(Sketch&, const Item&)` — how a replica ingests one item
+///     (raw: `F0Estimator::Add(uint64_t)`; structured: dispatch a
+///     `StructuredItem` variant to AddTerms / AddRange / AddAffine /
+///     AddElement);
+///   * `Merge(Sketch&, const Sketch&)` — the exact union the replicas are
+///     folded with on query (already defined for both sketch kinds).
+///
+/// Two instantiations live below: `ShardedF0Engine` (raw `uint64_t`
+/// element streams, the API PR 2 introduced) and
+/// `ShardedStructuredEngine` (§5 structured set streams: DNF term groups,
+/// ranges, affine spaces, singletons — the structured analogue of E17).
+///
+/// Ingestion is *multi-producer*: any number of threads may each hold a
+/// `Producer` handle (MakeProducer()). A handle buffers items privately
+/// and hands whole batches to shard queues round-robin — the hot path
+/// takes only the chosen shard's queue mutex, never a global producer
+/// lock. Bounded queues give backpressure instead of unbounded memory.
+/// Each handle remembers, per shard, the queue ticket of its last batch,
+/// so `Producer::Flush()` waits for exactly its own (and earlier) batches
+/// while other producers keep streaming.
+///
+/// Queries merge-on-demand and are safe while producers are mid-stream:
+///   * `Estimate()` / `MergedSketch()` drain everything dispatched so far,
+///     then fold the replicas into a cached union; the cache stays valid
+///     until the next batch is enqueued (see `cache_rebuilds()`).
+///   * `SnapshotSketch()` / `SnapshotEstimate()` skip the drain and merge
+///     the replicas as they are — a consistent-per-shard snapshot of the
+///     absorbed prefix, without stopping ingestion.
+///
+/// Destruction order: every external `Producer` must be flushed or
+/// destroyed before its engine (handle destructors dispatch their tail
+/// buffer; the engine's workers drain all queues before honoring stop).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <thread>
+#include <utility>
+#include <variant>
 #include <vector>
 
+#include "common/check.hpp"
+#include "engine/sketch_merge.hpp"
+#include "formula/formula.hpp"
+#include "setstream/range.hpp"
+#include "setstream/structured_f0.hpp"
 #include "streaming/f0_sketch.hpp"
 
 namespace mcf0 {
 
-class ShardedF0Engine {
+/// Tuning knobs for the queue/worker machinery.
+struct ShardedEngineOptions {
+  /// Items buffered by Producer::Add() before a batch is dispatched.
+  /// Large enough to amortize the queue handoff, small enough to keep
+  /// shards busy on modest streams. (Structured items are whole sets, so
+  /// the structured engine defaults much lower.)
+  size_t batch_size = 2048;
+
+  /// Bound on batches queued per shard; a producer blocks past this, so a
+  /// slow consumer exerts backpressure instead of growing memory without
+  /// limit.
+  size_t max_queued_batches = 64;
+};
+
+/// The generic queue/worker/backpressure core; see the file comment.
+template <typename Sketch, typename Item>
+class ShardedEngine {
  public:
-  /// Spawns `num_shards` workers, each with a private replica built from
-  /// `params`. num_shards >= 1; 1 degenerates to background single-thread
-  /// ingestion.
-  ShardedF0Engine(const F0Params& params, int num_shards);
+  /// Builds one shard replica. Called num_shards times at construction
+  /// and once per merge target; every call must produce sketches that are
+  /// mutually mergeable (in practice: construct from one shared params
+  /// value, so all replicas sample identical hash functions).
+  using ReplicaFactory = std::function<Sketch()>;
 
-  /// Drains outstanding batches and joins the workers.
-  ~ShardedF0Engine();
+  /// A single-threaded ingestion front end; see MakeProducer(). Handles
+  /// may be moved but not copied, and must not outlive the engine.
+  class Producer {
+   public:
+    Producer(Producer&& o) noexcept
+        : engine_(std::exchange(o.engine_, nullptr)),
+          pending_(std::move(o.pending_)),
+          next_shard_(o.next_shard_),
+          tickets_(std::move(o.tickets_)) {}
+    Producer& operator=(Producer&& o) noexcept {
+      if (this != &o) {
+        DispatchPending();
+        engine_ = std::exchange(o.engine_, nullptr);
+        pending_ = std::move(o.pending_);
+        next_shard_ = o.next_shard_;
+        tickets_ = std::move(o.tickets_);
+      }
+      return *this;
+    }
+    Producer(const Producer&) = delete;
+    Producer& operator=(const Producer&) = delete;
 
-  ShardedF0Engine(const ShardedF0Engine&) = delete;
-  ShardedF0Engine& operator=(const ShardedF0Engine&) = delete;
+    /// Hands the tail buffer to a shard; does not wait (the engine's
+    /// destructor drains all queues before joining).
+    ~Producer() { DispatchPending(); }
 
-  /// Buffers one element; dispatched to a shard once an internal batch
-  /// fills (or on Flush).
-  void Add(uint64_t x);
+    /// Buffers one item; dispatched to a shard once the batch fills (or
+    /// on Flush). Must not be called on a moved-from handle.
+    void Add(Item item) {
+      MCF0_CHECK(engine_ != nullptr);
+      if (pending_.capacity() < engine_->options_.batch_size) {
+        pending_.reserve(engine_->options_.batch_size);
+      }
+      pending_.push_back(std::move(item));
+      engine_->items_.fetch_add(1, std::memory_order_relaxed);
+      if (pending_.size() >= engine_->options_.batch_size) DispatchPending();
+    }
 
-  /// The hot path: hands the whole batch to the next shard round-robin.
-  /// Copies the span, so the caller may reuse its buffer immediately.
-  void AddBatch(std::span<const uint64_t> xs);
+    /// The bulk hot path: hands the whole batch to the next shard
+    /// round-robin. Copies the span, so the caller may reuse its buffer
+    /// immediately.
+    void AddBatch(std::span<const Item> items) {
+      MCF0_CHECK(engine_ != nullptr);
+      if (items.empty()) return;
+      engine_->items_.fetch_add(items.size(), std::memory_order_relaxed);
+      Dispatch(std::vector<Item>(items.begin(), items.end()));
+    }
 
-  /// Blocks until every dispatched element has been absorbed by a replica.
-  void Flush();
+    /// Dispatches the tail buffer and blocks until every batch *this
+    /// producer* dispatched has been absorbed by its replica. Safe while
+    /// other producers are mid-stream: the wait covers only batches
+    /// queued no later than this producer's own (per-shard FIFO order),
+    /// never work other producers enqueue afterwards. A no-op on a
+    /// moved-from handle (like the destructor).
+    void Flush() {
+      if (engine_ == nullptr) return;
+      DispatchPending();
+      engine_->AwaitTickets(tickets_);
+    }
 
-  /// Flush + merge-on-query: the union of all shard replicas, exactly the
-  /// sketch a sequential F0Estimator fed the same elements would hold.
-  /// The result carries the hashes_canonical attestation (fresh replica,
+   private:
+    friend class ShardedEngine;
+    Producer(ShardedEngine* engine, size_t start_shard)
+        : engine_(engine),
+          next_shard_(start_shard),
+          tickets_(engine->shards_.size(), 0) {}
+
+    void DispatchPending() {
+      if (engine_ == nullptr || pending_.empty()) return;
+      Dispatch(std::move(pending_));
+      pending_.clear();  // moved-from: restore a definite empty state
+    }
+
+    void Dispatch(std::vector<Item> batch) {
+      const size_t shard = next_shard_;
+      next_shard_ = (next_shard_ + 1) % engine_->shards_.size();
+      tickets_[shard] = engine_->DispatchTo(shard, std::move(batch));
+    }
+
+    ShardedEngine* engine_;
+    std::vector<Item> pending_;  // Add() buffer, not yet dispatched
+    size_t next_shard_;
+    std::vector<uint64_t> tickets_;  // per shard: last enqueued ticket
+  };
+
+  /// Spawns `num_shards` workers, each with a private replica from
+  /// `factory`. num_shards >= 1; 1 degenerates to background
+  /// single-thread ingestion.
+  ShardedEngine(ReplicaFactory factory, int num_shards,
+                ShardedEngineOptions options = {})
+      : factory_(std::move(factory)), options_(options) {
+    MCF0_CHECK(num_shards >= 1);
+    MCF0_CHECK(options_.batch_size >= 1 && options_.max_queued_batches >= 1);
+    shards_.reserve(num_shards);
+    for (int i = 0; i < num_shards; ++i) {
+      shards_.push_back(std::make_unique<Shard>(factory_()));
+    }
+    // Replicas first, threads second: if a sketch constructor throws
+    // there are no workers to unwind.
+    for (auto& shard : shards_) {
+      shard->thread =
+          std::thread(&ShardedEngine::WorkerLoop, this, shard.get());
+    }
+  }
+
+  /// Joins the workers after they drain their queues; producers must have
+  /// been flushed or destroyed first (their destructors dispatch any tail
+  /// buffer, and workers drain before honoring stop, so nothing ingested
+  /// is dropped).
+  ~ShardedEngine() {
+    for (auto& shard : shards_) {
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        shard->stop = true;
+      }
+      shard->work_ready.notify_all();
+    }
+    for (auto& shard : shards_) shard->thread.join();
+  }
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// A new ingestion handle, usable from exactly one thread at a time.
+  /// Handles start on staggered shards so concurrent producers do not
+  /// convoy on one queue. Thread-safe.
+  Producer MakeProducer() {
+    const size_t start =
+        producers_made_.fetch_add(1, std::memory_order_relaxed);
+    return Producer(this, start % shards_.size());
+  }
+
+  /// Blocks until every batch dispatched before this call has been
+  /// absorbed by a replica. Safe to call while other producers keep
+  /// streaming (their later batches are not waited for). Items still in a
+  /// producer's private buffer are not yet part of the stream; flush the
+  /// producer to include them.
+  void Flush() {
+    for (auto& shard : shards_) {
+      std::unique_lock<std::mutex> lock(shard->mu);
+      const uint64_t target = shard->enqueued;
+      shard->drained.wait(
+          lock, [&shard, target] { return shard->absorbed >= target; });
+    }
+  }
+
+  /// Flush + merge-on-query: the union of all shard replicas, exactly
+  /// the sketch a sequential pass over the same items would hold. The
+  /// result carries the hashes_canonical attestation (fresh replica,
   /// Merge preserves it), so encoding it takes the codec's O(state)
-  /// seed-elided fast path — `mcf0 sketch build --shards N` never replays
-  /// the sampler at encode time.
-  F0Estimator MergedSketch();
+  /// seed-elided fast path. The underlying shard merge is cached; see
+  /// cache_rebuilds().
+  Sketch MergedSketch() {
+    Flush();
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    const Sketch& cached = RebuildCacheIfStaleLocked();
+    Sketch out = factory_();
+    MergeOrDie(out, cached);
+    return out;
+  }
 
-  /// MergedSketch().Estimate().
-  double Estimate();
+  /// MergedSketch().Estimate() without materializing a copy: reads the
+  /// cached union directly. Cache rule: the merged union stays valid
+  /// until the next batch is *enqueued* on any shard — repeated queries
+  /// with no ingestion in between fold the shards exactly once.
+  double Estimate() {
+    Flush();
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    return RebuildCacheIfStaleLocked().Estimate();
+  }
+
+  /// Merge-without-drain: folds the replicas as they are, without waiting
+  /// for queued batches — each shard contributes the prefix of its stream
+  /// absorbed so far. Never blocks on ingestion (only on the per-shard
+  /// replica lock for the duration of one fold), so live dashboards can
+  /// poll while producers saturate the queues.
+  Sketch SnapshotSketch() {
+    Sketch merged = factory_();
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> sketch_lock(shard->sketch_mu);
+      MergeOrDie(merged, shard->sketch);
+    }
+    return merged;
+  }
+
+  /// SnapshotSketch().Estimate().
+  double SnapshotEstimate() { return SnapshotSketch().Estimate(); }
 
   /// Flush + total footprint across the shard replicas.
-  size_t SpaceBits();
+  size_t SpaceBits() {
+    Flush();
+    size_t bits = 0;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> sketch_lock(shard->sketch_mu);
+      bits += shard->sketch.SpaceBits();
+    }
+    return bits;
+  }
 
-  uint64_t elements_ingested() const { return elements_; }
+  /// Items accepted across all producers (including any still in a
+  /// producer's private buffer).
+  uint64_t items_ingested() const {
+    return items_.load(std::memory_order_relaxed);
+  }
+
   int num_shards() const { return static_cast<int>(shards_.size()); }
-  const F0Params& params() const { return params_; }
+
+  /// How many times the merge-on-query cache was rebuilt from the shard
+  /// replicas — observability for the invalidation rule (and its tests):
+  /// queries with no enqueue in between must not add to this.
+  uint64_t cache_rebuilds() const {
+    return cache_rebuilds_.load(std::memory_order_relaxed);
+  }
 
  private:
-  struct Shard;
+  struct Shard {
+    explicit Shard(Sketch replica) : sketch(std::move(replica)) {}
 
-  void Dispatch(std::vector<uint64_t> batch);
-  static void WorkerLoop(Shard* shard);
+    std::mutex mu;  // guards queue, enqueued, absorbed, stop
+    std::condition_variable work_ready;  // producer -> worker
+    std::condition_variable drained;     // worker -> producers (flush, bp)
+    std::deque<std::vector<Item>> queue;
+    uint64_t enqueued = 0;  // batches ever queued (= last ticket issued)
+    uint64_t absorbed = 0;  // batches fully absorbed into the replica
+    bool stop = false;
 
-  F0Params params_;
+    std::mutex sketch_mu;  // guards sketch: worker absorb vs query merge
+    Sketch sketch;
+    std::thread thread;
+  };
+
+  static void MergeOrDie(Sketch& into, const Sketch& from) {
+    const Status status = Merge(into, from);
+    MCF0_CHECK(status.ok());  // replicas share params by construction
+  }
+
+  void WorkerLoop(Shard* shard) {
+    for (;;) {
+      std::vector<Item> batch;
+      {
+        std::unique_lock<std::mutex> lock(shard->mu);
+        shard->work_ready.wait(
+            lock, [shard] { return shard->stop || !shard->queue.empty(); });
+        if (shard->queue.empty()) return;  // stop requested, queue drained
+        batch = std::move(shard->queue.front());
+        shard->queue.pop_front();
+      }
+      {
+        std::lock_guard<std::mutex> sketch_lock(shard->sketch_mu);
+        for (const Item& item : batch) AbsorbItem(shard->sketch, item);
+      }
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        ++shard->absorbed;
+      }
+      shard->drained.notify_all();
+    }
+  }
+
+  /// Queues one batch on the given shard (blocking on backpressure) and
+  /// returns its ticket: the shard's enqueue count, against which
+  /// AwaitTickets compares the absorb count. Thread-safe; concurrent
+  /// producers contend only on this one shard's mutex.
+  uint64_t DispatchTo(size_t shard_index, std::vector<Item> batch) {
+    Shard& shard = *shards_[shard_index];
+    uint64_t ticket = 0;
+    {
+      std::unique_lock<std::mutex> lock(shard.mu);
+      shard.drained.wait(lock, [this, &shard] {
+        return shard.queue.size() < options_.max_queued_batches;
+      });
+      shard.queue.push_back(std::move(batch));
+      ticket = ++shard.enqueued;
+    }
+    shard.work_ready.notify_one();
+    return ticket;
+  }
+
+  /// Blocks until, on every shard, the absorb count has reached the given
+  /// ticket (0 = nothing to wait for on that shard).
+  void AwaitTickets(const std::vector<uint64_t>& tickets) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (tickets[i] == 0) continue;
+      Shard& shard = *shards_[i];
+      std::unique_lock<std::mutex> lock(shard.mu);
+      const uint64_t target = tickets[i];
+      shard.drained.wait(
+          lock, [&shard, target] { return shard.absorbed >= target; });
+    }
+  }
+
+  uint64_t TotalEnqueued() {
+    uint64_t total = 0;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      total += shard->enqueued;
+    }
+    return total;
+  }
+
+  /// Requires cache_mu_. Validity rule: the cache was built from a state
+  /// covering exactly `cache_generation_` batches (each shard's absorb
+  /// count read *before* folding its replica, so the replica provably
+  /// contained those batches), hence it is current iff no further batch
+  /// has been enqueued since. Enqueues — not producer-buffer appends —
+  /// invalidate; the Estimate()/MergedSketch() flush dispatches the
+  /// caller's own buffer first, so a caller never reads a cache missing
+  /// its own items.
+  const Sketch& RebuildCacheIfStaleLocked() {
+    if (cached_.has_value() && cache_generation_ == TotalEnqueued()) {
+      return *cached_;
+    }
+    uint64_t generation = 0;
+    Sketch merged = factory_();
+    for (auto& shard : shards_) {
+      {
+        std::lock_guard<std::mutex> lock(shard->mu);
+        generation += shard->absorbed;
+      }
+      std::lock_guard<std::mutex> sketch_lock(shard->sketch_mu);
+      MergeOrDie(merged, shard->sketch);
+    }
+    cached_ = std::move(merged);
+    cache_generation_ = generation;
+    cache_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    return *cached_;
+  }
+
+  ReplicaFactory factory_;
+  ShardedEngineOptions options_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<uint64_t> pending_;  // Add() buffer, not yet dispatched
-  size_t next_shard_ = 0;
-  uint64_t elements_ = 0;
+  std::atomic<uint64_t> items_{0};
+  std::atomic<size_t> producers_made_{0};
+
+  std::mutex cache_mu_;  // guards cached_ + cache_generation_
+  std::optional<Sketch> cached_;
+  uint64_t cache_generation_ = 0;
+  std::atomic<uint64_t> cache_rebuilds_{0};
+};
+
+/// AbsorbItem customization point for raw element streams.
+inline void AbsorbItem(F0Estimator& sketch, uint64_t x) { sketch.Add(x); }
+
+/// One §5 structured stream item for `ShardedStructuredEngine`: the
+/// affine space {x : a x = b} of Theorem 7.
+struct AffineSpaceItem {
+  Gf2Matrix a;
+  BitVec b;
+};
+
+/// The §5 item alphabet: a set given as DNF terms (Theorem 5 — one term,
+/// or a whole formula's worth), a multidimensional range / arithmetic
+/// progression (Theorem 6 / Corollary 1), an affine space (Theorem 7), or
+/// a singleton element (the traditional stream as a special case).
+using StructuredItem =
+    std::variant<std::vector<Term>, MultiDimRange, AffineSpaceItem, BitVec>;
+
+/// AbsorbItem customization point for structured streams: dispatches the
+/// variant to the matching StructuredF0 adder.
+void AbsorbItem(StructuredF0& sketch, const StructuredItem& item);
+
+/// Sharded parallel ingestion of raw u64 element streams — the concrete
+/// engine PR 2 introduced, now a thin veneer over the generic core. The
+/// single-producer Add/AddBatch/Flush surface is preserved (routed
+/// through a built-in producer handle); MakeProducer() opens the
+/// multi-producer path.
+class ShardedF0Engine {
+ public:
+  using Engine = ShardedEngine<F0Estimator, uint64_t>;
+  using Producer = Engine::Producer;
+
+  /// Spawns `num_shards` workers, each with a private replica built from
+  /// `params` (same seed, identical hash functions). num_shards >= 1.
+  ShardedF0Engine(const F0Params& params, int num_shards)
+      : params_(params),
+        core_([params] { return F0Estimator(params); }, num_shards),
+        producer_(core_.MakeProducer()) {}
+
+  /// Buffers one element on the built-in producer handle.
+  void Add(uint64_t x) { producer_.Add(x); }
+
+  /// The bulk hot path; copies the span, so the caller may reuse its
+  /// buffer immediately.
+  void AddBatch(std::span<const uint64_t> xs) { producer_.AddBatch(xs); }
+
+  /// New ingestion handles for additional producer threads.
+  Producer MakeProducer() { return core_.MakeProducer(); }
+
+  /// Drains the built-in handle's buffer and every batch it dispatched.
+  void Flush() { producer_.Flush(); }
+
+  /// Engine-wide flush + cached merge-on-query; see ShardedEngine.
+  F0Estimator MergedSketch() {
+    producer_.Flush();
+    return core_.MergedSketch();
+  }
+
+  /// Cached merged estimate; the cache survives until the next batch is
+  /// enqueued (ShardedEngine::Estimate).
+  double Estimate() {
+    producer_.Flush();
+    return core_.Estimate();
+  }
+
+  /// Merge without draining the queues; see ShardedEngine::SnapshotSketch.
+  F0Estimator SnapshotSketch() { return core_.SnapshotSketch(); }
+  double SnapshotEstimate() { return core_.SnapshotEstimate(); }
+
+  /// Flush + total footprint across the shard replicas.
+  size_t SpaceBits() {
+    producer_.Flush();
+    return core_.SpaceBits();
+  }
+
+  uint64_t elements_ingested() const { return core_.items_ingested(); }
+  int num_shards() const { return core_.num_shards(); }
+  const F0Params& params() const { return params_; }
+  uint64_t cache_rebuilds() const { return core_.cache_rebuilds(); }
+
+ private:
+  F0Params params_;
+  Engine core_;
+  Producer producer_;  // after core_: destroyed (and drained) first
+};
+
+/// Sharded parallel ingestion of §5 structured set streams: items (DNF
+/// term groups, ranges, affine spaces, singletons) are sharded across
+/// same-seed StructuredF0 replicas and merged on query — the structured
+/// analogue of ShardedF0Engine, with the same multi-producer surface.
+class ShardedStructuredEngine {
+ public:
+  using Engine = ShardedEngine<StructuredF0, StructuredItem>;
+  using Producer = Engine::Producer;
+
+  ShardedStructuredEngine(const StructuredF0Params& params, int num_shards)
+      : params_(params),
+        core_([params] { return StructuredF0(params); }, num_shards,
+              // Structured items are whole sets — per-item work dwarfs the
+              // queue handoff, so batches stay small to keep shards busy.
+              ShardedEngineOptions{.batch_size = 16,
+                                   .max_queued_batches = 64}),
+        producer_(core_.MakeProducer()) {}
+
+  /// One stream item per call, on the built-in producer handle.
+  void AddTerms(std::vector<Term> terms) {
+    producer_.Add(StructuredItem(std::move(terms)));
+  }
+  void AddRange(MultiDimRange range) {
+    producer_.Add(StructuredItem(std::move(range)));
+  }
+  void AddAffine(Gf2Matrix a, BitVec b) {
+    producer_.Add(StructuredItem(AffineSpaceItem{std::move(a), std::move(b)}));
+  }
+  void AddElement(BitVec x) { producer_.Add(StructuredItem(std::move(x))); }
+  void AddItem(StructuredItem item) { producer_.Add(std::move(item)); }
+
+  /// New ingestion handles for additional producer threads.
+  Producer MakeProducer() { return core_.MakeProducer(); }
+
+  void Flush() { producer_.Flush(); }
+
+  /// Engine-wide flush + cached merge-on-query: byte-identical (post
+  /// encode) to a single-pass StructuredF0 over the same items.
+  StructuredF0 MergedSketch() {
+    producer_.Flush();
+    return core_.MergedSketch();
+  }
+
+  double Estimate() {
+    producer_.Flush();
+    return core_.Estimate();
+  }
+
+  StructuredF0 SnapshotSketch() { return core_.SnapshotSketch(); }
+  double SnapshotEstimate() { return core_.SnapshotEstimate(); }
+
+  size_t SpaceBits() {
+    producer_.Flush();
+    return core_.SpaceBits();
+  }
+
+  uint64_t items_ingested() const { return core_.items_ingested(); }
+  int num_shards() const { return core_.num_shards(); }
+  const StructuredF0Params& params() const { return params_; }
+  uint64_t cache_rebuilds() const { return core_.cache_rebuilds(); }
+
+ private:
+  StructuredF0Params params_;
+  Engine core_;
+  Producer producer_;  // after core_: destroyed (and drained) first
 };
 
 }  // namespace mcf0

@@ -287,6 +287,18 @@ TEST(CliTest, SketchShardedBuildMatchesSerialBuild) {
       std::istreambuf_iterator<char>());
   EXPECT_FALSE(serial_bytes.empty());
   EXPECT_EQ(serial_bytes, sharded_bytes);
+
+  // Multi-producer ingestion (4 feeder threads into 3 shards) leaves no
+  // trace either.
+  const std::string multi = testing::TempDir() + "/multiproducer.mcf0";
+  const RunOutput multi_out =
+      RunCli("sketch build --seed 5 --shards 3 --producers 4 --out " + multi +
+             " " + path);
+  ASSERT_EQ(multi_out.exit_code, 0) << multi_out.stdout_text;
+  std::ifstream multi_in(multi, std::ios::binary);
+  const std::string multi_bytes((std::istreambuf_iterator<char>(multi_in)),
+                                std::istreambuf_iterator<char>());
+  EXPECT_EQ(serial_bytes, multi_bytes);
 }
 
 TEST(CliTest, SketchMerge32ShardsIsByteIdenticalToSinglePass) {
@@ -468,6 +480,19 @@ TEST(CliTest, StructuredSketchMapReduceMatchesSinglePass) {
     EXPECT_FALSE(single_bytes.empty());
     EXPECT_EQ(merged_bytes, single_bytes) << algo;
 
+    // In-process term sharding (ShardedStructuredEngine) produces those
+    // same bytes too: one file, N worker replicas, P producers.
+    const std::string sharded = dir + "/s_sharded_" + algo + ".mcf0";
+    ASSERT_EQ(RunCli("sketch build" + common + "--shards 2 --producers 2 " +
+                     "--out " + sharded + " " + whole)
+                  .exit_code,
+              0);
+    std::ifstream sharded_in(sharded, std::ios::binary);
+    const std::string sharded_bytes(
+        (std::istreambuf_iterator<char>(sharded_in)),
+        std::istreambuf_iterator<char>());
+    EXPECT_EQ(sharded_bytes, single_bytes) << algo;
+
     const RunOutput query_out = RunCli("sketch query " + merged);
     ASSERT_EQ(query_out.exit_code, 0) << query_out.stdout_text;
     ExpectJsonShape(query_out.stdout_text, "sketch");
@@ -541,13 +566,18 @@ TEST(CliTest, StructuredSketchUsageErrors) {
                    " 2>/dev/null")
                 .exit_code,
             2);
-  // Structured frames exist only at v2, and sharded ingestion is a raw
-  // element-stream feature.
+  // Structured frames exist only at v2.
   EXPECT_EQ(RunCli("sketch build --input dnf --format v1 --out x.mcf0 " +
                    dnf + " 2>/dev/null")
                 .exit_code,
             2);
-  EXPECT_EQ(RunCli("sketch build --input dnf --shards 2 --out x.mcf0 " +
+  // --producers is capped like --shards: a typo must be a usage error,
+  // not a thread-spawn crash.
+  EXPECT_EQ(RunCli("sketch build --producers 0 --out x.mcf0 " + dnf +
+                   " 2>/dev/null")
+                .exit_code,
+            2);
+  EXPECT_EQ(RunCli("sketch build --input dnf --producers 9999 --out x.mcf0 " +
                    dnf + " 2>/dev/null")
                 .exit_code,
             2);
@@ -565,6 +595,56 @@ TEST(CliTest, StructuredSketchUsageErrors) {
                    " 2>/dev/null")
                 .exit_code,
             1);
+  // Affine parse errors are runtime failures, not aborts: missing item
+  // header, truncated matrix, wrong row width, mismatched n.
+  for (const char* bad : {"1000\n0\n",                    // no `a` header
+                          "a 4 2\n1000\n",                // truncated rows
+                          "a 4 1\n10\n0\n",               // row width != n
+                          "a 4 1\n1020\n0\n",             // non-binary chars
+                          "a 4 0\n",                      // rank < 1
+                          "a 4 1\n1000\n0\na 5 1\n10000\n0\n"}) {  // n drift
+    const std::string path = WriteFixture("bad_affine.txt", bad);
+    EXPECT_EQ(RunCli("sketch build --input affine --out x.mcf0 " + path +
+                     " 2>/dev/null")
+                  .exit_code,
+              1)
+        << bad;
+  }
+}
+
+TEST(CliTest, SketchBuildAffineInput) {
+  // Theorem 7 end to end: two disjoint affine spaces over {0,1}^4 —
+  // {x0 = 0} (8 points) and {x0 = 1, x1 = 1} (4 points) — estimate 12 in
+  // the sub-threshold exact regime, surviving a query round trip.
+  const std::string path = WriteFixture(
+      "affine.txt",
+      "c two disjoint affine spaces\na 4 1\n1000\n0\na 4 2\n1000\n0100\n11\n");
+  const std::string out = testing::TempDir() + "/affine.mcf0";
+  const RunOutput build =
+      RunCli("sketch build --input affine --seed 3 --out " + out + " " + path);
+  ASSERT_EQ(build.exit_code, 0) << build.stdout_text;
+  EXPECT_EQ(JsonNumber(build.stdout_text, "items"), 2.0);
+  EXPECT_EQ(JsonNumber(build.stdout_text, "n"), 4.0);
+  EXPECT_DOUBLE_EQ(JsonNumber(build.stdout_text, "estimate"), 12.0);
+  const RunOutput query = RunCli("sketch query " + out);
+  ASSERT_EQ(query.exit_code, 0);
+  EXPECT_DOUBLE_EQ(JsonNumber(query.stdout_text, "estimate"), 12.0);
+
+  // The sharded + multi-producer structured build is byte-identical.
+  const std::string sharded = testing::TempDir() + "/affine_sharded.mcf0";
+  const RunOutput sharded_build =
+      RunCli("sketch build --input affine --seed 3 --shards 3 --producers 2 "
+             "--out " + sharded + " " + path);
+  ASSERT_EQ(sharded_build.exit_code, 0) << sharded_build.stdout_text;
+  std::ifstream serial_in(out, std::ios::binary);
+  std::ifstream sharded_in(sharded, std::ios::binary);
+  const std::string serial_bytes((std::istreambuf_iterator<char>(serial_in)),
+                                 std::istreambuf_iterator<char>());
+  const std::string sharded_bytes(
+      (std::istreambuf_iterator<char>(sharded_in)),
+      std::istreambuf_iterator<char>());
+  EXPECT_FALSE(serial_bytes.empty());
+  EXPECT_EQ(sharded_bytes, serial_bytes);
 }
 
 TEST(CliTest, FormatSniffingIgnoresComments) {

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "engine/sharded_engine.hpp"
 #include "engine/sketch_codec.hpp"
 #include "engine/sketch_merge.hpp"
 #include "engine/sketch_reader.hpp"
@@ -338,6 +339,44 @@ TEST(StructuredSketchMergeTest, SplitDnfThenMergeEqualsSinglePass) {
     EXPECT_EQ(out.str(), SketchCodec::Encode(single));
     EXPECT_LE(stats.value().max_resident_units, 2);
     EXPECT_EQ(stats.value().units, StructuredF0Rows(params));
+  }
+}
+
+TEST(StructuredSketchMergeTest, ShardedEngineEqualsSinglePassBytes) {
+  // The in-process twin of the map-reduce test above: the same term
+  // stream through ShardedStructuredEngine (items sharded across
+  // same-seed replicas, merged on query) must produce the same bytes as
+  // the single-pass sketch — for both algorithm variants.
+  for (const StructuredF0Algorithm algorithm : kBothAlgorithms) {
+    const StructuredF0Params params = SmallParams(algorithm);
+    const std::vector<Term> terms = MakeTerms(12, 24, 37);
+    const StructuredF0 single = BuildSketch(params, terms);
+
+    ShardedStructuredEngine engine(params, 4);
+    for (const Term& t : terms) engine.AddTerms({t});
+    StructuredF0 merged = engine.MergedSketch();
+    EXPECT_EQ(SketchCodec::Encode(merged), SketchCodec::Encode(single));
+    EXPECT_TRUE(merged.hashes_canonical());
+    EXPECT_DOUBLE_EQ(engine.Estimate(), single.Estimate());
+  }
+}
+
+TEST(StructuredSketchMergeTest, EngineAffineItemsEqualDirectAddAffine) {
+  // Theorem 7 items through the engine's StructuredItem path: affine
+  // spaces sharded across replicas merge to the direct-AddAffine sketch.
+  for (const StructuredF0Algorithm algorithm : kBothAlgorithms) {
+    const StructuredF0Params params = SmallParams(algorithm);
+    Rng rng(55);
+    StructuredF0 single(params);
+    ShardedStructuredEngine engine(params, 3);
+    for (int i = 0; i < 6; ++i) {
+      const Gf2Matrix a = Gf2Matrix::Random(3, params.n, rng);
+      const BitVec b = BitVec::Random(3, rng);
+      single.AddAffine(a, b);
+      engine.AddAffine(a, b);
+    }
+    EXPECT_EQ(SketchCodec::Encode(engine.MergedSketch()),
+              SketchCodec::Encode(single));
   }
 }
 

@@ -31,6 +31,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -75,13 +76,18 @@ subcommands:
           build reads raw u64 element streams by default; --input dnf
           treats each term of a DIMACS DNF file as one structured set
           item (§5), --input range reads `p range <dims> <bits>` headers
-          with one multidimensional range per line — both persist a
+          with one multidimensional range per line, --input affine reads
+          `a <n> <rank>` item headers followed by <rank> 0/1 matrix rows
+          and one rank-bit offset row (Theorem 7) — all persist a
           StructuredF0 sketch that merges and queries exactly like a raw
-          one. merge streams its inputs row by row (a SketchReader cursor
-          per file), so decoded sketch state stays bounded by one row no
-          matter how many shard files are merged (the raw bytes of each
-          input file are still buffered); a bad shard is reported by file
-          name in that same single pass
+          one. every input kind ingests across --shards worker threads
+          fed by --producers threads (raw items are sharded by element,
+          structured ones by item; the sketch is byte-identical however
+          ingestion is parallelized). merge streams its inputs row by row
+          (a SketchReader cursor per file), so decoded sketch state stays
+          bounded by one row no matter how many shard files are merged
+          (the raw bytes of each input file are still buffered); a bad
+          shard is reported by file name in that same single pass
   help    print this message
 
 common options:
@@ -101,10 +107,13 @@ subcommand options:
           --tseitin       Tseitin-encode XOR constraints (CNF)
   dnf     --sites K       number of sites                     (default 4)
   sketch  --out FILE      output sketch file (build, merge)
-          --input KIND    build input: raw | dnf | range     (default raw;
-                          dnf/range build structured §5 sketches — v2-only,
-                          --shards stays 1, --algo minimum | bucketing)
+          --input KIND    build input: raw | dnf | range | affine
+                          (default raw; dnf/range/affine build structured
+                          §5 sketches — v2-only, --algo minimum | bucketing)
           --shards N      build: ingest across N worker threads (default 1)
+          --producers P   build: feed the shards from P producer threads
+                          (default 1; P > 1 buffers the parsed stream to
+                          split it across producers)
           --format V      wire format to write: v1 | v2      (default v2;
                           both versions are always readable)
 
@@ -123,10 +132,11 @@ struct CommonOptions {
   int n = 32;
   int sites = 4;
   int shards = 1;
+  int producers = 1;
   bool binary_search = false;
   bool tseitin = false;
   std::string out;
-  std::string input_kind = "raw";  // sketch build: raw | dnf | range
+  std::string input_kind = "raw";  // sketch build: raw | dnf | range | affine
   uint16_t format = SketchCodec::kDefaultFormatVersion;
   std::vector<std::string> inputs;
 };
@@ -190,14 +200,16 @@ CommonOptions ParseOptions(int argc, char** argv) {
       opts.sites = ParseInt(next_value("--sites"), "--sites");
     } else if (arg == "--shards") {
       opts.shards = ParseInt(next_value("--shards"), "--shards");
+    } else if (arg == "--producers") {
+      opts.producers = ParseInt(next_value("--producers"), "--producers");
     } else if (arg == "--out" || arg == "-o") {
       opts.out = next_value("--out");
     } else if (arg == "--input") {
       opts.input_kind = next_value("--input");
       if (opts.input_kind != "raw" && opts.input_kind != "dnf" &&
-          opts.input_kind != "range") {
-        Fail("--input must be raw, dnf, or range, got '" + opts.input_kind +
-                 "'",
+          opts.input_kind != "range" && opts.input_kind != "affine") {
+        Fail("--input must be raw, dnf, range, or affine, got '" +
+                 opts.input_kind + "'",
              2);
       }
     } else if (arg == "--format") {
@@ -740,40 +752,165 @@ std::vector<MultiDimRange> ParseRangeFileOrDie(const std::string& text,
   return items;
 }
 
-/// The structured build paths (`--input dnf | range`): every item is one
-/// §5 set, the sketch is a StructuredF0, and the file a v2 structured
-/// frame — the same durable object `sketch merge|query` then treat
-/// uniformly with raw sketches.
+/// `--input affine` text format (Theorem 7): comment lines (`c ...`),
+/// then one item per block —
+///   a <n> <rank>
+///   <rank> lines of n '0'/'1' characters (the rows of A)
+///   one line of <rank> '0'/'1' characters (the offset b)
+/// Each item is the affine space {x in {0,1}^n : A x = b}. All items
+/// must agree on n.
+std::vector<StructuredItem> ParseAffineFileOrDie(const std::string& text,
+                                                 int* n_out) {
+  std::istringstream lines(text);
+  std::string line;
+  auto next_line = [&](std::string* out) -> bool {
+    while (std::getline(lines, line)) {
+      std::istringstream tokens(line);
+      std::string first;
+      if (!(tokens >> first) || first == "c") continue;
+      *out = line;
+      return true;
+    }
+    return false;
+  };
+  auto read_bits = [&](int want, const char* what) -> BitVec {
+    std::string row;
+    if (!next_line(&row)) {
+      Fail(std::string("affine item ends before its ") + what);
+    }
+    std::istringstream tokens(row);
+    std::string bits;
+    std::string extra;
+    if (!(tokens >> bits) || (tokens >> extra) ||
+        static_cast<int>(bits.size()) != want ||
+        bits.find_first_not_of("01") != std::string::npos) {
+      Fail(std::string("affine ") + what + " must be exactly " +
+           std::to_string(want) + " '0'/'1' characters");
+    }
+    return BitVec::FromString(bits);
+  };
+  int n = 0;
+  std::vector<StructuredItem> items;
+  std::string header;
+  while (next_line(&header)) {
+    std::istringstream tokens(header);
+    std::string kind;
+    int item_n = 0;
+    int rank = 0;
+    std::string extra;
+    if (!(tokens >> kind) || kind != "a" || !(tokens >> item_n >> rank) ||
+        (tokens >> extra) || item_n < 1 || rank < 1 || rank > item_n) {
+      Fail("affine input needs `a <n> <rank>` item headers with "
+           "1 <= rank <= n");
+    }
+    // Same universe cap as ranges: the structured codec replays hashes
+    // only up to 4096-bit universes.
+    if (item_n > 4096) Fail("affine universe exceeds 4096 bits");
+    if (n == 0) {
+      n = item_n;
+    } else if (item_n != n) {
+      Fail("all affine items must share one universe width n");
+    }
+    Gf2Matrix a(rank, n);
+    for (int r = 0; r < rank; ++r) {
+      const BitVec row = read_bits(n, "matrix row");
+      for (int j = 0; j < n; ++j) a.Set(r, j, row.Get(j));
+    }
+    BitVec b = read_bits(rank, "offset row");
+    items.push_back(AffineSpaceItem{std::move(a), std::move(b)});
+  }
+  if (items.empty()) {
+    Fail("affine input needs at least one `a <n> <rank>` item");
+  }
+  *n_out = n;
+  return items;
+}
+
+/// Spreads `items` across `producers` threads, each feeding the engine
+/// through its own Producer handle (round-robin split — the merged
+/// sketch is partition-independent, so any split works). Items are
+/// moved into the engine.
+template <typename Engine, typename Item>
+void IngestAcrossProducers(Engine& engine, std::vector<Item>& items,
+                           int producers) {
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&engine, &items, p, producers] {
+      auto producer = engine.MakeProducer();
+      for (size_t i = p; i < items.size(); i += producers) {
+        producer.Add(std::move(items[i]));
+      }
+      producer.Flush();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+}
+
+/// The structured build paths (`--input dnf | range | affine`): every
+/// item is one §5 set, the sketch is a StructuredF0, and the file a v2
+/// structured frame — the same durable object `sketch merge|query` then
+/// treat uniformly with raw sketches. Sharded/multi-producer ingestion
+/// goes through ShardedStructuredEngine, whose merged sketch is
+/// byte-identical to the single-pass one.
 int RunSketchBuildStructured(const CommonOptions& opts,
                              const std::string& input) {
   if (opts.format != SketchCodec::kFormatV2) {
-    Fail("structured sketches (--input dnf|range) require --format v2", 2);
-  }
-  if (opts.shards != 1) {
-    Fail("--shards applies to raw element streams only", 2);
+    Fail("structured sketches (--input dnf|range|affine) require --format v2",
+         2);
   }
   WallTimer timer;
-  uint64_t items = 0;
-  std::optional<StructuredF0> sketch;
+  // Inputs stay in their native parsed form; only the parallel path pays
+  // for a StructuredItem buffer (it must split items across producers).
+  int n = 0;
+  std::optional<Dnf> dnf;
+  std::vector<MultiDimRange> ranges;
+  std::vector<StructuredItem> affine_items;
+  uint64_t num_items = 0;
   if (opts.input_kind == "dnf") {
-    const Dnf dnf = ParseDnfOrDie(ReadInput(input));
-    sketch.emplace(
-        StructuredParamsFromOptions(opts, dnf.num_vars(), "sketch build"));
-    for (const Term& term : dnf.terms()) {
-      sketch->AddTerms({term});
-      ++items;
-    }
-  } else {
+    dnf.emplace(ParseDnfOrDie(ReadInput(input)));
+    n = dnf->num_vars();
+    num_items = dnf->num_terms();
+  } else if (opts.input_kind == "range") {
     int dims = 0;
     int bits = 0;
-    const std::vector<MultiDimRange> ranges =
-        ParseRangeFileOrDie(ReadInput(input), &dims, &bits);
-    sketch.emplace(
-        StructuredParamsFromOptions(opts, dims * bits, "sketch build"));
-    for (const MultiDimRange& range : ranges) {
-      sketch->AddRange(range);
-      ++items;
+    ranges = ParseRangeFileOrDie(ReadInput(input), &dims, &bits);
+    n = dims * bits;
+    num_items = ranges.size();
+  } else {
+    affine_items = ParseAffineFileOrDie(ReadInput(input), &n);
+    num_items = affine_items.size();
+  }
+  const StructuredF0Params params =
+      StructuredParamsFromOptions(opts, n, "sketch build");
+
+  std::optional<StructuredF0> sketch;
+  if (opts.shards == 1 && opts.producers == 1) {
+    sketch.emplace(params);
+    if (dnf.has_value()) {
+      for (const Term& term : dnf->terms()) sketch->AddTerms({term});
+    } else if (opts.input_kind == "range") {
+      for (const MultiDimRange& range : ranges) sketch->AddRange(range);
+    } else {
+      for (const StructuredItem& item : affine_items) {
+        AbsorbItem(*sketch, item);
+      }
     }
+  } else {
+    std::vector<StructuredItem> items;
+    items.reserve(num_items);
+    if (dnf.has_value()) {
+      for (const Term& term : dnf->terms()) {
+        items.emplace_back(std::vector<Term>{term});
+      }
+    } else if (opts.input_kind == "range") {
+      for (MultiDimRange& range : ranges) items.emplace_back(std::move(range));
+    } else {
+      items = std::move(affine_items);
+    }
+    ShardedStructuredEngine engine(params, opts.shards);
+    IngestAcrossProducers(engine, items, opts.producers);
+    sketch.emplace(engine.MergedSketch());
   }
   const std::string blob = SketchCodec::Encode(*sketch, opts.format);
   WriteBinaryFile(opts.out, blob);
@@ -786,7 +923,9 @@ int RunSketchBuildStructured(const CommonOptions& opts,
   json.Add("out", opts.out);
   json.Add("format", static_cast<int>(opts.format));
   AddStructuredSketchParams(json, sketch->params());
-  json.Add("items", items);
+  json.Add("shards", opts.shards);
+  json.Add("producers", opts.producers);
+  json.Add("items", num_items);
   json.Add("estimate", sketch->Estimate());
   json.Add("space_bits", static_cast<uint64_t>(sketch->SpaceBits()));
   json.Add("file_bytes", static_cast<uint64_t>(blob.size()));
@@ -797,10 +936,14 @@ int RunSketchBuildStructured(const CommonOptions& opts,
 
 int RunSketchBuild(const CommonOptions& opts) {
   if (opts.out.empty()) Fail("sketch build needs --out FILE", 2);
-  // Each shard is a worker thread plus a full sketch replica; cap it so a
-  // typo degrades to a usage error, not an uncaught std::thread failure.
+  // Each shard is a worker thread plus a full sketch replica, and each
+  // producer is a feeder thread; cap both so a typo degrades to a usage
+  // error, not an uncaught std::thread failure.
   if (opts.shards < 1 || opts.shards > 256) {
     Fail("--shards must be in [1, 256]", 2);
+  }
+  if (opts.producers < 1 || opts.producers > 256) {
+    Fail("--producers must be in [1, 256]", 2);
   }
   const std::string& input = SingleInput(opts);
   if (opts.input_kind != "raw") return RunSketchBuildStructured(opts, input);
@@ -811,7 +954,18 @@ int RunSketchBuild(const CommonOptions& opts) {
   std::string blob;
   double estimate = 0.0;
   size_t space_bits = 0;
-  if (opts.shards > 1) {
+  if (opts.producers > 1) {
+    // Multi-producer ingestion needs the stream split across feeder
+    // threads, so this path (alone) buffers the parsed elements first.
+    std::vector<uint64_t> xs;
+    elements = StreamElements(input, [&](uint64_t x) { xs.push_back(x); });
+    ShardedF0Engine engine(params, opts.shards);
+    IngestAcrossProducers(engine, xs, opts.producers);
+    const F0Estimator merged = engine.MergedSketch();
+    estimate = merged.Estimate();
+    space_bits = merged.SpaceBits();
+    blob = SketchCodec::Encode(merged, opts.format);
+  } else if (opts.shards > 1) {
     ShardedF0Engine engine(params, opts.shards);
     // Add() batches internally; MergedSketch() flushes the tail.
     elements = StreamElements(input, [&](uint64_t x) { engine.Add(x); });
@@ -837,6 +991,7 @@ int RunSketchBuild(const CommonOptions& opts) {
   json.Add("format", static_cast<int>(opts.format));
   AddSketchParams(json, params);
   json.Add("shards", opts.shards);
+  json.Add("producers", opts.producers);
   json.Add("elements", elements);
   json.Add("estimate", estimate);
   json.Add("space_bits", static_cast<uint64_t>(space_bits));
