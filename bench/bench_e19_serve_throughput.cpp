@@ -1,0 +1,199 @@
+// E19 — serve throughput: the networked sketch service (src/net) under
+// concurrent loopback pushers, plus live-query latency while ingestion
+// is running.
+//
+//   1. push throughput: P `PushClient`s stream a raw u64 stream into one
+//      SketchServer over 127.0.0.1 TCP (credit window 8, the default);
+//      the table reports aggregate items/sec per client count;
+//   2. query latency: a dedicated session issues QueryEstimate against
+//      the live engine while the pushers run; p50/p99 microseconds.
+//
+// Because the protocol acks only after items reach an engine producer
+// and the engine's merge is an exact union, the drained server's sketch
+// must be byte-identical to a single-pass sketch over the union stream;
+// any mismatch exits 1 (this is the CI gate). `--smoke` runs a
+// miniature version and writes the same BENCH_e19_serve.json summary.
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "engine/sharded_engine.hpp"
+#include "engine/sketch_codec.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
+#include "streaming/f0_sketch.hpp"
+
+namespace {
+
+using namespace mcf0;
+using namespace mcf0::bench;
+
+F0Params BenchParams() {
+  F0Params params;
+  params.n = 32;
+  params.eps = 0.8;
+  params.delta = 0.2;
+  params.seed = 9;
+  params.rows_override = 13;  // reduced rows keep the table fast (cf. E17)
+  return params;
+}
+
+std::vector<uint64_t> MakeStream(size_t length, uint64_t support) {
+  Rng rng(4242);
+  std::vector<uint64_t> xs(length);
+  for (auto& x : xs) x = rng.NextBelow(support);
+  return xs;
+}
+
+double Percentile(std::vector<double> sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index =
+      static_cast<size_t>(p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+struct Measured {
+  double items_per_sec = 0.0;
+  double query_p50_us = 0.0;
+  double query_p99_us = 0.0;
+};
+
+/// One serve round: `clients` pushers split `stream` evenly; one extra
+/// session queries in a loop until the pushers finish. Gates the final
+/// sketch against `expected_bytes` (exit 1 on any protocol error or
+/// mismatch).
+Measured ServeRound(const F0Params& params, const std::vector<uint64_t>& stream,
+                    int clients, const std::string& expected_bytes) {
+  ShardedF0Engine engine(params, 4);
+  net::RawEngineBackend backend(&engine);
+  net::ServerOptions options;
+  options.max_batch_items = 2048;
+  net::SketchServer server(&backend, options);
+  Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "E19: server start failed: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::thread loop([&server] { (void)server.Run(); });
+
+  net::ClientOptions dial;
+  dial.port = server.port();
+  std::vector<std::thread> pushers;
+  std::vector<Status> outcomes(static_cast<size_t>(clients));
+  std::atomic<int> running{clients};
+  WallTimer timer;
+  for (int c = 0; c < clients; ++c) {
+    pushers.emplace_back([c, clients, &stream, &dial, &outcomes, &running] {
+      Result<net::PushClient> connected =
+          net::PushClient::Connect(net::StreamKind::kRaw, dial);
+      Status status = connected.status();
+      if (status.ok()) {
+        net::PushClient client = std::move(connected).value();
+        const size_t per = stream.size() / static_cast<size_t>(clients);
+        const size_t begin = static_cast<size_t>(c) * per;
+        const size_t end = c + 1 == clients ? stream.size() : begin + per;
+        status = client.Push(std::span<const uint64_t>(stream.data() + begin,
+                                                       end - begin));
+        if (status.ok()) status = client.Close();
+      }
+      outcomes[static_cast<size_t>(c)] = status;
+      running.fetch_sub(1);
+    });
+  }
+
+  // Live queries racing the pushers, from a session of their own.
+  std::vector<double> latencies_us;
+  {
+    Result<net::PushClient> connected =
+        net::PushClient::Connect(net::StreamKind::kRaw, dial);
+    if (connected.ok()) {
+      net::PushClient querier = std::move(connected).value();
+      while (running.load() > 0) {
+        WallTimer query_timer;
+        Result<net::EstimateFrame> estimate = querier.QueryEstimate();
+        if (!estimate.ok()) break;
+        latencies_us.push_back(query_timer.Micros());
+      }
+      (void)querier.Close();
+    }
+  }
+
+  for (std::thread& t : pushers) t.join();
+  const double elapsed = timer.Seconds();
+  server.RequestDrain();
+  loop.join();
+
+  for (const Status& outcome : outcomes) {
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "E19: pusher failed: %s\n",
+                   outcome.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  if (server.final_sketch() != expected_bytes) {
+    std::fprintf(stderr,
+                 "E19: drained sketch differs from single-pass bytes\n");
+    std::exit(1);
+  }
+
+  Measured m;
+  m.items_per_sec = static_cast<double>(stream.size()) / elapsed;
+  std::sort(latencies_us.begin(), latencies_us.end());
+  m.query_p50_us = Percentile(latencies_us, 0.50);
+  m.query_p99_us = Percentile(latencies_us, 0.99);
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  Banner("E19 - serve throughput (networked sketch service, src/net)",
+         "remote sketching composes: push-ack flow control loses nothing, "
+         "so the served sketch equals the single-pass sketch exactly");
+
+  const F0Params params = BenchParams();
+  const size_t length = smoke ? 20'000 : 400'000;
+  const uint64_t support = smoke ? 5'000 : 100'000;
+  const std::vector<uint64_t> stream = MakeStream(length, support);
+
+  F0Estimator single(params);
+  for (const uint64_t x : stream) single.Add(x);
+  const std::string expected = SketchCodec::Encode(single);
+
+  const std::vector<int> client_counts =
+      smoke ? std::vector<int>{2} : std::vector<int>{1, 2, 4, 8};
+
+  std::printf("%8s  %14s  %12s  %12s\n", "clients", "items/sec", "query p50",
+              "query p99");
+  Measured last;
+  for (const int clients : client_counts) {
+    last = ServeRound(params, stream, clients, expected);
+    std::printf("%8d  %14.0f  %10.1fus  %10.1fus\n", clients,
+                last.items_per_sec, last.query_p50_us, last.query_p99_us);
+  }
+  std::printf("served sketch == single-pass sketch (byte-identical): yes\n");
+
+  std::ofstream json("BENCH_e19_serve.json");
+  json << "{\n"
+       << "  \"experiment\": \"e19_serve_throughput\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"items\": " << length << ",\n"
+       << "  \"clients\": " << client_counts.back() << ",\n"
+       << "  \"items_per_sec\": " << last.items_per_sec << ",\n"
+       << "  \"query_p50_us\": " << last.query_p50_us << ",\n"
+       << "  \"query_p99_us\": " << last.query_p99_us << ",\n"
+       << "  \"byte_identical\": true\n"
+       << "}\n";
+  std::printf("wrote BENCH_e19_serve.json\n");
+  return 0;
+}

@@ -15,15 +15,43 @@
 
 namespace mcf0 {
 
-/// Error categories used across the library.
+/// Error categories used across the library. The numeric values are part
+/// of the network protocol (`mcf0 serve` error frames carry the code as a
+/// uint16; see docs/serve.md), so existing values are frozen — append
+/// only.
 enum class StatusCode {
   kOk = 0,
-  kInvalidArgument,
-  kParseError,
-  kResourceExhausted,
-  kNotSupported,
-  kInternal,
+  kInvalidArgument = 1,
+  kParseError = 2,
+  kResourceExhausted = 3,
+  kNotSupported = 4,
+  kInternal = 5,
+  /// A required prior step has not happened (e.g. Add on a closed
+  /// Producer handle); retrying without fixing the caller cannot succeed.
+  kFailedPrecondition = 6,
+  /// The counterpart/resource is gone or unreachable (connection refused,
+  /// peer hung up, stream write failed); retrying later may succeed.
+  kUnavailable = 7,
+  /// A wall-clock bound expired before the operation completed.
+  kDeadlineExceeded = 8,
 };
+
+/// The stable name of a code ("InvalidArgument"); used by ToString and the
+/// protocol error-frame rendering.
+constexpr const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kParseError: return "ParseError";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kNotSupported: return "NotSupported";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
+  }
+  return "Unknown";
+}
 
 /// A lightweight success/error value. Copyable; the OK status carries no
 /// allocation.
@@ -48,6 +76,22 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// A status with an arbitrary (possibly peer-supplied) code — the
+  /// protocol layer's error-frame decoder. kOk yields an OK status and
+  /// drops the message.
+  static Status FromCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -61,19 +105,20 @@ class Status {
     return Status(code_, prefix + ": " + message_);
   }
 
+  /// The same code with " (detail)" appended to the message — trailing
+  /// context for an error already attributed to a site (e.g. the batch
+  /// sequence number a transport error surfaced on), where WithPrefix's
+  /// leading attribution would read backwards. No-op on OK statuses and
+  /// empty details, so call sites can annotate unconditionally.
+  Status Annotate(const std::string& detail) const {
+    if (ok() || detail.empty()) return *this;
+    return Status(code_, message_ + " (" + detail + ")");
+  }
+
   /// Human-readable rendering, e.g. "ParseError: bad header".
   std::string ToString() const {
     if (ok()) return "OK";
-    const char* name = "Unknown";
-    switch (code_) {
-      case StatusCode::kOk: name = "OK"; break;
-      case StatusCode::kInvalidArgument: name = "InvalidArgument"; break;
-      case StatusCode::kParseError: name = "ParseError"; break;
-      case StatusCode::kResourceExhausted: name = "ResourceExhausted"; break;
-      case StatusCode::kNotSupported: name = "NotSupported"; break;
-      case StatusCode::kInternal: name = "Internal"; break;
-    }
-    return std::string(name) + ": " + message_;
+    return std::string(StatusCodeName(code_)) + ": " + message_;
   }
 
  private:

@@ -61,6 +61,7 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/status.hpp"
 #include "engine/sketch_merge.hpp"
 #include "formula/formula.hpp"
 #include "setstream/range.hpp"
@@ -95,6 +96,15 @@ class ShardedEngine {
 
   /// A single-threaded ingestion front end; see MakeProducer(). Handles
   /// may be moved but not copied, and must not outlive the engine.
+  ///
+  /// Lifecycle state machine (docs/engine.md): a handle is *open* from
+  /// MakeProducer() until Close(), move-from, or destruction makes it
+  /// *detached*. Open: Add/AddBatch accept items, Flush waits for them.
+  /// Detached: Add/AddBatch return kFailedPrecondition, Flush and Close
+  /// are no-ops. Close() = flush-and-detach, idempotent — the
+  /// deterministic teardown a dropped network connection needs: once it
+  /// returns, every item this handle accepted is absorbed, and nothing
+  /// can slip in afterwards.
   class Producer {
    public:
     Producer(Producer&& o) noexcept
@@ -120,25 +130,28 @@ class ShardedEngine {
     ~Producer() { DispatchPending(); }
 
     /// Buffers one item; dispatched to a shard once the batch fills (or
-    /// on Flush). Must not be called on a moved-from handle.
-    void Add(Item item) {
-      MCF0_CHECK(engine_ != nullptr);
+    /// on Flush). kFailedPrecondition on a detached (closed or moved-from)
+    /// handle — the item is not accepted.
+    Status Add(Item item) {
+      if (engine_ == nullptr) return Detached();
       if (pending_.capacity() < engine_->options_.batch_size) {
         pending_.reserve(engine_->options_.batch_size);
       }
       pending_.push_back(std::move(item));
       engine_->items_.fetch_add(1, std::memory_order_relaxed);
       if (pending_.size() >= engine_->options_.batch_size) DispatchPending();
+      return Status::Ok();
     }
 
     /// The bulk hot path: hands the whole batch to the next shard
     /// round-robin. Copies the span, so the caller may reuse its buffer
-    /// immediately.
-    void AddBatch(std::span<const Item> items) {
-      MCF0_CHECK(engine_ != nullptr);
-      if (items.empty()) return;
+    /// immediately. kFailedPrecondition on a detached handle.
+    Status AddBatch(std::span<const Item> items) {
+      if (engine_ == nullptr) return Detached();
+      if (items.empty()) return Status::Ok();
       engine_->items_.fetch_add(items.size(), std::memory_order_relaxed);
       Dispatch(std::vector<Item>(items.begin(), items.end()));
+      return Status::Ok();
     }
 
     /// Dispatches the tail buffer and blocks until every batch *this
@@ -153,7 +166,28 @@ class ShardedEngine {
       engine_->AwaitTickets(tickets_);
     }
 
+    /// Flush-and-detach: dispatches the tail buffer, waits for every batch
+    /// this handle dispatched, then detaches it from the engine. After
+    /// Close() returns, Add/AddBatch return kFailedPrecondition and
+    /// further Close()/Flush() calls are no-ops (idempotent). Always OK —
+    /// the Status return leaves room for bounded-wait variants.
+    Status Close() {
+      if (engine_ == nullptr) return Status::Ok();
+      Flush();
+      engine_ = nullptr;
+      return Status::Ok();
+    }
+
+    /// True once the handle is detached (closed or moved-from).
+    bool closed() const { return engine_ == nullptr; }
+
    private:
+    static Status Detached() {
+      return Status::FailedPrecondition(
+          "producer handle is closed (or moved-from); items are no longer "
+          "accepted");
+    }
+
     friend class ShardedEngine;
     Producer(ShardedEngine* engine, size_t start_shard)
         : engine_(engine),
@@ -306,6 +340,29 @@ class ShardedEngine {
   uint64_t cache_rebuilds() const {
     return cache_rebuilds_.load(std::memory_order_relaxed);
   }
+
+  /// Batches currently sitting in shard queues (enqueued, not yet
+  /// absorbed) — the engine's backpressure signal. `mcf0 serve` derives
+  /// protocol credit grants from this: a point-in-time sum across shards,
+  /// not a fence (batches may land or drain while it is read), which is
+  /// fine for flow control — the hard bound is the queues themselves.
+  uint64_t queued_batches() {
+    uint64_t queued = 0;
+    for (auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      queued += shard->enqueued - shard->absorbed;
+    }
+    return queued;
+  }
+
+  /// Total batches the shard queues hold before dispatch blocks:
+  /// num_shards * max_queued_batches. Constant over the engine's life.
+  uint64_t queue_capacity() const {
+    return static_cast<uint64_t>(shards_.size()) *
+           options_.max_queued_batches;
+  }
+
+  const ShardedEngineOptions& options() const { return options_; }
 
  private:
   struct Shard {
@@ -511,6 +568,8 @@ class ShardedF0Engine {
   int num_shards() const { return core_.num_shards(); }
   const F0Params& params() const { return params_; }
   uint64_t cache_rebuilds() const { return core_.cache_rebuilds(); }
+  uint64_t queued_batches() { return core_.queued_batches(); }
+  uint64_t queue_capacity() const { return core_.queue_capacity(); }
 
  private:
   F0Params params_;
@@ -578,6 +637,8 @@ class ShardedStructuredEngine {
   int num_shards() const { return core_.num_shards(); }
   const StructuredF0Params& params() const { return params_; }
   uint64_t cache_rebuilds() const { return core_.cache_rebuilds(); }
+  uint64_t queued_batches() { return core_.queued_batches(); }
+  uint64_t queue_capacity() const { return core_.queue_capacity(); }
 
  private:
   StructuredF0Params params_;

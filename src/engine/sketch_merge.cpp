@@ -29,7 +29,7 @@ Status MergeUnits(SketchReader::Unit& acc, const SketchReader::Unit& from) {
         using Row = std::decay_t<decltype(into)>;
         const Row* other = std::get_if<Row>(&from);
         if (other == nullptr) {
-          return Status::Internal("sketch merge: row kind mismatch");
+          return Status::InvalidArgument("sketch merge: row kind mismatch");
         }
         return Merge(into, *other);
       },

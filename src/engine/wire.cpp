@@ -271,14 +271,50 @@ Status Truncated(const char* what) {
 
 std::string WrapFrame(SketchFrameKind kind, uint16_t version,
                       std::string payload) {
+  return WrapFrameRaw(static_cast<uint8_t>(kind), version, std::move(payload));
+}
+
+std::string WrapFrameRaw(uint8_t kind, uint16_t version, std::string payload) {
   ByteWriter header;
   for (const char c : kMagic) header.U8(static_cast<uint8_t>(c));
   header.U16(version);
-  header.U8(static_cast<uint8_t>(kind));
+  header.U8(kind);
   header.U8(0);  // reserved
   header.U64(payload.size());
   header.U64(Fnv1a64(payload));
   return header.Take() + payload;
+}
+
+Status ParseFrameHeader(std::string_view bytes, FrameHeader* out) {
+  if (bytes.size() < kHeaderBytes) return Truncated("frame header");
+  ByteReader reader(bytes.substr(0, kHeaderBytes));
+  for (const char expect : kMagic) {
+    uint8_t got = 0;
+    reader.U8(&got);
+    if (got != static_cast<uint8_t>(expect)) {
+      return Status::ParseError("bad magic: not an mcf0 frame");
+    }
+  }
+  uint8_t reserved = 0;
+  reader.U16(&out->version);
+  reader.U8(&out->kind);
+  reader.U8(&reserved);
+  reader.U64(&out->payload_size);
+  reader.U64(&out->checksum);
+  if (reserved != 0) {
+    return Status::ParseError("nonzero reserved byte in frame header");
+  }
+  return Status::Ok();
+}
+
+Status CheckFramePayload(const FrameHeader& header, std::string_view payload) {
+  if (payload.size() != header.payload_size) {
+    return Status::Internal("frame payload size does not match its header");
+  }
+  if (Fnv1a64(payload) != header.checksum) {
+    return Status::ParseError("frame payload checksum mismatch (corrupt)");
+  }
+  return Status::Ok();
 }
 
 Result<std::string_view> UnwrapFrame(std::string_view bytes,
@@ -359,7 +395,12 @@ Status FrameSink::Finish() {
   const std::string bytes = tail.Take();
   out_->write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
   out_->seekp(end);
-  if (!*out_) return Status::Internal("sketch frame sink: stream write failed");
+  // The destination stream failing is an environment problem (disk full,
+  // pipe closed), not a codec bug: kUnavailable, so the server can map it
+  // to the matching protocol error frame.
+  if (!*out_) {
+    return Status::Unavailable("sketch frame sink: stream write failed");
+  }
   return Status::Ok();
 }
 

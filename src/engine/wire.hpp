@@ -167,6 +167,32 @@ Status Truncated(const char* what);
 std::string WrapFrame(SketchFrameKind kind, uint16_t version,
                       std::string payload);
 
+/// WrapFrame for kind bytes outside SketchFrameKind — the serve protocol
+/// (src/net) frames its messages with the same magic/header/checksum
+/// machinery but its own kind namespace (docs/serve.md).
+std::string WrapFrameRaw(uint8_t kind, uint16_t version, std::string payload);
+
+/// A parsed 24-byte frame header. Meaning of `version` and `kind` is the
+/// consumer's: sketch frames use SketchCodec versions + SketchFrameKind,
+/// net frames the protocol version + net::FrameType.
+struct FrameHeader {
+  uint16_t version = 0;
+  uint8_t kind = 0;
+  uint64_t payload_size = 0;
+  uint64_t checksum = 0;
+};
+
+/// Parses the header at the front of `bytes` (>= kHeaderBytes of a byte
+/// stream; trailing data is ignored). Validates magic and the zero
+/// reserved byte only — version/kind policy belongs to the caller. The
+/// incremental entry point for stream consumers that must know
+/// payload_size before the payload has arrived.
+Status ParseFrameHeader(std::string_view bytes, FrameHeader* out);
+
+/// Validates `payload` (exactly header.payload_size bytes) against the
+/// header's FNV-1a-64 checksum.
+Status CheckFramePayload(const FrameHeader& header, std::string_view payload);
+
 /// Validates header, kind, length, and checksum; accepts any version the
 /// library reads (v1 and v2) and reports which via `version`.
 Result<std::string_view> UnwrapFrame(std::string_view bytes,

@@ -1,0 +1,274 @@
+#include "net/connection.hpp"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "engine/sketch_codec.hpp"
+
+namespace mcf0 {
+namespace net {
+
+Status ProducerHandle::PushRaw(std::span<const uint64_t>) {
+  return Status::NotSupported("this session streams structured items");
+}
+
+Status ProducerHandle::PushStructured(std::span<StructuredItem>) {
+  return Status::NotSupported("this session streams raw u64 elements");
+}
+
+Connection::Connection(ScopedFd fd, EngineBackend* backend,
+                       ConnectionLimits limits)
+    : fd_(std::move(fd)), backend_(backend), limits_(limits) {}
+
+void Connection::OnReadable() {
+  char buffer[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::recv(fd_.get(), buffer, sizeof(buffer), 0);
+    if (n > 0) {
+      inbox_.Append(std::string_view(buffer, static_cast<size_t>(n)));
+      continue;
+    }
+    if (n == 0) {
+      // Peer closed. A clean session ends with goodbye -> kClosing; an
+      // abrupt close still salvages everything already dispatched.
+      ReleaseProducer();
+      finished_ = true;
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    ReleaseProducer();
+    finished_ = true;
+    return;
+  }
+  Message message;
+  Status status;
+  while (state_ != State::kClosing && inbox_.Next(&message, &status)) {
+    HandleMessage(message);
+  }
+  if (state_ != State::kClosing && !status.ok()) Abort(status);
+}
+
+void Connection::OnWritable() {
+  while (outbox_sent_ < outbox_.size()) {
+    const ssize_t n = ::send(fd_.get(), outbox_.data() + outbox_sent_,
+                             outbox_.size() - outbox_sent_, MSG_NOSIGNAL);
+    if (n > 0) {
+      outbox_sent_ += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    if (n < 0 && errno == EINTR) continue;
+    ReleaseProducer();
+    finished_ = true;  // peer vanished mid-write
+    return;
+  }
+  if (outbox_sent_ == outbox_.size()) {
+    outbox_.clear();
+    outbox_sent_ = 0;
+    if (state_ == State::kClosing) finished_ = true;
+  }
+}
+
+void Connection::OnHangup() {
+  ReleaseProducer();
+  finished_ = true;
+}
+
+void Connection::StartDrain() {
+  if (state_ == State::kClosing || finished_) return;
+  if (state_ == State::kAwaitHello) {
+    // Not yet negotiated: announce the drain and close; the client sees
+    // it as the server being unavailable for new sessions.
+    state_ = State::kClosing;
+    SendFrame(FrameType::kDrain, std::string());
+    return;
+  }
+  if (state_ == State::kStreaming) {
+    SendFrame(FrameType::kDrain, std::string());
+    state_ = State::kDraining;
+  }
+}
+
+bool Connection::PumpCredits() {
+  if (state_ != State::kStreaming) return false;
+  const uint64_t grant = CreditTopUp();
+  if (grant == 0) return false;
+  credits_ += grant;
+  SendFrame(FrameType::kCredit, EncodeCredit(CreditFrame{grant}));
+  return true;
+}
+
+uint64_t Connection::CreditTopUp() const {
+  // No new grants while draining: credited batches finish, new ones don't
+  // start.
+  if (state_ != State::kStreaming) return 0;
+  if (credits_ >= limits_.credit_window) return 0;
+  // The low-watermark rule: grant only while the engine queue has
+  // headroom, so a flood of producers can't pile unbounded batches
+  // behind a slow shard (docs/serve.md).
+  if (backend_->queued_batches() >= backend_->queue_capacity() / 2) return 0;
+  return limits_.credit_window - credits_;
+}
+
+void Connection::HandleMessage(const Message& message) {
+  if (state_ == State::kAwaitHello) {
+    if (message.type != FrameType::kHello) {
+      Abort(Status::ParseError("expected hello as the first frame"));
+      return;
+    }
+    HandleHello(message);
+    return;
+  }
+  switch (message.type) {
+    case FrameType::kBatch:
+      HandleBatch(message);
+      return;
+    case FrameType::kQueryEstimate:
+      HandleQueryEstimate();
+      return;
+    case FrameType::kQuerySketch:
+      HandleQuerySketch();
+      return;
+    case FrameType::kGoodbye:
+      HandleGoodbye();
+      return;
+    case FrameType::kError: {
+      // Client-reported failure: keep what was dispatched, stop the
+      // session without a goodbye handshake (nothing left to send, so
+      // the session is finished as soon as the outbox is empty).
+      ReleaseProducer();
+      state_ = State::kClosing;
+      if (!wants_write()) finished_ = true;
+      return;
+    }
+    default:
+      Abort(Status::ParseError("unexpected frame kind for a client"));
+      return;
+  }
+}
+
+void Connection::HandleHello(const Message& message) {
+  HelloFrame hello;
+  Status status = DecodeHello(message.payload, &hello);
+  if (!status.ok()) {
+    Abort(status);
+    return;
+  }
+  if (hello.kind != backend_->kind()) {
+    Abort(Status::InvalidArgument(
+        backend_->kind() == StreamKind::kRaw
+            ? "stream kind mismatch: this server ingests raw u64 elements"
+            : "stream kind mismatch: this server ingests structured items"));
+    return;
+  }
+  sketch_format_ = std::min<uint16_t>(hello.max_sketch_format,
+                                      SketchCodec::kDefaultFormatVersion);
+  producer_ = backend_->MakeProducer();
+  WelcomeFrame welcome;
+  welcome.kind = backend_->kind();
+  welcome.params = backend_->params();
+  welcome.initial_credits = limits_.credit_window;
+  welcome.max_batch_items = limits_.max_batch_items;
+  credits_ = limits_.credit_window;
+  state_ = State::kStreaming;
+  SendFrame(FrameType::kWelcome, EncodeWelcome(welcome));
+}
+
+void Connection::HandleBatch(const Message& message) {
+  if (credits_ == 0) {
+    Abort(Status::ResourceExhausted(
+        "flow control violated: batch sent with zero credits"));
+    return;
+  }
+  uint64_t seq = 0;
+  uint64_t items = 0;
+  Status status;
+  if (backend_->kind() == StreamKind::kRaw) {
+    RawBatchFrame batch;
+    status = DecodeRawBatch(message.payload, limits_.max_batch_items, &batch);
+    if (status.ok()) {
+      seq = batch.seq;
+      items = batch.items.size();
+      status = producer_->PushRaw(batch.items);
+    }
+  } else {
+    StructuredBatchFrame batch;
+    status = DecodeStructuredBatch(message.payload, backend_->universe_bits(),
+                                   limits_.max_batch_items, &batch);
+    if (status.ok()) {
+      seq = batch.seq;
+      items = batch.items.size();
+      status = producer_->PushStructured(batch.items);
+    }
+  }
+  if (!status.ok()) {
+    Abort(status);
+    return;
+  }
+  if (seq != last_seq_ + 1) {
+    Abort(Status::ParseError("batch seq out of order"));
+    return;
+  }
+  credits_ -= 1;
+  last_seq_ = seq;
+  batches_accepted_ += 1;
+  items_accepted_ += items;
+  // The ack is what makes the batch "acknowledged": it is only queued
+  // after the items were handed to the engine's producer, so a drain
+  // that closes every producer cannot lose an acked batch.
+  const uint64_t grant = CreditTopUp();
+  credits_ += grant;
+  SendFrame(FrameType::kAck, EncodeAck(AckFrame{last_seq_, grant}));
+}
+
+void Connection::HandleQueryEstimate() {
+  EstimateFrame estimate;
+  estimate.estimate = backend_->SnapshotEstimate();
+  estimate.items_ingested = backend_->items_ingested();
+  SendFrame(FrameType::kEstimate, EncodeEstimate(estimate));
+}
+
+void Connection::HandleQuerySketch() {
+  SketchFrame sketch;
+  sketch.blob = backend_->EncodeSnapshot(sketch_format_);
+  SendFrame(FrameType::kSketch, EncodeSketch(sketch));
+}
+
+void Connection::HandleGoodbye() {
+  ReleaseProducer();
+  // kClosing first: SendFrame flushes opportunistically, and an empty
+  // outbox afterwards must mark the session finished right away (the
+  // peer may keep its socket open arbitrarily long).
+  state_ = State::kClosing;
+  SendFrame(FrameType::kGoodbyeAck, std::string());
+}
+
+void Connection::SendFrame(FrameType type, std::string payload) {
+  outbox_ += WrapMessage(type, std::move(payload));
+  // Opportunistic flush: most frames fit the socket buffer, so the
+  // common case completes without a POLLOUT round trip.
+  OnWritable();
+}
+
+void Connection::Abort(const Status& status) {
+  ReleaseProducer();
+  if (state_ != State::kClosing && !finished_) {
+    SendFrame(FrameType::kError, EncodeError(ErrorFromStatus(status)));
+    state_ = State::kClosing;
+    if (!wants_write()) finished_ = true;
+  }
+}
+
+void Connection::ReleaseProducer() {
+  if (producer_ != nullptr) {
+    producer_->Close();
+    producer_.reset();
+  }
+}
+
+}  // namespace net
+}  // namespace mcf0

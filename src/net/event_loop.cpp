@@ -1,0 +1,180 @@
+#include "net/event_loop.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace mcf0 {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::Unavailable(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void ScopedFd::Reset() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::Ok();
+}
+
+void Poller::Watch(int fd, bool want_read, bool want_write) {
+  short interest = 0;
+  if (want_read) interest |= POLLIN;
+  if (want_write) interest |= POLLOUT;
+  for (Entry& entry : entries_) {
+    if (entry.fd == fd) {
+      entry.interest = interest;
+      return;
+    }
+  }
+  entries_.push_back(Entry{fd, interest});
+}
+
+void Poller::Unwatch(int fd) {
+  entries_.erase(
+      std::remove_if(entries_.begin(), entries_.end(),
+                     [fd](const Entry& e) { return e.fd == fd; }),
+      entries_.end());
+}
+
+Status Poller::Wait(int timeout_ms, std::vector<PollEvent>* events) {
+  events->clear();
+  std::vector<pollfd> fds;
+  fds.reserve(entries_.size());
+  for (const Entry& entry : entries_) {
+    fds.push_back(pollfd{entry.fd, entry.interest, 0});
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready < 0) {
+    if (errno == EINTR) return Status::Ok();  // signal; caller re-checks
+    return Errno("poll");
+  }
+  for (const pollfd& pfd : fds) {
+    if (pfd.revents == 0) continue;
+    PollEvent event;
+    event.fd = pfd.fd;
+    event.readable = (pfd.revents & POLLIN) != 0;
+    event.writable = (pfd.revents & POLLOUT) != 0;
+    event.hangup = (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+    events->push_back(event);
+  }
+  return Status::Ok();
+}
+
+Status WakePipe::Open() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) != 0) return Errno("pipe");
+  read_end_ = ScopedFd(fds[0]);
+  write_end_ = ScopedFd(fds[1]);
+  Status status = SetNonBlocking(fds[0]);
+  if (status.ok()) status = SetNonBlocking(fds[1]);
+  return status;
+}
+
+void WakePipe::Notify() const {
+  const char byte = 1;
+  // Best-effort: a full pipe already wakes the loop, and EINTR just means
+  // a nested signal — either way the level signal is delivered.
+  [[maybe_unused]] const ssize_t n = ::write(write_end_.get(), &byte, 1);
+}
+
+void WakePipe::Drain() const {
+  char buffer[64];
+  while (::read(read_end_.get(), buffer, sizeof(buffer)) > 0) {
+  }
+}
+
+Result<uint32_t> ParseIpv4(const std::string& host) {
+  const std::string name = host == "localhost" ? "127.0.0.1" : host;
+  in_addr addr{};
+  if (::inet_pton(AF_INET, name.c_str(), &addr) != 1) {
+    return Status::InvalidArgument(
+        "host must be an IPv4 address (or \"localhost\"), got '" + host + "'");
+  }
+  return static_cast<uint32_t>(addr.s_addr);  // network byte order
+}
+
+Result<ScopedFd> ListenTcp(const std::string& host, int port) {
+  Result<uint32_t> addr = ParseIpv4(host);
+  if (!addr.ok()) return addr.status();
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535]");
+  }
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = addr.value();
+  sin.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) != 0) {
+    return Errno("bind " + host + ":" + std::to_string(port));
+  }
+  if (::listen(fd.get(), SOMAXCONN) != 0) return Errno("listen");
+  const Status status = SetNonBlocking(fd.get());
+  if (!status.ok()) return status;
+  return fd;
+}
+
+Result<int> BoundPort(int fd) {
+  sockaddr_in sin{};
+  socklen_t len = sizeof(sin);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&sin), &len) != 0) {
+    return Errno("getsockname");
+  }
+  return static_cast<int>(ntohs(sin.sin_port));
+}
+
+Result<ScopedFd> ConnectTcp(const std::string& host, int port,
+                            int recv_timeout_ms) {
+  Result<uint32_t> addr = ParseIpv4(host);
+  if (!addr.ok()) return addr.status();
+  if (port < 1 || port > 65535) {
+    return Status::InvalidArgument("port must be in [1, 65535]");
+  }
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Errno("socket");
+  if (recv_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = recv_timeout_ms / 1000;
+    tv.tv_usec = (recv_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+  // Batches are small and latency matters for the credit round trip.
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in sin{};
+  sin.sin_family = AF_INET;
+  sin.sin_addr.s_addr = addr.value();
+  sin.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sin), sizeof(sin)) !=
+      0) {
+    return Errno("connect " + host + ":" + std::to_string(port));
+  }
+  return fd;
+}
+
+}  // namespace net
+}  // namespace mcf0

@@ -1,0 +1,121 @@
+/// \file event_loop.hpp
+/// \brief poll(2)-based readiness loop + socket plumbing for `mcf0 serve`.
+///
+/// The server is a single-threaded event loop over non-blocking sockets
+/// (no new dependencies — plain POSIX poll). This header holds the
+/// loop-independent pieces: RAII fds, a Poller that owns the interest
+/// set, a self-pipe for signal-safe wakeups, and TCP listen/connect
+/// helpers. Concurrency comes from the sharded engine behind the loop,
+/// not from per-connection threads.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace mcf0 {
+namespace net {
+
+/// Owns a file descriptor; closes it on destruction. Move-only.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ScopedFd(ScopedFd&& o) noexcept : fd_(std::exchange(o.fd_, -1)) {}
+  ScopedFd& operator=(ScopedFd&& o) noexcept {
+    if (this != &o) {
+      Reset();
+      fd_ = std::exchange(o.fd_, -1);
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+  ~ScopedFd() { Reset(); }
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int Release() { return std::exchange(fd_, -1); }
+  void Reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Marks `fd` O_NONBLOCK.
+Status SetNonBlocking(int fd);
+
+/// One readiness report from Poller::Wait.
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// POLLERR / POLLHUP / POLLNVAL — the fd should be torn down.
+  bool hangup = false;
+};
+
+/// A registry of fd -> interest (read and/or write) over poll(2). Not
+/// thread-safe; owned by the event-loop thread.
+class Poller {
+ public:
+  /// Registers or updates interest for `fd`. At least one of the two
+  /// flags should be set while the fd stays registered.
+  void Watch(int fd, bool want_read, bool want_write);
+  void Unwatch(int fd);
+  size_t watched() const { return entries_.size(); }
+
+  /// Blocks until readiness or `timeout_ms` (-1 = indefinitely); fills
+  /// `events` with every ready fd. EINTR returns OK with no events, so
+  /// callers re-check their wakeup state instead of dying on a signal.
+  Status Wait(int timeout_ms, std::vector<PollEvent>* events);
+
+ private:
+  struct Entry {
+    int fd;
+    short interest;  // POLLIN/POLLOUT mask
+  };
+  std::vector<Entry> entries_;
+};
+
+/// A self-pipe: the write end is async-signal-safe (one byte per Notify),
+/// the read end is registered with the Poller so signals/other threads
+/// can wake the loop.
+class WakePipe {
+ public:
+  Status Open();
+  int read_fd() const { return read_end_.get(); }
+  /// Signal- and thread-safe; coalesces (the pipe never fills because
+  /// Drain empties it every wakeup, and extra bytes past the pipe buffer
+  /// are dropped by O_NONBLOCK, which is fine for a level signal).
+  void Notify() const;
+  /// Empties the pipe after a wakeup.
+  void Drain() const;
+
+ private:
+  ScopedFd read_end_;
+  ScopedFd write_end_;
+};
+
+/// Resolves `host` to an IPv4 address: a dotted quad, or "localhost".
+/// (Numeric-only by design — the service targets mappers given explicit
+/// addresses; no resolver dependency.)
+Result<uint32_t> ParseIpv4(const std::string& host);
+
+/// Binds + listens a non-blocking TCP socket on host:port (port 0 picks
+/// an ephemeral port; read it back with BoundPort).
+Result<ScopedFd> ListenTcp(const std::string& host, int port);
+
+/// The port a bound socket landed on.
+Result<int> BoundPort(int fd);
+
+/// Blocking TCP connect (the client side); `recv_timeout_ms > 0` arms
+/// SO_RCVTIMEO so stalled reads surface as kDeadlineExceeded instead of
+/// hanging forever.
+Result<ScopedFd> ConnectTcp(const std::string& host, int port,
+                            int recv_timeout_ms);
+
+}  // namespace net
+}  // namespace mcf0

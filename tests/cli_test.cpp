@@ -3,6 +3,7 @@
 // The binary path is injected by CMake as MCF0_CLI_PATH.
 #include <gtest/gtest.h>
 
+#include <signal.h>
 #include <sys/wait.h>
 
 #include <cstdint>
@@ -10,6 +11,7 @@
 #include <fstream>
 #include <iterator>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace mcf0 {
@@ -656,6 +658,123 @@ TEST(CliTest, FormatSniffingIgnoresComments) {
   ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
   EXPECT_NE(out.stdout_text.find("\"format\": \"cnf\""), std::string::npos)
       << out.stdout_text;
+}
+
+TEST(CliTest, FlagErrorRenderingIsPinnedByteForByte) {
+  // The typed flag table (tools/cli_flags.*) must render errors exactly
+  // as the historical hand-rolled parser did: scripts grep this output.
+  const auto expect_error = [](const std::string& args,
+                               const std::string& message) {
+    const RunOutput out = RunCli(args + " 2>&1 1>/dev/null");
+    EXPECT_EQ(out.exit_code, 2) << args;
+    EXPECT_EQ(out.stdout_text, "mcf0: " + message + "\n") << args;
+  };
+  expect_error("f0 --eps nope -", "--eps needs a number, got 'nope'");
+  expect_error("f0 --eps", "--eps needs a value");
+  expect_error("f0 --wat 1 -", "unknown option --wat");
+  expect_error("f0 --seed -3 -", "--seed needs a non-negative integer, "
+                                 "got '-3'");
+  expect_error("f0 --n 5000000000 -", "--n is out of range: '5000000000'");
+  expect_error("serve --input potato",
+               "--input must be raw, dnf, range, or affine, got 'potato'");
+  expect_error("sketch build --format v3 x",
+               "--format must be v1 or v2, got 'v3'");
+  // Aliases report under the canonical flag name.
+  expect_error("sketch build -o", "--out needs a value");
+}
+
+TEST(CliTest, HelpDocumentsServeAndPush) {
+  const RunOutput out = RunCli("help");
+  ASSERT_EQ(out.exit_code, 0);
+  EXPECT_NE(out.stdout_text.find("serve   run a sketch service"),
+            std::string::npos);
+  EXPECT_NE(out.stdout_text.find("mcf0 push"), std::string::npos);
+  EXPECT_NE(out.stdout_text.find("--credit-window"), std::string::npos);
+}
+
+TEST(CliTest, ServeFourConcurrentPushersMatchesSketchBuild) {
+  // The PR's acceptance path, end to end through the real binaries: one
+  // `mcf0 serve`, four concurrent `mcf0 push` clients, SIGTERM drain —
+  // the emitted sketch file must be byte-identical to `sketch build`
+  // over the concatenated stream.
+  const std::string dir = testing::TempDir();
+  std::string full;
+  std::vector<std::string> slices;
+  for (int c = 0; c < 4; ++c) {
+    std::string slice;
+    // Overlapping windows: the union is a genuine multiset.
+    for (int i = c * 500; i < c * 500 + 800; ++i) {
+      slice += std::to_string((i * 2654435761u) % 1000003u) + "\n";
+    }
+    slices.push_back(WriteFixture("push_" + std::to_string(c) + ".txt",
+                                  slice));
+    full += slice;
+  }
+  const std::string full_path = WriteFixture("push_full.txt", full);
+  const std::string served = dir + "/served.mcf0";
+  const std::string built = dir + "/built.mcf0";
+
+  // Start the server and read its startup JSON for the port and pid.
+  const std::string serve_command =
+      std::string(MCF0_CLI_PATH) +
+      " serve --seed 7 --port 0 --shards 2 --out " + served;
+  FILE* serve = popen(serve_command.c_str(), "r");
+  ASSERT_NE(serve, nullptr);
+  // The startup object is pretty-printed over several lines; read until
+  // its closing brace.
+  char line[4096];
+  std::string startup;
+  while (std::fgets(line, sizeof(line), serve) != nullptr) {
+    startup += line;
+    if (line[0] == '}') break;
+  }
+  const int port = static_cast<int>(JsonNumber(startup, "port"));
+  const int pid = static_cast<int>(JsonNumber(startup, "pid"));
+  ASSERT_GT(port, 0) << startup;
+  ASSERT_GT(pid, 0) << startup;
+
+  std::vector<std::thread> pushers;
+  std::vector<int> exit_codes(4, -1);
+  for (int c = 0; c < 4; ++c) {
+    pushers.emplace_back([c, port, &slices, &exit_codes] {
+      exit_codes[c] = RunCli("push --port " + std::to_string(port) + " " +
+                             slices[c])
+                          .exit_code;
+    });
+  }
+  for (std::thread& t : pushers) t.join();
+  for (int c = 0; c < 4; ++c) EXPECT_EQ(exit_codes[c], 0) << "pusher " << c;
+
+  // SIGTERM = graceful drain: the server flushes every producer, writes
+  // the final sketch, and reports it on stdout.
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  std::string drained;
+  while (std::fgets(line, sizeof(line), serve) != nullptr) drained += line;
+  const int status = pclose(serve);
+  EXPECT_EQ(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 0) << drained;
+  EXPECT_NE(drained.find("\"event\": \"drained\""), std::string::npos)
+      << drained;
+  EXPECT_EQ(JsonNumber(drained, "items"), 4 * 800.0) << drained;
+
+  ASSERT_EQ(RunCli("sketch build --seed 7 --out " + built + " " + full_path)
+                .exit_code,
+            0);
+  std::ifstream served_in(served, std::ios::binary);
+  std::ifstream built_in(built, std::ios::binary);
+  const std::string served_bytes(
+      (std::istreambuf_iterator<char>(served_in)),
+      std::istreambuf_iterator<char>());
+  const std::string built_bytes(
+      (std::istreambuf_iterator<char>(built_in)),
+      std::istreambuf_iterator<char>());
+  EXPECT_FALSE(served_bytes.empty());
+  EXPECT_EQ(served_bytes, built_bytes);
+}
+
+TEST(CliTest, PushWithoutServerIsACleanError) {
+  EXPECT_EQ(RunCli("push --port 1 /dev/null 2>/dev/null").exit_code, 1);
+  // And push without --port is a usage error, not a connection attempt.
+  EXPECT_EQ(RunCli("push /dev/null 2>/dev/null").exit_code, 2);
 }
 
 }  // namespace

@@ -33,6 +33,54 @@ TEST(Status, AllConstructorsProduceMatchingCodes) {
             StatusCode::kResourceExhausted);
   EXPECT_EQ(Status::NotSupported("x").code(), StatusCode::kNotSupported);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(Status, NumericCodeValuesAreFrozen) {
+  // The serve protocol serializes StatusCode as a uint16 (docs/serve.md);
+  // these values are wire-compatibility surface and must never be
+  // renumbered.
+  EXPECT_EQ(static_cast<int>(StatusCode::kOk), 0);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInvalidArgument), 1);
+  EXPECT_EQ(static_cast<int>(StatusCode::kParseError), 2);
+  EXPECT_EQ(static_cast<int>(StatusCode::kResourceExhausted), 3);
+  EXPECT_EQ(static_cast<int>(StatusCode::kNotSupported), 4);
+  EXPECT_EQ(static_cast<int>(StatusCode::kInternal), 5);
+  EXPECT_EQ(static_cast<int>(StatusCode::kFailedPrecondition), 6);
+  EXPECT_EQ(static_cast<int>(StatusCode::kUnavailable), 7);
+  EXPECT_EQ(static_cast<int>(StatusCode::kDeadlineExceeded), 8);
+}
+
+TEST(Status, StatusCodeNameCoversEveryCode) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "DeadlineExceeded");
+}
+
+TEST(Status, FromCodeRoundTripsCodeAndMessage) {
+  const Status s = Status::FromCode(StatusCode::kUnavailable, "link down");
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(s.message(), "link down");
+  // kOk ignores the message: there is exactly one OK status.
+  EXPECT_TRUE(Status::FromCode(StatusCode::kOk, "ignored").ok());
+  EXPECT_EQ(Status::FromCode(StatusCode::kOk, "ignored").message(), "");
+}
+
+TEST(Status, AnnotatePreservesCode) {
+  const Status s =
+      Status::DeadlineExceeded("timed out").Annotate("batch seq 7");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(s.message(), "timed out (batch seq 7)");
+  // No-ops: OK statuses and empty details pass through untouched.
+  EXPECT_TRUE(Status::Ok().Annotate("detail").ok());
+  EXPECT_EQ(Status::Internal("boom").Annotate("").message(), "boom");
 }
 
 TEST(Result, HoldsValue) {

@@ -770,6 +770,67 @@ TEST(ShardedEngineTest, SingleShardAndRepeatedQueries) {
   EXPECT_GT(engine.SpaceBits(), 0u);
 }
 
+TEST(ShardedEngineTest, ProducerCloseIsIdempotentFlushAndDetach) {
+  const F0Params params = SmallParams(F0Algorithm::kMinimum);
+  ShardedF0Engine engine(params, 2);
+  ShardedF0Engine::Producer producer = engine.MakeProducer();
+  EXPECT_FALSE(producer.closed());
+
+  const std::vector<uint64_t> xs = RandomStream(300, 12, 64);
+  EXPECT_TRUE(producer.AddBatch(xs).ok());
+  EXPECT_TRUE(producer.Add(1u << 21).ok());
+
+  // Close = flush-and-detach: once it returns, every accepted item is
+  // absorbed and visible to queries.
+  EXPECT_TRUE(producer.Close().ok());
+  EXPECT_TRUE(producer.closed());
+  EXPECT_EQ(engine.elements_ingested(), xs.size() + 1);
+  EXPECT_DOUBLE_EQ(engine.Estimate(), 13.0);  // exact regime: 13 < thresh
+
+  // Detached: nothing slips in afterwards, and the rejection says why.
+  const uint64_t late = 99;
+  const Status add = producer.Add(late);
+  EXPECT_EQ(add.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(producer.AddBatch({&late, 1}).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.elements_ingested(), xs.size() + 1);
+
+  // Idempotent: more Close (and Flush) calls are harmless no-ops.
+  EXPECT_TRUE(producer.Close().ok());
+  producer.Flush();
+  EXPECT_DOUBLE_EQ(engine.Estimate(), 13.0);
+}
+
+TEST(ShardedEngineTest, MovedFromProducerIsDetached) {
+  const F0Params params = SmallParams(F0Algorithm::kMinimum);
+  ShardedF0Engine engine(params, 2);
+  ShardedF0Engine::Producer a = engine.MakeProducer();
+  EXPECT_TRUE(a.Add(7).ok());
+  ShardedF0Engine::Producer b = std::move(a);
+  EXPECT_TRUE(a.closed());
+  EXPECT_EQ(a.Add(8).code(), StatusCode::kFailedPrecondition);
+  // The move target carries the buffered item onward.
+  EXPECT_TRUE(b.Add(9).ok());
+  EXPECT_TRUE(b.Close().ok());
+  EXPECT_DOUBLE_EQ(engine.Estimate(), 2.0);
+}
+
+TEST(ShardedEngineTest, QueueBackpressureSignalsAreSane) {
+  const F0Params params = SmallParams(F0Algorithm::kMinimum);
+  ShardedF0Engine engine(params, 3);
+  // Capacity is a constant of the configuration (shards x per-shard
+  // bound, so at least one batch per shard)...
+  const uint64_t capacity = engine.queue_capacity();
+  EXPECT_GE(capacity, 3u);
+  EXPECT_EQ(engine.queue_capacity(), capacity);
+  // ...and the queued count stays inside it, ending at zero once a
+  // flush has drained every shard.
+  engine.AddBatch(RandomStream(5000, 900, 65));
+  EXPECT_LE(engine.queued_batches(), engine.queue_capacity());
+  engine.Flush();
+  EXPECT_EQ(engine.queued_batches(), 0u);
+}
+
 TEST(ShardedEngineTest, ShardedSketchSurvivesCodecRoundTrip) {
   const F0Params params = SmallParams(F0Algorithm::kBucketing);
   ShardedF0Engine engine(params, 3);

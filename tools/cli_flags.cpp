@@ -1,0 +1,143 @@
+#include "cli_flags.hpp"
+
+#include <cstdlib>
+#include <limits>
+#include <stdexcept>
+
+namespace mcf0 {
+namespace cli {
+
+void Fail(const std::string& message, int code) {
+  std::fprintf(stderr, "mcf0: %s\n", message.c_str());
+  std::exit(code);
+}
+
+double ParseDouble(const std::string& text, const char* flag) {
+  try {
+    size_t end = 0;
+    const double value = std::stod(text, &end);
+    if (end == text.size()) return value;
+  } catch (const std::exception&) {
+  }
+  Fail(std::string(flag) + " needs a number, got '" + text + "'", 2);
+}
+
+uint64_t ParseU64(const std::string& text, const char* flag) {
+  try {
+    size_t end = 0;
+    const uint64_t value = std::stoull(text, &end);
+    if (end == text.size() && text[0] != '-') return value;
+  } catch (const std::exception&) {
+  }
+  Fail(std::string(flag) + " needs a non-negative integer, got '" + text + "'",
+       2);
+}
+
+int ParseInt(const std::string& text, const char* flag) {
+  const uint64_t value = ParseU64(text, flag);
+  if (value > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    Fail(std::string(flag) + " is out of range: '" + text + "'", 2);
+  }
+  return static_cast<int>(value);
+}
+
+int UsageExit(const char* usage, int code) {
+  std::fputs(usage, code == 0 ? stdout : stderr);
+  return code;
+}
+
+void FlagParser::Register(const char* name, bool takes_value,
+                          std::function<void(const std::string&)> handler) {
+  flags_.push_back(Flag{name, takes_value, std::move(handler)});
+}
+
+const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
+  for (const Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+void FlagParser::Double(const char* name, double* target) {
+  Register(name, true, [name, target](const std::string& value) {
+    *target = ParseDouble(value, name);
+  });
+}
+
+void FlagParser::U64(const char* name, uint64_t* target) {
+  Register(name, true, [name, target](const std::string& value) {
+    *target = ParseU64(value, name);
+  });
+}
+
+void FlagParser::Int(const char* name, int* target) {
+  Register(name, true, [name, target](const std::string& value) {
+    *target = ParseInt(value, name);
+  });
+}
+
+void FlagParser::String(const char* name, std::string* target) {
+  Register(name, true,
+           [target](const std::string& value) { *target = value; });
+}
+
+void FlagParser::Bool(const char* name, bool* target) {
+  Register(name, false, [target](const std::string&) { *target = true; });
+}
+
+void FlagParser::Enum(const char* name, std::string* target,
+                      std::string description,
+                      std::vector<std::string> allowed) {
+  Register(name, true,
+           [name, target, description = std::move(description),
+            allowed = std::move(allowed)](const std::string& value) {
+             for (const std::string& candidate : allowed) {
+               if (value == candidate) {
+                 *target = value;
+                 return;
+               }
+             }
+             Fail(std::string(name) + " must be " + description + ", got '" +
+                      value + "'",
+                  2);
+           });
+}
+
+void FlagParser::Custom(const char* name,
+                        std::function<void(const std::string&)> handler) {
+  Register(name, true, std::move(handler));
+}
+
+void FlagParser::Alias(const char* alias, const char* name) {
+  aliases_.emplace_back(alias, name);
+}
+
+void FlagParser::Parse(int argc, char** argv,
+                       std::vector<std::string>* positional) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    for (const auto& [alias, canonical] : aliases_) {
+      if (arg == alias) {
+        arg = canonical;
+        break;
+      }
+    }
+    const Flag* flag = Find(arg);
+    if (flag != nullptr) {
+      if (flag->takes_value) {
+        if (i + 1 >= argc) Fail(flag->name + " needs a value", 2);
+        flag->handler(argv[++i]);
+      } else {
+        flag->handler(std::string());
+      }
+      continue;
+    }
+    if (!arg.empty() && arg[0] == '-' && arg != "-") {
+      Fail("unknown option " + arg, 2);
+    }
+    positional->push_back(arg);
+  }
+}
+
+}  // namespace cli
+}  // namespace mcf0

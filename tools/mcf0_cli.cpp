@@ -14,6 +14,11 @@
 //                                         threads), merge sketch files,
 //                                         query an estimate — map-reduce F0
 //                                         over file shards from the shell
+//   mcf0 serve  [opts]                    networked sketch service: remote
+//                                         push clients stream into one
+//                                         sharded engine (docs/serve.md)
+//   mcf0 push   [opts] <input|->          stream a local input into a
+//                                         running serve instance
 //
 // Common options: --eps E --delta D --seed S --algo NAME. Run with no
 // arguments (or `mcf0 help`) for the full reference. Exit codes: 0 ok,
@@ -35,6 +40,11 @@
 #include <utility>
 #include <vector>
 
+#include <csignal>
+
+#include <unistd.h>
+
+#include "cli_flags.hpp"
 #include "common/rng.hpp"
 #include "common/timer.hpp"
 #include "common/version.hpp"
@@ -50,6 +60,8 @@
 #include "engine/sketch_reader.hpp"
 #include "formula/dimacs.hpp"
 #include "formula/formula.hpp"
+#include "net/client.hpp"
+#include "net/server.hpp"
 #include "setstream/structured_f0.hpp"
 #include "streaming/f0_sketch.hpp"
 
@@ -88,6 +100,15 @@ subcommands:
           bounded by one row no matter how many shard files are merged
           (the raw bytes of each input file are still buffered); a bad
           shard is reported by file name in that same single pass
+  serve   run a sketch service on TCP (docs/serve.md): remote `mcf0 push`
+          clients stream items into one sharded engine over the v2 frame
+          protocol, with credit-based flow control and live estimate /
+          sketch queries. SIGTERM (or SIGINT) drains gracefully: every
+          session is flushed, and the final merged sketch is written to
+          --out. prints one JSON object at startup (with the bound port
+          and pid) and one when the drain completes
+  push    stream a local input file into a running serve instance; the
+          input syntax per --input kind is exactly `sketch build`'s
   help    print this message
 
 common options:
@@ -116,6 +137,28 @@ subcommand options:
                           split it across producers)
           --format V      wire format to write: v1 | v2      (default v2;
                           both versions are always readable)
+  serve   --host A        listen address (IPv4 or localhost) (default 127.0.0.1)
+          --port P        listen port; 0 picks an ephemeral one (default 0)
+          --input KIND    raw serves u64 element sessions; dnf | range |
+                          affine all serve structured §5 sessions (one
+                          engine; clients choose the item syntax)
+          --n BITS        universe width; raw caps at 64, structured
+                          sessions need the width the inputs were written
+                          for                                (default 32)
+          --shards N      engine worker threads               (default 1)
+          --credit-window B  batches a client may have in flight
+                                                             (default 8)
+          --batch-items N max items per pushed batch frame   (default 4096)
+          --drain-timeout-ms T  grace period before a drain force-closes
+                          unresponsive clients               (default 30000)
+          --out FILE      final merged sketch file written on drain
+  push    --host A --port P  the serve instance to dial (--port required)
+          --input KIND    raw | dnf | range | affine file syntax, exactly
+                          as `sketch build` reads them        (default raw)
+          --query         also report the live server-wide estimate after
+                          pushing (racing other producers)
+          --timeout-ms T  bound on each wait for a server frame
+                                                             (default 30000)
 
 All results are a single JSON object on stdout. A sketch built on one
 shard of a stream merges losslessly with sketches of the other shards as
@@ -138,99 +181,55 @@ struct CommonOptions {
   std::string out;
   std::string input_kind = "raw";  // sketch build: raw | dnf | range | affine
   uint16_t format = SketchCodec::kDefaultFormatVersion;
+  // serve / push (the networked service; docs/serve.md).
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int credit_window = 8;
+  int batch_items = 4096;
+  int drain_timeout_ms = 30'000;
+  int timeout_ms = 30'000;
+  bool query = false;
   std::vector<std::string> inputs;
 };
 
-void Fail(const std::string& message, int code = 1) {
-  std::fprintf(stderr, "mcf0: %s\n", message.c_str());
-  std::exit(code);
-}
-
-double ParseDouble(const std::string& text, const char* flag) {
-  try {
-    size_t end = 0;
-    const double value = std::stod(text, &end);
-    if (end == text.size()) return value;
-  } catch (const std::exception&) {
-  }
-  Fail(std::string(flag) + " needs a number, got '" + text + "'", 2);
-  return 0;  // unreachable
-}
-
-uint64_t ParseU64(const std::string& text, const char* flag) {
-  try {
-    size_t end = 0;
-    const uint64_t value = std::stoull(text, &end);
-    if (end == text.size() && text[0] != '-') return value;
-  } catch (const std::exception&) {
-  }
-  Fail(std::string(flag) + " needs a non-negative integer, got '" + text + "'",
-       2);
-  return 0;  // unreachable
-}
-
-int ParseInt(const std::string& text, const char* flag) {
-  const uint64_t value = ParseU64(text, flag);
-  if (value > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
-    Fail(std::string(flag) + " is out of range: '" + text + "'", 2);
-  }
-  return static_cast<int>(value);
-}
+using cli::Fail;
+using cli::ParseInt;
 
 // Parses flags; everything after them is the input path.
 CommonOptions ParseOptions(int argc, char** argv) {
   CommonOptions opts;
-  for (int i = 0; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next_value = [&](const char* flag) -> std::string {
-      if (i + 1 >= argc) Fail(std::string(flag) + " needs a value", 2);
-      return argv[++i];
-    };
-    if (arg == "--eps") {
-      opts.eps = ParseDouble(next_value("--eps"), "--eps");
-    } else if (arg == "--delta") {
-      opts.delta = ParseDouble(next_value("--delta"), "--delta");
-    } else if (arg == "--seed") {
-      opts.seed = ParseU64(next_value("--seed"), "--seed");
-    } else if (arg == "--algo") {
-      opts.algo = next_value("--algo");
-    } else if (arg == "--n") {
-      opts.n = ParseInt(next_value("--n"), "--n");
-    } else if (arg == "--sites") {
-      opts.sites = ParseInt(next_value("--sites"), "--sites");
-    } else if (arg == "--shards") {
-      opts.shards = ParseInt(next_value("--shards"), "--shards");
-    } else if (arg == "--producers") {
-      opts.producers = ParseInt(next_value("--producers"), "--producers");
-    } else if (arg == "--out" || arg == "-o") {
-      opts.out = next_value("--out");
-    } else if (arg == "--input") {
-      opts.input_kind = next_value("--input");
-      if (opts.input_kind != "raw" && opts.input_kind != "dnf" &&
-          opts.input_kind != "range" && opts.input_kind != "affine") {
-        Fail("--input must be raw, dnf, range, or affine, got '" +
-                 opts.input_kind + "'",
-             2);
-      }
-    } else if (arg == "--format") {
-      const std::string format = next_value("--format");
-      if (format == "v1" || format == "1") {
-        opts.format = SketchCodec::kFormatV1;
-      } else if (format == "v2" || format == "2") {
-        opts.format = SketchCodec::kFormatV2;
-      } else {
-        Fail("--format must be v1 or v2, got '" + format + "'", 2);
-      }
-    } else if (arg == "--binary-search") {
-      opts.binary_search = true;
-    } else if (arg == "--tseitin") {
-      opts.tseitin = true;
-    } else if (!arg.empty() && arg[0] == '-' && arg != "-") {
-      Fail("unknown option " + arg, 2);
+  cli::FlagParser flags;
+  flags.Double("--eps", &opts.eps);
+  flags.Double("--delta", &opts.delta);
+  flags.U64("--seed", &opts.seed);
+  flags.String("--algo", &opts.algo);
+  flags.Int("--n", &opts.n);
+  flags.Int("--sites", &opts.sites);
+  flags.Int("--shards", &opts.shards);
+  flags.Int("--producers", &opts.producers);
+  flags.String("--out", &opts.out);
+  flags.Alias("-o", "--out");
+  flags.Enum("--input", &opts.input_kind, "raw, dnf, range, or affine",
+             {"raw", "dnf", "range", "affine"});
+  flags.Custom("--format", [&opts](const std::string& format) {
+    if (format == "v1" || format == "1") {
+      opts.format = SketchCodec::kFormatV1;
+    } else if (format == "v2" || format == "2") {
+      opts.format = SketchCodec::kFormatV2;
     } else {
-      opts.inputs.push_back(arg);
+      Fail("--format must be v1 or v2, got '" + format + "'", 2);
     }
-  }
+  });
+  flags.Bool("--binary-search", &opts.binary_search);
+  flags.Bool("--tseitin", &opts.tseitin);
+  flags.String("--host", &opts.host);
+  flags.Int("--port", &opts.port);
+  flags.Int("--credit-window", &opts.credit_window);
+  flags.Int("--batch-items", &opts.batch_items);
+  flags.Int("--drain-timeout-ms", &opts.drain_timeout_ms);
+  flags.Int("--timeout-ms", &opts.timeout_ms);
+  flags.Bool("--query", &opts.query);
+  flags.Parse(argc, argv, &opts.inputs);
   // The lower bound keeps the Thresh = 96/eps^2 formula inside uint64
   // (library CHECKs would abort otherwise); no real run wants eps there.
   // isfinite + negated comparisons make NaN and inf usage errors too.
@@ -1101,14 +1100,216 @@ int RunSketch(int argc, char** argv) {
   return 2;  // unreachable
 }
 
+// ---------------------------------------------------------------------------
+// mcf0 serve / push  (the networked sketch service; docs/serve.md)
+// ---------------------------------------------------------------------------
+
+// The signal handler's line to the serve loop. RequestDrain is
+// async-signal-safe (an atomic flag plus a self-pipe write).
+net::SketchServer* g_serve_server = nullptr;
+
+void HandleDrainSignal(int) {
+  if (g_serve_server != nullptr) g_serve_server->RequestDrain();
+}
+
+int RunServe(const CommonOptions& opts) {
+  if (opts.shards < 1 || opts.shards > 256) {
+    Fail("--shards must be in [1, 256]", 2);
+  }
+  if (opts.credit_window < 1) Fail("--credit-window must be >= 1", 2);
+  if (opts.batch_items < 1 ||
+      static_cast<uint64_t>(opts.batch_items) > net::kMaxBatchItemsLimit) {
+    Fail("--batch-items out of range", 2);
+  }
+  if (!opts.inputs.empty()) {
+    Fail("serve takes no input file (clients push the stream)", 2);
+  }
+  const bool structured = opts.input_kind != "raw";
+
+  WallTimer timer;
+  // Exactly one of the engines runs, picked by --input; both speak
+  // through the same EngineBackend surface.
+  std::optional<ShardedF0Engine> raw_engine;
+  std::optional<ShardedStructuredEngine> structured_engine;
+  std::unique_ptr<net::EngineBackend> backend;
+  if (structured) {
+    if (opts.n < 1 || opts.n > 4096) {
+      Fail("--n must be in [1, 4096] for structured serving", 2);
+    }
+    const StructuredF0Params params =
+        StructuredParamsFromOptions(opts, opts.n, "serve");
+    structured_engine.emplace(params, opts.shards);
+    backend = std::make_unique<net::StructuredEngineBackend>(
+        &*structured_engine);
+  } else {
+    const F0Params params = F0ParamsFromOptions(opts, "serve");
+    raw_engine.emplace(params, opts.shards);
+    backend = std::make_unique<net::RawEngineBackend>(&*raw_engine);
+  }
+
+  net::ServerOptions server_options;
+  server_options.host = opts.host;
+  server_options.port = opts.port;
+  server_options.credit_window = static_cast<uint64_t>(opts.credit_window);
+  server_options.max_batch_items = static_cast<uint64_t>(opts.batch_items);
+  server_options.drain_timeout_ms = opts.drain_timeout_ms;
+  net::SketchServer server(backend.get(), server_options);
+  Status status = server.Start();
+  if (!status.ok()) Fail("serve: " + status.ToString());
+
+  g_serve_server = &server;
+  struct sigaction action{};
+  action.sa_handler = HandleDrainSignal;
+  ::sigaction(SIGTERM, &action, nullptr);
+  ::sigaction(SIGINT, &action, nullptr);
+
+  // Startup announcement: the bound port (ephemeral with --port 0) and
+  // pid, so wrappers and tests can dial in and later signal the drain.
+  {
+    JsonObject json = NewJson("serve");
+    json.Add("event", std::string("listening"));
+    json.Add("host", opts.host);
+    json.Add("port", server.port());
+    json.Add("pid", static_cast<uint64_t>(::getpid()));
+    json.Add("kind", std::string(structured ? "structured" : "raw"));
+    json.Add("shards", opts.shards);
+    json.Add("credit_window", opts.credit_window);
+    json.Add("batch_items", opts.batch_items);
+    json.Print();
+    std::fflush(stdout);
+  }
+
+  status = server.Run();
+  g_serve_server = nullptr;
+  if (!status.ok()) Fail("serve: " + status.ToString());
+
+  uint64_t file_bytes = 0;
+  if (!opts.out.empty()) {
+    WriteBinaryFile(opts.out, server.final_sketch());
+    file_bytes = server.final_sketch().size();
+  }
+
+  JsonObject json = NewJson("serve");
+  json.Add("event", std::string("drained"));
+  json.Add("kind", std::string(structured ? "structured" : "raw"));
+  json.Add("connections", server.connections_served());
+  json.Add("batches", server.batches_accepted());
+  json.Add("items", server.items_accepted());
+  json.Add("estimate", server.final_estimate());
+  if (!opts.out.empty()) {
+    json.Add("out", opts.out);
+    json.Add("file_bytes", file_bytes);
+  }
+  json.Add("time_ms", timer.Seconds() * 1e3);
+  json.Print();
+  return 0;
+}
+
+/// Dies with the mcf0 exit-code convention on a failed network call.
+void CheckNet(const Status& status, const char* what) {
+  if (!status.ok()) Fail(std::string(what) + ": " + status.ToString());
+}
+
+int RunPush(const CommonOptions& opts) {
+  if (opts.port < 1) Fail("push needs --port (see `mcf0 serve`)", 2);
+  const std::string& input = SingleInput(opts);
+  const bool structured = opts.input_kind != "raw";
+
+  net::ClientOptions client_options;
+  client_options.host = opts.host;
+  client_options.port = opts.port;
+  client_options.recv_timeout_ms = opts.timeout_ms;
+  WallTimer timer;
+  Result<net::PushClient> connected = net::PushClient::Connect(
+      structured ? net::StreamKind::kStructured : net::StreamKind::kRaw,
+      client_options);
+  if (!connected.ok()) Fail("push: " + connected.status().ToString());
+  net::PushClient client = std::move(connected).value();
+
+  uint64_t items = 0;
+  if (!structured) {
+    items = StreamElements(input, [&client](uint64_t x) {
+      CheckNet(client.Push({&x, 1}), "push");
+    });
+  } else {
+    // Same input syntax as `sketch build`, then one protocol item per
+    // parsed set. The server validates widths too; checking against the
+    // advertised parameters here just fails faster and clearer.
+    const int server_n =
+        std::get<StructuredF0Params>(client.welcome().params).n;
+    std::vector<StructuredItem> parsed;
+    if (opts.input_kind == "dnf") {
+      const Dnf dnf = ParseDnfOrDie(ReadInput(input));
+      if (dnf.num_vars() != server_n) {
+        Fail("push: input has n=" + std::to_string(dnf.num_vars()) +
+             " but the server streams n=" + std::to_string(server_n));
+      }
+      for (const Term& term : dnf.terms()) {
+        parsed.emplace_back(std::vector<Term>{term});
+      }
+    } else if (opts.input_kind == "range") {
+      int dims = 0;
+      int bits = 0;
+      std::vector<MultiDimRange> ranges =
+          ParseRangeFileOrDie(ReadInput(input), &dims, &bits);
+      if (dims * bits != server_n) {
+        Fail("push: input has n=" + std::to_string(dims * bits) +
+             " but the server streams n=" + std::to_string(server_n));
+      }
+      for (MultiDimRange& range : ranges) parsed.emplace_back(std::move(range));
+    } else {
+      int n = 0;
+      parsed = ParseAffineFileOrDie(ReadInput(input), &n);
+      if (n != server_n) {
+        Fail("push: input has n=" + std::to_string(n) +
+             " but the server streams n=" + std::to_string(server_n));
+      }
+    }
+    items = parsed.size();
+    for (StructuredItem& item : parsed) {
+      CheckNet(client.PushItem(std::move(item)), "push");
+    }
+  }
+  CheckNet(client.Flush(), "push");
+
+  // A live query races other producers by design — the server answers
+  // from a snapshot merge without draining anyone.
+  double estimate = 0.0;
+  uint64_t server_items = 0;
+  if (opts.query) {
+    Result<net::EstimateFrame> result = client.QueryEstimate();
+    if (!result.ok()) Fail("push: " + result.status().ToString());
+    estimate = result.value().estimate;
+    server_items = result.value().items_ingested;
+  }
+  const uint64_t batches = client.batches_sent();
+  CheckNet(client.Close(), "push");
+
+  JsonObject json = NewJson("push");
+  json.Add("input", input);
+  json.Add("input_kind", opts.input_kind);
+  json.Add("host", opts.host);
+  json.Add("port", opts.port);
+  json.Add("items", items);
+  json.Add("batches", batches);
+  if (opts.query) {
+    json.Add("estimate", estimate);
+    json.Add("server_items", server_items);
+  }
+  json.Add("drain_requested", std::string(client.drain_requested() ? "true"
+                                                                   : "false"));
+  json.Add("time_ms", timer.Seconds() * 1e3);
+  json.Print();
+  return 0;
+}
+
 }  // namespace
 }  // namespace mcf0
 
 int main(int argc, char** argv) {
   if (argc < 2 || std::strcmp(argv[1], "help") == 0 ||
       std::strcmp(argv[1], "--help") == 0 || std::strcmp(argv[1], "-h") == 0) {
-    std::fputs(mcf0::kUsage, argc < 2 ? stderr : stdout);
-    return argc < 2 ? 2 : 0;
+    return mcf0::cli::UsageExit(mcf0::kUsage, argc < 2 ? 2 : 0);
   }
   const std::string command = argv[1];
   if (command == "sketch") return mcf0::RunSketch(argc - 2, argv + 2);
@@ -1117,6 +1318,8 @@ int main(int argc, char** argv) {
   if (command == "count") return mcf0::RunCount(opts);
   if (command == "dnf") return mcf0::RunDnf(opts);
   if (command == "stream") return mcf0::RunStream(opts);
+  if (command == "serve") return mcf0::RunServe(opts);
+  if (command == "push") return mcf0::RunPush(opts);
   std::fprintf(stderr, "mcf0: unknown subcommand '%s'\n\n%s", command.c_str(),
                mcf0::kUsage);
   return 2;
