@@ -165,6 +165,13 @@ void Connection::HandleHello(const Message& message) {
             : "stream kind mismatch: this server ingests structured items"));
     return;
   }
+  if (hello.max_sketch_format < backend_->min_sketch_format()) {
+    Abort(Status::NotSupported(
+        "sketch format v" + std::to_string(hello.max_sketch_format) +
+        " too old: this server encodes v" +
+        std::to_string(backend_->min_sketch_format()) + "+"));
+    return;
+  }
   sketch_format_ = std::min<uint16_t>(hello.max_sketch_format,
                                       SketchCodec::kDefaultFormatVersion);
   producer_ = backend_->MakeProducer();
@@ -184,33 +191,32 @@ void Connection::HandleBatch(const Message& message) {
         "flow control violated: batch sent with zero credits"));
     return;
   }
-  uint64_t seq = 0;
-  uint64_t items = 0;
-  Status status;
-  if (backend_->kind() == StreamKind::kRaw) {
-    RawBatchFrame batch;
-    status = DecodeRawBatch(message.payload, limits_.max_batch_items, &batch);
-    if (status.ok()) {
-      seq = batch.seq;
-      items = batch.items.size();
-      status = producer_->PushRaw(batch.items);
-    }
-  } else {
-    StructuredBatchFrame batch;
-    status = DecodeStructuredBatch(message.payload, backend_->universe_bits(),
-                                   limits_.max_batch_items, &batch);
-    if (status.ok()) {
-      seq = batch.seq;
-      items = batch.items.size();
-      status = producer_->PushStructured(batch.items);
-    }
-  }
+  const bool raw = backend_->kind() == StreamKind::kRaw;
+  RawBatchFrame raw_batch;
+  StructuredBatchFrame structured_batch;
+  Status status =
+      raw ? DecodeRawBatch(message.payload, limits_.max_batch_items,
+                           &raw_batch)
+          : DecodeStructuredBatch(message.payload, backend_->universe_bits(),
+                                  limits_.max_batch_items, &structured_batch);
   if (!status.ok()) {
     Abort(status);
     return;
   }
+  // The seq check must precede the push: an out-of-order batch aborts
+  // the session without mutating engine state (and without skewing the
+  // accepted-batch stats).
+  const uint64_t seq = raw ? raw_batch.seq : structured_batch.seq;
   if (seq != last_seq_ + 1) {
     Abort(Status::ParseError("batch seq out of order"));
+    return;
+  }
+  const uint64_t items =
+      raw ? raw_batch.items.size() : structured_batch.items.size();
+  status = raw ? producer_->PushRaw(raw_batch.items)
+               : producer_->PushStructured(structured_batch.items);
+  if (!status.ok()) {
+    Abort(status);
     return;
   }
   credits_ -= 1;

@@ -53,6 +53,11 @@ class EngineBackend {
   /// Universe width n — the validation bound for structured item
   /// decoding (64 for raw streams, where Add masks instead).
   virtual int universe_bits() const = 0;
+  /// Oldest sketch format version Encode{Snapshot,Final} can emit
+  /// (structured sketches are v2-only). A hello whose max_sketch_format
+  /// is below this is rejected at negotiation — the codec CHECK-aborts
+  /// on unsupported versions, so no lower version may ever reach it.
+  virtual uint16_t min_sketch_format() const = 0;
 
   virtual std::unique_ptr<ProducerHandle> MakeProducer() = 0;
 

@@ -178,6 +178,13 @@ Status DecodeStructuredItem(ByteReader& r, int n, StructuredItem* out) {
       if (num_terms > kMaxBatchItemsLimit) {
         return Malformed("structured term group too large");
       }
+      // Every term costs at least one payload byte (its literal count),
+      // so a count beyond the remaining bytes is a lie — reject it
+      // before reserving, or a small frame could claim a huge count and
+      // force a matching allocation.
+      if (num_terms > r.Remaining()) {
+        return Malformed("structured term group larger than its payload");
+      }
       std::vector<Term> terms;
       terms.reserve(num_terms);
       for (uint64_t t = 0; t < num_terms; ++t) {

@@ -17,6 +17,7 @@
 
 #include "common/status.hpp"
 #include "engine/sharded_engine.hpp"
+#include "engine/sketch_codec.hpp"
 #include "net/connection.hpp"
 #include "net/event_loop.hpp"
 
@@ -33,6 +34,9 @@ class RawEngineBackend : public EngineBackend {
     return engine_->params();
   }
   int universe_bits() const override { return engine_->params().n; }
+  uint16_t min_sketch_format() const override {
+    return SketchCodec::kFormatV1;
+  }
   std::unique_ptr<ProducerHandle> MakeProducer() override;
   uint64_t queued_batches() override { return engine_->queued_batches(); }
   uint64_t queue_capacity() const override {
@@ -61,6 +65,10 @@ class StructuredEngineBackend : public EngineBackend {
     return engine_->params();
   }
   int universe_bits() const override { return engine_->params().n; }
+  uint16_t min_sketch_format() const override {
+    // Structured frames have no v1 encoding (sketch_codec.cpp).
+    return SketchCodec::kFormatV2;
+  }
   std::unique_ptr<ProducerHandle> MakeProducer() override;
   uint64_t queued_batches() override { return engine_->queued_batches(); }
   uint64_t queue_capacity() const override {

@@ -206,6 +206,23 @@ TEST(NetProtocol, StructuredItemRejectsVariableOutsideUniverse) {
   EXPECT_NE(status.message().find("outside the universe"), std::string::npos);
 }
 
+TEST(NetProtocol, StructuredItemRejectsTermCountBeyondPayload) {
+  // Each term costs at least one payload byte, so a tiny item claiming a
+  // huge term count is a lie that must be rejected before the decoder
+  // reserves `count` Terms — otherwise a 16 MiB frame could force
+  // hundreds of MB of transient allocation.
+  wire::ByteWriter w;
+  w.U8(0);            // DNF term group
+  w.Varint(500'000);  // claimed terms; no term bytes follow
+  const std::string bytes = w.Take();
+  wire::ByteReader r(bytes);
+  StructuredItem item;
+  const Status status = DecodeStructuredItem(r, 8, &item);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("larger than its payload"),
+            std::string::npos);
+}
+
 TEST(NetProtocol, StructuredItemRejectsContradictoryTerm) {
   wire::ByteWriter w;
   w.U8(0);

@@ -160,9 +160,12 @@ std::vector<StructuredItem> StructuredStream(int salt, size_t count) {
     const uint64_t h = MixedElement(salt * 1'000 + k);
     switch (k % 4) {
       case 0: {  // a one- or two-term DNF group over distinct variables
+        // The two literals draw from disjoint variable ranges ([0,3] and
+        // [4,7]) so the term can never be contradictory: Term::Make
+        // returning nullopt would make the * below undefined behavior.
         std::vector<Term> terms;
         terms.push_back(*Term::Make(
-            {Lit(static_cast<int>(h % 8), (h & 8) != 0),
+            {Lit(static_cast<int>(h % 4), (h & 8) != 0),
              Lit(static_cast<int>((h / 16) % 4 + 4), (h & 64) != 0)}));
         if (h & 1) {
           terms.push_back(*Term::Make({Lit(static_cast<int>(h % 4), false)}));
@@ -438,6 +441,9 @@ class SaturatedBackend : public EngineBackend {
     return RawParams();
   }
   int universe_bits() const override { return 24; }
+  uint16_t min_sketch_format() const override {
+    return SketchCodec::kFormatV1;
+  }
   std::unique_ptr<ProducerHandle> MakeProducer() override {
     return std::make_unique<NullProducer>();
   }
@@ -560,6 +566,102 @@ TEST(Serve, SilentServerSurfacesDeadlineExceeded) {
       PushClient::Connect(StreamKind::kRaw, options);
   ASSERT_FALSE(connected.ok());
   EXPECT_EQ(connected.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(Serve, StructuredServerRejectsV1OnlyClientAtHello) {
+  // Structured sketches have no v1 encoding; a client that can only
+  // accept format v1 must be turned away at negotiation with a status,
+  // not crash the server later when a snapshot query reaches the codec.
+  const StructuredF0Params params = StructuredParams();
+  ShardedStructuredEngine engine(params, 1);
+  StructuredEngineBackend backend(&engine);
+  ServerOptions options;
+  RunningServer running(&backend, options);
+
+  ClientOptions v1_only = Dial(running.port());
+  v1_only.max_sketch_format = 1;
+  Result<PushClient> rejected =
+      PushClient::Connect(StreamKind::kStructured, v1_only);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kNotSupported);
+  EXPECT_NE(rejected.status().message().find("too old"), std::string::npos);
+
+  // The rejection is per-session: the server keeps serving v2 clients.
+  Result<PushClient> ok =
+      PushClient::Connect(StreamKind::kStructured, Dial(running.port()));
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_TRUE(ok.value().Close().ok());
+  running.DrainAndJoin();
+}
+
+TEST(Serve, RawServerServesV1OnlyClient) {
+  // Raw sketches do have a v1 encoding, so the same hello negotiates
+  // down to v1 instead of being rejected — and snapshot queries answer
+  // with v1 frames.
+  const F0Params params = RawParams();
+  ShardedF0Engine engine(params, 1);
+  RawEngineBackend backend(&engine);
+  ServerOptions options;
+  RunningServer running(&backend, options);
+
+  ClientOptions v1_only = Dial(running.port());
+  v1_only.max_sketch_format = 1;
+  Result<PushClient> connected =
+      PushClient::Connect(StreamKind::kRaw, v1_only);
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  PushClient client = std::move(connected).value();
+  const uint64_t x = 7;
+  ASSERT_TRUE(client.Push({&x, 1}).ok());
+  Result<std::string> snapshot = client.QuerySketch();
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status().ToString();
+  wire::FrameHeader header;
+  ASSERT_TRUE(wire::ParseFrameHeader(snapshot.value(), &header).ok());
+  EXPECT_EQ(header.version, SketchCodec::kFormatV1);
+  ASSERT_TRUE(client.Close().ok());
+  running.DrainAndJoin();
+}
+
+TEST(Serve, OutOfOrderBatchIsRejectedBeforeEngineMutation) {
+  const F0Params params = RawParams();
+  ShardedF0Engine engine(params, 1);
+  RawEngineBackend backend(&engine);
+  ServerOptions options;
+  options.max_batch_items = 64;
+  RunningServer running(&backend, options);
+
+  Result<ScopedFd> dialed = ConnectTcp("127.0.0.1", running.port(), 10'000);
+  ASSERT_TRUE(dialed.ok()) << dialed.status().ToString();
+  ScopedFd fd = std::move(dialed).value();
+  FrameBuffer inbox;
+
+  HelloFrame hello;
+  hello.kind = StreamKind::kRaw;
+  SendAllOrDie(fd.get(), WrapMessage(FrameType::kHello, EncodeHello(hello)));
+  Message message;
+  ASSERT_TRUE(ReadFrameBlocking(fd.get(), &inbox, &message).ok());
+  ASSERT_EQ(message.type, FrameType::kWelcome);
+
+  // The first batch must carry seq 1; seq 2 is a protocol violation.
+  RawBatchFrame batch;
+  batch.seq = 2;
+  batch.items = {1, 2, 3};
+  SendAllOrDie(fd.get(),
+               WrapMessage(FrameType::kBatch, EncodeRawBatch(batch)));
+  ASSERT_TRUE(ReadFrameBlocking(fd.get(), &inbox, &message).ok());
+  ASSERT_EQ(message.type, FrameType::kError);
+  ErrorFrame error;
+  ASSERT_TRUE(DecodeError(message.payload, &error).ok());
+  EXPECT_NE(error.message.find("batch seq out of order"), std::string::npos);
+
+  fd.Reset();
+  running.DrainAndJoin();
+
+  // The violating batch's items never reached the engine: the final
+  // sketch equals a pass over nothing, and the stats agree.
+  F0Estimator untouched(params);
+  EXPECT_EQ(running.server().final_sketch(), SketchCodec::Encode(untouched));
+  EXPECT_EQ(running.server().batches_accepted(), 0u);
+  EXPECT_EQ(running.server().items_accepted(), 0u);
 }
 
 TEST(Serve, ClosedClientRefusesFurtherUse) {

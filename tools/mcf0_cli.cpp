@@ -23,6 +23,7 @@
 // Common options: --eps E --delta D --seed S --algo NAME. Run with no
 // arguments (or `mcf0 help`) for the full reference. Exit codes: 0 ok,
 // 1 runtime/parse failure, 2 usage error.
+#include <atomic>
 #include <cinttypes>
 #include <cmath>
 #include <cstdint>
@@ -1105,11 +1106,14 @@ int RunSketch(int argc, char** argv) {
 // ---------------------------------------------------------------------------
 
 // The signal handler's line to the serve loop. RequestDrain is
-// async-signal-safe (an atomic flag plus a self-pipe write).
-net::SketchServer* g_serve_server = nullptr;
+// async-signal-safe (an atomic flag plus a self-pipe write); the
+// pointer itself is a lock-free atomic so the handler's read never
+// races the main thread's set/reset around Run().
+std::atomic<net::SketchServer*> g_serve_server{nullptr};
 
 void HandleDrainSignal(int) {
-  if (g_serve_server != nullptr) g_serve_server->RequestDrain();
+  net::SketchServer* server = g_serve_server.load(std::memory_order_acquire);
+  if (server != nullptr) server->RequestDrain();
 }
 
 int RunServe(const CommonOptions& opts) {
@@ -1157,7 +1161,7 @@ int RunServe(const CommonOptions& opts) {
   Status status = server.Start();
   if (!status.ok()) Fail("serve: " + status.ToString());
 
-  g_serve_server = &server;
+  g_serve_server.store(&server, std::memory_order_release);
   struct sigaction action{};
   action.sa_handler = HandleDrainSignal;
   ::sigaction(SIGTERM, &action, nullptr);
@@ -1180,7 +1184,7 @@ int RunServe(const CommonOptions& opts) {
   }
 
   status = server.Run();
-  g_serve_server = nullptr;
+  g_serve_server.store(nullptr, std::memory_order_release);
   if (!status.ok()) Fail("serve: " + status.ToString());
 
   uint64_t file_bytes = 0;
