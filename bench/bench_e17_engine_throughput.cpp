@@ -18,6 +18,7 @@
 // one-iteration miniature of all three tables (used by CI under ASan to
 // keep the engine's threading exercised and gate scaling regressions).
 #include <cstring>
+#include <fstream>
 #include <span>
 #include <string>
 #include <thread>
@@ -197,6 +198,14 @@ int main(int argc, char** argv) {
       smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
   const std::vector<uint64_t> xs = MakeStream(length, support);
 
+  // Headline rates for the Bucketing / Minimum reference rows, written
+  // to BENCH_e17_engine.json at the end (same schema family as E19).
+  double json_serial = 0.0;
+  double json_sharded = 0.0;
+  double json_multi_producer = 0.0;
+  double json_structured_serial = 0.0;
+  double json_structured_sharded = 0.0;
+
   std::printf("-- raw element streams, single producer --\n");
   std::printf("%-11s %7s %9s %12s %9s %14s\n", "algorithm", "shards",
               "elements", "elems/s", "speedup", "estimate");
@@ -204,12 +213,16 @@ int main(int argc, char** argv) {
                          F0Algorithm::kEstimation}) {
     const F0Params params = BenchParams(alg);
     const Measured serial = RunSerial(params, xs);
+    if (alg == F0Algorithm::kBucketing) json_serial = serial.elems_per_sec;
     std::printf("%-11s %7s %9zu %12.0f %9s %14.1f\n", Name(alg), "serial",
                 xs.size(), serial.elems_per_sec, "1.00x", serial.estimate);
     double base_rate = 0.0;
     for (const int shards : shard_counts) {
       const Measured sharded = RunSharded(params, xs, shards);
       if (shards == 1) base_rate = sharded.elems_per_sec;
+      if (alg == F0Algorithm::kBucketing && shards == shard_counts.back()) {
+        json_sharded = sharded.elems_per_sec;
+      }
       char speedup[16];
       std::snprintf(speedup, sizeof(speedup), "%.2fx",
                     base_rate > 0 ? sharded.elems_per_sec / base_rate : 0.0);
@@ -235,6 +248,10 @@ int main(int argc, char** argv) {
     for (const int producers : producer_counts) {
       const Measured measured = RunMultiProducer(params, xs, 4, producers);
       if (producers == 1) base_rate = measured.elems_per_sec;
+      if (alg == F0Algorithm::kBucketing &&
+          producers == producer_counts.back()) {
+        json_multi_producer = measured.elems_per_sec;
+      }
       char speedup[16];
       std::snprintf(speedup, sizeof(speedup), "%.2fx",
                     base_rate > 0 ? measured.elems_per_sec / base_rate : 0.0);
@@ -258,6 +275,9 @@ int main(int argc, char** argv) {
                          StructuredF0Algorithm::kBucketing}) {
     const StructuredF0Params params = StructuredBenchParams(alg, n);
     const StructuredMeasured serial = RunStructuredSerial(params, terms);
+    if (alg == StructuredF0Algorithm::kMinimum) {
+      json_structured_serial = serial.items_per_sec;
+    }
     std::printf("%-11s %7s %9zu %12.0f %9s %14.1f\n", Name(alg), "serial",
                 terms.size(), serial.items_per_sec, "1.00x", serial.estimate);
     double base_rate = 0.0;
@@ -265,6 +285,10 @@ int main(int argc, char** argv) {
       const StructuredMeasured sharded =
           RunStructuredSharded(params, terms, shards);
       if (shards == 1) base_rate = sharded.items_per_sec;
+      if (alg == StructuredF0Algorithm::kMinimum &&
+          shards == shard_counts.back()) {
+        json_structured_sharded = sharded.items_per_sec;
+      }
       char speedup[16];
       std::snprintf(speedup, sizeof(speedup), "%.2fx",
                     base_rate > 0 ? sharded.items_per_sec / base_rate : 0.0);
@@ -281,5 +305,27 @@ int main(int argc, char** argv) {
 
   std::printf("\n(speedups are relative to the 1-shard / 1-producer engine; "
               "the serial rows are the no-engine baseline)\n\n");
+
+  // Machine-readable summary, same schema family as BENCH_e19_serve.json:
+  // the Bucketing / Minimum reference rows at the largest shard and
+  // producer counts. Reaching this line means every equality gate above
+  // held, so estimates_match is by construction.
+  std::ofstream json("BENCH_e17_engine.json");
+  json << "{\n"
+       << "  \"experiment\": \"e17_engine_throughput\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"elements\": " << xs.size() << ",\n"
+       << "  \"shards\": " << shard_counts.back() << ",\n"
+       << "  \"serial_items_per_sec\": " << json_serial << ",\n"
+       << "  \"sharded_items_per_sec\": " << json_sharded << ",\n"
+       << "  \"multi_producer_items_per_sec\": " << json_multi_producer
+       << ",\n"
+       << "  \"structured_serial_items_per_sec\": " << json_structured_serial
+       << ",\n"
+       << "  \"structured_sharded_items_per_sec\": "
+       << json_structured_sharded << ",\n"
+       << "  \"estimates_match\": true\n"
+       << "}\n";
+  std::printf("wrote BENCH_e17_engine.json\n");
   return 0;
 }

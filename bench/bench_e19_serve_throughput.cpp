@@ -29,6 +29,7 @@
 #include "engine/sketch_codec.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
 #include "streaming/f0_sketch.hpp"
 
 namespace {
@@ -183,6 +184,37 @@ int main(int argc, char** argv) {
   }
   std::printf("served sketch == single-pass sketch (byte-identical): yes\n");
 
+  // Telemetry overhead: the full serve path with the registry live vs.
+  // the runtime kill switch (every metric op reduced to one relaxed
+  // load + branch — the in-process stand-in for -DMCF0_OBS_DISABLED).
+  // Rounds alternate on/off so drift hits both arms alike; medians of 5
+  // are compared and the CI gate demands the live registry stays within
+  // 3% of the disabled baseline.
+  const int overhead_clients = smoke ? 2 : 4;
+  std::vector<double> on_rates;
+  std::vector<double> off_rates;
+  for (int round = 0; round < 5; ++round) {
+    obs::SetEnabled(true);
+    on_rates.push_back(
+        ServeRound(params, stream, overhead_clients, expected).items_per_sec);
+    obs::SetEnabled(false);
+    off_rates.push_back(
+        ServeRound(params, stream, overhead_clients, expected).items_per_sec);
+  }
+  obs::SetEnabled(true);
+  std::sort(on_rates.begin(), on_rates.end());
+  std::sort(off_rates.begin(), off_rates.end());
+  const double metrics_on = on_rates[on_rates.size() / 2];
+  const double metrics_off = off_rates[off_rates.size() / 2];
+  const double overhead_pct = 100.0 * (metrics_off - metrics_on) / metrics_off;
+  const bool within_3pct = metrics_on >= 0.97 * metrics_off;
+  std::printf("\n-- telemetry overhead (%d clients, median of 5) --\n",
+              overhead_clients);
+  std::printf("metrics on : %14.0f items/sec\n", metrics_on);
+  std::printf("metrics off: %14.0f items/sec\n", metrics_off);
+  std::printf("overhead   : %+.2f%% (gate: within 3%%) -> %s\n", overhead_pct,
+              within_3pct ? "ok" : "FAIL");
+
   std::ofstream json("BENCH_e19_serve.json");
   json << "{\n"
        << "  \"experiment\": \"e19_serve_throughput\",\n"
@@ -192,8 +224,19 @@ int main(int argc, char** argv) {
        << "  \"items_per_sec\": " << last.items_per_sec << ",\n"
        << "  \"query_p50_us\": " << last.query_p50_us << ",\n"
        << "  \"query_p99_us\": " << last.query_p99_us << ",\n"
+       << "  \"metrics_on_items_per_sec\": " << metrics_on << ",\n"
+       << "  \"metrics_off_items_per_sec\": " << metrics_off << ",\n"
+       << "  \"metrics_overhead_pct\": " << overhead_pct << ",\n"
+       << "  \"metrics_within_3pct\": " << (within_3pct ? "true" : "false")
+       << ",\n"
        << "  \"byte_identical\": true\n"
        << "}\n";
   std::printf("wrote BENCH_e19_serve.json\n");
+  if (!within_3pct) {
+    std::fprintf(stderr,
+                 "E19: telemetry overhead gate failed: on=%.0f off=%.0f\n",
+                 metrics_on, metrics_off);
+    return 1;
+  }
   return 0;
 }

@@ -55,6 +55,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <string>
 #include <thread>
 #include <utility>
 #include <variant>
@@ -63,6 +64,8 @@
 #include "common/check.hpp"
 #include "common/status.hpp"
 #include "engine/sketch_merge.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "formula/formula.hpp"
 #include "setstream/range.hpp"
 #include "setstream/structured_f0.hpp"
@@ -83,6 +86,32 @@ struct ShardedEngineOptions {
   /// limit.
   size_t max_queued_batches = 64;
 };
+
+namespace engine_obs {
+
+/// Registry handles for the engine hot paths, resolved once. Shared by
+/// every ShardedEngine instantiation in the process — the registry is
+/// process-wide, so two live engines sum into the same counters
+/// (docs/observability.md).
+struct Metrics {
+  obs::Counter* items_absorbed;
+  obs::Counter* cache_rebuilds;
+  obs::Counter* enqueue_blocks;
+  obs::Histogram* enqueue_block_us;
+  obs::Histogram* absorb_batch_us;
+};
+
+inline Metrics& Get() {
+  static Metrics metrics{
+      obs::Registry::Global().GetCounter("mcf0_engine_items_absorbed_total"),
+      obs::Registry::Global().GetCounter("mcf0_engine_cache_rebuilds_total"),
+      obs::Registry::Global().GetCounter("mcf0_engine_enqueue_blocks_total"),
+      obs::Registry::Global().GetHistogram("mcf0_engine_enqueue_block_us"),
+      obs::Registry::Global().GetHistogram("mcf0_engine_absorb_batch_us")};
+  return metrics;
+}
+
+}  // namespace engine_obs
 
 /// The generic queue/worker/backpressure core; see the file comment.
 template <typename Sketch, typename Item>
@@ -223,6 +252,8 @@ class ShardedEngine {
     shards_.reserve(num_shards);
     for (int i = 0; i < num_shards; ++i) {
       shards_.push_back(std::make_unique<Shard>(factory_()));
+      shards_.back()->queue_depth = obs::Registry::Global().GetGauge(
+          "mcf0_engine_queue_depth", {{"shard", std::to_string(i)}});
     }
     // Replicas first, threads second: if a sketch constructor throws
     // there are no workers to unwind.
@@ -343,16 +374,20 @@ class ShardedEngine {
 
   /// Batches currently sitting in shard queues (enqueued, not yet
   /// absorbed) — the engine's backpressure signal. `mcf0 serve` derives
-  /// protocol credit grants from this: a point-in-time sum across shards,
-  /// not a fence (batches may land or drain while it is read), which is
-  /// fine for flow control — the hard bound is the queues themselves.
-  uint64_t queued_batches() {
-    uint64_t queued = 0;
-    for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      queued += shard->enqueued - shard->absorbed;
-    }
-    return queued;
+  /// protocol credit grants from this on *every ack*, so it reads two
+  /// relaxed mirrors of the per-shard counts instead of taking every
+  /// shard mutex (which contended with the workers). Point-in-time, not
+  /// a fence — fine for flow control; the hard bound is the queues.
+  /// Loading absorbed before enqueued keeps the difference from ever
+  /// wrapping: each batch bumps the enqueue mirror (under its shard
+  /// lock) strictly before a worker can pop it and bump the absorb
+  /// mirror.
+  uint64_t queued_batches() const {
+    const uint64_t absorbed =
+        batches_absorbed_.load(std::memory_order_relaxed);
+    const uint64_t enqueued =
+        batches_enqueued_.load(std::memory_order_relaxed);
+    return enqueued - absorbed;
   }
 
   /// Total batches the shard queues hold before dispatch blocks:
@@ -379,6 +414,8 @@ class ShardedEngine {
     std::mutex sketch_mu;  // guards sketch: worker absorb vs query merge
     Sketch sketch;
     std::thread thread;
+
+    obs::Gauge* queue_depth = nullptr;  // mcf0_engine_queue_depth{shard=i}
   };
 
   static void MergeOrDie(Sketch& into, const Sketch& from) {
@@ -398,13 +435,18 @@ class ShardedEngine {
         shard->queue.pop_front();
       }
       {
+        MCF0_TRACE_SPAN("engine.absorb_batch");
+        obs::ScopedLatencyUs absorb_timer(engine_obs::Get().absorb_batch_us);
         std::lock_guard<std::mutex> sketch_lock(shard->sketch_mu);
         for (const Item& item : batch) AbsorbItem(shard->sketch, item);
       }
+      engine_obs::Get().items_absorbed->Increment(batch.size());
       {
         std::lock_guard<std::mutex> lock(shard->mu);
         ++shard->absorbed;
       }
+      batches_absorbed_.fetch_add(1, std::memory_order_relaxed);
+      shard->queue_depth->Add(-1);
       shard->drained.notify_all();
     }
   }
@@ -418,12 +460,18 @@ class ShardedEngine {
     uint64_t ticket = 0;
     {
       std::unique_lock<std::mutex> lock(shard.mu);
-      shard.drained.wait(lock, [this, &shard] {
-        return shard.queue.size() < options_.max_queued_batches;
-      });
+      if (shard.queue.size() >= options_.max_queued_batches) {
+        engine_obs::Get().enqueue_blocks->Increment();
+        obs::ScopedLatencyUs wait_timer(engine_obs::Get().enqueue_block_us);
+        shard.drained.wait(lock, [this, &shard] {
+          return shard.queue.size() < options_.max_queued_batches;
+        });
+      }
       shard.queue.push_back(std::move(batch));
       ticket = ++shard.enqueued;
+      batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
     }
+    shard.queue_depth->Add(1);
     shard.work_ready.notify_one();
     return ticket;
   }
@@ -475,6 +523,7 @@ class ShardedEngine {
     cached_ = std::move(merged);
     cache_generation_ = generation;
     cache_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    engine_obs::Get().cache_rebuilds->Increment();
     return *cached_;
   }
 
@@ -483,6 +532,11 @@ class ShardedEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> items_{0};
   std::atomic<size_t> producers_made_{0};
+  // Relaxed mirrors of the per-shard enqueued/absorbed counts so
+  // queued_batches() never touches a shard mutex. Enqueue is bumped
+  // under the shard lock; absorb after it — see queued_batches().
+  std::atomic<uint64_t> batches_enqueued_{0};
+  std::atomic<uint64_t> batches_absorbed_{0};
 
   std::mutex cache_mu_;  // guards cached_ + cache_generation_
   std::optional<Sketch> cached_;
@@ -568,7 +622,7 @@ class ShardedF0Engine {
   int num_shards() const { return core_.num_shards(); }
   const F0Params& params() const { return params_; }
   uint64_t cache_rebuilds() const { return core_.cache_rebuilds(); }
-  uint64_t queued_batches() { return core_.queued_batches(); }
+  uint64_t queued_batches() const { return core_.queued_batches(); }
   uint64_t queue_capacity() const { return core_.queue_capacity(); }
 
  private:
@@ -637,7 +691,7 @@ class ShardedStructuredEngine {
   int num_shards() const { return core_.num_shards(); }
   const StructuredF0Params& params() const { return params_; }
   uint64_t cache_rebuilds() const { return core_.cache_rebuilds(); }
-  uint64_t queued_batches() { return core_.queued_batches(); }
+  uint64_t queued_batches() const { return core_.queued_batches(); }
   uint64_t queue_capacity() const { return core_.queue_capacity(); }
 
  private:

@@ -252,6 +252,29 @@ Result<std::string> PushClient::QuerySketch() {
   }
 }
 
+Result<StatsReportFrame> PushClient::QueryStats() {
+  Status status = Flush();
+  if (!status.ok()) return status;
+  status = SendAll(WrapMessage(FrameType::kStatsQuery, std::string()));
+  if (!status.ok()) return status;
+  for (;;) {
+    Message message;
+    status = ReadMessage(&message);
+    if (!status.ok()) return status;
+    bool handled = false;
+    status = HandleBookkeeping(message, &handled);
+    if (!status.ok()) return status;
+    if (handled) continue;
+    if (message.type != FrameType::kStatsReport) {
+      return Status::ParseError("expected a stats report frame");
+    }
+    StatsReportFrame report;
+    status = DecodeStatsReport(message.payload, &report);
+    if (!status.ok()) return status;
+    return report;
+  }
+}
+
 Status PushClient::Close() {
   if (!open_) return Status::Ok();
   Status status = Flush();

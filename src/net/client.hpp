@@ -56,6 +56,9 @@ class PushClient {
   Result<EstimateFrame> QueryEstimate();
   /// Snapshot sketch, as a complete encoded sketch blob.
   Result<std::string> QuerySketch();
+  /// Server metrics snapshot (protocol revision 2+; an older server
+  /// rejects the frame kind and the session ends with its error).
+  Result<StatsReportFrame> QueryStats();
 
   /// Flushes, says goodbye, and waits for the server's goodbye-ack —
   /// the guarantee that every pushed batch reached the engine.

@@ -5,11 +5,92 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 
 #include "engine/sketch_codec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mcf0 {
 namespace net {
+
+namespace {
+
+uint64_t NowSteadyUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+constexpr int kFrameTypeCount =
+    static_cast<int>(FrameType::kStatsReport) -
+    static_cast<int>(FrameType::kHello) + 1;
+
+int FrameTypeIndex(FrameType type) {
+  return static_cast<int>(type) - static_cast<int>(FrameType::kHello);
+}
+
+const char* FrameTypeLabel(int index) {
+  static constexpr const char* kLabels[kFrameTypeCount] = {
+      "hello",          "welcome", "batch",        "ack",
+      "credit",         "query_estimate", "estimate", "query_sketch",
+      "sketch",         "drain",   "goodbye",      "goodbye_ack",
+      "error",          "stats_query",    "stats_report"};
+  return kLabels[index];
+}
+
+/// Registry handles for the serve layer, resolved once per process.
+/// These fold what used to be per-connection-only stats into the
+/// process-wide registry; the per-connection counters survive for the
+/// server's per-session summary.
+struct ServeObs {
+  obs::Counter* sessions_opened;
+  obs::Gauge* sessions_active;
+  obs::Counter* sessions_errored;
+  obs::Counter* bytes_in;
+  obs::Counter* bytes_out;
+  obs::Counter* batches;
+  obs::Counter* items;
+  obs::Histogram* push_batch_us;
+  obs::Histogram* credit_stall_us;
+  obs::Counter* frames_in[kFrameTypeCount];
+  obs::Counter* frames_out[kFrameTypeCount];
+  obs::Counter* errors_by_code[9];
+
+  static ServeObs& Get() {
+    static ServeObs* obs = [] {
+      auto& reg = obs::Registry::Global();
+      auto* o = new ServeObs();
+      o->sessions_opened =
+          reg.GetCounter("mcf0_serve_sessions_opened_total");
+      o->sessions_active = reg.GetGauge("mcf0_serve_sessions_active");
+      o->sessions_errored =
+          reg.GetCounter("mcf0_serve_sessions_errored_total");
+      o->bytes_in = reg.GetCounter("mcf0_serve_bytes_in_total");
+      o->bytes_out = reg.GetCounter("mcf0_serve_bytes_out_total");
+      o->batches = reg.GetCounter("mcf0_serve_batches_total");
+      o->items = reg.GetCounter("mcf0_serve_items_total");
+      o->push_batch_us = reg.GetHistogram("mcf0_serve_push_batch_us");
+      o->credit_stall_us = reg.GetHistogram("mcf0_serve_credit_stall_us");
+      for (int i = 0; i < kFrameTypeCount; ++i) {
+        o->frames_in[i] = reg.GetCounter("mcf0_serve_frames_in_total",
+                                         {{"type", FrameTypeLabel(i)}});
+        o->frames_out[i] = reg.GetCounter("mcf0_serve_frames_out_total",
+                                          {{"type", FrameTypeLabel(i)}});
+      }
+      for (int c = 0; c < 9; ++c) {
+        o->errors_by_code[c] = reg.GetCounter(
+            "mcf0_serve_error_frames_total",
+            {{"code", StatusCodeName(static_cast<StatusCode>(c))}});
+      }
+      return o;
+    }();
+    return *obs;
+  }
+};
+
+}  // namespace
 
 Status ProducerHandle::PushRaw(std::span<const uint64_t>) {
   return Status::NotSupported("this session streams structured items");
@@ -21,13 +102,19 @@ Status ProducerHandle::PushStructured(std::span<StructuredItem>) {
 
 Connection::Connection(ScopedFd fd, EngineBackend* backend,
                        ConnectionLimits limits)
-    : fd_(std::move(fd)), backend_(backend), limits_(limits) {}
+    : fd_(std::move(fd)), backend_(backend), limits_(limits) {
+  ServeObs::Get().sessions_opened->Increment();
+  ServeObs::Get().sessions_active->Increment();
+}
+
+Connection::~Connection() { ServeObs::Get().sessions_active->Decrement(); }
 
 void Connection::OnReadable() {
   char buffer[16 * 1024];
   for (;;) {
     const ssize_t n = ::recv(fd_.get(), buffer, sizeof(buffer), 0);
     if (n > 0) {
+      ServeObs::Get().bytes_in->Increment(static_cast<uint64_t>(n));
       inbox_.Append(std::string_view(buffer, static_cast<size_t>(n)));
       continue;
     }
@@ -57,6 +144,7 @@ void Connection::OnWritable() {
     const ssize_t n = ::send(fd_.get(), outbox_.data() + outbox_sent_,
                              outbox_.size() - outbox_sent_, MSG_NOSIGNAL);
     if (n > 0) {
+      ServeObs::Get().bytes_out->Increment(static_cast<uint64_t>(n));
       outbox_sent_ += static_cast<size_t>(n);
       continue;
     }
@@ -98,6 +186,13 @@ bool Connection::PumpCredits() {
   const uint64_t grant = CreditTopUp();
   if (grant == 0) return false;
   credits_ += grant;
+  if (credit_stall_start_us_ != 0) {
+    // The stall ends the moment a grant is queued for the peer.
+    const uint64_t now = NowSteadyUs();
+    ServeObs::Get().credit_stall_us->Observe(
+        now >= credit_stall_start_us_ ? now - credit_stall_start_us_ : 0);
+    credit_stall_start_us_ = 0;
+  }
   SendFrame(FrameType::kCredit, EncodeCredit(CreditFrame{grant}));
   return true;
 }
@@ -115,6 +210,7 @@ uint64_t Connection::CreditTopUp() const {
 }
 
 void Connection::HandleMessage(const Message& message) {
+  ServeObs::Get().frames_in[FrameTypeIndex(message.type)]->Increment();
   if (state_ == State::kAwaitHello) {
     if (message.type != FrameType::kHello) {
       Abort(Status::ParseError("expected hello as the first frame"));
@@ -132,6 +228,9 @@ void Connection::HandleMessage(const Message& message) {
       return;
     case FrameType::kQuerySketch:
       HandleQuerySketch();
+      return;
+    case FrameType::kStatsQuery:
+      HandleStatsQuery();
       return;
     case FrameType::kGoodbye:
       HandleGoodbye();
@@ -186,6 +285,11 @@ void Connection::HandleHello(const Message& message) {
 }
 
 void Connection::HandleBatch(const Message& message) {
+  MCF0_TRACE_SPAN("serve.handle_batch");
+  // Manual timing (not ScopedLatencyUs) so aborted batches never skew
+  // the push-latency histogram; only the success path observes.
+  const bool timed = obs::Enabled();
+  const uint64_t start_us = timed ? NowSteadyUs() : 0;
   if (credits_ == 0) {
     Abort(Status::ResourceExhausted(
         "flow control violated: batch sent with zero credits"));
@@ -223,12 +327,24 @@ void Connection::HandleBatch(const Message& message) {
   last_seq_ = seq;
   batches_accepted_ += 1;
   items_accepted_ += items;
+  ServeObs::Get().batches->Increment();
+  ServeObs::Get().items->Increment(items);
   // The ack is what makes the batch "acknowledged": it is only queued
   // after the items were handed to the engine's producer, so a drain
   // that closes every producer cannot lose an acked batch.
   const uint64_t grant = CreditTopUp();
   credits_ += grant;
   SendFrame(FrameType::kAck, EncodeAck(AckFrame{last_seq_, grant}));
+  if (credits_ == 0 && credit_stall_start_us_ == 0) {
+    // Zero credits and nothing grantable: the peer is stalled until
+    // PumpCredits revives it. Timed for mcf0_serve_credit_stall_us.
+    credit_stall_start_us_ = NowSteadyUs();
+  }
+  if (timed) {
+    const uint64_t now = NowSteadyUs();
+    ServeObs::Get().push_batch_us->Observe(now >= start_us ? now - start_us
+                                                           : 0);
+  }
 }
 
 void Connection::HandleQueryEstimate() {
@@ -244,6 +360,19 @@ void Connection::HandleQuerySketch() {
   SendFrame(FrameType::kSketch, EncodeSketch(sketch));
 }
 
+void Connection::HandleStatsQuery() {
+  // A registry snapshot, flattened to the canonical sorted entry list.
+  // The report frame's own bytes/frames-out increments land after the
+  // snapshot, so a report never counts itself.
+  StatsReportFrame report;
+  const auto entries = obs::Registry::Global().FlatEntries();
+  report.entries.reserve(entries.size());
+  for (const auto& [name, value] : entries) {
+    report.entries.push_back(StatsEntry{name, value});
+  }
+  SendFrame(FrameType::kStatsReport, EncodeStatsReport(report));
+}
+
 void Connection::HandleGoodbye() {
   ReleaseProducer();
   // kClosing first: SendFrame flushes opportunistically, and an empty
@@ -254,6 +383,7 @@ void Connection::HandleGoodbye() {
 }
 
 void Connection::SendFrame(FrameType type, std::string payload) {
+  ServeObs::Get().frames_out[FrameTypeIndex(type)]->Increment();
   outbox_ += WrapMessage(type, std::move(payload));
   // Opportunistic flush: most frames fit the socket buffer, so the
   // common case completes without a POLLOUT round trip.
@@ -263,6 +393,11 @@ void Connection::SendFrame(FrameType type, std::string payload) {
 void Connection::Abort(const Status& status) {
   ReleaseProducer();
   if (state_ != State::kClosing && !finished_) {
+    ServeObs::Get().sessions_errored->Increment();
+    const int code = static_cast<int>(status.code());
+    if (code >= 0 && code < 9) {
+      ServeObs::Get().errors_by_code[code]->Increment();
+    }
     SendFrame(FrameType::kError, EncodeError(ErrorFromStatus(status)));
     state_ = State::kClosing;
     if (!wants_write()) finished_ = true;

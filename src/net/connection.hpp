@@ -95,6 +95,7 @@ class Connection {
   enum class State { kAwaitHello, kStreaming, kDraining, kClosing };
 
   Connection(ScopedFd fd, EngineBackend* backend, ConnectionLimits limits);
+  ~Connection();
 
   int fd() const { return fd_.get(); }
   State state() const { return state_; }
@@ -136,6 +137,7 @@ class Connection {
   void HandleBatch(const Message& message);
   void HandleQueryEstimate();
   void HandleQuerySketch();
+  void HandleStatsQuery();
   void HandleGoodbye();
 
   void SendFrame(FrameType type, std::string payload);
@@ -164,6 +166,10 @@ class Connection {
   uint64_t last_seq_ = 0;       ///< highest batch seq accepted
   uint64_t batches_accepted_ = 0;
   uint64_t items_accepted_ = 0;
+  /// Steady-clock µs at which the peer hit zero credits with no grant
+  /// available (0 = not stalled); feeds mcf0_serve_credit_stall_us when
+  /// PumpCredits revives the session.
+  uint64_t credit_stall_start_us_ = 0;
 };
 
 }  // namespace net

@@ -420,6 +420,73 @@ Status DecodeError(std::string_view payload, ErrorFrame* out) {
   return FinishDecode(r, "error");
 }
 
+// ---- stats ----------------------------------------------------------------
+
+namespace {
+/// Generous bound on entries per report; the registry holds a few dozen.
+constexpr uint64_t kMaxStatsEntries = 4096;
+constexpr uint64_t kMaxStatsNameBytes = 512;
+
+bool ValidStatsNameChar(char c) {
+  // Registry keys are metric names plus rendered labels: printable
+  // ASCII, no spaces or control bytes.
+  return c > 0x20 && c < 0x7F;
+}
+}  // namespace
+
+std::optional<uint64_t> StatsReportFrame::Find(std::string_view name) const {
+  for (const StatsEntry& entry : entries) {
+    if (entry.name == name) return entry.value;
+  }
+  return std::nullopt;
+}
+
+std::string EncodeStatsReport(const StatsReportFrame& report) {
+  ByteWriter w;
+  w.Varint(report.entries.size());
+  for (const StatsEntry& entry : report.entries) {
+    w.Varint(entry.name.size());
+    for (const char c : entry.name) w.U8(static_cast<uint8_t>(c));
+    w.Varint(entry.value);
+  }
+  return w.Take();
+}
+
+Status DecodeStatsReport(std::string_view payload, StatsReportFrame* out) {
+  ByteReader r(payload);
+  uint64_t count = 0;
+  if (!r.Varint(&count)) return Malformed("truncated stats report");
+  if (count > kMaxStatsEntries) return Malformed("stats report too large");
+  out->entries.clear();
+  out->entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t length = 0;
+    if (!r.Varint(&length)) return Malformed("truncated stats report");
+    if (length < 1 || length > kMaxStatsNameBytes) {
+      return Malformed("stats entry name length out of range");
+    }
+    if (length > r.Remaining()) return Malformed("truncated stats report");
+    StatsEntry entry;
+    entry.name.reserve(length);
+    for (uint64_t j = 0; j < length; ++j) {
+      uint8_t c = 0;
+      r.U8(&c);
+      if (!ValidStatsNameChar(static_cast<char>(c))) {
+        return Malformed("stats entry name has invalid characters");
+      }
+      entry.name.push_back(static_cast<char>(c));
+    }
+    if (!r.Varint(&entry.value)) return Malformed("truncated stats report");
+    // Strict order doubles as a duplicate check and makes the encoding
+    // canonical, like every other mcf0 codec.
+    if (!out->entries.empty() && entry.name <= out->entries.back().name) {
+      return Malformed("stats entries not strictly sorted by name");
+    }
+    out->entries.push_back(std::move(entry));
+  }
+  return FinishDecode(r, "stats report");
+}
+
 ErrorFrame ErrorFromStatus(const Status& status) {
   ErrorFrame frame;
   frame.code = status.code();
@@ -433,9 +500,22 @@ Status StatusFromError(const ErrorFrame& error) {
 
 // ---- framing --------------------------------------------------------------
 
+uint16_t FrameWireVersion(FrameType type) {
+  switch (type) {
+    case FrameType::kStatsQuery:
+    case FrameType::kStatsReport:
+      return kStatsMinVersion;
+    default:
+      return 1;
+  }
+}
+
 std::string WrapMessage(FrameType type, std::string payload) {
-  return wire::WrapFrameRaw(static_cast<uint8_t>(type), kProtocolVersion,
-                            std::move(payload));
+  // Stamp each frame with the revision that introduced it, not the
+  // highest we speak — a revision-1 peer keeps interoperating on the
+  // revision-1 subset.
+  return wire::WrapFrameRaw(static_cast<uint8_t>(type),
+                            FrameWireVersion(type), std::move(payload));
 }
 
 void FrameBuffer::Append(std::string_view bytes) {
@@ -459,14 +539,23 @@ bool FrameBuffer::Next(Message* out, Status* status) {
   if (pending.size() < wire::kHeaderBytes) return false;
   wire::FrameHeader header;
   Status parsed = wire::ParseFrameHeader(pending, &header);
-  if (parsed.ok() && header.version != kProtocolVersion) {
+  if (parsed.ok() &&
+      (header.version < 1 || header.version > kProtocolVersion)) {
     parsed = Status::NotSupported(
         "net frame: protocol version " + std::to_string(header.version) +
-        " (this build speaks " + std::to_string(kProtocolVersion) + ")");
+        " (this build speaks 1.." + std::to_string(kProtocolVersion) + ")");
   }
-  if (parsed.ok() && (header.kind < static_cast<uint8_t>(FrameType::kHello) ||
-                      header.kind > static_cast<uint8_t>(FrameType::kError))) {
+  if (parsed.ok() &&
+      (header.kind < static_cast<uint8_t>(FrameType::kHello) ||
+       header.kind > static_cast<uint8_t>(FrameType::kStatsReport))) {
     parsed = Malformed("unknown frame kind");
+  }
+  if (parsed.ok() &&
+      header.version <
+          FrameWireVersion(static_cast<FrameType>(header.kind))) {
+    // A frame kind must not be smuggled under an older revision than
+    // the one that defined it (the stats pair is version-gated).
+    parsed = Malformed("frame kind not defined at its claimed version");
   }
   if (parsed.ok() && header.payload_size > kMaxFramePayload) {
     parsed = Malformed("frame payload exceeds the size cap");

@@ -34,9 +34,16 @@
 namespace mcf0 {
 namespace net {
 
-/// Protocol version carried in the frame header's version field (its own
-/// numbering, independent of sketch format versions).
-inline constexpr uint16_t kProtocolVersion = 1;
+/// Highest protocol revision this build speaks, carried in the frame
+/// header's version field (its own numbering, independent of sketch
+/// format versions). Revision 2 added the kStatsQuery/kStatsReport
+/// pair; every frame that existed in revision 1 is still stamped with
+/// version 1 on the wire (FrameWireVersion), so a v1 peer interoperates
+/// fully minus the stats exchange.
+inline constexpr uint16_t kProtocolVersion = 2;
+
+/// Lowest revision whose receivers understand the stats frame pair.
+inline constexpr uint16_t kStatsMinVersion = 2;
 
 /// Hard ceiling on one frame's payload; a peer claiming more is a
 /// protocol error, never an allocation. Generous: the largest legitimate
@@ -62,7 +69,13 @@ enum class FrameType : uint8_t {
   kGoodbye = 0x1A,        ///< client -> server: session done
   kGoodbyeAck = 0x1B,     ///< server -> client: all batches absorbed; close
   kError = 0x1C,          ///< either direction: Status, then close
+  kStatsQuery = 0x1D,     ///< client -> server: metrics snapshot (rev 2+)
+  kStatsReport = 0x1E,    ///< server -> client: the metrics (rev 2+)
 };
+
+/// The protocol revision a frame of this type is stamped with: 1 for
+/// everything revision 1 defined, kStatsMinVersion for the stats pair.
+uint16_t FrameWireVersion(FrameType type);
 
 /// Which item alphabet a session streams; fixed at Hello time and must
 /// match the server's engine.
@@ -131,6 +144,25 @@ struct ErrorFrame {
   std::string message;
 };
 
+/// One metric in a stats report: a registry key (name plus rendered
+/// labels, e.g. `mcf0_serve_frames_in_total{type="batch"}`) and its
+/// value. Histograms are flattened to `<key>_count` / `<key>_sum`
+/// entries; gauges are clamped at zero (docs/observability.md).
+struct StatsEntry {
+  std::string name;
+  uint64_t value = 0;
+};
+
+/// kStatsReport payload: the server's registry snapshot as flat
+/// entries, strictly sorted by name — one canonical encoding, enforced
+/// on decode. kStatsQuery itself carries an empty payload.
+struct StatsReportFrame {
+  std::vector<StatsEntry> entries;
+
+  /// The entry's value, or nullopt if the name is absent.
+  std::optional<uint64_t> Find(std::string_view name) const;
+};
+
 // ---- payload codecs -------------------------------------------------------
 
 std::string EncodeHello(const HelloFrame& hello);
@@ -161,6 +193,9 @@ Status DecodeEstimate(std::string_view payload, EstimateFrame* out);
 
 std::string EncodeSketch(const SketchFrame& sketch);
 Status DecodeSketch(std::string_view payload, SketchFrame* out);
+
+std::string EncodeStatsReport(const StatsReportFrame& report);
+Status DecodeStatsReport(std::string_view payload, StatsReportFrame* out);
 
 /// Status -> error frame -> Status is the identity on (code, message).
 std::string EncodeError(const ErrorFrame& error);

@@ -6,9 +6,11 @@
 #include <sys/socket.h>
 
 #include <chrono>
+#include <cstdio>
 #include <utility>
 
 #include "engine/sketch_codec.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcf0 {
 namespace net {
@@ -162,7 +164,24 @@ void SketchServer::UpdateInterest() {
 Status SketchServer::Run() {
   std::vector<PollEvent> events;
   int64_t drain_deadline_ms = 0;
+  const int64_t start_ms = NowMs();
+  int64_t next_metrics_ms =
+      options_.metrics_interval_ms > 0
+          ? start_ms + options_.metrics_interval_ms
+          : 0;
   for (;;) {
+    if (next_metrics_ms != 0 && NowMs() >= next_metrics_ms) {
+      // One line per interval: the whole registry, machine-parseable,
+      // on stderr so it never interleaves with the stdout JSON events.
+      const std::string metrics = obs::Registry::Global().SnapshotJson();
+      std::fprintf(stderr,
+                   "{\"event\":\"metrics\",\"uptime_ms\":%lld,"
+                   "\"metrics\":%s}\n",
+                   static_cast<long long>(NowMs() - start_ms),
+                   metrics.c_str());
+      std::fflush(stderr);
+      next_metrics_ms = NowMs() + options_.metrics_interval_ms;
+    }
     if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
       BeginDrain();
       drain_deadline_ms = NowMs() + options_.drain_timeout_ms;
@@ -189,6 +208,11 @@ Status SketchServer::Run() {
     }
     if (draining_) {
       const int64_t left = drain_deadline_ms - NowMs();
+      const int bounded = static_cast<int>(left < 1 ? 1 : left);
+      if (timeout_ms < 0 || bounded < timeout_ms) timeout_ms = bounded;
+    }
+    if (next_metrics_ms != 0) {
+      const int64_t left = next_metrics_ms - NowMs();
       const int bounded = static_cast<int>(left < 1 ? 1 : left);
       if (timeout_ms < 0 || bounded < timeout_ms) timeout_ms = bounded;
     }

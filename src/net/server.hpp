@@ -96,6 +96,9 @@ struct ServerOptions {
   /// How long a drain waits for clients to say goodbye before their
   /// sockets are force-closed (dispatched batches are still kept).
   int drain_timeout_ms = 30'000;
+  /// > 0: the serve loop emits one JSON metrics line (the process-wide
+  /// obs registry snapshot) to stderr every this-many milliseconds.
+  int metrics_interval_ms = 0;
 };
 
 /// The serve loop. Single-threaded; Start() then Run(); RequestDrain()

@@ -1,9 +1,29 @@
 #include "oracle/cnf_oracle.hpp"
 
 #include "gf2/gauss.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sat/tseitin.hpp"
 
 namespace mcf0 {
+
+namespace {
+
+// The paper's Observation 2 accounting, surfaced uniformly: every SAT
+// invocation counts once, with its latency. Resolved once per process.
+struct OracleObs {
+  obs::Counter* calls;
+  obs::Histogram* solve_us;
+};
+
+OracleObs& Obs() {
+  static OracleObs obs{
+      obs::Registry::Global().GetCounter("mcf0_oracle_sat_calls_total"),
+      obs::Registry::Global().GetHistogram("mcf0_oracle_sat_solve_us")};
+  return obs;
+}
+
+}  // namespace
 
 std::vector<XorConstraint> HashPrefixConstraints(const AffineHash& h, int m) {
   MCF0_CHECK(m >= 0 && m <= h.m());
@@ -89,8 +109,11 @@ bool CnfOracle::BuildSolver(sat::Solver* solver,
 std::optional<BitVec> CnfOracle::Solve(const std::vector<XorConstraint>& xors,
                                        const std::vector<BitVec>& blocked) {
   ++num_calls_;
+  Obs().calls->Increment();
+  MCF0_TRACE_SPAN("oracle.solve");
   sat::Solver solver;
   if (!BuildSolver(&solver, xors, blocked)) return std::nullopt;
+  obs::ScopedLatencyUs solve_timer(Obs().solve_us);
   if (solver.Solve() != sat::LBool::kTrue) return std::nullopt;
   return solver.ModelBits(cnf_->num_vars());
 }
@@ -103,7 +126,13 @@ std::vector<BitVec> CnfOracle::Enumerate(const std::vector<XorConstraint>& xors,
   const int n = cnf_->num_vars();
   while (solutions.size() < limit) {
     ++num_calls_;
-    if (solver.Solve() != sat::LBool::kTrue) break;
+    Obs().calls->Increment();
+    sat::LBool verdict;
+    {
+      obs::ScopedLatencyUs solve_timer(Obs().solve_us);
+      verdict = solver.Solve();
+    }
+    if (verdict != sat::LBool::kTrue) break;
     BitVec model = solver.ModelBits(n);
     // Block this assignment (over the formula's variables only, so
     // Tseitin auxiliaries do not cause duplicates).

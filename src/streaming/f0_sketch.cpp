@@ -1,12 +1,12 @@
 #include "streaming/f0_sketch.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
 #include <limits>
 #include <utility>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcf0 {
 
@@ -217,17 +217,21 @@ int F0IndependenceS(const F0Params& params) {
 }
 
 namespace {
-std::atomic<uint64_t> g_sampler_row_draws{0};
+// The draw count lives in the process-wide metrics registry (the
+// bespoke file-local atomic it replaces predates src/obs). Resolved
+// once; Counter increments are relaxed, so the monotone/atomic
+// contract of TotalSamplerRowDraws() is unchanged.
+obs::Counter* RowDrawCounter() {
+  static obs::Counter* counter =
+      obs::Registry::Global().GetCounter("mcf0_sampler_row_draws_total");
+  return counter;
+}
 }  // namespace
 
-uint64_t TotalSamplerRowDraws() {
-  return g_sampler_row_draws.load(std::memory_order_relaxed);
-}
+uint64_t TotalSamplerRowDraws() { return RowDrawCounter()->Value(); }
 
 namespace internal {
-void BumpSamplerRowDraws() {
-  g_sampler_row_draws.fetch_add(1, std::memory_order_relaxed);
-}
+void BumpSamplerRowDraws() { RowDrawCounter()->Increment(); }
 }  // namespace internal
 
 F0RowSampler::F0RowSampler(const F0Params& params)

@@ -771,6 +771,87 @@ TEST(CliTest, ServeFourConcurrentPushersMatchesSketchBuild) {
   EXPECT_EQ(served_bytes, built_bytes);
 }
 
+TEST(CliTest, DrainedSummaryAgreesWithStatsFrame) {
+  // Satellite consistency contract: the SIGTERM drained summary sources
+  // its totals from the same registry a live kStatsQuery is answered
+  // from, so the two can never disagree. One pusher asks for
+  // `--query stats` mid-run; the drained JSON must match those numbers
+  // (bytes only grow after the snapshot, so they are ordered not equal).
+  const std::string dir = testing::TempDir();
+  std::string slice;
+  for (int i = 0; i < 800; ++i) {
+    slice += std::to_string((i * 2654435761u) % 1000003u) + "\n";
+  }
+  const std::string path = WriteFixture("stats_push.txt", slice);
+  const std::string served = dir + "/stats_served.mcf0";
+
+  const std::string serve_command =
+      std::string(MCF0_CLI_PATH) +
+      " serve --seed 7 --port 0 --shards 2 --out " + served;
+  FILE* serve = popen(serve_command.c_str(), "r");
+  ASSERT_NE(serve, nullptr);
+  char line[4096];
+  std::string startup;
+  while (std::fgets(line, sizeof(line), serve) != nullptr) {
+    startup += line;
+    if (line[0] == '}') break;
+  }
+  const int port = static_cast<int>(JsonNumber(startup, "port"));
+  const int pid = static_cast<int>(JsonNumber(startup, "pid"));
+  ASSERT_GT(port, 0) << startup;
+  ASSERT_GT(pid, 0) << startup;
+
+  // Frames on one session are handled in order, so by the time the
+  // stats query is answered every batch this push sent is counted.
+  const RunOutput stats_push =
+      RunCli("push --port " + std::to_string(port) + " --query stats " + path);
+  ASSERT_EQ(stats_push.exit_code, 0) << stats_push.stdout_text;
+  const double batches = JsonNumber(stats_push.stdout_text, "batches");
+  EXPECT_NE(stats_push.stdout_text.find("\"stats\":"), std::string::npos)
+      << stats_push.stdout_text;
+  EXPECT_EQ(JsonNumber(stats_push.stdout_text, "mcf0_serve_items_total"),
+            800.0)
+      << stats_push.stdout_text;
+  EXPECT_EQ(JsonNumber(stats_push.stdout_text, "mcf0_serve_batches_total"),
+            batches)
+      << stats_push.stdout_text;
+  const double stats_bytes_in =
+      JsonNumber(stats_push.stdout_text, "mcf0_serve_bytes_in_total");
+  EXPECT_GT(stats_bytes_in, 0.0);
+
+  // A bare `--query` keeps its historical meaning (estimate) and must
+  // not swallow the input path that follows it.
+  const RunOutput bare_query = RunCli("push --port " + std::to_string(port) +
+                                      " --query " + path);
+  ASSERT_EQ(bare_query.exit_code, 0) << bare_query.stdout_text;
+  EXPECT_NE(bare_query.stdout_text.find("\"estimate\":"), std::string::npos)
+      << bare_query.stdout_text;
+  EXPECT_EQ(JsonNumber(bare_query.stdout_text, "server_items"), 1600.0)
+      << bare_query.stdout_text;
+
+  ASSERT_EQ(kill(pid, SIGTERM), 0);
+  std::string drained;
+  while (std::fgets(line, sizeof(line), serve) != nullptr) drained += line;
+  const int status = pclose(serve);
+  EXPECT_EQ(WIFEXITED(status) ? WEXITSTATUS(status) : -1, 0) << drained;
+  EXPECT_NE(drained.find("\"event\": \"drained\""), std::string::npos)
+      << drained;
+  EXPECT_EQ(JsonNumber(drained, "items"), 1600.0) << drained;
+  EXPECT_EQ(JsonNumber(drained, "batches"), 2 * batches) << drained;
+  EXPECT_EQ(JsonNumber(drained, "error_frames"), 0.0) << drained;
+  EXPECT_NE(drained.find("\"errors\": {}"), std::string::npos) << drained;
+  EXPECT_GE(JsonNumber(drained, "bytes_in"), stats_bytes_in) << drained;
+}
+
+TEST(CliTest, PushRejectsUnknownQueryKind) {
+  // `--query` only understands estimate|stats; anything else is left in
+  // argv, so `--query bogus input.txt` becomes two positionals — a
+  // usage error, never a silent fallback.
+  EXPECT_EQ(RunCli("push --port 1 --query bogus /dev/null 2>/dev/null")
+                .exit_code,
+            2);
+}
+
 TEST(CliTest, PushWithoutServerIsACleanError) {
   EXPECT_EQ(RunCli("push --port 1 /dev/null 2>/dev/null").exit_code, 1);
   // And push without --port is a usage error, not a connection attempt.

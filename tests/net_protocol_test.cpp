@@ -189,6 +189,115 @@ TEST(NetProtocol, ErrorFrameRejectsUnknownAndOkCodes) {
   EXPECT_FALSE(DecodeError(bad_code.Take(), &out).ok());
 }
 
+// ---- stats frames (protocol revision 2) -----------------------------------
+
+StatsReportFrame SampleStatsReport() {
+  StatsReportFrame report;
+  report.entries.push_back({"mcf0_serve_batches_total", 12});
+  report.entries.push_back({"mcf0_serve_bytes_in_total", 34567});
+  report.entries.push_back({"mcf0_serve_frames_in_total{type=\"batch\"}", 12});
+  report.entries.push_back({"mcf0_serve_items_total", 48000});
+  return report;
+}
+
+TEST(NetProtocol, StatsReportRoundTrip) {
+  const StatsReportFrame report = SampleStatsReport();
+  StatsReportFrame out;
+  ASSERT_TRUE(DecodeStatsReport(EncodeStatsReport(report), &out).ok());
+  ASSERT_EQ(out.entries.size(), report.entries.size());
+  for (size_t i = 0; i < out.entries.size(); ++i) {
+    EXPECT_EQ(out.entries[i].name, report.entries[i].name);
+    EXPECT_EQ(out.entries[i].value, report.entries[i].value);
+  }
+  EXPECT_EQ(out.Find("mcf0_serve_items_total"), 48000u);
+  EXPECT_EQ(out.Find("no_such_metric"), std::nullopt);
+}
+
+TEST(NetProtocol, StatsReportEmptyIsValid) {
+  StatsReportFrame out;
+  ASSERT_TRUE(DecodeStatsReport(EncodeStatsReport(StatsReportFrame{}), &out)
+                  .ok());
+  EXPECT_TRUE(out.entries.empty());
+}
+
+TEST(NetProtocol, StatsReportRejectsUnsortedAndDuplicateNames) {
+  StatsReportFrame unsorted;
+  unsorted.entries.push_back({"b_total", 1});
+  unsorted.entries.push_back({"a_total", 2});
+  StatsReportFrame out;
+  const Status status =
+      DecodeStatsReport(EncodeStatsReport(unsorted), &out);
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("sorted"), std::string::npos);
+
+  StatsReportFrame duplicate;
+  duplicate.entries.push_back({"a_total", 1});
+  duplicate.entries.push_back({"a_total", 2});
+  EXPECT_FALSE(DecodeStatsReport(EncodeStatsReport(duplicate), &out).ok());
+}
+
+TEST(NetProtocol, StatsReportRejectsBadNames) {
+  StatsReportFrame out;
+  // Spaces and control bytes are not registry-key characters.
+  StatsReportFrame spaced;
+  spaced.entries.push_back({"a total", 1});
+  EXPECT_FALSE(DecodeStatsReport(EncodeStatsReport(spaced), &out).ok());
+  // An empty name cannot exist in the registry.
+  StatsReportFrame empty_name;
+  empty_name.entries.push_back({"", 1});
+  EXPECT_FALSE(DecodeStatsReport(EncodeStatsReport(empty_name), &out).ok());
+  // Oversized names are rejected before any allocation.
+  StatsReportFrame huge_name;
+  huge_name.entries.push_back({std::string(513, 'a'), 1});
+  EXPECT_FALSE(DecodeStatsReport(EncodeStatsReport(huge_name), &out).ok());
+}
+
+TEST(NetProtocol, StatsReportRejectsEntryCountBeyondCapOrPayload) {
+  StatsReportFrame out;
+  // Claimed count over the hard cap.
+  wire::ByteWriter over_cap;
+  over_cap.Varint(4097);
+  EXPECT_FALSE(DecodeStatsReport(over_cap.Take(), &out).ok());
+  // Claimed count with no entry bytes behind it.
+  wire::ByteWriter lying;
+  lying.Varint(100);
+  EXPECT_FALSE(DecodeStatsReport(lying.Take(), &out).ok());
+}
+
+TEST(NetFrameBuffer, StatsFramesAreStampedWithRevisionTwo) {
+  // WrapMessage stamps each kind with the revision that introduced it:
+  // the stats pair rides at 2, everything older stays at 1 so a
+  // revision-1 peer keeps interoperating on the revision-1 subset.
+  FrameBuffer buffer;
+  buffer.Append(WrapMessage(FrameType::kStatsQuery, ""));
+  Message message;
+  Status status;
+  ASSERT_TRUE(buffer.Next(&message, &status));
+  EXPECT_EQ(message.type, FrameType::kStatsQuery);
+
+  wire::FrameHeader header;
+  const std::string stats = WrapMessage(FrameType::kStatsQuery, "");
+  ASSERT_TRUE(wire::ParseFrameHeader(stats, &header).ok());
+  EXPECT_EQ(header.version, kStatsMinVersion);
+  const std::string goodbye = WrapMessage(FrameType::kGoodbye, "");
+  ASSERT_TRUE(wire::ParseFrameHeader(goodbye, &header).ok());
+  EXPECT_EQ(header.version, 1);
+}
+
+TEST(NetFrameBuffer, RejectsStatsKindSmuggledUnderVersionOne) {
+  // A v2-only kind claiming a v1 header is a protocol violation, not a
+  // frame a v1 peer could legitimately have produced.
+  FrameBuffer buffer;
+  buffer.Append(wire::WrapFrameRaw(
+      static_cast<uint8_t>(FrameType::kStatsReport), 1, ""));
+  Message message;
+  Status status;
+  EXPECT_FALSE(buffer.Next(&message, &status));
+  EXPECT_EQ(status.code(), StatusCode::kParseError);
+  EXPECT_NE(status.message().find("not defined at its claimed version"),
+            std::string::npos);
+}
+
 // ---- structured item validation -------------------------------------------
 
 TEST(NetProtocol, StructuredItemRejectsVariableOutsideUniverse) {
@@ -450,6 +559,12 @@ TEST(NetProtocolRobustness, TruncationAtEveryPrefixIsRejected) {
                             [](std::string_view bytes) {
                               ErrorFrame out;
                               return DecodeError(bytes, &out);
+                            });
+
+  ExpectAllPrefixesRejected(EncodeStatsReport(SampleStatsReport()),
+                            [](std::string_view bytes) {
+                              StatsReportFrame out;
+                              return DecodeStatsReport(bytes, &out);
                             });
 }
 

@@ -20,6 +20,7 @@
 #include "net/event_loop.hpp"
 #include "net/protocol.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcf0 {
 namespace net {
@@ -531,6 +532,154 @@ TEST(Serve, SlowConsumerStopsGrantsAndViolatorsAreCutOff) {
 
   fd.Reset();
   running.DrainAndJoin();
+}
+
+// ---- telemetry: the kStatsQuery frame pair ---------------------------------
+
+TEST(Serve, StatsQueryReportsExactCountersAfterConcurrentPushes) {
+  const F0Params params = RawParams();
+  ShardedF0Engine engine(params, 2);
+  RawEngineBackend backend(&engine);
+  // Zero the process-wide registry so every asserted counter below is
+  // exactly what this test's traffic produced.
+  obs::Registry::Global().ResetForTest();
+  ServerOptions options;
+  options.max_batch_items = 64;
+  RunningServer running(&backend, options);
+
+  constexpr int kClients = 3;
+  constexpr uint64_t kBatches = 5;
+  constexpr uint64_t kPerBatch = 64;
+  std::vector<Status> outcomes(kClients);
+  std::vector<std::thread> pushers;
+  for (int c = 0; c < kClients; ++c) {
+    pushers.emplace_back([c, port = running.port(), &outcomes] {
+      Result<PushClient> connected =
+          PushClient::Connect(StreamKind::kRaw, Dial(port));
+      if (!connected.ok()) {
+        outcomes[c] = connected.status();
+        return;
+      }
+      PushClient client = std::move(connected).value();
+      Status status;
+      for (uint64_t b = 0; b < kBatches && status.ok(); ++b) {
+        std::vector<uint64_t> batch;
+        for (uint64_t i = 0; i < kPerBatch; ++i) {
+          batch.push_back(MixedElement((c * kBatches + b) * kPerBatch + i));
+        }
+        status = client.Push(batch);
+        if (status.ok()) status = client.Flush();
+      }
+      if (status.ok()) status = client.Close();
+      outcomes[c] = status;
+    });
+  }
+  for (std::thread& t : pushers) t.join();
+  for (int c = 0; c < kClients; ++c) {
+    ASSERT_TRUE(outcomes[c].ok()) << "client " << c << ": "
+                                  << outcomes[c].ToString();
+  }
+
+  // Every pusher's Close() saw its goodbye-ack, so all batches were
+  // accepted before this fresh session asks for the totals.
+  Result<PushClient> connected =
+      PushClient::Connect(StreamKind::kRaw, Dial(running.port()));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  PushClient client = std::move(connected).value();
+  Result<StatsReportFrame> queried = client.QueryStats();
+  ASSERT_TRUE(queried.ok()) << queried.status().ToString();
+  const StatsReportFrame& report = queried.value();
+
+  // The wire contract: strictly sorted, non-empty, every name legal.
+  ASSERT_FALSE(report.entries.empty());
+  for (size_t i = 1; i < report.entries.size(); ++i) {
+    EXPECT_LT(report.entries[i - 1].name, report.entries[i].name);
+  }
+
+  constexpr uint64_t kTotalBatches = kClients * kBatches;
+  EXPECT_EQ(report.Find("mcf0_serve_batches_total"), kTotalBatches);
+  EXPECT_EQ(report.Find("mcf0_serve_items_total"), kTotalBatches * kPerBatch);
+  EXPECT_EQ(report.Find("mcf0_serve_frames_in_total{type=\"batch\"}"),
+            kTotalBatches);
+  EXPECT_EQ(report.Find("mcf0_serve_frames_out_total{type=\"ack\"}"),
+            kTotalBatches);
+  // The stats session itself is the +1 on the session counters.
+  EXPECT_EQ(report.Find("mcf0_serve_sessions_opened_total"),
+            uint64_t{kClients} + 1);
+  EXPECT_EQ(report.Find("mcf0_serve_sessions_active"), 1u);
+  EXPECT_EQ(report.Find("mcf0_serve_sessions_errored_total"), 0u);
+  EXPECT_EQ(report.Find("mcf0_serve_frames_in_total{type=\"hello\"}"),
+            uint64_t{kClients} + 1);
+  EXPECT_EQ(report.Find("mcf0_serve_frames_out_total{type=\"welcome\"}"),
+            uint64_t{kClients} + 1);
+  EXPECT_EQ(report.Find("mcf0_serve_frames_in_total{type=\"goodbye\"}"),
+            uint64_t{kClients});
+  EXPECT_EQ(report.Find("mcf0_serve_frames_in_total{type=\"stats_query\"}"),
+            1u);
+  // The report counts the frames that produced it, not itself: it was
+  // snapshotted before the kStatsReport frame went out.
+  EXPECT_EQ(report.Find("mcf0_serve_frames_out_total{type=\"stats_report\"}"),
+            0u);
+  // A clean run sends zero error frames of any code.
+  for (const StatsEntry& entry : report.entries) {
+    if (entry.name.rfind("mcf0_serve_error_frames_total", 0) == 0) {
+      EXPECT_EQ(entry.value, 0u) << entry.name;
+    }
+  }
+  // Byte counters move; the engine may still be absorbing, so its item
+  // counter is only bounded, not pinned.
+  EXPECT_GT(report.Find("mcf0_serve_bytes_in_total").value_or(0), 0u);
+  EXPECT_GT(report.Find("mcf0_serve_bytes_out_total").value_or(0), 0u);
+  EXPECT_LE(report.Find("mcf0_engine_items_absorbed_total").value_or(0),
+            kTotalBatches * kPerBatch);
+
+  ASSERT_TRUE(client.Close().ok());
+  running.DrainAndJoin();
+
+  // After the drain every batch is absorbed, and the server's own
+  // summary agrees with the registry it exposes.
+  EXPECT_EQ(running.server().batches_accepted(), kTotalBatches);
+  EXPECT_EQ(running.server().items_accepted(), kTotalBatches * kPerBatch);
+  EXPECT_EQ(obs::Registry::Global()
+                .GetCounter("mcf0_serve_batches_total")
+                ->Value(),
+            kTotalBatches);
+  EXPECT_EQ(obs::Registry::Global()
+                .GetCounter("mcf0_engine_items_absorbed_total")
+                ->Value(),
+            kTotalBatches * kPerBatch);
+}
+
+TEST(Serve, StatsQueryMidStreamRacesLivePushes) {
+  // A stats query on a session that is itself pushing: the snapshot is
+  // taken while batches race through the engine, so only monotone
+  // relations can be asserted — but the query must answer, and the
+  // session must keep streaming afterwards.
+  const F0Params params = RawParams();
+  ShardedF0Engine engine(params, 2);
+  RawEngineBackend backend(&engine);
+  obs::Registry::Global().ResetForTest();
+  ServerOptions options;
+  options.max_batch_items = 128;
+  RunningServer running(&backend, options);
+
+  Result<PushClient> connected =
+      PushClient::Connect(StreamKind::kRaw, Dial(running.port()));
+  ASSERT_TRUE(connected.ok()) << connected.status().ToString();
+  PushClient client = std::move(connected).value();
+
+  const std::vector<uint64_t> items = ClientSlice(0, 0, 1'000);
+  ASSERT_TRUE(client.Push(items).ok());
+  Result<StatsReportFrame> queried = client.QueryStats();
+  ASSERT_TRUE(queried.ok()) << queried.status().ToString();
+  const uint64_t mid_items =
+      queried.value().Find("mcf0_serve_items_total").value_or(0);
+  EXPECT_LE(mid_items, items.size());
+
+  ASSERT_TRUE(client.Push(items).ok());
+  ASSERT_TRUE(client.Close().ok());
+  running.DrainAndJoin();
+  EXPECT_EQ(running.server().items_accepted(), 2 * items.size());
 }
 
 // ---- failure modes ---------------------------------------------------------

@@ -48,7 +48,7 @@ int UsageExit(const char* usage, int code) {
 
 void FlagParser::Register(const char* name, bool takes_value,
                           std::function<void(const std::string&)> handler) {
-  flags_.push_back(Flag{name, takes_value, std::move(handler)});
+  flags_.push_back(Flag{name, takes_value, {}, std::move(handler)});
 }
 
 const FlagParser::Flag* FlagParser::Find(const std::string& name) const {
@@ -103,6 +103,16 @@ void FlagParser::Enum(const char* name, std::string* target,
            });
 }
 
+void FlagParser::OptionalEnum(const char* name, std::string* target,
+                              std::string fallback,
+                              std::vector<std::string> allowed) {
+  Register(name, true,
+           [target, fallback = std::move(fallback)](const std::string& value) {
+             *target = value.empty() ? fallback : value;
+           });
+  flags_.back().optional_values = std::move(allowed);
+}
+
 void FlagParser::Custom(const char* name,
                         std::function<void(const std::string&)> handler) {
   Register(name, true, std::move(handler));
@@ -125,6 +135,23 @@ void FlagParser::Parse(int argc, char** argv,
     const Flag* flag = Find(arg);
     if (flag != nullptr) {
       if (flag->takes_value) {
+        if (!flag->optional_values.empty()) {
+          // Optional value: look ahead, but only claim the next token
+          // when it is one of the allowed spellings — anything else
+          // (including a file name) stays positional.
+          bool matched = false;
+          if (i + 1 < argc) {
+            const std::string next = argv[i + 1];
+            for (const std::string& candidate : flag->optional_values) {
+              if (next == candidate) {
+                matched = true;
+                break;
+              }
+            }
+          }
+          flag->handler(matched ? argv[++i] : std::string());
+          continue;
+        }
         if (i + 1 >= argc) Fail(flag->name + " needs a value", 2);
         flag->handler(argv[++i]);
       } else {

@@ -49,6 +49,13 @@ class FlagParser {
   /// "`name` must be `description`, got 'V'".
   void Enum(const char* name, std::string* target, std::string description,
             std::vector<std::string> allowed);
+  /// `--name [V]` with an *optional* value: the next argv token is
+  /// consumed only when it is one of `allowed`; otherwise the flag acts
+  /// as bare `--name` and `*target = fallback`. Lets a historically
+  /// valueless flag grow spellings without eating positionals
+  /// (`--query input.txt` still treats input.txt as the input file).
+  void OptionalEnum(const char* name, std::string* target,
+                    std::string fallback, std::vector<std::string> allowed);
   /// `--name V` handed to `handler` (which Fail()s on bad input).
   void Custom(const char* name, std::function<void(const std::string&)> handler);
   /// A second spelling for an already-registered flag (e.g. -o for
@@ -64,6 +71,10 @@ class FlagParser {
   struct Flag {
     std::string name;
     bool takes_value;
+    /// Non-empty: the value is optional — the next token is consumed
+    /// only when it is one of these spellings; the handler sees ""
+    /// otherwise.
+    std::vector<std::string> optional_values;
     std::function<void(const std::string&)> handler;
   };
 

@@ -63,6 +63,7 @@
 #include "formula/formula.hpp"
 #include "net/client.hpp"
 #include "net/server.hpp"
+#include "obs/metrics.hpp"
 #include "setstream/structured_f0.hpp"
 #include "streaming/f0_sketch.hpp"
 
@@ -152,12 +153,18 @@ subcommand options:
           --batch-items N max items per pushed batch frame   (default 4096)
           --drain-timeout-ms T  grace period before a drain force-closes
                           unresponsive clients               (default 30000)
+          --metrics-interval-ms T  emit one JSON metrics line (the full
+                          telemetry registry snapshot; see
+                          docs/observability.md) to stderr every T ms
+                          (default 0 = off)
           --out FILE      final merged sketch file written on drain
   push    --host A --port P  the serve instance to dial (--port required)
           --input KIND    raw | dnf | range | affine file syntax, exactly
                           as `sketch build` reads them        (default raw)
-          --query         also report the live server-wide estimate after
-                          pushing (racing other producers)
+          --query [WHAT]  also query the server after pushing: estimate
+                          (the default; the live server-wide estimate,
+                          racing other producers) or stats (the server
+                          metrics snapshot — protocol rev 2 servers)
           --timeout-ms T  bound on each wait for a server frame
                                                              (default 30000)
 
@@ -188,8 +195,9 @@ struct CommonOptions {
   int credit_window = 8;
   int batch_items = 4096;
   int drain_timeout_ms = 30'000;
+  int metrics_interval_ms = 0;
   int timeout_ms = 30'000;
-  bool query = false;
+  std::string query;  // "" = no post-push query; "estimate" | "stats"
   std::vector<std::string> inputs;
 };
 
@@ -228,8 +236,12 @@ CommonOptions ParseOptions(int argc, char** argv) {
   flags.Int("--credit-window", &opts.credit_window);
   flags.Int("--batch-items", &opts.batch_items);
   flags.Int("--drain-timeout-ms", &opts.drain_timeout_ms);
+  flags.Int("--metrics-interval-ms", &opts.metrics_interval_ms);
   flags.Int("--timeout-ms", &opts.timeout_ms);
-  flags.Bool("--query", &opts.query);
+  // Bare --query keeps its historical meaning (estimate); the optional
+  // value never swallows a positional input path.
+  flags.OptionalEnum("--query", &opts.query, "estimate",
+                     {"estimate", "stats"});
   flags.Parse(argc, argv, &opts.inputs);
   // The lower bound keeps the Thresh = 96/eps^2 formula inside uint64
   // (library CHECKs would abort otherwise); no real run wants eps there.
@@ -329,6 +341,13 @@ class JsonObject {
   void Add(const std::string& key, int value) {
     Add(key, static_cast<uint64_t>(value));
   }
+  /// `value` is spliced in verbatim — for pre-rendered nested JSON
+  /// (the caller owns its well-formedness).
+  void AddRaw(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + key + "\": " + value);
+  }
+
+  static std::string Escape(const std::string& raw);
 
   void Print() const {
     std::printf("{");
@@ -339,31 +358,31 @@ class JsonObject {
   }
 
  private:
-  static std::string Escape(const std::string& raw) {
-    std::string out;
-    out.reserve(raw.size());
-    for (const char c : raw) {
-      switch (c) {
-        case '"': out += "\\\""; break;
-        case '\\': out += "\\\\"; break;
-        case '\n': out += "\\n"; break;
-        case '\t': out += "\\t"; break;
-        case '\r': out += "\\r"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buffer[8];
-            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-            out += buffer;
-          } else {
-            out += c;
-          }
-      }
-    }
-    return out;
-  }
-
   std::vector<std::string> fields_;
 };
+
+std::string JsonObject::Escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
 
 /// Every result object leads with the command plus build provenance, so
 /// saved JSON is traceable to the binary that produced it.
@@ -1157,6 +1176,7 @@ int RunServe(const CommonOptions& opts) {
   server_options.credit_window = static_cast<uint64_t>(opts.credit_window);
   server_options.max_batch_items = static_cast<uint64_t>(opts.batch_items);
   server_options.drain_timeout_ms = opts.drain_timeout_ms;
+  server_options.metrics_interval_ms = opts.metrics_interval_ms;
   net::SketchServer server(backend.get(), server_options);
   Status status = server.Start();
   if (!status.ok()) Fail("serve: " + status.ToString());
@@ -1199,6 +1219,34 @@ int RunServe(const CommonOptions& opts) {
   json.Add("connections", server.connections_served());
   json.Add("batches", server.batches_accepted());
   json.Add("items", server.items_accepted());
+  // Final byte/error totals come from the same telemetry registry a
+  // live kStatsQuery is answered from, so this drained summary and a
+  // stats frame taken during the run can never disagree on what the
+  // server counted (docs/observability.md).
+  {
+    obs::Registry& registry = obs::Registry::Global();
+    json.Add("bytes_in",
+             registry.GetCounter("mcf0_serve_bytes_in_total")->Value());
+    json.Add("bytes_out",
+             registry.GetCounter("mcf0_serve_bytes_out_total")->Value());
+    uint64_t error_frames = 0;
+    std::string errors = "{";
+    for (int code = 0; code <= static_cast<int>(StatusCode::kDeadlineExceeded);
+         ++code) {
+      const char* name = StatusCodeName(static_cast<StatusCode>(code));
+      const uint64_t count =
+          registry
+              .GetCounter("mcf0_serve_error_frames_total", {{"code", name}})
+              ->Value();
+      error_frames += count;
+      if (count == 0) continue;  // only codes actually sent
+      if (errors.size() > 1) errors += ", ";
+      errors += "\"" + std::string(name) + "\": " + std::to_string(count);
+    }
+    errors += "}";
+    json.Add("error_frames", error_frames);
+    json.AddRaw("errors", errors);
+  }
   json.Add("estimate", server.final_estimate());
   if (!opts.out.empty()) {
     json.Add("out", opts.out);
@@ -1277,14 +1325,28 @@ int RunPush(const CommonOptions& opts) {
   CheckNet(client.Flush(), "push");
 
   // A live query races other producers by design — the server answers
-  // from a snapshot merge without draining anyone.
+  // from a snapshot (estimate: a merge of the engine shards; stats: the
+  // telemetry registry) without draining anyone.
   double estimate = 0.0;
   uint64_t server_items = 0;
-  if (opts.query) {
+  std::string stats_json;
+  if (opts.query == "estimate") {
     Result<net::EstimateFrame> result = client.QueryEstimate();
     if (!result.ok()) Fail("push: " + result.status().ToString());
     estimate = result.value().estimate;
     server_items = result.value().items_ingested;
+  } else if (opts.query == "stats") {
+    Result<net::StatsReportFrame> result = client.QueryStats();
+    if (!result.ok()) Fail("push: " + result.status().ToString());
+    // Flattened metric keys can carry label renderings (quotes and all),
+    // so they go through the same escaping as any JSON string.
+    stats_json = "{";
+    for (const net::StatsEntry& entry : result.value().entries) {
+      if (stats_json.size() > 1) stats_json += ", ";
+      stats_json += "\"" + JsonObject::Escape(entry.name) +
+                    "\": " + std::to_string(entry.value);
+    }
+    stats_json += "}";
   }
   const uint64_t batches = client.batches_sent();
   CheckNet(client.Close(), "push");
@@ -1296,9 +1358,11 @@ int RunPush(const CommonOptions& opts) {
   json.Add("port", opts.port);
   json.Add("items", items);
   json.Add("batches", batches);
-  if (opts.query) {
+  if (opts.query == "estimate") {
     json.Add("estimate", estimate);
     json.Add("server_items", server_items);
+  } else if (opts.query == "stats") {
+    json.AddRaw("stats", stats_json);
   }
   json.Add("drain_requested", std::string(client.drain_requested() ? "true"
                                                                    : "false"));
