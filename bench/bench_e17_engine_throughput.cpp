@@ -8,17 +8,29 @@
 //      producer lock on the hot path);
 //   3. structured (§5) term streams through ShardedStructuredEngine —
 //      DNF terms sharded as *items* across same-seed StructuredF0
-//      replicas, per variant and shard count.
+//      replicas, per variant and shard count;
+//   4. a skewed-producer table: one shard's replica absorbs ~10x slower,
+//      with work stealing off vs on — the recovery the steal policy buys
+//      (and `batches_stolen` making it visible).
+//
+// The multi-producer table also reports mid-stream estimate-poll latency:
+// a thread hammering SnapshotEstimate() while producers saturate the
+// queues, which the incremental merge cache keeps O(changed shards) per
+// poll. A final gate pins that rule: polling with a batch in flight must
+// perform a partial (never a full) rebuild once it lands.
 //
 // Because the engine's replicas share hash state and merge is an exact
 // union, every parallel estimate must equal the serial estimate
 // bit-for-bit (and for structured, the encoded sketches must be
 // byte-identical); the tables print both so the equivalence is visible
 // next to the speedup, and any mismatch exits 1. `--smoke` runs a
-// one-iteration miniature of all three tables (used by CI under ASan to
+// one-iteration miniature of all the tables (used by CI under ASan to
 // keep the engine's threading exercised and gate scaling regressions).
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <span>
 #include <string>
 #include <thread>
@@ -39,6 +51,10 @@ using namespace mcf0;
 using namespace mcf0::bench;
 
 constexpr size_t kBatch = 4096;
+
+/// Batch size for the skewed-shard table: small enough that queue depth
+/// (and so stealing opportunity) is visible at bench stream lengths.
+constexpr size_t kSkewBatch = 256;
 
 const char* Name(F0Algorithm alg) {
   switch (alg) {
@@ -78,6 +94,8 @@ std::vector<uint64_t> MakeStream(size_t length, uint64_t support) {
 struct Measured {
   double elems_per_sec = 0.0;
   double estimate = 0.0;
+  double poll_avg_us = 0.0;  // mid-stream SnapshotEstimate() latency
+  uint64_t polls = 0;
 };
 
 Measured RunSerial(const F0Params& params, const std::vector<uint64_t>& xs) {
@@ -105,6 +123,22 @@ Measured RunMultiProducer(const F0Params& params,
                           const std::vector<uint64_t>& xs, int shards,
                           int producers) {
   ShardedF0Engine engine(params, shards);
+  // A dashboard polling SnapshotEstimate() mid-stream: with the
+  // incremental cache each poll folds only the shards that absorbed
+  // since the previous one, so latency stays flat while the producers
+  // saturate the queues.
+  std::atomic<bool> done{false};
+  double poll_total_us = 0.0;
+  uint64_t polls = 0;
+  std::thread poller([&engine, &done, &poll_total_us, &polls] {
+    while (!done.load(std::memory_order_acquire)) {
+      WallTimer poll_timer;
+      (void)engine.SnapshotEstimate();
+      poll_total_us += poll_timer.Seconds() * 1e6;
+      ++polls;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
   WallTimer timer;
   std::vector<std::thread> threads;
   threads.reserve(producers);
@@ -122,7 +156,76 @@ Measured RunMultiProducer(const F0Params& params,
   }
   for (auto& thread : threads) thread.join();
   const double secs = timer.Seconds();
-  return {static_cast<double>(xs.size()) / secs, engine.Estimate()};
+  done.store(true, std::memory_order_release);
+  poller.join();
+  return {static_cast<double>(xs.size()) / secs, engine.Estimate(),
+          polls > 0 ? poll_total_us / static_cast<double>(polls) : 0.0, polls};
+}
+
+// ---- skewed shards --------------------------------------------------------
+
+// An F0Estimator wrapper whose first-built replica absorbs ~10x slower —
+// the skew scenario the steal policy exists for. The factory is called
+// once per shard in construction order, so the first call tags exactly
+// shard 0 (merge targets built later stay fast).
+struct SlowShardSketch {
+  F0Estimator inner;
+  bool slow = false;
+};
+
+void AbsorbItem(SlowShardSketch& sketch, uint64_t x) {
+  if (sketch.slow) {
+    // A synthetic per-item stall roughly 10x a Bucketing absorb
+    // (~6us/item); compute rather than sleep, so the skew is CPU-shaped
+    // and survives scheduler jitter.
+    for (volatile int spin = 0; spin < 70000; ++spin) {
+    }
+  }
+  sketch.inner.Add(x);
+}
+
+Status Merge(SlowShardSketch& into, const SlowShardSketch& from) {
+  return Merge(into.inner, from.inner);
+}
+
+struct SkewMeasured {
+  double elems_per_sec = 0.0;
+  uint64_t stolen = 0;
+  std::string bytes;  // encoded inner sketch: the byte-identity gate
+};
+
+SkewMeasured RunSkewed(const F0Params& params, const std::vector<uint64_t>& xs,
+                       int shards, int producers, bool stealing) {
+  auto built = std::make_shared<std::atomic<int>>(0);
+  ShardedEngineOptions options;
+  options.batch_size = kSkewBatch;
+  options.enable_work_stealing = stealing;
+  ShardedEngine<SlowShardSketch, uint64_t> engine(
+      [params, built] {
+        SlowShardSketch sketch{F0Estimator(params)};
+        sketch.slow = built->fetch_add(1) == 0;
+        return sketch;
+      },
+      shards, options);
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  threads.reserve(producers);
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&engine, &xs, p, producers] {
+      auto producer = engine.MakeProducer();
+      for (size_t off = static_cast<size_t>(p) * kSkewBatch; off < xs.size();
+           off += static_cast<size_t>(producers) * kSkewBatch) {
+        const size_t len = std::min(kSkewBatch, xs.size() - off);
+        producer.AddBatch(std::span<const uint64_t>(xs.data() + off, len));
+      }
+      producer.Flush();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const double secs = timer.Seconds();
+  SlowShardSketch merged = engine.MergedSketch();
+  return {static_cast<double>(xs.size()) / secs, engine.batches_stolen(),
+          SketchCodec::Encode(merged.inner)};
 }
 
 // Deterministic random DNF terms over n variables (the §5 item stream).
@@ -203,6 +306,10 @@ int main(int argc, char** argv) {
   double json_serial = 0.0;
   double json_sharded = 0.0;
   double json_multi_producer = 0.0;
+  double json_poll_us = 0.0;
+  double json_skew_off = 0.0;
+  double json_skew_on = 0.0;
+  uint64_t json_skew_stolen = 0;
   double json_structured_serial = 0.0;
   double json_structured_sharded = 0.0;
 
@@ -237,8 +344,8 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n-- raw element streams, multi-producer (4 shards) --\n");
-  std::printf("%-11s %9s %9s %12s %9s %14s\n", "algorithm", "producers",
-              "elements", "elems/s", "speedup", "estimate");
+  std::printf("%-11s %9s %9s %12s %9s %9s %14s\n", "algorithm", "producers",
+              "elements", "elems/s", "speedup", "poll us", "estimate");
   const std::vector<int> producer_counts =
       smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4};
   for (const auto alg : {F0Algorithm::kBucketing, F0Algorithm::kMinimum}) {
@@ -251,16 +358,50 @@ int main(int argc, char** argv) {
       if (alg == F0Algorithm::kBucketing &&
           producers == producer_counts.back()) {
         json_multi_producer = measured.elems_per_sec;
+        json_poll_us = measured.poll_avg_us;
       }
       char speedup[16];
       std::snprintf(speedup, sizeof(speedup), "%.2fx",
                     base_rate > 0 ? measured.elems_per_sec / base_rate : 0.0);
-      std::printf("%-11s %9d %9zu %12.0f %9s %14.1f\n", Name(alg), producers,
-                  xs.size(), measured.elems_per_sec, speedup,
-                  measured.estimate);
+      std::printf("%-11s %9d %9zu %12.0f %9s %9.1f %14.1f\n", Name(alg),
+                  producers, xs.size(), measured.elems_per_sec, speedup,
+                  measured.poll_avg_us, measured.estimate);
       if (measured.estimate != serial.estimate) {
         std::printf(
             "  ^ MISMATCH: multi-producer estimate diverged from serial!\n");
+        return 1;
+      }
+    }
+  }
+
+  std::printf(
+      "\n-- skewed shards: shard 0 ~10x slower (4 shards, 4 producers) --\n");
+  std::printf("%-11s %9s %9s %12s %9s %8s\n", "algorithm", "stealing",
+              "elements", "elems/s", "speedup", "stolen");
+  {
+    const F0Params params = BenchParams(F0Algorithm::kBucketing);
+    F0Estimator serial_sketch(params);
+    for (const uint64_t x : xs) serial_sketch.Add(x);
+    const std::string serial_bytes = SketchCodec::Encode(serial_sketch);
+    double base_rate = 0.0;
+    for (const bool stealing : {false, true}) {
+      const SkewMeasured measured = RunSkewed(params, xs, 4, 4, stealing);
+      if (!stealing) {
+        base_rate = measured.elems_per_sec;
+        json_skew_off = measured.elems_per_sec;
+      } else {
+        json_skew_on = measured.elems_per_sec;
+        json_skew_stolen = measured.stolen;
+      }
+      char speedup[16];
+      std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                    base_rate > 0 ? measured.elems_per_sec / base_rate : 0.0);
+      std::printf("%-11s %9s %9zu %12.0f %9s %8llu\n", "Bucketing",
+                  stealing ? "on" : "off", xs.size(), measured.elems_per_sec,
+                  speedup, static_cast<unsigned long long>(measured.stolen));
+      if (measured.bytes != serial_bytes) {
+        std::printf("  ^ MISMATCH: skewed sketch bytes diverged from "
+                    "serial!\n");
         return 1;
       }
     }
@@ -304,7 +445,45 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n(speedups are relative to the 1-shard / 1-producer engine; "
-              "the serial rows are the no-engine baseline)\n\n");
+              "the serial rows are the no-engine baseline; the skew table's "
+              "speedup is relative to stealing off)\n\n");
+
+  // Cache-refresh gate: estimate polls racing an in-flight batch must
+  // perform a partial — never a full — rebuild once it lands. This is
+  // the O(changed shards) rule the serve estimate path depends on
+  // (docs/engine.md); a full refold here is the thrash regression.
+  {
+    const F0Params params = BenchParams(F0Algorithm::kMinimum);
+    ShardedF0Engine engine(params, 4);
+    const size_t warm = std::min<size_t>(256, xs.size());
+    for (int i = 0; i < 8; ++i) {
+      engine.AddBatch(std::span<const uint64_t>(xs.data(), warm));
+    }
+    (void)engine.Estimate();  // the one allowed full build
+    engine.Add(1);            // one buffered element -> one shard's batch
+    std::thread flusher([&engine] { engine.Flush(); });
+    for (int i = 0; i < 2000 && engine.cache_partial_rebuilds() == 0; ++i) {
+      (void)engine.SnapshotEstimate();
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    flusher.join();
+    (void)engine.Estimate();
+    const uint64_t full =
+        engine.cache_rebuilds() - engine.cache_partial_rebuilds();
+    if (engine.cache_partial_rebuilds() == 0 || full != 1) {
+      std::printf("cache gate FAILED: %llu rebuilds, %llu partial — polling "
+                  "an in-flight batch must refold only the dirty shard\n",
+                  static_cast<unsigned long long>(engine.cache_rebuilds()),
+                  static_cast<unsigned long long>(
+                      engine.cache_partial_rebuilds()));
+      return 1;
+    }
+    std::printf("cache gate ok: in-flight polls led to partial rebuilds only "
+                "(%llu rebuilds, %llu partial)\n\n",
+                static_cast<unsigned long long>(engine.cache_rebuilds()),
+                static_cast<unsigned long long>(
+                    engine.cache_partial_rebuilds()));
+  }
 
   // Machine-readable summary, same schema family as BENCH_e19_serve.json:
   // the Bucketing / Minimum reference rows at the largest shard and
@@ -320,6 +499,11 @@ int main(int argc, char** argv) {
        << "  \"sharded_items_per_sec\": " << json_sharded << ",\n"
        << "  \"multi_producer_items_per_sec\": " << json_multi_producer
        << ",\n"
+       << "  \"midstream_poll_us\": " << json_poll_us << ",\n"
+       << "  \"skew_items_per_sec_stealing_off\": " << json_skew_off << ",\n"
+       << "  \"skew_items_per_sec_stealing_on\": " << json_skew_on << ",\n"
+       << "  \"skew_batches_stolen\": " << json_skew_stolen << ",\n"
+       << "  \"partial_rebuild_gate\": true,\n"
        << "  \"structured_serial_items_per_sec\": " << json_structured_serial
        << ",\n"
        << "  \"structured_sharded_items_per_sec\": "

@@ -33,13 +33,29 @@
 /// so `Producer::Flush()` waits for exactly its own (and earlier) batches
 /// while other producers keep streaming.
 ///
-/// Queries merge-on-demand and are safe while producers are mid-stream:
-///   * `Estimate()` / `MergedSketch()` drain everything dispatched so far,
-///     then fold the replicas into a cached union; the cache stays valid
-///     until the next batch is enqueued (see `cache_rebuilds()`).
-///   * `SnapshotSketch()` / `SnapshotEstimate()` skip the drain and merge
-///     the replicas as they are — a consistent-per-shard snapshot of the
-///     absorbed prefix, without stopping ingestion.
+/// Queries merge-on-demand and are safe while producers are mid-stream.
+/// All of them are served by one incrementally maintained union: each
+/// shard publishes an absorb generation, the cache remembers the
+/// generation vector it was folded from, and a query refolds only the
+/// shards whose generation advanced (see `cache_rebuilds()` /
+/// `cache_partial_rebuilds()`). Batches that are merely *queued* do not
+/// invalidate anything — absorb generations, not enqueue totals, are
+/// what the folded replicas actually contain — so a steady-state poll
+/// under live ingestion is O(changed shards), and a poll with no new
+/// absorbs is a pure cache hit that takes no shard lock at all.
+///   * `Estimate()` / `MergedSketch()` drain everything dispatched so
+///     far, then refresh the union from the dirty shards only;
+///   * `SnapshotSketch()` / `SnapshotEstimate()` skip the drain and
+///     refresh from whatever each shard has absorbed so far — a
+///     consistent-per-shard snapshot that never stops ingestion.
+///
+/// Ingestion is skew-proof via shard-affinity work stealing: a producer
+/// whose preferred queue is full overflows to the next shard instead of
+/// parking while other shards idle, and an idle worker steals the
+/// oldest batch from the deepest queue (`batches_stolen()`). Neither
+/// breaks the union guarantee — any split of the stream merges to the
+/// same bytes — and per-producer `Flush()` tickets stay exact through a
+/// per-shard completion watermark that tolerates out-of-order absorbs.
 ///
 /// Destruction order: every external `Producer` must be flushed or
 /// destroyed before its engine (handle destructors dispatch their tail
@@ -47,6 +63,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -54,6 +71,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <thread>
@@ -85,6 +103,15 @@ struct ShardedEngineOptions {
   /// slow consumer exerts backpressure instead of growing memory without
   /// limit.
   size_t max_queued_batches = 64;
+
+  /// Shard-affinity work stealing (docs/engine.md): a producer that
+  /// finds its preferred queue full overflows to the next shard with
+  /// room before blocking, and an idle worker steals the oldest batch
+  /// from the deepest queue. Both preserve the exact-union guarantee
+  /// (any split of the stream merges to the same bytes) and exact
+  /// per-producer Flush() semantics; disable only to reproduce strict
+  /// round-robin placement (benchmarks, skew experiments).
+  bool enable_work_stealing = true;
 };
 
 namespace engine_obs {
@@ -96,6 +123,8 @@ namespace engine_obs {
 struct Metrics {
   obs::Counter* items_absorbed;
   obs::Counter* cache_rebuilds;
+  obs::Counter* cache_partial_rebuilds;
+  obs::Counter* batches_stolen;
   obs::Counter* enqueue_blocks;
   obs::Histogram* enqueue_block_us;
   obs::Histogram* absorb_batch_us;
@@ -105,6 +134,9 @@ inline Metrics& Get() {
   static Metrics metrics{
       obs::Registry::Global().GetCounter("mcf0_engine_items_absorbed_total"),
       obs::Registry::Global().GetCounter("mcf0_engine_cache_rebuilds_total"),
+      obs::Registry::Global().GetCounter(
+          "mcf0_engine_cache_partial_rebuilds_total"),
+      obs::Registry::Global().GetCounter("mcf0_engine_batches_stolen_total"),
       obs::Registry::Global().GetCounter("mcf0_engine_enqueue_blocks_total"),
       obs::Registry::Global().GetHistogram("mcf0_engine_enqueue_block_us"),
       obs::Registry::Global().GetHistogram("mcf0_engine_absorb_batch_us")};
@@ -230,9 +262,13 @@ class ShardedEngine {
     }
 
     void Dispatch(std::vector<Item> batch) {
-      const size_t shard = next_shard_;
+      const size_t preferred = next_shard_;
       next_shard_ = (next_shard_ + 1) % engine_->shards_.size();
-      tickets_[shard] = engine_->DispatchTo(shard, std::move(batch));
+      // The batch may land on an overflow shard, not the preferred one;
+      // the ticket follows wherever it was actually enqueued so Flush()
+      // waits on the right shard's completion watermark.
+      const auto placed = engine_->DispatchTo(preferred, std::move(batch));
+      tickets_[placed.shard] = placed.ticket;
     }
 
     ShardedEngine* engine_;
@@ -296,6 +332,21 @@ class ShardedEngine {
   /// producer's private buffer are not yet part of the stream; flush the
   /// producer to include them.
   void Flush() {
+    // Quiescent fast path off the relaxed mirrors: no shard mutex when
+    // there is nothing to wait for. Ordering argument: a batch bumps
+    // the enqueue mirror (under its shard lock) strictly before any
+    // worker can complete it and bump the absorb mirror (release), so
+    // with `absorbed` loaded first (acquire), absorbed >= enqueued
+    // implies every batch whose enqueue this thread can observe has
+    // been absorbed — if some observable batch were incomplete, the
+    // enqueue bumps of the `absorbed` completed batches plus that
+    // batch's own would make the later `enqueued` load exceed
+    // `absorbed`.
+    const uint64_t absorbed =
+        batches_absorbed_.load(std::memory_order_acquire);
+    const uint64_t enqueued =
+        batches_enqueued_.load(std::memory_order_relaxed);
+    if (absorbed >= enqueued) return;
     for (auto& shard : shards_) {
       std::unique_lock<std::mutex> lock(shard->mu);
       const uint64_t target = shard->enqueued;
@@ -308,43 +359,47 @@ class ShardedEngine {
   /// the sketch a sequential pass over the same items would hold. The
   /// result carries the hashes_canonical attestation (fresh replica,
   /// Merge preserves it), so encoding it takes the codec's O(state)
-  /// seed-elided fast path. The underlying shard merge is cached; see
-  /// cache_rebuilds().
+  /// seed-elided fast path. The underlying union is cached and
+  /// refreshed incrementally; see cache_rebuilds().
   Sketch MergedSketch() {
     Flush();
     std::lock_guard<std::mutex> cache_lock(cache_mu_);
-    const Sketch& cached = RebuildCacheIfStaleLocked();
+    const Sketch& cached = RefreshCacheLocked();
     Sketch out = factory_();
     MergeOrDie(out, cached);
     return out;
   }
 
   /// MergedSketch().Estimate() without materializing a copy: reads the
-  /// cached union directly. Cache rule: the merged union stays valid
-  /// until the next batch is *enqueued* on any shard — repeated queries
-  /// with no ingestion in between fold the shards exactly once.
+  /// cached union directly. Cache rule (docs/engine.md): the union is
+  /// refreshed per shard, folding only replicas whose absorb generation
+  /// advanced since the last refresh — repeated queries with no absorbs
+  /// in between are pure cache hits, whatever sits in the queues.
   double Estimate() {
     Flush();
     std::lock_guard<std::mutex> cache_lock(cache_mu_);
-    return RebuildCacheIfStaleLocked().Estimate();
+    return RefreshCacheLocked().Estimate();
   }
 
-  /// Merge-without-drain: folds the replicas as they are, without waiting
-  /// for queued batches — each shard contributes the prefix of its stream
-  /// absorbed so far. Never blocks on ingestion (only on the per-shard
-  /// replica lock for the duration of one fold), so live dashboards can
+  /// Merge-without-drain: the union of each shard's absorbed prefix,
+  /// without waiting for queued batches. Served by the same incremental
+  /// cache as Estimate(): a poll refolds only shards that absorbed
+  /// something since the last query (O(changed), and O(1) — no shard
+  /// lock at all — when ingestion is quiescent), so live dashboards can
   /// poll while producers saturate the queues.
   Sketch SnapshotSketch() {
-    Sketch merged = factory_();
-    for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> sketch_lock(shard->sketch_mu);
-      MergeOrDie(merged, shard->sketch);
-    }
-    return merged;
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    const Sketch& cached = RefreshCacheLocked();
+    Sketch out = factory_();
+    MergeOrDie(out, cached);
+    return out;
   }
 
-  /// SnapshotSketch().Estimate().
-  double SnapshotEstimate() { return SnapshotSketch().Estimate(); }
+  /// SnapshotSketch().Estimate() without materializing a copy.
+  double SnapshotEstimate() {
+    std::lock_guard<std::mutex> cache_lock(cache_mu_);
+    return RefreshCacheLocked().Estimate();
+  }
 
   /// Flush + total footprint across the shard replicas.
   size_t SpaceBits() {
@@ -365,11 +420,27 @@ class ShardedEngine {
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
 
-  /// How many times the merge-on-query cache was rebuilt from the shard
-  /// replicas — observability for the invalidation rule (and its tests):
-  /// queries with no enqueue in between must not add to this.
+  /// How many queries had to fold at least one shard replica into the
+  /// cached union — observability for the validity rule (and its
+  /// tests): queries with no completed absorb in between must not add
+  /// to this, even with batches sitting in the queues.
   uint64_t cache_rebuilds() const {
     return cache_rebuilds_.load(std::memory_order_relaxed);
+  }
+
+  /// The subset of cache_rebuilds() that refolded strictly fewer than
+  /// num_shards replicas — the O(changed) incremental refreshes. The
+  /// first build after construction never counts, so
+  /// `cache_rebuilds() - cache_partial_rebuilds() == 1` once warm means
+  /// every steady-state refresh was partial.
+  uint64_t cache_partial_rebuilds() const {
+    return cache_partial_rebuilds_.load(std::memory_order_relaxed);
+  }
+
+  /// Batches absorbed by a worker other than the one whose queue they
+  /// were enqueued on (shard-affinity work stealing).
+  uint64_t batches_stolen() const {
+    return batches_stolen_.load(std::memory_order_relaxed);
   }
 
   /// Batches currently sitting in shard queues (enqueued, not yet
@@ -400,16 +471,44 @@ class ShardedEngine {
   const ShardedEngineOptions& options() const { return options_; }
 
  private:
+  /// A queued batch carries the ticket it was enqueued under, so a
+  /// thief can complete it against the home shard's watermark.
+  struct QueuedBatch {
+    uint64_t ticket = 0;
+    std::vector<Item> items;
+  };
+
   struct Shard {
     explicit Shard(Sketch replica) : sketch(std::move(replica)) {}
 
-    std::mutex mu;  // guards queue, enqueued, absorbed, stop
+    std::mutex mu;  // guards queue, enqueued, absorbed, done_tickets, stop
     std::condition_variable work_ready;  // producer -> worker
     std::condition_variable drained;     // worker -> producers (flush, bp)
-    std::deque<std::vector<Item>> queue;
+    std::deque<QueuedBatch> queue;
     uint64_t enqueued = 0;  // batches ever queued (= last ticket issued)
-    uint64_t absorbed = 0;  // batches fully absorbed into the replica
+    /// Completion watermark: every batch with ticket <= absorbed has
+    /// been absorbed into *some* replica. Work stealing completes
+    /// tickets out of queue order; completions ahead of the watermark
+    /// park in done_tickets until the gap closes, so Flush()'s
+    /// "absorbed >= ticket" wait never releases past an unfinished
+    /// batch.
+    uint64_t absorbed = 0;
+    std::set<uint64_t> done_tickets;
     bool stop = false;
+
+    /// Lock-free mirror of queue.size(), for cross-shard scans (steal
+    /// victim selection, overflow-dispatch pre-screen) that must not
+    /// take another shard's mutex. Point-in-time; every decision it
+    /// feeds is re-checked under the victim's lock.
+    std::atomic<size_t> queue_size{0};
+
+    /// Batches absorbed into `sketch` — the replica's publish
+    /// generation. Bumped (release) after the batch's items are in, so
+    /// a reader that loads it (acquire) *before* folding the replica
+    /// provably folds at least that many batches. This is what the
+    /// merge cache stamps and compares: queue state never appears in
+    /// the validity rule.
+    std::atomic<uint64_t> replica_gen{0};
 
     std::mutex sketch_mu;  // guards sketch: worker absorb vs query merge
     Sketch sketch;
@@ -418,62 +517,181 @@ class ShardedEngine {
     obs::Gauge* queue_depth = nullptr;  // mcf0_engine_queue_depth{shard=i}
   };
 
+  /// Queues shallower than this are not worth stealing from: a single
+  /// queued batch is the home worker's next pop.
+  static constexpr size_t kMinStealDepth = 2;
+
+  /// An idle worker rescans for steal candidates on this period. A deep
+  /// queue on another shard cannot reliably notify this worker's
+  /// condvar (the producer holds the victim's lock, not ours, so a
+  /// wakeup could be lost); short periodic rescans make steals robust
+  /// without cross-shard lock traffic on the enqueue hot path.
+  static constexpr std::chrono::milliseconds kIdleRescanInterval{2};
+
   static void MergeOrDie(Sketch& into, const Sketch& from) {
     const Status status = Merge(into, from);
     MCF0_CHECK(status.ok());  // replicas share params by construction
   }
 
-  void WorkerLoop(Shard* shard) {
+  void WorkerLoop(Shard* self) {
     for (;;) {
-      std::vector<Item> batch;
+      Shard* home = nullptr;  // the shard whose queue the batch came from
+      QueuedBatch batch;
       {
-        std::unique_lock<std::mutex> lock(shard->mu);
-        shard->work_ready.wait(
-            lock, [shard] { return shard->stop || !shard->queue.empty(); });
-        if (shard->queue.empty()) return;  // stop requested, queue drained
-        batch = std::move(shard->queue.front());
-        shard->queue.pop_front();
+        std::unique_lock<std::mutex> lock(self->mu);
+        if (!self->queue.empty()) {
+          batch = std::move(self->queue.front());
+          self->queue.pop_front();
+          self->queue_size.fetch_sub(1, std::memory_order_relaxed);
+          home = self;
+        } else if (self->stop) {
+          return;  // stop requested, own queue drained
+        }
+      }
+      if (home == self) {
+        // The pop made room; backpressured producers wait on queue
+        // length, not completions, so wake them now rather than after
+        // the (possibly long) absorb.
+        self->drained.notify_all();
+      } else if (options_.enable_work_stealing) {
+        home = TrySteal(self, &batch);
+      }
+      if (home == nullptr) {
+        std::unique_lock<std::mutex> lock(self->mu);
+        const auto ready = [self] {
+          return self->stop || !self->queue.empty();
+        };
+        if (options_.enable_work_stealing) {
+          self->work_ready.wait_for(lock, kIdleRescanInterval, ready);
+        } else {
+          self->work_ready.wait(lock, ready);
+        }
+        continue;
       }
       {
         MCF0_TRACE_SPAN("engine.absorb_batch");
         obs::ScopedLatencyUs absorb_timer(engine_obs::Get().absorb_batch_us);
-        std::lock_guard<std::mutex> sketch_lock(shard->sketch_mu);
-        for (const Item& item : batch) AbsorbItem(shard->sketch, item);
+        std::lock_guard<std::mutex> sketch_lock(self->sketch_mu);
+        for (const Item& item : batch.items) AbsorbItem(self->sketch, item);
       }
-      engine_obs::Get().items_absorbed->Increment(batch.size());
-      {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        ++shard->absorbed;
+      // Publish the replica change before the completion bookkeeping:
+      // the merge cache reads replica_gen without sketch_mu, and the
+      // Flush() fast path requires the items to be visible by the time
+      // the absorb mirror covers this batch.
+      self->replica_gen.fetch_add(1, std::memory_order_release);
+      engine_obs::Get().items_absorbed->Increment(batch.items.size());
+      if (home != self) {
+        batches_stolen_.fetch_add(1, std::memory_order_relaxed);
+        engine_obs::Get().batches_stolen->Increment();
       }
-      batches_absorbed_.fetch_add(1, std::memory_order_relaxed);
-      shard->queue_depth->Add(-1);
-      shard->drained.notify_all();
+      CompleteTicket(home, batch.ticket);
     }
   }
 
-  /// Queues one batch on the given shard (blocking on backpressure) and
-  /// returns its ticket: the shard's enqueue count, against which
-  /// AwaitTickets compares the absorb count. Thread-safe; concurrent
-  /// producers contend only on this one shard's mutex.
-  uint64_t DispatchTo(size_t shard_index, std::vector<Item> batch) {
-    Shard& shard = *shards_[shard_index];
-    uint64_t ticket = 0;
-    {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      if (shard.queue.size() >= options_.max_queued_batches) {
-        engine_obs::Get().enqueue_blocks->Increment();
-        obs::ScopedLatencyUs wait_timer(engine_obs::Get().enqueue_block_us);
-        shard.drained.wait(lock, [this, &shard] {
-          return shard.queue.size() < options_.max_queued_batches;
-        });
+  /// Picks the deepest other queue (by its lock-free size mirror,
+  /// re-checked under the victim's lock) and pops its oldest batch.
+  /// Returns the victim shard, or nullptr if nothing is worth stealing.
+  /// Oldest-first keeps completions near queue order, so the home
+  /// shard's watermark advances and done_tickets stays tiny.
+  Shard* TrySteal(Shard* self, QueuedBatch* batch) {
+    Shard* victim = nullptr;
+    size_t deepest = kMinStealDepth - 1;
+    for (auto& shard : shards_) {
+      if (shard.get() == self) continue;
+      const size_t size = shard->queue_size.load(std::memory_order_relaxed);
+      if (size > deepest) {
+        deepest = size;
+        victim = shard.get();
       }
-      shard.queue.push_back(std::move(batch));
-      ticket = ++shard.enqueued;
-      batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (victim == nullptr) return nullptr;
+    {
+      std::lock_guard<std::mutex> lock(victim->mu);
+      if (victim->queue.size() < kMinStealDepth) return nullptr;
+      *batch = std::move(victim->queue.front());
+      victim->queue.pop_front();
+      victim->queue_size.fetch_sub(1, std::memory_order_relaxed);
+    }
+    victim->drained.notify_all();  // the pop made room for producers
+    return victim;
+  }
+
+  /// Marks `ticket` absorbed against its home shard and advances the
+  /// completion watermark across any previously parked completions.
+  void CompleteTicket(Shard* home, uint64_t ticket) {
+    {
+      std::lock_guard<std::mutex> lock(home->mu);
+      if (ticket == home->absorbed + 1) {
+        ++home->absorbed;
+        auto it = home->done_tickets.begin();
+        while (it != home->done_tickets.end() &&
+               *it == home->absorbed + 1) {
+          ++home->absorbed;
+          it = home->done_tickets.erase(it);
+        }
+      } else {
+        home->done_tickets.insert(ticket);
+      }
+    }
+    batches_absorbed_.fetch_add(1, std::memory_order_release);
+    home->queue_depth->Add(-1);
+    home->drained.notify_all();
+  }
+
+  /// Where DispatchTo actually placed a batch: the ticket is only
+  /// meaningful against that shard's watermark.
+  struct Placed {
+    size_t shard = 0;
+    uint64_t ticket = 0;
+  };
+
+  /// Queues one batch, preferring `preferred` but overflowing to the
+  /// next shard with room when it is full (shard affinity, not strict
+  /// round-robin): a saturated shard must not park the producer while
+  /// other queues sit idle. Only when every queue is full does the
+  /// producer block — on its preferred shard, as before. Thread-safe;
+  /// concurrent producers contend only on the probed shards' mutexes.
+  Placed DispatchTo(size_t preferred, std::vector<Item> batch) {
+    const size_t num_shards = shards_.size();
+    const size_t probes = options_.enable_work_stealing ? num_shards : 1;
+    for (size_t attempt = 0; attempt < probes; ++attempt) {
+      const size_t index = (preferred + attempt) % num_shards;
+      Shard& shard = *shards_[index];
+      if (attempt > 0 && shard.queue_size.load(std::memory_order_relaxed) >=
+                             options_.max_queued_batches) {
+        continue;  // visibly full: skip without taking the lock
+      }
+      std::unique_lock<std::mutex> lock(shard.mu);
+      if (shard.queue.size() >= options_.max_queued_batches) continue;
+      return EnqueueLocked(index, std::move(batch), lock);
+    }
+    // Every queue is full: block on the preferred shard until a worker
+    // (or thief) makes room.
+    Shard& shard = *shards_[preferred];
+    std::unique_lock<std::mutex> lock(shard.mu);
+    if (shard.queue.size() >= options_.max_queued_batches) {
+      engine_obs::Get().enqueue_blocks->Increment();
+      obs::ScopedLatencyUs wait_timer(engine_obs::Get().enqueue_block_us);
+      shard.drained.wait(lock, [this, &shard] {
+        return shard.queue.size() < options_.max_queued_batches;
+      });
+    }
+    return EnqueueLocked(preferred, std::move(batch), lock);
+  }
+
+  /// Second half of DispatchTo: push under the already-held shard lock,
+  /// then notify outside it.
+  Placed EnqueueLocked(size_t index, std::vector<Item> batch,
+                       std::unique_lock<std::mutex>& lock) {
+    Shard& shard = *shards_[index];
+    const uint64_t ticket = ++shard.enqueued;
+    shard.queue.push_back(QueuedBatch{ticket, std::move(batch)});
+    shard.queue_size.fetch_add(1, std::memory_order_relaxed);
+    batches_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    lock.unlock();
     shard.queue_depth->Add(1);
     shard.work_ready.notify_one();
-    return ticket;
+    return Placed{index, ticket};
   }
 
   /// Blocks until, on every shard, the absorb count has reached the given
@@ -489,41 +707,45 @@ class ShardedEngine {
     }
   }
 
-  uint64_t TotalEnqueued() {
-    uint64_t total = 0;
-    for (auto& shard : shards_) {
-      std::lock_guard<std::mutex> lock(shard->mu);
-      total += shard->enqueued;
+  /// Requires cache_mu_. Incremental validity rule (docs/engine.md):
+  /// the cache is the exact union of every shard replica at the
+  /// generation recorded in cache_shard_gen_ (each generation loaded
+  /// *before* folding its replica, so the replica provably contained at
+  /// least that many batches — a concurrent absorb just leaves the
+  /// stamp conservative and the shard dirty for the next query).
+  /// Because a replica's item set only ever grows and Merge is an exact
+  /// set union, folding a dirty shard's *current* replica into the
+  /// cached union yields exactly the union of the new per-shard states:
+  /// no subtraction, no from-scratch rebuild, O(changed shards) per
+  /// refresh. A query that finds no generation advanced returns the
+  /// cache untouched without taking any shard lock — queued-but-
+  /// unabsorbed batches never invalidate, because absorb generations,
+  /// not enqueue totals, are what the folded replicas actually contain.
+  const Sketch& RefreshCacheLocked() {
+    if (!cached_.has_value()) {
+      cached_.emplace(factory_());
+      cache_shard_gen_.assign(shards_.size(), 0);
     }
-    return total;
-  }
-
-  /// Requires cache_mu_. Validity rule: the cache was built from a state
-  /// covering exactly `cache_generation_` batches (each shard's absorb
-  /// count read *before* folding its replica, so the replica provably
-  /// contained those batches), hence it is current iff no further batch
-  /// has been enqueued since. Enqueues — not producer-buffer appends —
-  /// invalidate; the Estimate()/MergedSketch() flush dispatches the
-  /// caller's own buffer first, so a caller never reads a cache missing
-  /// its own items.
-  const Sketch& RebuildCacheIfStaleLocked() {
-    if (cached_.has_value() && cache_generation_ == TotalEnqueued()) {
-      return *cached_;
-    }
-    uint64_t generation = 0;
-    Sketch merged = factory_();
-    for (auto& shard : shards_) {
+    size_t folded = 0;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      Shard& shard = *shards_[i];
+      const uint64_t gen = shard.replica_gen.load(std::memory_order_acquire);
+      if (gen == cache_shard_gen_[i]) continue;
       {
-        std::lock_guard<std::mutex> lock(shard->mu);
-        generation += shard->absorbed;
+        std::lock_guard<std::mutex> sketch_lock(shard.sketch_mu);
+        MergeOrDie(*cached_, shard.sketch);
       }
-      std::lock_guard<std::mutex> sketch_lock(shard->sketch_mu);
-      MergeOrDie(merged, shard->sketch);
+      cache_shard_gen_[i] = gen;
+      ++folded;
     }
-    cached_ = std::move(merged);
-    cache_generation_ = generation;
+    if (folded == 0 && cache_built_) return *cached_;  // pure hit
     cache_rebuilds_.fetch_add(1, std::memory_order_relaxed);
     engine_obs::Get().cache_rebuilds->Increment();
+    if (cache_built_ && folded < shards_.size()) {
+      cache_partial_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+      engine_obs::Get().cache_partial_rebuilds->Increment();
+    }
+    cache_built_ = true;
     return *cached_;
   }
 
@@ -532,16 +754,21 @@ class ShardedEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<uint64_t> items_{0};
   std::atomic<size_t> producers_made_{0};
-  // Relaxed mirrors of the per-shard enqueued/absorbed counts so
-  // queued_batches() never touches a shard mutex. Enqueue is bumped
-  // under the shard lock; absorb after it — see queued_batches().
+  // Mirrors of the per-shard enqueued/absorbed counts so
+  // queued_batches() and Flush()'s quiescent fast path never touch a
+  // shard mutex. Enqueue is bumped under the shard lock; absorb
+  // (release) after the items are published — see queued_batches() and
+  // Flush().
   std::atomic<uint64_t> batches_enqueued_{0};
   std::atomic<uint64_t> batches_absorbed_{0};
+  std::atomic<uint64_t> batches_stolen_{0};
 
-  std::mutex cache_mu_;  // guards cached_ + cache_generation_
+  std::mutex cache_mu_;  // guards cached_, cache_shard_gen_, cache_built_
   std::optional<Sketch> cached_;
-  uint64_t cache_generation_ = 0;
+  std::vector<uint64_t> cache_shard_gen_;  // per shard: replica_gen folded
+  bool cache_built_ = false;
   std::atomic<uint64_t> cache_rebuilds_{0};
+  std::atomic<uint64_t> cache_partial_rebuilds_{0};
 };
 
 /// AbsorbItem customization point for raw element streams.
@@ -601,8 +828,8 @@ class ShardedF0Engine {
     return core_.MergedSketch();
   }
 
-  /// Cached merged estimate; the cache survives until the next batch is
-  /// enqueued (ShardedEngine::Estimate).
+  /// Cached merged estimate; only shards that absorbed something since
+  /// the last query are refolded (ShardedEngine::Estimate).
   double Estimate() {
     producer_.Flush();
     return core_.Estimate();
@@ -622,6 +849,10 @@ class ShardedF0Engine {
   int num_shards() const { return core_.num_shards(); }
   const F0Params& params() const { return params_; }
   uint64_t cache_rebuilds() const { return core_.cache_rebuilds(); }
+  uint64_t cache_partial_rebuilds() const {
+    return core_.cache_partial_rebuilds();
+  }
+  uint64_t batches_stolen() const { return core_.batches_stolen(); }
   uint64_t queued_batches() const { return core_.queued_batches(); }
   uint64_t queue_capacity() const { return core_.queue_capacity(); }
 
@@ -691,6 +922,10 @@ class ShardedStructuredEngine {
   int num_shards() const { return core_.num_shards(); }
   const StructuredF0Params& params() const { return params_; }
   uint64_t cache_rebuilds() const { return core_.cache_rebuilds(); }
+  uint64_t cache_partial_rebuilds() const {
+    return core_.cache_partial_rebuilds();
+  }
+  uint64_t batches_stolen() const { return core_.batches_stolen(); }
   uint64_t queued_batches() const { return core_.queued_batches(); }
   uint64_t queue_capacity() const { return core_.queue_capacity(); }
 

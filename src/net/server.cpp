@@ -180,7 +180,15 @@ Status SketchServer::Run() {
                    static_cast<long long>(NowMs() - start_ms),
                    metrics.c_str());
       std::fflush(stderr);
-      next_metrics_ms = NowMs() + options_.metrics_interval_ms;
+      // Schedule from the previous deadline, not from "now", so the
+      // period does not silently stretch by snapshot+write cost. If
+      // emission fell more than a whole interval behind, skip the
+      // missed ticks instead of bursting to catch up.
+      next_metrics_ms += options_.metrics_interval_ms;
+      const int64_t now_ms = NowMs();
+      if (next_metrics_ms <= now_ms) {
+        next_metrics_ms = now_ms + options_.metrics_interval_ms;
+      }
     }
     if (drain_requested_.load(std::memory_order_acquire) && !draining_) {
       BeginDrain();

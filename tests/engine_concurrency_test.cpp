@@ -14,13 +14,19 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/status.hpp"
 #include "engine/sharded_engine.hpp"
 #include "engine/sketch_codec.hpp"
 #include "formula/formula.hpp"
@@ -210,9 +216,281 @@ TEST(ShardedEngineCacheTest, RepeatedQueriesFoldTheShardsOnce) {
   EXPECT_DOUBLE_EQ(merged.Estimate(), first);
 
   // Ingestion invalidates: the next query re-merges and sees the element.
+  // Only one shard absorbed anything new, so the refresh is partial — it
+  // folds that one replica, not all four.
   engine.Add(1u << 22);
   EXPECT_DOUBLE_EQ(engine.Estimate(), first + 1.0);  // exact regime
   EXPECT_EQ(engine.cache_rebuilds(), 2u);
+  EXPECT_EQ(engine.cache_partial_rebuilds(), 1u);
+}
+
+TEST(ShardedEngineCacheTest, SingleShardUpdateTriggersPartialRebuild) {
+  // The O(changed) acceptance pin: once the cache is warm, an update that
+  // lands on one shard refolds exactly that shard's replica — observable
+  // as a rebuild that is also counted partial.
+  const F0Params params = SmallParams(F0Algorithm::kMinimum);
+  ShardedF0Engine engine(params, 4);
+  const std::vector<uint64_t> xs = RandomStream(2048, 15, 78);
+  // Eight single-batch dispatches round-robin across the four shards.
+  for (int i = 0; i < 8; ++i) engine.AddBatch(xs);
+
+  EXPECT_DOUBLE_EQ(engine.Estimate(), 15.0);
+  ASSERT_EQ(engine.cache_rebuilds(), 1u);
+  EXPECT_EQ(engine.cache_partial_rebuilds(), 0u);  // initial build: not partial
+
+  engine.Add(1u << 22);  // one batch, one shard
+  EXPECT_DOUBLE_EQ(engine.Estimate(), 16.0);
+  EXPECT_EQ(engine.cache_rebuilds(), 2u);
+  EXPECT_EQ(engine.cache_partial_rebuilds(), 1u);
+
+  // And back to pure hits.
+  for (int i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(engine.Estimate(), 16.0);
+  EXPECT_EQ(engine.cache_rebuilds(), 2u);
+}
+
+// ---- cache validity under in-flight batches -------------------------------
+
+// A test-only sketch whose absorbs block while a shared gate is closed,
+// so the test can hold batches in flight (queued, or popped and stuck
+// mid-absorb — either way not yet completed) while it polls the query
+// path. Instantiates the generic engine through the same ADL hooks the
+// real sketches use; ADL finds these in the anonymous namespace.
+struct AbsorbGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool open = true;
+
+  void Set(bool value) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      open = value;
+    }
+    cv.notify_all();
+  }
+  void Await() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return open; });
+  }
+};
+
+struct GatedSketch {
+  AbsorbGate* gate = nullptr;
+  std::vector<uint64_t> seen;  // may hold duplicates: refolds repeat values
+
+  double Estimate() const {
+    return static_cast<double>(
+        std::set<uint64_t>(seen.begin(), seen.end()).size());
+  }
+};
+
+void AbsorbItem(GatedSketch& sketch, uint64_t x) {
+  sketch.gate->Await();
+  sketch.seen.push_back(x);
+}
+
+Status Merge(GatedSketch& into, const GatedSketch& from) {
+  into.seen.insert(into.seen.end(), from.seen.begin(), from.seen.end());
+  return Status::Ok();
+}
+
+TEST(ShardedEngineCacheTest, QueuedBatchesDoNotThrashTheCache) {
+  // The PR 8 regression pin. The old validity rule compared the cache
+  // stamp (absorbed counts) against TotalEnqueued(), so any in-flight
+  // batch forced a full N-shard refold on every poll — and the snapshot
+  // path bypassed the cache entirely. Pin the fix: with batches in
+  // flight but absorbs quiescent, repeated SnapshotEstimate() polls
+  // perform zero rebuilds.
+  AbsorbGate gate;
+  ShardedEngineOptions options;
+  options.batch_size = 4;
+  ShardedEngine<GatedSketch, uint64_t> engine(
+      [&gate] {
+        GatedSketch sketch;
+        sketch.gate = &gate;
+        return sketch;
+      },
+      2, options);
+  auto producer = engine.MakeProducer();
+  for (uint64_t x = 0; x < 8; ++x) producer.Add(x);  // two full batches
+  producer.Flush();
+
+  EXPECT_DOUBLE_EQ(engine.SnapshotEstimate(), 8.0);
+  ASSERT_EQ(engine.cache_rebuilds(), 1u);
+
+  // Close the gate and dispatch four more batches: workers pick them up
+  // and block inside AbsorbItem (or leave them queued), so absorbs are
+  // quiescent while queued_batches() stays nonzero.
+  gate.Set(false);
+  for (uint64_t x = 8; x < 24; ++x) producer.Add(x);
+  ASSERT_GT(engine.queued_batches(), 0u);
+
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(engine.SnapshotEstimate(), 8.0);
+  }
+  EXPECT_EQ(engine.cache_rebuilds(), 1u);  // zero rebuilds: pure cache hits
+  EXPECT_GT(engine.queued_batches(), 0u);
+
+  // Reopen: the queued batches land, and exactly one refresh folds them.
+  gate.Set(true);
+  producer.Flush();
+  EXPECT_DOUBLE_EQ(engine.SnapshotEstimate(), 24.0);
+  EXPECT_EQ(engine.cache_rebuilds(), 2u);
+}
+
+// ---- shard-affinity work stealing -----------------------------------------
+
+// An F0Estimator wrapper whose first-built replica absorbs slowly — the
+// deterministic skewed-shard scenario. The slowness lives in the test
+// type, not the engine, so stealing is exercised against the unchanged
+// union guarantee. The factory is called once per shard in construction
+// order (then once per merge target), so tagging the first call slows
+// exactly shard 0.
+struct SlowShardSketch {
+  F0Estimator inner;
+  bool slow = false;
+};
+
+void AbsorbItem(SlowShardSketch& sketch, uint64_t x) {
+  if (sketch.slow) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  sketch.inner.Add(x);
+}
+
+Status Merge(SlowShardSketch& into, const SlowShardSketch& from) {
+  return Merge(into.inner, from.inner);
+}
+
+ShardedEngine<SlowShardSketch, uint64_t>::ReplicaFactory SlowShardFactory(
+    const F0Params& params, std::shared_ptr<std::atomic<int>> built) {
+  return [params, built] {
+    SlowShardSketch sketch{F0Estimator(params)};
+    sketch.slow = built->fetch_add(1) == 0;
+    return sketch;
+  };
+}
+
+TEST(WorkStealingTest, SkewedShardStaysByteIdenticalAndSteals) {
+  // One slow shard, four producers: the slow shard's queue runs deep
+  // while the other workers go idle, so batches get stolen — and the
+  // merged sketch must still be byte-identical to a sequential pass,
+  // because any split of the stream merges to the same union.
+  const F0Params params = SmallParams(F0Algorithm::kMinimum);
+  const std::vector<uint64_t> xs = RandomStream(6400, 900, 83);
+
+  F0Estimator sequential(params);
+  for (const uint64_t x : xs) sequential.Add(x);
+
+  auto built = std::make_shared<std::atomic<int>>(0);
+  ShardedEngineOptions options;
+  options.batch_size = 16;
+  ShardedEngine<SlowShardSketch, uint64_t> engine(
+      SlowShardFactory(params, built), 4, options);
+  {
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 4; ++p) {
+      threads.emplace_back([&engine, &xs, p] {
+        auto producer = engine.MakeProducer();
+        const auto [begin, end] = Slice(xs.size(), 4, p);
+        for (size_t i = begin; i < end; ++i) producer.Add(xs[i]);
+        producer.Flush();
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  EXPECT_GT(engine.batches_stolen(), 0u);
+  SlowShardSketch merged = engine.MergedSketch();
+  EXPECT_EQ(SketchCodec::Encode(merged.inner), SketchCodec::Encode(sequential));
+}
+
+TEST(WorkStealingTest, FlushCoversExactlyOwnBatchesUnderSteals) {
+  // Per-producer Flush isolation with steals in play: tickets follow the
+  // shard a batch was enqueued on, and the completion watermark tolerates
+  // out-of-order absorbs, so a flushed producer observes all of its own
+  // items — and none of another producer's unflushed buffer.
+  const F0Params params = SmallParams(F0Algorithm::kBucketing);
+  auto built = std::make_shared<std::atomic<int>>(0);
+  ShardedEngineOptions options;
+  options.batch_size = 16;
+  ShardedEngine<SlowShardSketch, uint64_t> engine(
+      SlowShardFactory(params, built), 3, options);
+
+  auto loud = engine.MakeProducer();
+  auto quiet = engine.MakeProducer();
+  const std::vector<uint64_t> mine = RandomStream(1600, 400, 84);
+  for (const uint64_t x : mine) loud.Add(x);
+  quiet.Add(1);  // stays in quiet's private buffer: not yet in the stream
+  loud.Flush();  // must cover loud's stolen batches too
+
+  F0Estimator sequential(params);
+  for (const uint64_t x : mine) sequential.Add(x);
+  EXPECT_EQ(SketchCodec::Encode(engine.SnapshotSketch().inner),
+            SketchCodec::Encode(sequential));
+
+  quiet.Flush();
+  sequential.Add(1);
+  EXPECT_EQ(SketchCodec::Encode(engine.SnapshotSketch().inner),
+            SketchCodec::Encode(sequential));
+}
+
+// The structured analogue: a slow StructuredF0 replica, byte-identity
+// under steals for §5 set-stream items.
+struct SlowStructuredSketch {
+  StructuredF0 inner;
+  bool slow = false;
+};
+
+void AbsorbItem(SlowStructuredSketch& sketch, const StructuredItem& item) {
+  if (sketch.slow) {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+  }
+  AbsorbItem(sketch.inner, item);
+}
+
+Status Merge(SlowStructuredSketch& into, const SlowStructuredSketch& from) {
+  return Merge(into.inner, from.inner);
+}
+
+TEST(WorkStealingTest, StructuredStreamStaysByteIdenticalUnderSteals) {
+  StructuredF0Params params;
+  params.n = 12;
+  params.eps = 0.8;
+  params.delta = 0.2;
+  params.seed = 7;
+  params.algorithm = StructuredF0Algorithm::kMinimum;
+  params.thresh_override = 16;
+  params.rows_override = 5;
+  const std::vector<Term> terms = MakeTerms(12, 80, 85);
+
+  StructuredF0 single(params);
+  for (const Term& t : terms) single.AddTerms({t});
+
+  auto built = std::make_shared<std::atomic<int>>(0);
+  ShardedEngineOptions options;
+  options.batch_size = 1;  // one item per batch: maximal queue traffic
+  ShardedEngine<SlowStructuredSketch, StructuredItem> engine(
+      [params, built] {
+        SlowStructuredSketch sketch{StructuredF0(params)};
+        sketch.slow = built->fetch_add(1) == 0;
+        return sketch;
+      },
+      3, options);
+  {
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&engine, &terms, p] {
+        auto producer = engine.MakeProducer();
+        for (size_t i = p; i < terms.size(); i += 2) {
+          producer.Add(StructuredItem(std::vector<Term>{terms[i]}));
+        }
+        producer.Flush();
+      });
+    }
+    for (auto& thread : threads) thread.join();
+  }
+  EXPECT_GT(engine.batches_stolen(), 0u);
+  SlowStructuredSketch merged = engine.MergedSketch();
+  EXPECT_EQ(SketchCodec::Encode(merged.inner), SketchCodec::Encode(single));
 }
 
 // ---- structured engine ----------------------------------------------------

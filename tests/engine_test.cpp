@@ -831,6 +831,32 @@ TEST(ShardedEngineTest, QueueBackpressureSignalsAreSane) {
   EXPECT_EQ(engine.queued_batches(), 0u);
 }
 
+TEST(ShardedEngineTest, StealingDisabledReproducesStrictRoundRobin) {
+  // enable_work_stealing=false is the escape hatch benchmarks use to
+  // reproduce strict round-robin placement: batches land only on their
+  // preferred shard, no batch is ever stolen, and (as always) the
+  // merged bytes match a sequential pass.
+  const F0Params params = SmallParams(F0Algorithm::kMinimum);
+  const std::vector<uint64_t> xs = RandomStream(6000, 900, 66);
+
+  F0Estimator sequential(params);
+  for (const uint64_t x : xs) sequential.Add(x);
+
+  ShardedEngineOptions options;
+  options.batch_size = 64;
+  options.enable_work_stealing = false;
+  ShardedEngine<F0Estimator, uint64_t> engine(
+      [params] { return F0Estimator(params); }, 3, options);
+  {
+    auto producer = engine.MakeProducer();
+    for (const uint64_t x : xs) producer.Add(x);
+    producer.Flush();
+  }
+  EXPECT_EQ(engine.batches_stolen(), 0u);
+  EXPECT_EQ(SketchCodec::Encode(engine.MergedSketch()),
+            SketchCodec::Encode(sequential));
+}
+
 TEST(ShardedEngineTest, ShardedSketchSurvivesCodecRoundTrip) {
   const F0Params params = SmallParams(F0Algorithm::kBucketing);
   ShardedF0Engine engine(params, 3);
