@@ -1,11 +1,32 @@
 // E2 — sketch space and per-item update time: both must be
-// poly(1/eps, log N), independent of the stream length. google-benchmark
-// timings for Add(), plus a space table across eps.
-#include <benchmark/benchmark.h>
+// poly(1/eps, log N), independent of the stream length. Space table
+// across eps, a kernel-tier table (scalar vs batched absorb on every
+// GF(2) kernel tier this CPU offers, medians of 5) feeding
+// BENCH_e02_hash.json, and google-benchmark timings for Add() when the
+// library is available.
+//
+// The tier table doubles as a gate: the batched span-Add path must not
+// be slower than item-at-a-time Add on any tier, and every (tier, path)
+// combination must produce byte-identical sketch encodings — tiers and
+// batching change the implementation, never the result. Any violation
+// exits 1. `--smoke` shrinks the stream for CI and skips the gbench
+// section.
+#include <cstring>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "engine/sketch_codec.hpp"
+#include "hash/gf2_kernels.hpp"
 #include "streaming/f0_sketch.hpp"
+
+#if defined(MCF0_HAVE_GBENCH)
+#include <benchmark/benchmark.h>
+#endif
 
 namespace {
 
@@ -28,6 +49,7 @@ F0Params MakeParams(F0Algorithm alg, double eps) {
   return params;
 }
 
+#if defined(MCF0_HAVE_GBENCH)
 void BM_SketchAdd(benchmark::State& state) {
   const auto alg = static_cast<F0Algorithm>(state.range(0));
   const double eps = state.range(1) / 100.0;
@@ -48,10 +70,59 @@ BENCHMARK(BM_SketchAdd)
                     static_cast<int>(F0Algorithm::kEstimation)},
                    {80, 40}})
     ->ArgNames({"alg", "eps_pct"});
+#endif  // MCF0_HAVE_GBENCH
+
+/// Tiers to benchmark: portable always, plus the hardware tier when the
+/// CPU has one (there is at most one per architecture).
+std::vector<gf2k::KernelTier> TiersToMeasure() {
+  std::vector<gf2k::KernelTier> tiers{gf2k::KernelTier::kPortable};
+  const gf2k::KernelTier detected = gf2k::DetectedKernelTier();
+  if (detected != gf2k::KernelTier::kPortable) tiers.push_back(detected);
+  return tiers;
+}
+
+struct AbsorbRates {
+  double scalar_elems_per_sec = 0.0;
+  double batched_elems_per_sec = 0.0;
+  std::string scalar_bytes;   // encoded sketch after the item-Add build
+  std::string batched_bytes;  // encoded sketch after the span-Add build
+};
+
+/// Medians of `runs` timed builds on the *currently forced* tier: one set
+/// item-at-a-time, one through the span path. Construction (hash
+/// sampling) is excluded from the timed window.
+AbsorbRates MeasureAbsorb(const F0Params& params,
+                          const std::vector<uint64_t>& xs, int runs) {
+  AbsorbRates rates;
+  std::vector<double> scalar_runs;
+  std::vector<double> batched_runs;
+  // Interleave the two paths so load spikes (shared CI cores) hit both
+  // measurements equally instead of biasing whichever ran later.
+  for (int r = 0; r < runs; ++r) {
+    {
+      F0Estimator est(params);
+      WallTimer timer;
+      for (const uint64_t x : xs) est.Add(x);
+      scalar_runs.push_back(static_cast<double>(xs.size()) / timer.Seconds());
+      if (r == 0) rates.scalar_bytes = SketchCodec::Encode(est);
+    }
+    {
+      F0Estimator est(params);
+      WallTimer timer;
+      est.Add(std::span<const uint64_t>(xs));
+      batched_runs.push_back(static_cast<double>(xs.size()) / timer.Seconds());
+      if (r == 0) rates.batched_bytes = SketchCodec::Encode(est);
+    }
+  }
+  rates.scalar_elems_per_sec = Median(scalar_runs);
+  rates.batched_elems_per_sec = Median(batched_runs);
+  return rates;
+}
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
   mcf0::bench::Banner(
       "E2: F0 sketch update time and space",
       "per-item time O(1) amortized hash evaluations; space "
@@ -71,8 +142,96 @@ int main(int argc, char** argv) {
                   static_cast<double>(est.SpaceBits()) / 8192.0);
     }
   }
-  std::printf("\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+
+  // Kernel-tier table: the Estimation sketch is the polynomial-hash-bound
+  // one, so its absorb rate is where the GF(2) kernel tier and the
+  // batched (HornerBatch) path show up. Medians of 5 runs per cell.
+  const size_t tier_elements = smoke ? 30000 : 200000;
+  constexpr int kRuns = 5;
+  const mcf0::F0Params tier_params =
+      MakeParams(mcf0::F0Algorithm::kEstimation, 0.4);
+  std::vector<uint64_t> xs(tier_elements);
+  {
+    mcf0::Rng rng(11);
+    for (auto& x : xs) x = rng.NextBelow(1u << 28);
+  }
+
+  std::printf(
+      "\n-- GF(2) kernel tiers: scalar vs batched absorb "
+      "(Estimation, medians of %d) --\n",
+      kRuns);
+  std::printf("%-9s %9s %12s %12s %9s\n", "tier", "elements", "scalar/s",
+              "batched/s", "speedup");
+  struct TierRow {
+    mcf0::gf2k::KernelTier tier;
+    AbsorbRates rates;
+  };
+  std::vector<TierRow> rows;
+  std::string reference_bytes;  // portable scalar build: the ground truth
+  for (const mcf0::gf2k::KernelTier tier : TiersToMeasure()) {
+    mcf0::gf2k::ForceKernelTier(tier);
+    const AbsorbRates rates = MeasureAbsorb(tier_params, xs, kRuns);
+    mcf0::gf2k::ForceKernelTier(std::nullopt);
+    if (tier == mcf0::gf2k::KernelTier::kPortable) {
+      reference_bytes = rates.scalar_bytes;
+    }
+    std::printf("%-9s %9zu %12.0f %12.0f %8.2fx\n",
+                mcf0::gf2k::KernelTierName(tier), xs.size(),
+                rates.scalar_elems_per_sec, rates.batched_elems_per_sec,
+                rates.batched_elems_per_sec / rates.scalar_elems_per_sec);
+    if (rates.scalar_bytes != reference_bytes ||
+        rates.batched_bytes != reference_bytes) {
+      std::printf("  ^ MISMATCH: %s sketch bytes diverged from the portable "
+                  "scalar build!\n",
+                  mcf0::gf2k::KernelTierName(tier));
+      return 1;
+    }
+    if (rates.batched_elems_per_sec < rates.scalar_elems_per_sec) {
+      std::printf("  ^ GATE FAILED: batched absorb slower than scalar on "
+                  "tier %s\n",
+                  mcf0::gf2k::KernelTierName(tier));
+      return 1;
+    }
+    rows.push_back({tier, rates});
+  }
+  const double portable_scalar = rows.front().rates.scalar_elems_per_sec;
+  const double best_batched = rows.back().rates.batched_elems_per_sec;
+  std::printf("best batched vs portable scalar: %.2fx\n",
+              best_batched / portable_scalar);
+
+  // Machine-readable summary (same manual-JSON idiom as BENCH_e17/e19).
+  // Reaching this line means the byte-identity and not-slower gates held.
+  std::ofstream json("BENCH_e02_hash.json");
+  json << "{\n"
+       << "  \"experiment\": \"e02_hash\",\n"
+       << "  \"smoke\": " << (smoke ? "true" : "false") << ",\n"
+       << "  \"detected_tier\": \""
+       << mcf0::gf2k::KernelTierName(mcf0::gf2k::DetectedKernelTier())
+       << "\",\n"
+       << "  \"elements\": " << xs.size() << ",\n"
+       << "  \"runs\": " << kRuns << ",\n"
+       << "  \"tiers\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    json << "    {\"tier\": \"" << mcf0::gf2k::KernelTierName(rows[i].tier)
+         << "\", \"scalar_elems_per_sec\": "
+         << rows[i].rates.scalar_elems_per_sec
+         << ", \"batched_elems_per_sec\": "
+         << rows[i].rates.batched_elems_per_sec << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n"
+       << "  \"best_batched_over_portable_scalar\": "
+       << best_batched / portable_scalar << ",\n"
+       << "  \"gate_batched_not_slower\": true,\n"
+       << "  \"bytes_identical\": true\n"
+       << "}\n";
+  std::printf("wrote BENCH_e02_hash.json\n\n");
+
+#if defined(MCF0_HAVE_GBENCH)
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+#endif
   return 0;
 }

@@ -2,7 +2,10 @@
 // single-threaded sketch over the same stream, in three tables:
 //
 //   1. raw sharded ingestion (ShardedF0Engine), per algorithm and shard
-//      count — the original E17;
+//      count — the original E17 — with a batched-vs-scalar absorb
+//      column: the `span` row feeds the same stream through the
+//      span Add() (the batched-hash path the engine's workers use), so
+//      the kernel-level speedup is visible next to the sharding one;
 //   2. raw multi-producer ingestion: P producer threads feeding one
 //      4-shard engine through private Producer handles (no global
 //      producer lock on the hot path);
@@ -102,6 +105,21 @@ Measured RunSerial(const F0Params& params, const std::vector<uint64_t>& xs) {
   F0Estimator est(params);  // hash sampling excluded from the timed window
   WallTimer timer;
   for (const uint64_t x : xs) est.Add(x);
+  const double secs = timer.Seconds();
+  return {static_cast<double>(xs.size()) / secs, est.Estimate()};
+}
+
+// The batched-absorb baseline: the same serial stream, fed through the
+// span Add() in engine-sized chunks. Same sketch bytes as item-at-a-time
+// (gated below); the rate difference is the batched hash path alone.
+Measured RunSerialBatched(const F0Params& params,
+                          const std::vector<uint64_t>& xs) {
+  F0Estimator est(params);
+  WallTimer timer;
+  for (size_t off = 0; off < xs.size(); off += kBatch) {
+    const size_t len = std::min(kBatch, xs.size() - off);
+    est.Add(std::span<const uint64_t>(xs.data() + off, len));
+  }
   const double secs = timer.Seconds();
   return {static_cast<double>(xs.size()) / secs, est.Estimate()};
 }
@@ -304,6 +322,7 @@ int main(int argc, char** argv) {
   // Headline rates for the Bucketing / Minimum reference rows, written
   // to BENCH_e17_engine.json at the end (same schema family as E19).
   double json_serial = 0.0;
+  double json_serial_batched = 0.0;
   double json_sharded = 0.0;
   double json_multi_producer = 0.0;
   double json_poll_us = 0.0;
@@ -323,6 +342,23 @@ int main(int argc, char** argv) {
     if (alg == F0Algorithm::kBucketing) json_serial = serial.elems_per_sec;
     std::printf("%-11s %7s %9zu %12.0f %9s %14.1f\n", Name(alg), "serial",
                 xs.size(), serial.elems_per_sec, "1.00x", serial.estimate);
+    const Measured serial_batched = RunSerialBatched(params, xs);
+    if (alg == F0Algorithm::kBucketing) {
+      json_serial_batched = serial_batched.elems_per_sec;
+    }
+    char span_speedup[16];
+    std::snprintf(span_speedup, sizeof(span_speedup), "%.2fx",
+                  serial.elems_per_sec > 0
+                      ? serial_batched.elems_per_sec / serial.elems_per_sec
+                      : 0.0);
+    std::printf("%-11s %7s %9zu %12.0f %9s %14.1f\n", Name(alg), "span",
+                xs.size(), serial_batched.elems_per_sec, span_speedup,
+                serial_batched.estimate);
+    if (serial_batched.estimate != serial.estimate) {
+      std::printf(
+          "  ^ MISMATCH: span-absorb estimate diverged from serial!\n");
+      return 1;
+    }
     double base_rate = 0.0;
     for (const int shards : shard_counts) {
       const Measured sharded = RunSharded(params, xs, shards);
@@ -496,6 +532,8 @@ int main(int argc, char** argv) {
        << "  \"elements\": " << xs.size() << ",\n"
        << "  \"shards\": " << shard_counts.back() << ",\n"
        << "  \"serial_items_per_sec\": " << json_serial << ",\n"
+       << "  \"serial_batched_items_per_sec\": " << json_serial_batched
+       << ",\n"
        << "  \"sharded_items_per_sec\": " << json_sharded << ",\n"
        << "  \"multi_producer_items_per_sec\": " << json_multi_producer
        << ",\n"

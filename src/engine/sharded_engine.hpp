@@ -145,6 +145,16 @@ inline Metrics& Get() {
 
 }  // namespace engine_obs
 
+/// Batch-absorb customization point: how a worker ingests a whole queue
+/// batch into its replica. This generic fallback replays AbsorbItem in
+/// order, so any sketch that works item-by-item works batched with
+/// identical bytes; sketches with a faster span surface overload it
+/// (F0Estimator below routes to the gf2k-batched span-Add).
+template <typename Sketch, typename Item>
+inline void AbsorbBatch(Sketch& sketch, std::span<const Item> items) {
+  for (const Item& item : items) AbsorbItem(sketch, item);
+}
+
 /// The generic queue/worker/backpressure core; see the file comment.
 template <typename Sketch, typename Item>
 class ShardedEngine {
@@ -572,7 +582,7 @@ class ShardedEngine {
         MCF0_TRACE_SPAN("engine.absorb_batch");
         obs::ScopedLatencyUs absorb_timer(engine_obs::Get().absorb_batch_us);
         std::lock_guard<std::mutex> sketch_lock(self->sketch_mu);
-        for (const Item& item : batch.items) AbsorbItem(self->sketch, item);
+        AbsorbBatch(self->sketch, std::span<const Item>(batch.items));
       }
       // Publish the replica change before the completion bookkeeping:
       // the merge cache reads replica_gen without sketch_mu, and the
@@ -773,6 +783,13 @@ class ShardedEngine {
 
 /// AbsorbItem customization point for raw element streams.
 inline void AbsorbItem(F0Estimator& sketch, uint64_t x) { sketch.Add(x); }
+
+/// AbsorbBatch fast path for raw element streams: the span-Add surface
+/// runs each row's hashes over the whole batch through the gf2k batch
+/// kernels. Byte-identical to the item-by-item fallback.
+inline void AbsorbBatch(F0Estimator& sketch, std::span<const uint64_t> items) {
+  sketch.Add(items);
+}
 
 /// One §5 structured stream item for `ShardedStructuredEngine`: the
 /// affine space {x : a x = b} of Theorem 7.

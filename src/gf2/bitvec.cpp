@@ -120,6 +120,46 @@ BitVec BitVec::Prefix(int l) const {
   return out;
 }
 
+BitVec BitVec::Slice(int start, int len) const {
+  MCF0_CHECK(start >= 0 && len >= 0 && start + len <= size_);
+  BitVec out(len);
+  if (len == 0) return out;
+  const int w0 = start >> 6;
+  const int shift = start & 63;
+  for (size_t k = 0; k < out.words_.size(); ++k) {
+    uint64_t v = words_[w0 + k] << shift;
+    if (shift != 0 && w0 + k + 1 < words_.size()) {
+      v |= words_[w0 + k + 1] >> (64 - shift);
+    }
+    out.words_[k] = v;
+  }
+  out.MaskTail();
+  return out;
+}
+
+BitVec BitVec::Reversed() const {
+  BitVec out(size_);
+  for (int i = 0; i < size_; ++i) out.Set(i, Get(size_ - 1 - i));
+  return out;
+}
+
+bool BitVec::DotWindowF2(int start, const BitVec& x) const {
+  MCF0_CHECK(start >= 0 && start + x.size() <= size_);
+  const int w0 = start >> 6;
+  const int shift = start & 63;
+  uint64_t acc = 0;
+  // x's tail word is masked (class invariant), so ANDing with it also
+  // truncates the window's final partial word.
+  for (size_t k = 0; k < x.words_.size(); ++k) {
+    uint64_t v = words_[w0 + k] << shift;
+    if (shift != 0 && w0 + k + 1 < words_.size()) {
+      v |= words_[w0 + k + 1] >> (64 - shift);
+    }
+    acc ^= v & x.words_[k];
+  }
+  return std::popcount(acc) & 1;
+}
+
 BitVec BitVec::Concat(const BitVec& o) const {
   BitVec out(size_ + o.size_);
   for (int i = 0; i < size_; ++i) out.Set(i, Get(i));

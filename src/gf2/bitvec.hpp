@@ -108,6 +108,19 @@ class BitVec {
   /// First `l` bits as a new vector (the paper's prefix slice). l <= size().
   BitVec Prefix(int l) const;
 
+  /// Contiguous window [start, start + len) as a new vector. Word-parallel
+  /// (shift-and-merge per output word, not per-bit Get/Set) — this is how
+  /// ToeplitzMatrix materializes rows from its reversed diagonal seed.
+  BitVec Slice(int start, int len) const;
+
+  /// The string read back-to-front: Reversed()[p] = (*this)[size()-1-p].
+  BitVec Reversed() const;
+
+  /// GF(2) inner product of the window [start, start + x.size()) with x,
+  /// without materializing the window. The packed Toeplitz matrix-vector
+  /// product is m of these against one reversed seed.
+  bool DotWindowF2(int start, const BitVec& x) const;
+
   /// Concatenation: *this followed by `o`.
   BitVec Concat(const BitVec& o) const;
 

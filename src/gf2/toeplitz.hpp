@@ -35,10 +35,13 @@ class ToeplitzMatrix {
     return seed_.Get(i - j + cols_ - 1);
   }
 
-  /// Materializes row i as a BitVec of cols() bits.
+  /// Materializes row i as a BitVec of cols() bits. Row i is a contiguous
+  /// window of the reversed seed (row_i[j] = rev[m - 1 - i + j]), so this
+  /// is a word-parallel Slice, not a per-bit walk.
   BitVec Row(int i) const;
 
-  /// Matrix-vector product computed from the seed (no densification).
+  /// Matrix-vector product computed from the seed (no densification):
+  /// one word-parallel window dot per output bit.
   BitVec Mul(const BitVec& x) const;
 
   /// Dense copy (used when the caller needs full linear algebra).
@@ -51,6 +54,9 @@ class ToeplitzMatrix {
   int rows_;
   int cols_;
   BitVec seed_;
+  /// seed_ reversed, computed once at construction: every row of the
+  /// matrix is a contiguous cols_-bit window of this vector.
+  BitVec rev_seed_;
 };
 
 }  // namespace mcf0

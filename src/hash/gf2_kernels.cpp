@@ -1,0 +1,437 @@
+#include "hash/gf2_kernels.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define MCF0_GF2K_X86 1
+#include <smmintrin.h>
+#include <wmmintrin.h>
+#endif
+
+#if defined(__aarch64__)
+#define MCF0_GF2K_ARM 1
+#include <arm_neon.h>
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#endif
+
+#include "common/check.hpp"
+#include "obs/metrics.hpp"
+
+namespace mcf0 {
+namespace gf2k {
+namespace {
+
+// ---- portable tier --------------------------------------------------------
+
+/// Shift-and-xor carry-less multiply — the reference implementation and
+/// the kPortable tier. Iterates set bits of b only.
+inline Product128 ClmulSoft(uint64_t a, uint64_t b) {
+  Product128 p;
+  while (b != 0) {
+    const int i = __builtin_ctzll(b);
+    b &= b - 1;
+    p.lo ^= a << i;
+    if (i != 0) p.hi ^= a >> (64 - i);
+  }
+  return p;
+}
+
+/// Fold reduction mod f = x^w + mod_low: split the product at x^w and
+/// substitute x^w == mod_low until the high part vanishes. The high
+/// part's degree drops below deg(mod_low) after one fold and strictly
+/// decreases from there, so for the small lexicographically-minimal
+/// moduli this runs 2-3 carry-less multiplies.
+inline uint64_t ReduceSoft(Product128 p, int w, uint64_t mod_low) {
+  if (w == 64) {
+    while (p.hi != 0) {
+      const Product128 f = ClmulSoft(p.hi, mod_low);
+      p.hi = f.hi;
+      p.lo ^= f.lo;
+    }
+    return p.lo;
+  }
+  const uint64_t mask = (1ull << w) - 1;
+  uint64_t high = (p.hi << (64 - w)) | (p.lo >> w);
+  uint64_t lo = p.lo & mask;
+  while (high != 0) {
+    const Product128 f = ClmulSoft(high, mod_low);
+    high = (f.hi << (64 - w)) | (f.lo >> w);
+    lo ^= f.lo & mask;
+  }
+  return lo;
+}
+
+inline uint64_t MulSoft(uint64_t a, uint64_t b, int w, uint64_t mod_low) {
+  return ReduceSoft(ClmulSoft(a, b), w, mod_low);
+}
+
+void MulVecSoft(std::span<const uint64_t> a, std::span<const uint64_t> b,
+                std::span<uint64_t> out, int w, uint64_t mod_low) {
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = MulSoft(a[i], b[i], w, mod_low);
+  }
+}
+
+/// 4-bit window table for multiplying by a fixed x: t[v] = clmul(v, x)
+/// for every nibble value v. Entries reach degree 66, so they carry a
+/// 128-bit layout.
+struct WindowTable {
+  Product128 t[16];
+};
+
+inline WindowTable MakeWindow(uint64_t x) {
+  WindowTable tab;
+  tab.t[1] = {0, x};
+  tab.t[2] = {x >> 63, x << 1};
+  tab.t[4] = {x >> 62, x << 2};
+  tab.t[8] = {x >> 61, x << 3};
+  for (int v = 3; v < 16; ++v) {
+    if ((v & (v - 1)) == 0) continue;  // powers of two already filled
+    const int high_bit = 1 << (31 - __builtin_clz(static_cast<unsigned>(v)));
+    tab.t[v] = {tab.t[high_bit].hi ^ tab.t[v - high_bit].hi,
+                tab.t[high_bit].lo ^ tab.t[v - high_bit].lo};
+  }
+  return tab;
+}
+
+/// Carry-less multiply of a by the x captured in `tab`: Horner over the
+/// `nibbles` low nibbles of a (all a can occupy — field elements keep
+/// their high 64-w bits clear), one shift-4 + table XOR each.
+/// Branchless, and roughly twice the speed of ClmulSoft's set-bit loop
+/// on random operands — the portable batch path's real amortization,
+/// since one table serves every multiply by the same x.
+inline Product128 ClmulWindow(uint64_t a, const WindowTable& tab,
+                              int nibbles) {
+  Product128 r;
+  for (int k = nibbles - 1; k >= 0; --k) {
+    r.hi = (r.hi << 4) | (r.lo >> 60);
+    r.lo <<= 4;
+    const Product128& t = tab.t[(a >> (4 * k)) & 15];
+    r.hi ^= t.hi;
+    r.lo ^= t.lo;
+  }
+  return r;
+}
+
+void HornerBatchSoft(std::span<const uint64_t> coeffs,
+                     std::span<const uint64_t> xs, std::span<uint64_t> out,
+                     int w, uint64_t mod_low) {
+  const uint64_t mask = (w == 64) ? ~0ull : ((1ull << w) - 1);
+  const uint64_t top = coeffs.back();
+  const int nibbles = (w + 3) >> 2;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const uint64_t x = xs[i] & mask;
+    const WindowTable tab = MakeWindow(x);
+    uint64_t acc = top;
+    for (size_t k = coeffs.size() - 1; k-- > 0;) {
+      acc = ReduceSoft(ClmulWindow(acc, tab, nibbles), w, mod_low) ^ coeffs[k];
+    }
+    out[i] = acc;
+  }
+}
+
+// ---- x86-64 PCLMULQDQ tier ------------------------------------------------
+
+#if defined(MCF0_GF2K_X86)
+#define MCF0_TARGET_CLMUL __attribute__((target("pclmul,sse4.1")))
+
+/// Product + fold reduction entirely in PCLMULQDQ. Mirrors ReduceSoft
+/// exactly — same folds, same result — with each carry-less multiply a
+/// single instruction.
+MCF0_TARGET_CLMUL inline uint64_t MulClmul(uint64_t a, uint64_t b, int w,
+                                           uint64_t mod_low) {
+  const __m128i vmod = _mm_set_epi64x(0, static_cast<long long>(mod_low));
+  __m128i prod =
+      _mm_clmulepi64_si128(_mm_set_epi64x(0, static_cast<long long>(a)),
+                           _mm_set_epi64x(0, static_cast<long long>(b)), 0x00);
+  uint64_t hi = static_cast<uint64_t>(_mm_extract_epi64(prod, 1));
+  uint64_t lo = static_cast<uint64_t>(_mm_cvtsi128_si64(prod));
+  if (w == 64) {
+    while (hi != 0) {
+      const __m128i f = _mm_clmulepi64_si128(
+          _mm_set_epi64x(0, static_cast<long long>(hi)), vmod, 0x00);
+      hi = static_cast<uint64_t>(_mm_extract_epi64(f, 1));
+      lo ^= static_cast<uint64_t>(_mm_cvtsi128_si64(f));
+    }
+    return lo;
+  }
+  const uint64_t mask = (1ull << w) - 1;
+  uint64_t high = (hi << (64 - w)) | (lo >> w);
+  lo &= mask;
+  while (high != 0) {
+    const __m128i f = _mm_clmulepi64_si128(
+        _mm_set_epi64x(0, static_cast<long long>(high)), vmod, 0x00);
+    const uint64_t fhi = static_cast<uint64_t>(_mm_extract_epi64(f, 1));
+    const uint64_t flo = static_cast<uint64_t>(_mm_cvtsi128_si64(f));
+    high = (fhi << (64 - w)) | (flo >> w);
+    lo ^= flo & mask;
+  }
+  return lo;
+}
+
+MCF0_TARGET_CLMUL Product128 CarrylessMulClmul(uint64_t a, uint64_t b) {
+  const __m128i prod =
+      _mm_clmulepi64_si128(_mm_set_epi64x(0, static_cast<long long>(a)),
+                           _mm_set_epi64x(0, static_cast<long long>(b)), 0x00);
+  return {static_cast<uint64_t>(_mm_extract_epi64(prod, 1)),
+          static_cast<uint64_t>(_mm_cvtsi128_si64(prod))};
+}
+
+MCF0_TARGET_CLMUL void MulVecClmul(std::span<const uint64_t> a,
+                                   std::span<const uint64_t> b,
+                                   std::span<uint64_t> out, int w,
+                                   uint64_t mod_low) {
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = MulClmul(a[i], b[i], w, mod_low);
+  }
+}
+
+MCF0_TARGET_CLMUL void HornerBatchClmul(std::span<const uint64_t> coeffs,
+                                        std::span<const uint64_t> xs,
+                                        std::span<uint64_t> out, int w,
+                                        uint64_t mod_low) {
+  const uint64_t mask = (w == 64) ? ~0ull : ((1ull << w) - 1);
+  const uint64_t top = coeffs.back();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const uint64_t x = xs[i] & mask;
+    uint64_t acc = top;
+    for (size_t k = coeffs.size() - 1; k-- > 0;) {
+      acc = MulClmul(acc, x, w, mod_low) ^ coeffs[k];
+    }
+    out[i] = acc;
+  }
+}
+#endif  // MCF0_GF2K_X86
+
+// ---- arm64 NEON PMULL tier ------------------------------------------------
+
+#if defined(MCF0_GF2K_ARM)
+#define MCF0_TARGET_PMULL __attribute__((target("+crypto")))
+
+MCF0_TARGET_PMULL inline Product128 CarrylessMulPmullRaw(uint64_t a,
+                                                         uint64_t b) {
+  const poly128_t prod =
+      vmull_p64(static_cast<poly64_t>(a), static_cast<poly64_t>(b));
+  const uint64x2_t v = vreinterpretq_u64_p128(prod);
+  return {vgetq_lane_u64(v, 1), vgetq_lane_u64(v, 0)};
+}
+
+MCF0_TARGET_PMULL inline uint64_t MulPmull(uint64_t a, uint64_t b, int w,
+                                           uint64_t mod_low) {
+  Product128 p = CarrylessMulPmullRaw(a, b);
+  if (w == 64) {
+    while (p.hi != 0) {
+      const Product128 f = CarrylessMulPmullRaw(p.hi, mod_low);
+      p.hi = f.hi;
+      p.lo ^= f.lo;
+    }
+    return p.lo;
+  }
+  const uint64_t mask = (1ull << w) - 1;
+  uint64_t high = (p.hi << (64 - w)) | (p.lo >> w);
+  uint64_t lo = p.lo & mask;
+  while (high != 0) {
+    const Product128 f = CarrylessMulPmullRaw(high, mod_low);
+    high = (f.hi << (64 - w)) | (f.lo >> w);
+    lo ^= f.lo & mask;
+  }
+  return lo;
+}
+
+MCF0_TARGET_PMULL void MulVecPmull(std::span<const uint64_t> a,
+                                   std::span<const uint64_t> b,
+                                   std::span<uint64_t> out, int w,
+                                   uint64_t mod_low) {
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = MulPmull(a[i], b[i], w, mod_low);
+  }
+}
+
+MCF0_TARGET_PMULL void HornerBatchPmull(std::span<const uint64_t> coeffs,
+                                        std::span<const uint64_t> xs,
+                                        std::span<uint64_t> out, int w,
+                                        uint64_t mod_low) {
+  const uint64_t mask = (w == 64) ? ~0ull : ((1ull << w) - 1);
+  const uint64_t top = coeffs.back();
+  for (size_t i = 0; i < xs.size(); ++i) {
+    const uint64_t x = xs[i] & mask;
+    uint64_t acc = top;
+    for (size_t k = coeffs.size() - 1; k-- > 0;) {
+      acc = MulPmull(acc, x, w, mod_low) ^ coeffs[k];
+    }
+    out[i] = acc;
+  }
+}
+#endif  // MCF0_GF2K_ARM
+
+// ---- detection and dispatch -----------------------------------------------
+
+bool CpuHasClmul() {
+#if defined(MCF0_GF2K_X86)
+  return __builtin_cpu_supports("pclmul") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasPmull() {
+#if defined(MCF0_GF2K_ARM) && defined(__linux__)
+  // HWCAP_PMULL == (1 << 4) on arm64 Linux; spelled numerically so the
+  // header set stays minimal.
+  return (getauxval(AT_HWCAP) & (1ul << 4)) != 0;
+#else
+  return false;
+#endif
+}
+
+bool EnvForcesPortable() {
+  const char* value = std::getenv("MCF0_FORCE_PORTABLE");
+  if (value == nullptr) return false;
+  return std::strcmp(value, "1") == 0 || std::strcmp(value, "true") == 0;
+}
+
+obs::Gauge* TierGauge() {
+  static obs::Gauge* gauge =
+      obs::Registry::Global().GetGauge("mcf0_hash_kernel_tier");
+  return gauge;
+}
+
+/// Bench/test override; -1 = none. Read relaxed on every dispatch —
+/// one extra load on the scalar path, hoisted entirely in the batch
+/// entry points.
+std::atomic<int>& OverrideTier() {
+  static std::atomic<int> tier{-1};
+  return tier;
+}
+
+KernelTier ResolveDetectedTier() {
+  if (EnvForcesPortable()) return KernelTier::kPortable;
+  if (CpuHasPmull()) return KernelTier::kPmull;
+  if (CpuHasClmul()) return KernelTier::kClmul;
+  return KernelTier::kPortable;
+}
+
+}  // namespace
+
+const char* KernelTierName(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kPortable: return "portable";
+    case KernelTier::kClmul: return "clmul";
+    case KernelTier::kPmull: return "pmull";
+  }
+  return "?";
+}
+
+KernelTier DetectedKernelTier() {
+  static const KernelTier tier = [] {
+    const KernelTier resolved = ResolveDetectedTier();
+    TierGauge()->Set(static_cast<int64_t>(resolved));
+    return resolved;
+  }();
+  return tier;
+}
+
+KernelTier ActiveKernelTier() {
+  const int forced = OverrideTier().load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<KernelTier>(forced);
+  return DetectedKernelTier();
+}
+
+bool KernelTierAvailable(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kPortable: return true;
+    case KernelTier::kClmul: return CpuHasClmul();
+    case KernelTier::kPmull: return CpuHasPmull();
+  }
+  return false;
+}
+
+void ForceKernelTier(std::optional<KernelTier> tier) {
+  if (tier.has_value()) {
+    MCF0_CHECK(KernelTierAvailable(*tier));
+    OverrideTier().store(static_cast<int>(*tier), std::memory_order_relaxed);
+    TierGauge()->Set(static_cast<int64_t>(*tier));
+  } else {
+    OverrideTier().store(-1, std::memory_order_relaxed);
+    TierGauge()->Set(static_cast<int64_t>(DetectedKernelTier()));
+  }
+}
+
+Product128 CarrylessMulWithTier(KernelTier tier, uint64_t a, uint64_t b) {
+  switch (tier) {
+#if defined(MCF0_GF2K_X86)
+    case KernelTier::kClmul: return CarrylessMulClmul(a, b);
+#endif
+#if defined(MCF0_GF2K_ARM)
+    case KernelTier::kPmull: return CarrylessMulPmullRaw(a, b);
+#endif
+    default: return ClmulSoft(a, b);
+  }
+}
+
+Product128 CarrylessMul(uint64_t a, uint64_t b) {
+  return CarrylessMulWithTier(ActiveKernelTier(), a, b);
+}
+
+uint64_t MulWithTier(KernelTier tier, uint64_t a, uint64_t b, int w,
+                     uint64_t mod_low) {
+  switch (tier) {
+#if defined(MCF0_GF2K_X86)
+    case KernelTier::kClmul: return MulClmul(a, b, w, mod_low);
+#endif
+#if defined(MCF0_GF2K_ARM)
+    case KernelTier::kPmull: return MulPmull(a, b, w, mod_low);
+#endif
+    default: return MulSoft(a, b, w, mod_low);
+  }
+}
+
+uint64_t Mul(uint64_t a, uint64_t b, int w, uint64_t mod_low) {
+  return MulWithTier(ActiveKernelTier(), a, b, w, mod_low);
+}
+
+void MulVec(std::span<const uint64_t> a, std::span<const uint64_t> b,
+            std::span<uint64_t> out, int w, uint64_t mod_low) {
+  MCF0_CHECK(a.size() == out.size() && b.size() == out.size());
+  switch (ActiveKernelTier()) {
+#if defined(MCF0_GF2K_X86)
+    case KernelTier::kClmul: MulVecClmul(a, b, out, w, mod_low); return;
+#endif
+#if defined(MCF0_GF2K_ARM)
+    case KernelTier::kPmull: MulVecPmull(a, b, out, w, mod_low); return;
+#endif
+    default: MulVecSoft(a, b, out, w, mod_low); return;
+  }
+}
+
+void HornerBatchWithTier(KernelTier tier, std::span<const uint64_t> coeffs,
+                         std::span<const uint64_t> xs, std::span<uint64_t> out,
+                         int w, uint64_t mod_low) {
+  MCF0_CHECK(!coeffs.empty() && xs.size() == out.size());
+  switch (tier) {
+#if defined(MCF0_GF2K_X86)
+    case KernelTier::kClmul:
+      HornerBatchClmul(coeffs, xs, out, w, mod_low);
+      return;
+#endif
+#if defined(MCF0_GF2K_ARM)
+    case KernelTier::kPmull:
+      HornerBatchPmull(coeffs, xs, out, w, mod_low);
+      return;
+#endif
+    default: HornerBatchSoft(coeffs, xs, out, w, mod_low); return;
+  }
+}
+
+void HornerBatch(std::span<const uint64_t> coeffs,
+                 std::span<const uint64_t> xs, std::span<uint64_t> out, int w,
+                 uint64_t mod_low) {
+  HornerBatchWithTier(ActiveKernelTier(), coeffs, xs, out, w, mod_low);
+}
+
+}  // namespace gf2k
+}  // namespace mcf0

@@ -1,12 +1,12 @@
 #include "hash/gf2_poly.hpp"
 
+#include <array>
 #include <bit>
-#if defined(__x86_64__)
-#include <wmmintrin.h>
-#include <smmintrin.h>
-#endif
+#include <mutex>
 
 #include "common/rng.hpp"
+#include "hash/gf2_kernels.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcf0 {
 namespace {
@@ -40,40 +40,6 @@ struct Poly128 {
   }
 };
 
-#if defined(__x86_64__)
-/// Hardware carry-less multiply (PCLMULQDQ), selected at runtime.
-__attribute__((target("pclmul,sse4.1"))) Poly128 ClmulHw(uint64_t a,
-                                                         uint64_t b) {
-  const __m128i va = _mm_set_epi64x(0, static_cast<long long>(a));
-  const __m128i vb = _mm_set_epi64x(0, static_cast<long long>(b));
-  const __m128i prod = _mm_clmulepi64_si128(va, vb, 0x00);
-  Poly128 p;
-  p.lo = static_cast<uint64_t>(_mm_cvtsi128_si64(prod));
-  p.hi = static_cast<uint64_t>(_mm_extract_epi64(prod, 1));
-  return p;
-}
-#endif
-
-/// Portable carry-less 64x64 -> 128 multiplication (shift-and-xor).
-Poly128 ClmulPortable(uint64_t a, uint64_t b) {
-  Poly128 p;
-  while (b != 0) {
-    const int i = std::countr_zero(b);
-    b &= b - 1;
-    p.lo ^= a << i;
-    if (i != 0) p.hi ^= a >> (64 - i);
-  }
-  return p;
-}
-
-Poly128 Clmul(uint64_t a, uint64_t b) {
-#if defined(__x86_64__)
-  static const bool kHasPclmul = __builtin_cpu_supports("pclmul") != 0;
-  if (kHasPclmul) return ClmulHw(a, b);
-#endif
-  return ClmulPortable(a, b);
-}
-
 /// p mod f for a nonzero modulus polynomial f (deg f >= 0; anything mod a
 /// nonzero constant is 0, which the loop below produces naturally).
 Poly128 PolyMod(Poly128 p, Poly128 f) {
@@ -96,13 +62,6 @@ Poly128 PolyGcd(Poly128 a, Poly128 b) {
   return a;
 }
 
-/// Multiplication in GF(2)[x] mod f, for operands of degree < deg f <= 64.
-uint64_t MulMod(uint64_t a, uint64_t b, Poly128 f) {
-  Poly128 p = Clmul(a, b);
-  p = PolyMod(p, f);
-  return p.lo;
-}
-
 Poly128 ModulusPoly(uint64_t poly_low, int degree) {
   Poly128 f;
   f.lo = poly_low;
@@ -123,10 +82,12 @@ bool Gf2Field::IsIrreducible(uint64_t poly_low, int degree) {
   const Poly128 f = ModulusPoly(poly_low, degree);
 
   // Rabin: f (deg d) is irreducible iff x^(2^d) == x (mod f) and for every
-  // prime p | d, gcd(x^(2^(d/p)) - x, f) = 1.
+  // prime p | d, gcd(x^(2^(d/p)) - x, f) = 1. The repeated squarings mod
+  // the candidate run on the gf2k kernels (f = x^degree + poly_low is
+  // exactly the fold-reduction form).
   auto x_to_2_to = [&](int k) {
     uint64_t e = 2;  // x
-    for (int i = 0; i < k; ++i) e = MulMod(e, e, f);
+    for (int i = 0; i < k; ++i) e = gf2k::Mul(e, e, degree, poly_low);
     return e;
   };
 
@@ -151,23 +112,49 @@ bool Gf2Field::IsIrreducible(uint64_t poly_low, int degree) {
   return true;
 }
 
-Gf2Field::Gf2Field(int w) : w_(w) {
-  MCF0_CHECK(w >= 1 && w <= 64);
-  mask_ = (w == 64) ? ~0ull : ((1ull << w) - 1);
+namespace {
+
+/// One actual irreducibility scan for degree w. Counted so the
+/// per-degree cache below can be pinned to "one scan per degree, ever"
+/// (tests/gf2_poly_test.cpp).
+uint64_t ScanForModulusLow(int w) {
+  static obs::Counter* scans =
+      obs::Registry::Global().GetCounter("mcf0_gf2_modulus_scans_total");
+  scans->Increment();
+  const uint64_t mask = (w == 64) ? ~0ull : ((1ull << w) - 1);
   // Scan odd low-parts for the first irreducible modulus. Irreducible
   // polynomials have density ~1/w, so this terminates quickly.
   for (uint64_t low = 1;; low += 2) {
-    MCF0_CHECK(low <= mask_);
-    if (IsIrreducible(low, w)) {
-      mod_low_ = low;
-      break;
-    }
+    MCF0_CHECK(low <= mask);
+    if (Gf2Field::IsIrreducible(low, w)) return low;
   }
+}
+
+/// Memoized modulus per degree: decode/replay paths rebuild fields for
+/// the same w over and over, and the scan is the expensive part of
+/// construction. call_once keeps it thread-safe and at-most-once.
+uint64_t CachedModulusLow(int w) {
+  struct Slot {
+    std::once_flag once;
+    uint64_t low = 0;
+  };
+  static std::array<Slot, 65> slots;  // indexed by w in [1, 64]
+  Slot& slot = slots[static_cast<size_t>(w)];
+  std::call_once(slot.once, [&slot, w] { slot.low = ScanForModulusLow(w); });
+  return slot.low;
+}
+
+}  // namespace
+
+Gf2Field::Gf2Field(int w) : w_(w) {
+  MCF0_CHECK(w >= 1 && w <= 64);
+  mask_ = (w == 64) ? ~0ull : ((1ull << w) - 1);
+  mod_low_ = CachedModulusLow(w);
 }
 
 uint64_t Gf2Field::Mul(uint64_t a, uint64_t b) const {
   MCF0_DCHECK((a & ~mask_) == 0 && (b & ~mask_) == 0);
-  return MulMod(a, b, ModulusPoly(mod_low_, w_));
+  return gf2k::Mul(a, b, w_, mod_low_);
 }
 
 uint64_t Gf2Field::Pow(uint64_t a, uint64_t e) const {
@@ -207,6 +194,13 @@ uint64_t PolynomialHash::Eval(uint64_t x) const {
     acc = field_->Mul(acc, x) ^ coeffs_[i];
   }
   return acc;
+}
+
+void PolynomialHash::EvalBatch(std::span<const uint64_t> xs,
+                               std::span<uint64_t> out) const {
+  MCF0_CHECK(xs.size() == out.size());
+  gf2k::HornerBatch(coeffs_, xs, out, field_->degree(),
+                    field_->modulus_low());
 }
 
 }  // namespace mcf0

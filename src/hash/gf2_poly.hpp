@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/check.hpp"
@@ -20,8 +21,11 @@ class Rng;
 /// The finite field GF(2^w).
 class Gf2Field {
  public:
-  /// Constructs GF(2^w), searching for the lexicographically smallest
-  /// irreducible modulus of degree w. O(w^4 / 64) one-time cost.
+  /// Constructs GF(2^w). The lexicographically smallest irreducible
+  /// modulus of degree w is found by a scan (O(w^4 / 64)) the first time
+  /// any field of that degree is built in the process; later
+  /// constructions hit a per-degree cache. Scans are counted by the
+  /// `mcf0_gf2_modulus_scans_total` metric (at most 64 per process).
   explicit Gf2Field(int w);
 
   int degree() const { return w_; }
@@ -33,6 +37,8 @@ class Gf2Field {
   static uint64_t Add(uint64_t a, uint64_t b) { return a ^ b; }
 
   /// Field multiplication: carry-less product reduced mod the modulus.
+  /// Runs on the active gf2k kernel tier (PCLMULQDQ / PMULL / portable);
+  /// the result is tier-independent.
   uint64_t Mul(uint64_t a, uint64_t b) const;
 
   /// a^e by square-and-multiply.
@@ -60,6 +66,12 @@ class PolynomialHash {
 
   /// h(x) for x interpreted as a field element (low w bits used).
   uint64_t Eval(uint64_t x) const;
+
+  /// Batched Eval: out[i] = Eval(xs[i]), bit-for-bit. One call shares
+  /// the coefficient array, modulus, and kernel-tier dispatch across the
+  /// whole block (gf2k::HornerBatch), which is the hash hot path the
+  /// span-Add absorb surface feeds.
+  void EvalBatch(std::span<const uint64_t> xs, std::span<uint64_t> out) const;
 
   /// Independence degree s of the family this was drawn from.
   int s() const { return static_cast<int>(coeffs_.size()); }

@@ -1,8 +1,21 @@
 #include "hash/hash_family.hpp"
 
+#include <bit>
+
 #include "common/rng.hpp"
 
 namespace mcf0 {
+
+AffineHash::AffineHash(Gf2Matrix a, BitVec b, AffineHashKind kind,
+                       size_t repr_bits)
+    : a_(std::move(a)), b_(std::move(b)), kind_(kind), repr_bits_(repr_bits) {
+  if (a_.cols() <= 64) {
+    packed_rows_.reserve(static_cast<size_t>(a_.rows()));
+    for (int i = 0; i < a_.rows(); ++i) {
+      packed_rows_.push_back(a_.cols() == 0 ? 0 : a_.Row(i).words()[0]);
+    }
+  }
+}
 
 AffineHash AffineHash::SampleToeplitz(int n, int m, Rng& rng) {
   MCF0_CHECK(n >= 1 && m >= 1);
@@ -79,6 +92,16 @@ BitVec AffineHash::ToeplitzSeed() const {
 BitVec AffineHash::EvalPrefix(const BitVec& x, int l) const {
   MCF0_CHECK(l >= 0 && l <= m());
   BitVec y(l);
+  if (!packed_rows_.empty() || n() == 0) {
+    // Word-sized input: x is one (masked) word, so each output bit is a
+    // single AND + parity against the packed row.
+    const uint64_t xw = x.words().empty() ? 0 : x.words()[0];
+    for (int i = 0; i < l; ++i) {
+      const bool dot = std::popcount(packed_rows_[static_cast<size_t>(i)] & xw) & 1;
+      if (dot != b_.Get(i)) y.Set(i, true);
+    }
+    return y;
+  }
   for (int i = 0; i < l; ++i) {
     if (a_.Row(i).DotF2(x) != b_.Get(i)) y.Set(i, true);
   }
@@ -87,8 +110,18 @@ BitVec AffineHash::EvalPrefix(const BitVec& x, int l) const {
 
 uint64_t AffineHash::Eval64(uint64_t x) const {
   MCF0_CHECK(n() <= 64 && m() <= 64);
-  return Eval(BitVec::FromU64(n() == 64 ? x : (x & ((1ull << n()) - 1)), n()))
-      .ToU64();
+  // Pack x the way BitVec::FromU64 does (big-endian at the top of the
+  // word); each output bit is then parity(row_word & x_word), assembled
+  // most-significant-first to match BitVec::ToU64.
+  const uint64_t xw =
+      (n() == 64) ? x : ((x & ((1ull << n()) - 1)) << (64 - n()));
+  uint64_t out = 0;
+  for (int i = 0; i < m(); ++i) {
+    out = (out << 1) |
+          static_cast<uint64_t>(
+              std::popcount(packed_rows_[static_cast<size_t>(i)] & xw) & 1);
+  }
+  return out ^ b_.ToU64();
 }
 
 AffineHash AffineHash::PrefixHash(int l) const {

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "gf2/bitvec.hpp"
 #include "gf2/gf2_matrix.hpp"
@@ -78,7 +79,8 @@ class AffineHash {
 
   /// Convenience for word-sized universes (n <= 64): h applied to the n-bit
   /// big-endian encoding of `x`, returned as the m-bit value (requires
-  /// m <= 64).
+  /// m <= 64). Runs on the packed row words — one AND + popcount-parity
+  /// per output bit, no BitVec allocation.
   uint64_t Eval64(uint64_t x) const;
 
   /// The hash restricted to its first l output bits as a standalone hash.
@@ -98,16 +100,18 @@ class AffineHash {
   }
 
  private:
-  AffineHash(Gf2Matrix a, BitVec b, AffineHashKind kind, size_t repr_bits)
-      : a_(std::move(a)),
-        b_(std::move(b)),
-        kind_(kind),
-        repr_bits_(repr_bits) {}
+  AffineHash(Gf2Matrix a, BitVec b, AffineHashKind kind, size_t repr_bits);
 
   Gf2Matrix a_;
   BitVec b_;
   AffineHashKind kind_;
   size_t repr_bits_;
+  /// When n <= 64, row i of A packed into one word (the BitVec layout:
+  /// input bit j at word bit 63 - j). Built once at construction so
+  /// Eval64 / EvalPrefix on word-sized universes are AND + parity per
+  /// output bit. Empty when n > 64. Derived state — not part of
+  /// operator== or any serialized form.
+  std::vector<uint64_t> packed_rows_;
 };
 
 }  // namespace mcf0

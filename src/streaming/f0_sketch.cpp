@@ -1,6 +1,7 @@
 #include "streaming/f0_sketch.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <limits>
 #include <utility>
@@ -53,6 +54,11 @@ void BucketingSketchRow::Add(uint64_t x) {
   }
 }
 
+void BucketingSketchRow::Add(std::span<const uint64_t> xs) {
+  // The insert/escalate sequence is order-sensitive; replay it exactly.
+  for (const uint64_t x : xs) Add(x);
+}
+
 double BucketingSketchRow::Estimate() const {
   return static_cast<double>(bucket_.size()) * std::pow(2.0, level_);
 }
@@ -78,6 +84,10 @@ MinimumSketchRow::MinimumSketchRow(AffineHash h, uint64_t thresh)
 void MinimumSketchRow::Add(uint64_t x) {
   AddHashed(
       h_.Eval(BitVec::FromU64(n_ == 64 ? x : (x & ((1ull << n_) - 1)), n_)));
+}
+
+void MinimumSketchRow::Add(std::span<const uint64_t> xs) {
+  for (const uint64_t x : xs) Add(x);
 }
 
 void MinimumSketchRow::AddHashed(const BitVec& value) {
@@ -144,6 +154,29 @@ void EstimationSketchRow::Add(uint64_t x) {
   }
 }
 
+void EstimationSketchRow::Add(std::span<const uint64_t> xs) {
+  MCF0_CHECK(field_ != nullptr);  // cells-only rows are Merge-fed
+  const int w = field_->degree();
+  // Per-hash Horner over a block: coefficients, modulus, and kernel
+  // dispatch amortize across the block; 256 elements keeps the scratch
+  // on the stack.
+  std::array<uint64_t, 256> hashed;
+  for (size_t base = 0; base < xs.size(); base += hashed.size()) {
+    const size_t len = std::min(hashed.size(), xs.size() - base);
+    const auto block = xs.subspan(base, len);
+    const std::span<uint64_t> out(hashed.data(), len);
+    for (size_t j = 0; j < hashes_.size(); ++j) {
+      hashes_[j].EvalBatch(block, out);
+      int cell = cells_[j];
+      for (const uint64_t h : out) {
+        const int t = TrailZero64(h, w);
+        if (t > cell) cell = t;
+      }
+      cells_[j] = cell;
+    }
+  }
+}
+
 void EstimationSketchRow::Merge(int j, int t) {
   MCF0_CHECK(j >= 0 && j < static_cast<int>(cells_.size()));
   if (t > cells_[j]) cells_[j] = t;
@@ -192,6 +225,15 @@ FlajoletMartinRow::FlajoletMartinRow(AffineHash h, int max_tz)
 void FlajoletMartinRow::Add(uint64_t x) {
   const int t = TrailZero64(h_.Eval64(x), n_);
   if (t > max_tz_) max_tz_ = t;
+}
+
+void FlajoletMartinRow::Add(std::span<const uint64_t> xs) {
+  int max_tz = max_tz_;
+  for (const uint64_t x : xs) {
+    const int t = TrailZero64(h_.Eval64(x), n_);
+    if (t > max_tz) max_tz = t;
+  }
+  max_tz_ = max_tz;
 }
 
 // ---- driver ---------------------------------------------------------------
@@ -346,6 +388,13 @@ void F0Estimator::Add(uint64_t x) {
   for (auto& row : minimum_rows_) row.Add(x);
   for (auto& row : estimation_rows_) row.Add(x);
   for (auto& row : fm_rows_) row.Add(x);
+}
+
+void F0Estimator::Add(std::span<const uint64_t> xs) {
+  for (auto& row : bucketing_rows_) row.Add(xs);
+  for (auto& row : minimum_rows_) row.Add(xs);
+  for (auto& row : estimation_rows_) row.Add(xs);
+  for (auto& row : fm_rows_) row.Add(xs);
 }
 
 double F0Estimator::Estimate() const {

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <memory>
 #include <set>
+#include <span>
 #include <unordered_set>
 #include <vector>
 
@@ -48,6 +49,10 @@ class BucketingSketchRow {
                      std::unordered_set<uint64_t> bucket);
 
   void Add(uint64_t x);
+
+  /// Batch absorb; byte-identical to calling Add(x) in order (the level
+  /// escalation sequence is order-sensitive, so the batch path keeps it).
+  void Add(std::span<const uint64_t> xs);
 
   /// |bucket| * 2^level.
   double Estimate() const;
@@ -85,6 +90,10 @@ class MinimumSketchRow {
   MinimumSketchRow(AffineHash h, uint64_t thresh);
 
   void Add(uint64_t x);
+
+  /// Batch absorb; byte-identical to item-by-item Add (set insertion is
+  /// order-independent).
+  void Add(std::span<const uint64_t> xs);
 
   /// Inserts an already-hashed value — the merge path used by the
   /// structured-set streaming algorithms (§5) and the distributed
@@ -130,6 +139,12 @@ class EstimationSketchRow {
 
   void Add(uint64_t x);
 
+  /// Batch absorb: each hash evaluates the whole block through
+  /// gf2k::HornerBatch (coefficients, modulus, and kernel dispatch shared
+  /// across B elements — the tentpole hot path). Byte-identical to
+  /// item-by-item Add: cells take maxima, which commute.
+  void Add(std::span<const uint64_t> xs);
+
   /// Raises cell j to at least `t` — the distributed merge path (§4).
   void Merge(int j, int t);
 
@@ -163,6 +178,9 @@ class FlajoletMartinRow {
   FlajoletMartinRow(AffineHash h, int max_tz);
 
   void Add(uint64_t x);
+
+  /// Batch absorb; byte-identical to item-by-item Add (max commutes).
+  void Add(std::span<const uint64_t> xs);
 
   /// Raises the counter to at least `t` — the union-merge path.
   void Merge(int t) {
@@ -312,6 +330,13 @@ class F0Estimator {
   static F0Estimator FromParts(Parts parts);
 
   void Add(uint64_t x);
+
+  /// Batch absorb: hands the whole block to each row's span-Add, so one
+  /// row's hash coefficients stay hot across B elements instead of being
+  /// re-fetched per element. Byte-identical to absorbing the block
+  /// item-by-item in order — the engine's batched workers and E17/E18
+  /// gates pin that.
+  void Add(std::span<const uint64_t> xs);
 
   double Estimate() const;
 

@@ -145,7 +145,9 @@ TEST(CliTest, CountCnfApproxMc) {
 }
 
 TEST(CliTest, CountDnfAllAlgorithms) {
-  const std::string path = WriteFixture("fixture.dnf", kDnfFixture);
+  // Fixture names are per-test: ctest -j runs each TEST as its own
+  // process, and a shared name races (one truncates while another reads).
+  const std::string path = WriteFixture("count_algos.dnf", kDnfFixture);
   for (const std::string algo :
        {"approxmc", "countmin", "countest", "karp-luby"}) {
     const RunOutput out =
@@ -159,7 +161,7 @@ TEST(CliTest, CountDnfAllAlgorithms) {
 }
 
 TEST(CliTest, DistributedDnfReportsCommunication) {
-  const std::string path = WriteFixture("fixture.dnf", kDnfFixture);
+  const std::string path = WriteFixture("distributed.dnf", kDnfFixture);
   const RunOutput out = RunCli("dnf --sites 2 --seed 11 " + path);
   ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
   ExpectJsonShape(out.stdout_text, "dnf");
@@ -170,7 +172,7 @@ TEST(CliTest, DistributedDnfReportsCommunication) {
 }
 
 TEST(CliTest, StructuredStreamEstimatesUnion) {
-  const std::string path = WriteFixture("fixture.dnf", kDnfFixture);
+  const std::string path = WriteFixture("stream_union.dnf", kDnfFixture);
   const RunOutput out = RunCli("stream --seed 13 " + path);
   ASSERT_EQ(out.exit_code, 0) << out.stdout_text;
   ExpectJsonShape(out.stdout_text, "stream");

@@ -433,6 +433,60 @@ TEST(WorkStealingTest, FlushCoversExactlyOwnBatchesUnderSteals) {
             SketchCodec::Encode(sequential));
 }
 
+TEST(WorkStealingTest, BatchedAbsorbsStayByteIdenticalAndFlushExact) {
+  // The worker absorb site hands whole queue batches to AbsorbBatch — for
+  // F0Estimator that is the span-Add fast path through the gf2k batch
+  // kernels. Small batches, four producers, stealing on: the merged
+  // sketch must stay byte-identical to a scalar item-by-item sequential
+  // pass for every algorithm, and a producer's Flush() must still cover
+  // exactly its own batches and nothing buffered elsewhere.
+  for (const F0Algorithm algorithm : kAllAlgorithms) {
+    const F0Params params = SmallParams(algorithm, 11);
+    const std::vector<uint64_t> xs = RandomStream(6000, 800, 85);
+
+    F0Estimator sequential(params);
+    for (const uint64_t x : xs) sequential.Add(x);
+
+    ShardedEngineOptions options;
+    options.batch_size = 32;
+    ShardedEngine<F0Estimator, uint64_t> engine(
+        [params] { return F0Estimator(params); }, 3, options);
+    {
+      std::vector<std::thread> threads;
+      for (int p = 0; p < 4; ++p) {
+        threads.emplace_back([&engine, &xs, p] {
+          auto producer = engine.MakeProducer();
+          const auto [begin, end] = Slice(xs.size(), 4, p);
+          // Uneven bulk chunks: each AddBatch call becomes one queue
+          // batch absorbed through the span path.
+          size_t i = begin;
+          size_t chunk = 17;
+          while (i < end) {
+            const size_t len = std::min(chunk, end - i);
+            producer.AddBatch(std::span<const uint64_t>(xs.data() + i, len));
+            i += len;
+            chunk = chunk * 2 + 1;
+          }
+          producer.Flush();  // covers stolen batches too
+        });
+      }
+      for (auto& thread : threads) thread.join();
+    }
+    EXPECT_EQ(engine.items_ingested(), xs.size());
+
+    // Flush exactness: another handle's buffered item is not in the
+    // stream until that handle flushes.
+    auto quiet = engine.MakeProducer();
+    quiet.Add(3);
+    EXPECT_EQ(SketchCodec::Encode(engine.SnapshotSketch()),
+              SketchCodec::Encode(sequential));
+    quiet.Flush();
+    sequential.Add(3);
+    EXPECT_EQ(SketchCodec::Encode(engine.MergedSketch()),
+              SketchCodec::Encode(sequential));
+  }
+}
+
 // The structured analogue: a slow StructuredF0 replica, byte-identity
 // under steals for §5 set-stream items.
 struct SlowStructuredSketch {

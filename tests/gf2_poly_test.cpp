@@ -6,8 +6,11 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <thread>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
 
 namespace mcf0 {
 namespace {
@@ -133,6 +136,43 @@ TEST(PolynomialHash, PairwiseIndependenceExactTinyField) {
   }
   EXPECT_EQ(pair_counts.size(), 64u);
   for (const auto& [pair, count] : pair_counts) EXPECT_EQ(count, 1);
+}
+
+TEST(Gf2FieldModulusCache, OneScanPerDegree) {
+  // Construction memoizes the irreducibility scan per degree: the first
+  // Gf2Field(w) in the process scans (bumping the counter once), every
+  // later construction is a cache hit. Decode/replay paths rebuild
+  // fields constantly, so this is pinned, not just hoped for.
+  obs::Counter* scans =
+      obs::Registry::Global().GetCounter("mcf0_gf2_modulus_scans_total");
+  const Gf2Field warm(29);  // ensures degree 29 has been scanned
+  const uint64_t before = scans->Value();
+  for (int i = 0; i < 5; ++i) {
+    const Gf2Field again(29);
+    EXPECT_EQ(again.modulus_low(), warm.modulus_low());
+  }
+  EXPECT_EQ(scans->Value(), before);
+  // There are only 64 possible degrees, so the process-wide total can
+  // never exceed 64 no matter how many fields were built.
+  EXPECT_LE(scans->Value(), 64u);
+}
+
+TEST(Gf2FieldModulusCache, ConcurrentConstructionScansOnce) {
+  obs::Counter* scans =
+      obs::Registry::Global().GetCounter("mcf0_gf2_modulus_scans_total");
+  const uint64_t before = scans->Value();
+  std::vector<std::thread> threads;
+  std::vector<uint64_t> moduli(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([t, &moduli] {
+      const Gf2Field field(43);
+      moduli[static_cast<size_t>(t)] = field.modulus_low();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const uint64_t low : moduli) EXPECT_EQ(low, moduli[0]);
+  // At most one new scan (zero if another test already built degree 43).
+  EXPECT_LE(scans->Value(), before + 1);
 }
 
 TEST(TrailZero64, Definition) {
